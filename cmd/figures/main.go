@@ -1,0 +1,152 @@
+// Command figures regenerates the tables and figures of the paper's
+// evaluation section on the reproduction's substrates. Each figure prints
+// as an aligned text table whose rows mirror the bars/series of the
+// original plot; EXPERIMENTS.md records the comparison against the
+// published results.
+//
+// Usage:
+//
+//	figures -quick all            # every figure at reduced scale
+//	figures fig4 fig7             # specific figures, default scale
+//	figures -full -out results/ all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+type figureFn func(*experiments.Fixture) (*experiments.Table, error)
+
+func main() {
+	quick := flag.Bool("quick", false, "reduced clip size/repetitions (seconds per figure)")
+	full := flag.Bool("full", false, "paper-scale CIF clips and 20 repetitions (slow)")
+	outDir := flag.String("out", "figures-out", "directory for file artifacts (fig6 screenshots)")
+	csvOut := flag.Bool("csv", false, "also write each table as <out>/<figure>.csv")
+	frames := flag.Int("frames", 0, "override clip length in frames")
+	reps := flag.Int("reps", 0, "override repetitions")
+	flag.Parse()
+
+	opts := experiments.Quick()
+	if *full {
+		opts = experiments.Full()
+	} else if !*quick {
+		// Default: quick geometry, a few repetitions.
+		opts = experiments.Quick()
+		opts.Repetitions = 5
+	}
+	if *frames > 0 {
+		opts.Frames = *frames
+	}
+	if *reps > 0 {
+		opts.Repetitions = *reps
+	}
+
+	fixture, err := experiments.NewFixture(opts)
+	if err != nil {
+		fatal(err)
+	}
+
+	figures := map[string]figureFn{
+		"table1": func(*experiments.Fixture) (*experiments.Table, error) { return experiments.Table1(), nil },
+		"fig2":   experiments.Fig2,
+		"fig4":   experiments.Fig4,
+		"fig5":   experiments.Fig5,
+		"fig6": func(f *experiments.Fixture) (*experiments.Table, error) {
+			return experiments.Fig6(f, *outDir)
+		},
+		"fig7":       experiments.Fig7,
+		"fig8":       experiments.Fig8,
+		"fig9":       experiments.Fig9,
+		"table2":     experiments.Table2,
+		"fig10":      experiments.Fig10,
+		"fig11":      experiments.Fig11,
+		"fig12":      experiments.Fig12,
+		"fig13":      experiments.Fig13,
+		"fig14":      experiments.Fig14,
+		"fig15":      experiments.Fig15,
+		"extensions": experiments.ExtensionsTable,
+		"snrsweep":   experiments.SNRSweepTable,
+	}
+	order := []string{
+		"table1", "fig2", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+		"table2", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
+		"extensions", "snrsweep",
+	}
+
+	requested := flag.Args()
+	if len(requested) == 0 {
+		fmt.Fprintln(os.Stderr, "no figures requested; known figures:")
+		names := make([]string, 0, len(figures))
+		for n := range figures {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		fmt.Fprintln(os.Stderr, " ", strings.Join(names, " "), "all")
+		os.Exit(2)
+	}
+	var run []string
+	for _, r := range requested {
+		if r == "all" {
+			run = append(run, order...)
+			continue
+		}
+		if _, ok := figures[r]; !ok {
+			fatal(fmt.Errorf("unknown figure %q", r))
+		}
+		run = append(run, r)
+	}
+
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		fatal(err)
+	}
+	resultPath := filepath.Join(*outDir, "results.txt")
+	resultFile, err := os.Create(resultPath)
+	if err != nil {
+		fatal(err)
+	}
+	defer resultFile.Close()
+
+	fmt.Printf("options: %dx%d, %d frames, %d repetitions, %d stations\n\n",
+		opts.Width, opts.Height, opts.Frames, opts.Repetitions, opts.Stations)
+	for _, name := range run {
+		start := time.Now()
+		table, err := figures[name](fixture)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", name, err))
+		}
+		if err := table.Fprint(os.Stdout); err != nil {
+			fatal(err)
+		}
+		if err := table.Fprint(resultFile); err != nil {
+			fatal(err)
+		}
+		if *csvOut {
+			cf, err := os.Create(filepath.Join(*outDir, name+".csv"))
+			if err != nil {
+				fatal(err)
+			}
+			if err := table.WriteCSV(cf); err != nil {
+				cf.Close()
+				fatal(err)
+			}
+			if err := cf.Close(); err != nil {
+				fatal(err)
+			}
+		}
+		fmt.Printf("[%s done in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+	fmt.Printf("tables also written to %s\n", resultPath)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "figures:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,532 @@
+// Command thriftyvid is the reproduction's end-to-end tool: generate
+// synthetic clips, encode them into the codec's container, calibrate the
+// analytical model, plan an encryption policy (the Fig. 1 workflow), and
+// move video over real sockets or the simulated WiFi testbed under any
+// policy, as sender, receiver, or eavesdropper.
+//
+// Usage:
+//
+//	thriftyvid generate -out clip.yuv -motion fast -frames 120
+//	thriftyvid encode   -in clip.yuv -out clip.tvid -gop 30
+//	thriftyvid analyze  -in clip.tvid
+//	thriftyvid plan     -in clip.tvid -device samsung -target 20
+//	thriftyvid simulate -in clip.tvid -policy I -alg aes256 -device samsung
+//	thriftyvid recv     -addr 127.0.0.1:5004 -in clip.tvid -key secret
+//	thriftyvid eavesdrop -addr 127.0.0.1:5005 -in clip.tvid
+//	thriftyvid send     -in clip.tvid -rx 127.0.0.1:5004 -ev 127.0.0.1:5005 -policy I -alg aes256 -key secret
+package main
+
+import (
+	"crypto/sha256"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/energy"
+	"repro/internal/evalvid"
+	"repro/internal/stats"
+	"repro/internal/transport"
+	"repro/internal/vcrypt"
+	"repro/internal/video"
+	"repro/internal/wifi"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "generate":
+		err = cmdGenerate(args)
+	case "encode":
+		err = cmdEncode(args)
+	case "analyze":
+		err = cmdAnalyze(args)
+	case "plan":
+		err = cmdPlan(args)
+	case "simulate":
+		err = cmdSimulate(args)
+	case "send":
+		err = cmdSend(args)
+	case "recv":
+		err = cmdRecv(args, true)
+	case "eavesdrop":
+		err = cmdRecv(args, false)
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "thriftyvid:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: thriftyvid <generate|encode|analyze|plan|simulate|send|recv|eavesdrop> [flags]
+run "thriftyvid <command> -h" for command flags`)
+}
+
+func parseMotion(s string) (video.MotionLevel, error) {
+	switch strings.ToLower(s) {
+	case "low", "slow":
+		return video.MotionLow, nil
+	case "medium", "med":
+		return video.MotionMedium, nil
+	case "high", "fast":
+		return video.MotionHigh, nil
+	}
+	return 0, fmt.Errorf("unknown motion level %q (want slow|medium|fast)", s)
+}
+
+func parseAlg(s string) (vcrypt.Algorithm, error) {
+	switch strings.ToLower(s) {
+	case "aes128":
+		return vcrypt.AES128, nil
+	case "aes256":
+		return vcrypt.AES256, nil
+	case "3des", "tripledes", "des3":
+		return vcrypt.TripleDES, nil
+	}
+	return 0, fmt.Errorf("unknown algorithm %q (want aes128|aes256|3des)", s)
+}
+
+func parsePolicy(mode string, frac float64, alg vcrypt.Algorithm) (vcrypt.Policy, error) {
+	p := vcrypt.Policy{Alg: alg, FracP: frac}
+	switch strings.ToLower(mode) {
+	case "none":
+		p.Mode = vcrypt.ModeNone
+	case "all":
+		p.Mode = vcrypt.ModeAll
+	case "i":
+		p.Mode = vcrypt.ModeIFrames
+	case "p":
+		p.Mode = vcrypt.ModePFrames
+	case "i+p", "ifracp", "mixed":
+		p.Mode = vcrypt.ModeIPlusFracP
+	case "half-i", "halfi":
+		p.Mode = vcrypt.ModeHalfI
+	default:
+		return p, fmt.Errorf("unknown policy %q (want none|I|P|all|I+P|half-I)", mode)
+	}
+	return p, p.Validate()
+}
+
+func parseDevice(s string) (energy.Profile, error) {
+	switch strings.ToLower(s) {
+	case "samsung", "s2", "galaxy":
+		return energy.SamsungGalaxySII(), nil
+	case "htc", "amaze":
+		return energy.HTCAmaze4G(), nil
+	}
+	return energy.Profile{}, fmt.Errorf("unknown device %q (want samsung|htc)", s)
+}
+
+// deriveKey stretches a passphrase to the algorithm's key size.
+func deriveKey(pass string, alg vcrypt.Algorithm) []byte {
+	sum := sha256.Sum256([]byte("thriftyvid:" + pass))
+	key := sum[:]
+	for len(key) < alg.KeySize() {
+		next := sha256.Sum256(key)
+		key = append(key, next[:]...)
+	}
+	return key[:alg.KeySize()]
+}
+
+func cmdGenerate(args []string) error {
+	fs := flag.NewFlagSet("generate", flag.ExitOnError)
+	out := fs.String("out", "clip.yuv", "output YUV420 file")
+	motion := fs.String("motion", "medium", "motion level: slow|medium|fast")
+	frames := fs.Int("frames", 120, "number of frames")
+	width := fs.Int("width", video.CIFWidth, "frame width")
+	height := fs.Int("height", video.CIFHeight, "frame height")
+	seed := fs.Uint64("seed", 1, "generator seed")
+	fs.Parse(args)
+	m, err := parseMotion(*motion)
+	if err != nil {
+		return err
+	}
+	clip := video.Generate(video.SceneConfig{W: *width, H: *height, Frames: *frames, Motion: m, Seed: *seed})
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	for _, fr := range clip {
+		if err := fr.WriteYUV(f); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("wrote %d %dx%d frames (%s motion) to %s\n", len(clip), *width, *height, m, *out)
+	return nil
+}
+
+func readYUVClip(path string, w, h int) ([]*video.Frame, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var clip []*video.Frame
+	for {
+		fr, err := video.ReadYUV(f, w, h)
+		if err != nil {
+			break
+		}
+		clip = append(clip, fr)
+	}
+	if len(clip) == 0 {
+		return nil, fmt.Errorf("no frames read from %s (check -width/-height)", path)
+	}
+	return clip, nil
+}
+
+func cmdEncode(args []string) error {
+	fs := flag.NewFlagSet("encode", flag.ExitOnError)
+	in := fs.String("in", "clip.yuv", "input YUV420 file")
+	out := fs.String("out", "clip.tvid", "output container")
+	width := fs.Int("width", video.CIFWidth, "frame width")
+	height := fs.Int("height", video.CIFHeight, "frame height")
+	gop := fs.Int("gop", 30, "GOP size")
+	fs.Parse(args)
+	clip, err := readYUVClip(*in, *width, *height)
+	if err != nil {
+		return err
+	}
+	cfg := codec.DefaultConfig(*gop)
+	cfg.Width, cfg.Height = *width, *height
+	start := time.Now()
+	encoded, err := codec.EncodeSequence(clip, cfg)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := codec.WriteContainer(f, cfg, encoded); err != nil {
+		return err
+	}
+	total := 0
+	for _, ef := range encoded {
+		total += ef.Size()
+	}
+	fmt.Printf("encoded %d frames (GOP %d) -> %s: %d bytes in %v\n",
+		len(encoded), *gop, *out, total, time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+func loadContainer(path string) (codec.Config, []*codec.EncodedFrame, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return codec.Config{}, nil, err
+	}
+	defer f.Close()
+	return codec.ReadContainer(f)
+}
+
+func cmdAnalyze(args []string) error {
+	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
+	in := fs.String("in", "clip.tvid", "input container")
+	mtu := fs.Int("mtu", 1400, "network MTU payload")
+	fs.Parse(args)
+	cfg, encoded, err := loadContainer(*in)
+	if err != nil {
+		return err
+	}
+	st, err := codec.AnalyzeClip(encoded, cfg, *mtu)
+	if err != nil {
+		return err
+	}
+	decoded, err := codec.DecodeSequence(encoded, cfg)
+	if err != nil {
+		return err
+	}
+	motion := video.AnalyzeMotion(decoded)
+	fmt.Printf("clip: %d frames, %dx%d, GOP %d, %s motion\n", st.Frames, cfg.Width, cfg.Height, cfg.GOPSize, motion)
+	fmt.Printf("frames: %d I (mean %.0f B), %d P (mean %.0f B)\n", st.IFrames, st.MeanISize, st.PFrames, st.MeanPSize)
+	fmt.Printf("packets @MTU %d: %d I + %d P, p_I = %.3f, I share of bytes = %.3f\n",
+		*mtu, st.IPackets, st.PPackets, st.IFraction, st.BytesFraction)
+	fmt.Printf("packets per frame: I %.1f, P %.1f\n", st.MeanPacketsPerIFrame(), st.MeanPacketsPerPFrame())
+	return nil
+}
+
+func cmdPlan(args []string) error {
+	fs := flag.NewFlagSet("plan", flag.ExitOnError)
+	in := fs.String("in", "clip.tvid", "input container")
+	device := fs.String("device", "samsung", "device profile: samsung|htc")
+	alg := fs.String("alg", "aes256", "algorithm: aes128|aes256|3des")
+	target := fs.Float64("target", 20, "maximum tolerable eavesdropper PSNR (dB)")
+	fps := fs.Float64("fps", 30, "stream frame rate")
+	mtu := fs.Int("mtu", 1400, "network MTU payload")
+	fs.Parse(args)
+	cfg, encoded, err := loadContainer(*in)
+	if err != nil {
+		return err
+	}
+	dev, err := parseDevice(*device)
+	if err != nil {
+		return err
+	}
+	a, err := parseAlg(*alg)
+	if err != nil {
+		return err
+	}
+	decoded, err := codec.DecodeSequence(encoded, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println("calibrating distortion model (controlled loss injection)...")
+	dist, err := core.MeasureDistortion(decoded, cfg, *mtu)
+	if err != nil {
+		return err
+	}
+	cal, err := core.Calibrate(encoded, cfg, *fps, *mtu, dev, core.DefaultNetwork(), dist)
+	if err != nil {
+		return err
+	}
+	candidates := []vcrypt.Policy{
+		{Mode: vcrypt.ModeNone, Alg: a},
+		{Mode: vcrypt.ModeIFrames, Alg: a},
+		{Mode: vcrypt.ModePFrames, Alg: a},
+		{Mode: vcrypt.ModeAll, Alg: a},
+	}
+	for _, frac := range []float64{0.1, 0.2, 0.3, 0.5} {
+		candidates = append(candidates, vcrypt.Policy{Mode: vcrypt.ModeIPlusFracP, FracP: frac, Alg: a})
+	}
+	best, all, err := core.Plan(cal, candidates, *target)
+	if err != nil && err != core.ErrNoPolicyMeetsTarget {
+		return err
+	}
+	fmt.Printf("%-14s %10s %12s %6s %9s %6s\n", "policy", "delay(ms)", "eavPSNR(dB)", "MOS", "power(W)", "q")
+	for _, pr := range all {
+		marker := " "
+		if pr.Policy == best.Policy {
+			marker = "*"
+		}
+		fmt.Printf("%s%-13s %10.2f %12.2f %6d %9.2f %6.2f\n",
+			marker, pr.Policy.Name(), pr.MeanSojourn*1e3, pr.EavesdropperPSNR, pr.EavesdropperMOS,
+			pr.AveragePowerW, pr.EncryptedFraction)
+	}
+	if err == core.ErrNoPolicyMeetsTarget {
+		fmt.Printf("no policy meets the %.1f dB target; strongest is %s\n", *target, best.Policy.Name())
+	} else {
+		fmt.Printf("recommended: %s (eavesdropper PSNR %.1f dB <= %.1f dB target)\n",
+			best.Policy.Name(), best.EavesdropperPSNR, *target)
+	}
+	return nil
+}
+
+func buildMedium(seed uint64) (*wifi.Medium, error) {
+	net := core.DefaultNetwork()
+	params := wifi.NewDefaultDCF(net.Stations)
+	dcf, err := wifi.SolveDCF(params)
+	if err != nil {
+		return nil, err
+	}
+	phy := wifi.PHY80211g()
+	med := wifi.NewMedium(phy, net.Rate, dcf, wifi.BackoffRate(params, dcf, phy.SlotTime), stats.NewRNG(seed))
+	med.ReceiverError = net.ReceiverError
+	med.EavesdropperError = net.EavesdropperError
+	return med, nil
+}
+
+func cmdSimulate(args []string) error {
+	fs := flag.NewFlagSet("simulate", flag.ExitOnError)
+	in := fs.String("in", "clip.tvid", "input container")
+	device := fs.String("device", "samsung", "device profile")
+	alg := fs.String("alg", "aes256", "algorithm")
+	policy := fs.String("policy", "I", "policy: none|I|P|all|I+P|half-I")
+	frac := fs.Float64("frac", 0.2, "P fraction for the I+P policy")
+	tcpMode := fs.Bool("tcp", false, "HTTP/TCP semantics instead of RTP/UDP")
+	seed := fs.Uint64("seed", 1, "simulation seed")
+	fps := fs.Float64("fps", 30, "stream frame rate")
+	pad := fs.Bool("pad", false, "pad every packet to the MTU (traffic-analysis countermeasure)")
+	snrRx := fs.Float64("snr-rx", 0, "receiver channel SNR in dB (with -snr-ev, builds the medium from the BER model and auto-selects the rate)")
+	snrEv := fs.Float64("snr-ev", 0, "eavesdropper channel SNR in dB")
+	headerOnly := fs.Int("headeronly", 0, "encrypt only the first N bytes of each selected packet (0 = whole payload)")
+	unpaced := fs.Bool("unpaced", false, "upload back to back instead of streaming at the frame rate")
+	fs.Parse(args)
+	cfg, encoded, err := loadContainer(*in)
+	if err != nil {
+		return err
+	}
+	dev, err := parseDevice(*device)
+	if err != nil {
+		return err
+	}
+	a, err := parseAlg(*alg)
+	if err != nil {
+		return err
+	}
+	pol, err := parsePolicy(*policy, *frac, a)
+	if err != nil {
+		return err
+	}
+	pol.HeaderOnlyBytes = *headerOnly
+	if err := pol.Validate(); err != nil {
+		return err
+	}
+	var med *wifi.Medium
+	if *snrRx > 0 && *snrEv > 0 {
+		med, err = wifi.NewMediumFromSNR(wifi.PHY80211g(), core.DefaultNetwork().Stations,
+			*snrRx, *snrEv, 1400, stats.NewRNG(*seed))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("SNR medium: rate %dM, receiver loss %.3f, eavesdropper loss %.3f\n",
+			med.Rate(), med.ReceiverError, med.EavesdropperError)
+	} else {
+		med, err = buildMedium(*seed)
+		if err != nil {
+			return err
+		}
+	}
+	s := transport.Session{
+		Config: cfg, Encoded: encoded, FPS: *fps, MTU: 1400,
+		Policy: pol, Key: deriveKey("simulate", a), Device: dev, Medium: med,
+		PadToMTU: *pad, Unpaced: *unpaced,
+	}
+	var res *transport.Result
+	if *tcpMode {
+		res, err = transport.RunHTTP(s, *seed)
+	} else {
+		res, err = transport.RunUDP(s, *seed)
+	}
+	if err != nil {
+		return err
+	}
+	orig, err := codec.DecodeSequence(encoded, cfg)
+	if err != nil {
+		return err
+	}
+	rx, _ := codec.DecodeSequence(res.ReceiverFrames, cfg)
+	ev, _ := codec.DecodeSequence(res.EavesFrames, cfg)
+	qr, err := evalvid.Evaluate(orig, rx)
+	if err != nil {
+		return err
+	}
+	qe, err := evalvid.Evaluate(orig, ev)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("policy %s on %s (%s):\n", pol.Name(), dev.Name, map[bool]string{false: "RTP/UDP", true: "HTTP/TCP"}[*tcpMode])
+	fmt.Printf("  packets: %d (%.1f%% encrypted), receiver loss %.2f%%\n",
+		len(res.Records), res.EncryptedFraction*100, res.ReceiverLossRate*100)
+	fmt.Printf("  delay: mean wait %.2f ms, mean sojourn %.2f ms\n", res.MeanWait*1e3, res.MeanSojourn*1e3)
+	fmt.Printf("  receiver:     PSNR %.2f dB (MOS %.2f)\n", qr.PSNR, qr.MOS)
+	fmt.Printf("  eavesdropper: PSNR %.2f dB (MOS %.2f)\n", qe.PSNR, qe.MOS)
+	fmt.Printf("  power: %.2f W over %.2f s (%.1f J)\n", res.AveragePowerW, res.Duration, res.EnergyJ)
+	return nil
+}
+
+func cmdSend(args []string) error {
+	fs := flag.NewFlagSet("send", flag.ExitOnError)
+	in := fs.String("in", "clip.tvid", "input container")
+	rx := fs.String("rx", "127.0.0.1:5004", "receiver address")
+	ev := fs.String("ev", "", "eavesdropper address (optional)")
+	alg := fs.String("alg", "aes256", "algorithm")
+	policy := fs.String("policy", "I", "policy")
+	frac := fs.Float64("frac", 0.2, "P fraction for I+P")
+	key := fs.String("key", "open-sesame", "shared passphrase")
+	pace := fs.Bool("pace", true, "pace packets at the frame rate")
+	fps := fs.Float64("fps", 30, "frame rate")
+	fs.Parse(args)
+	cfg, encoded, err := loadContainer(*in)
+	if err != nil {
+		return err
+	}
+	a, err := parseAlg(*alg)
+	if err != nil {
+		return err
+	}
+	pol, err := parsePolicy(*policy, *frac, a)
+	if err != nil {
+		return err
+	}
+	s := transport.Session{
+		Config: cfg, Encoded: encoded, FPS: *fps, MTU: 1400,
+		Policy: pol, Key: deriveKey(*key, a), Device: energy.SamsungGalaxySII(),
+	}
+	rep, err := transport.LiveUDPSend(s, *rx, *ev, *pace)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("sent %d packets (%d encrypted, %d bytes) in %v; crypto time %v\n",
+		rep.Packets, rep.Encrypted, rep.Bytes, rep.Elapsed.Round(time.Millisecond),
+		rep.CryptoTime.Round(time.Microsecond))
+	return nil
+}
+
+func cmdRecv(args []string, withKey bool) error {
+	name := "recv"
+	if !withKey {
+		name = "eavesdrop"
+	}
+	fs := flag.NewFlagSet(name, flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:5004", "listen address")
+	in := fs.String("in", "clip.tvid", "original container (for config and PSNR reference)")
+	alg := fs.String("alg", "aes256", "algorithm")
+	key := fs.String("key", "open-sesame", "shared passphrase (recv only)")
+	out := fs.String("out", "", "write reconstructed YUV here (optional)")
+	wait := fs.Duration("wait", 10*time.Second, "how long to listen")
+	loss := fs.Float64("loss", 0, "emulated reception loss probability")
+	fs.Parse(args)
+	cfg, encoded, err := loadContainer(*in)
+	if err != nil {
+		return err
+	}
+	a, err := parseAlg(*alg)
+	if err != nil {
+		return err
+	}
+	var k []byte
+	if withKey {
+		k = deriveKey(*key, a)
+	}
+	rxr, err := transport.NewLiveReceiver(cfg, a, k, *addr, *loss, 1)
+	if err != nil {
+		return err
+	}
+	defer rxr.Close()
+	fmt.Printf("%s listening on %s for %v...\n", name, rxr.Addr(), *wait)
+	time.Sleep(*wait)
+	captured, usable := rxr.Stats()
+	fmt.Printf("captured %d packets, %d usable\n", captured, usable)
+	frames := rxr.Frames(len(encoded))
+	decoded, err := codec.DecodeSequence(frames, cfg)
+	if err != nil {
+		return err
+	}
+	orig, err := codec.DecodeSequence(encoded, cfg)
+	if err != nil {
+		return err
+	}
+	q, err := evalvid.Evaluate(orig, decoded)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("reconstruction: PSNR %.2f dB, MOS %.2f\n", q.PSNR, q.MOS)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		for _, fr := range decoded {
+			if err := fr.WriteYUV(f); err != nil {
+				return err
+			}
+		}
+		fmt.Printf("wrote reconstruction to %s\n", *out)
+	}
+	return nil
+}

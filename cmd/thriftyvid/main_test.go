@@ -1,0 +1,143 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/codec"
+	"repro/internal/vcrypt"
+	"repro/internal/video"
+)
+
+func TestParseMotion(t *testing.T) {
+	cases := map[string]video.MotionLevel{
+		"slow": video.MotionLow, "low": video.MotionLow,
+		"medium": video.MotionMedium, "med": video.MotionMedium,
+		"fast": video.MotionHigh, "HIGH": video.MotionHigh,
+	}
+	for in, want := range cases {
+		got, err := parseMotion(in)
+		if err != nil || got != want {
+			t.Fatalf("parseMotion(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := parseMotion("warp"); err == nil {
+		t.Fatal("bad motion should fail")
+	}
+}
+
+func TestParseAlg(t *testing.T) {
+	for in, want := range map[string]vcrypt.Algorithm{
+		"aes128": vcrypt.AES128, "AES256": vcrypt.AES256, "3des": vcrypt.TripleDES,
+	} {
+		got, err := parseAlg(in)
+		if err != nil || got != want {
+			t.Fatalf("parseAlg(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := parseAlg("rot13"); err == nil {
+		t.Fatal("bad algorithm should fail")
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	p, err := parsePolicy("i+p", 0.2, vcrypt.AES256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Mode != vcrypt.ModeIPlusFracP || p.FracP != 0.2 {
+		t.Fatalf("policy %+v", p)
+	}
+	if _, err := parsePolicy("i+p", 9, vcrypt.AES256); err == nil {
+		t.Fatal("bad fraction should fail")
+	}
+	if _, err := parsePolicy("quantum", 0, vcrypt.AES128); err == nil {
+		t.Fatal("bad mode should fail")
+	}
+	for _, mode := range []string{"none", "all", "i", "p", "half-i"} {
+		if _, err := parsePolicy(mode, 0, vcrypt.AES128); err != nil {
+			t.Fatalf("mode %q: %v", mode, err)
+		}
+	}
+}
+
+func TestParseDevice(t *testing.T) {
+	s, err := parseDevice("samsung")
+	if err != nil || s.Name == "" {
+		t.Fatalf("samsung: %v", err)
+	}
+	h, err := parseDevice("htc")
+	if err != nil || h.Name == s.Name {
+		t.Fatalf("htc: %v", err)
+	}
+	if _, err := parseDevice("nokia3310"); err == nil {
+		t.Fatal("unknown device should fail")
+	}
+}
+
+func TestDeriveKeySizes(t *testing.T) {
+	for _, alg := range []vcrypt.Algorithm{vcrypt.AES128, vcrypt.AES256, vcrypt.TripleDES} {
+		k := deriveKey("hunter2", alg)
+		if len(k) != alg.KeySize() {
+			t.Fatalf("%v: key size %d", alg, len(k))
+		}
+		if _, err := vcrypt.NewCipher(alg, k); err != nil {
+			t.Fatalf("%v: derived key unusable: %v", alg, err)
+		}
+	}
+	a := deriveKey("a", vcrypt.AES256)
+	b := deriveKey("b", vcrypt.AES256)
+	if bytes.Equal(a, b) {
+		t.Fatal("different passphrases must give different keys")
+	}
+}
+
+func TestYUVAndContainerRoundTripViaHelpers(t *testing.T) {
+	dir := t.TempDir()
+	clip := video.Generate(video.SceneConfig{W: 32, H: 32, Frames: 4, Motion: video.MotionLow, Seed: 1})
+	yuvPath := filepath.Join(dir, "c.yuv")
+	f, err := os.Create(yuvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fr := range clip {
+		if err := fr.WriteYUV(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.Close()
+	got, err := readYUVClip(yuvPath, 32, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 {
+		t.Fatalf("read %d frames", len(got))
+	}
+	if _, err := readYUVClip(filepath.Join(dir, "missing.yuv"), 32, 32); err == nil {
+		t.Fatal("missing file should fail")
+	}
+
+	cfg := codec.Config{Width: 32, Height: 32, GOPSize: 4, QI: 8, QP: 10, SearchRange: 8}
+	encoded, err := codec.EncodeSequence(clip, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cPath := filepath.Join(dir, "c.tvid")
+	cf, err := os.Create(cPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := codec.WriteContainer(cf, cfg, encoded); err != nil {
+		t.Fatal(err)
+	}
+	cf.Close()
+	gotCfg, gotFrames, err := loadContainer(cPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotCfg != cfg || len(gotFrames) != len(encoded) {
+		t.Fatal("container round trip mismatch")
+	}
+}

@@ -1,0 +1,8 @@
+package main
+
+import "net"
+
+// netListen opens an ephemeral loopback TCP listener for the demo server.
+func netListen() (net.Listener, error) {
+	return net.Listen("tcp", "127.0.0.1:0")
+}

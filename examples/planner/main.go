@@ -1,0 +1,94 @@
+// Planner explores the fine-grained trade-off of Table 2 / Fig. 9: on a
+// fast-motion clip, sweep the fraction of P-frame packets encrypted on top
+// of the I-frames and watch delay rise while the eavesdropper's PSNR and
+// MOS sink — then let the planner pick the knee point for a given
+// confidentiality target.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/energy"
+	"repro/internal/evalvid"
+	"repro/internal/stats"
+	"repro/internal/transport"
+	"repro/internal/vcrypt"
+	"repro/internal/video"
+	"repro/internal/wifi"
+)
+
+func main() {
+	clip := video.Generate(video.SceneConfig{W: 176, H: 144, Frames: 90, Motion: video.MotionHigh, Seed: 13})
+	cfg := codec.DefaultConfig(30)
+	cfg.Width, cfg.Height = 176, 144
+	encoded, err := codec.EncodeSequence(clip, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	params := wifi.NewDefaultDCF(3)
+	dcf, err := wifi.SolveDCF(params)
+	if err != nil {
+		log.Fatal(err)
+	}
+	phy := wifi.PHY80211g()
+
+	fmt.Printf("%-10s %10s %10s %6s %9s\n", "policy", "delay(ms)", "PSNR(dB)", "MOS", "power(W)")
+	fracs := []float64{0, 0.10, 0.15, 0.20, 0.25, 0.30, 0.50}
+	for _, frac := range fracs {
+		pol := vcrypt.Policy{Mode: vcrypt.ModeIPlusFracP, FracP: frac, Alg: vcrypt.AES256}
+		if frac == 0 {
+			pol = vcrypt.Policy{Mode: vcrypt.ModeIFrames, Alg: vcrypt.AES256}
+		}
+		med := wifi.NewMedium(phy, wifi.Rate54, dcf, wifi.BackoffRate(params, dcf, phy.SlotTime), stats.NewRNG(4))
+		med.ReceiverError = 0.01
+		med.EavesdropperError = 0.03
+		session := transport.Session{
+			Config: cfg, Encoded: encoded, FPS: 30, MTU: 1400,
+			Policy: pol, Key: make([]byte, pol.Alg.KeySize()),
+			Device: energy.SamsungGalaxySII(), Medium: med,
+		}
+		res, err := transport.RunUDP(session, 4)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ev, err := codec.DecodeSequence(res.EavesFrames, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		q, err := evalvid.Evaluate(clip, ev)
+		if err != nil {
+			log.Fatal(err)
+		}
+		name := "I"
+		if frac > 0 {
+			name = fmt.Sprintf("I+%d%%P", int(frac*100+0.5))
+		}
+		fmt.Printf("%-10s %10.2f %10.2f %6.2f %9.2f\n",
+			name, res.MeanSojourn*1e3, q.PSNR, q.MOS, res.AveragePowerW)
+	}
+
+	// Let the analytical planner pick a policy for a 15 dB ceiling.
+	dist, err := core.MeasureDistortion(clip, cfg, 1400)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cal, err := core.Calibrate(encoded, cfg, 30, 1400, energy.SamsungGalaxySII(), core.DefaultNetwork(), dist)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var candidates []vcrypt.Policy
+	candidates = append(candidates, vcrypt.Policy{Mode: vcrypt.ModeIFrames, Alg: vcrypt.AES256})
+	for _, frac := range fracs[1:] {
+		candidates = append(candidates, vcrypt.Policy{Mode: vcrypt.ModeIPlusFracP, FracP: frac, Alg: vcrypt.AES256})
+	}
+	best, _, err := core.Plan(cal, candidates, 17)
+	if err != nil && err != core.ErrNoPolicyMeetsTarget {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nplanner's pick for a 17 dB eavesdropper ceiling: %s\n", best.Policy.Name())
+	fmt.Println("(the paper lands on I+20%P for fast motion: near-total obfuscation for ~6.5 ms extra delay)")
+}

@@ -1,0 +1,109 @@
+// Quickstart: the whole pipeline in one sitting. Generate a synthetic
+// clip, encode it into the IPP...P GOP structure, pick the cheapest
+// encryption policy that keeps an eavesdropper blind (the paper's Fig. 1
+// workflow), then stream it across the simulated open-WiFi medium and
+// compare what the legitimate receiver and the eavesdropper actually see.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/energy"
+	"repro/internal/evalvid"
+	"repro/internal/stats"
+	"repro/internal/transport"
+	"repro/internal/vcrypt"
+	"repro/internal/video"
+	"repro/internal/wifi"
+)
+
+func main() {
+	// 1. Capture: a 4-second fast-motion CIF-like clip.
+	clip := video.Generate(video.SceneConfig{W: 176, H: 144, Frames: 120, Motion: video.MotionHigh, Seed: 7})
+	fmt.Printf("clip: %d frames, motion class %s\n", len(clip), video.AnalyzeMotion(clip))
+
+	// 2. Encode: GOP 30, like the paper's Table 1.
+	cfg := codec.DefaultConfig(30)
+	cfg.Width, cfg.Height = 176, 144
+	encoded, err := codec.EncodeSequence(clip, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Calibrate the analytical model and plan a policy: the cheapest
+	// one that keeps the eavesdropper's PSNR at or below 17 dB (the
+	// achievable floor is the clip's grey-concealment PSNR, ~16 dB here).
+	dist, err := core.MeasureDistortion(clip, cfg, 1400)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cal, err := core.Calibrate(encoded, cfg, 30, 1400, energy.SamsungGalaxySII(), core.DefaultNetwork(), dist)
+	if err != nil {
+		log.Fatal(err)
+	}
+	candidates := []vcrypt.Policy{
+		{Mode: vcrypt.ModeNone, Alg: vcrypt.AES256},
+		{Mode: vcrypt.ModeIFrames, Alg: vcrypt.AES256},
+		{Mode: vcrypt.ModeIPlusFracP, FracP: 0.2, Alg: vcrypt.AES256},
+		{Mode: vcrypt.ModeAll, Alg: vcrypt.AES256},
+	}
+	best, all, err := core.Plan(cal, candidates, 17)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\npolicy predictions (analysis):")
+	for _, pr := range all {
+		fmt.Printf("  %-14s delay %6.2f ms, eavesdropper %5.1f dB, power %.2f W\n",
+			pr.Policy.Name(), pr.MeanSojourn*1e3, pr.EavesdropperPSNR, pr.AveragePowerW)
+	}
+	fmt.Printf("chosen: %s\n\n", best.Policy.Name())
+
+	// 4. Stream over the simulated open WiFi network.
+	params := wifi.NewDefaultDCF(3)
+	dcf, err := wifi.SolveDCF(params)
+	if err != nil {
+		log.Fatal(err)
+	}
+	phy := wifi.PHY80211g()
+	med := wifi.NewMedium(phy, wifi.Rate54, dcf, wifi.BackoffRate(params, dcf, phy.SlotTime), stats.NewRNG(1))
+	med.ReceiverError = 0.01
+	med.EavesdropperError = 0.03
+	session := transport.Session{
+		Config: cfg, Encoded: encoded, FPS: 30, MTU: 1400,
+		Policy: best.Policy,
+		Key:    make([]byte, best.Policy.Alg.KeySize()),
+		Device: energy.SamsungGalaxySII(),
+		Medium: med,
+	}
+	res, err := transport.RunUDP(session, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 5. Compare reconstructions.
+	rx, err := codec.DecodeSequence(res.ReceiverFrames, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ev, err := codec.DecodeSequence(res.EavesFrames, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	qr, err := evalvid.Evaluate(clip, rx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	qe, err := evalvid.Evaluate(clip, ev)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("measured on the simulated testbed:")
+	fmt.Printf("  per-packet delay:   %.2f ms mean sojourn (%d packets, %.0f%% encrypted)\n",
+		res.MeanSojourn*1e3, len(res.Records), res.EncryptedFraction*100)
+	fmt.Printf("  receiver:           %.1f dB PSNR (MOS %.1f)\n", qr.PSNR, qr.MOS)
+	fmt.Printf("  eavesdropper:       %.1f dB PSNR (MOS %.1f) — the stolen copy is unwatchable\n", qe.PSNR, qe.MOS)
+	fmt.Printf("  average power:      %.2f W\n", res.AveragePowerW)
+}

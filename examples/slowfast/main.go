@@ -1,0 +1,75 @@
+// Slowfast reproduces the paper's central content-dependence result
+// (Section 6.2, Figs. 4 and 7) on a pocket scale: the same four encryption
+// levels applied to a slow-motion and a fast-motion clip, reporting the
+// eavesdropper's PSNR and the sender's per-packet delay for each. Expect
+// I-frame encryption to crush the slow clip's confidentiality at almost no
+// delay cost, while the fast clip needs P-frame coverage.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/codec"
+	"repro/internal/energy"
+	"repro/internal/evalvid"
+	"repro/internal/stats"
+	"repro/internal/transport"
+	"repro/internal/vcrypt"
+	"repro/internal/video"
+	"repro/internal/wifi"
+)
+
+func buildMedium(seed uint64) *wifi.Medium {
+	params := wifi.NewDefaultDCF(3)
+	dcf, err := wifi.SolveDCF(params)
+	if err != nil {
+		log.Fatal(err)
+	}
+	phy := wifi.PHY80211g()
+	med := wifi.NewMedium(phy, wifi.Rate54, dcf, wifi.BackoffRate(params, dcf, phy.SlotTime), stats.NewRNG(seed))
+	med.ReceiverError = 0.01
+	med.EavesdropperError = 0.03
+	return med
+}
+
+func main() {
+	fmt.Printf("%-6s %-6s %12s %12s %14s\n", "clip", "level", "delay(ms)", "eav PSNR", "eav MOS")
+	for _, motion := range []video.MotionLevel{video.MotionLow, video.MotionHigh} {
+		clip := video.Generate(video.SceneConfig{W: 176, H: 144, Frames: 90, Motion: motion, Seed: 3})
+		cfg := codec.DefaultConfig(30)
+		cfg.Width, cfg.Height = 176, 144
+		encoded, err := codec.EncodeSequence(clip, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, mode := range []vcrypt.Mode{vcrypt.ModeNone, vcrypt.ModePFrames, vcrypt.ModeIFrames, vcrypt.ModeAll} {
+			pol := vcrypt.Policy{Mode: mode, Alg: vcrypt.AES256}
+			session := transport.Session{
+				Config: cfg, Encoded: encoded, FPS: 30, MTU: 1400,
+				Policy: pol, Key: make([]byte, pol.Alg.KeySize()),
+				Device: energy.SamsungGalaxySII(), Medium: buildMedium(9),
+			}
+			res, err := transport.RunUDP(session, 9)
+			if err != nil {
+				log.Fatal(err)
+			}
+			ev, err := codec.DecodeSequence(res.EavesFrames, cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			q, err := evalvid.Evaluate(clip, ev)
+			if err != nil {
+				log.Fatal(err)
+			}
+			label := "slow"
+			if motion == video.MotionHigh {
+				label = "fast"
+			}
+			fmt.Printf("%-6s %-6s %12.2f %12.1f %14.2f\n",
+				label, mode, res.MeanSojourn*1e3, q.PSNR, q.MOS)
+		}
+	}
+	fmt.Println("\nreadings: 'I' floors the slow clip cheaply; the fast clip keeps leaking through P-frames,")
+	fmt.Println("so only P/all (or I+20%P, see examples/planner) fully obfuscate it — Section 6.2's key result.")
+}

@@ -1,0 +1,260 @@
+package analytic
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+)
+
+// This file implements the distortion side of the framework (Section 4.3):
+// the packet decryption rate -> frame success rate map of Eq. (20), the
+// intra-GOP distortion of Eqs. (21)-(22), the empirically fitted inter-GOP
+// distortion polynomial of Fig. 2, and the GOP-chain expected distortion
+// of Eqs. (23)-(27), evaluated with a reference-distance Markov recursion
+// instead of the intractable product-space enumeration. PSNR is Eq. (28).
+
+// Binomial returns C(n, k) as a float (exact for the small n used here).
+func Binomial(n, k int) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	out := 1.0
+	for i := 0; i < k; i++ {
+		out = out * float64(n-i) / float64(i+1)
+	}
+	return out
+}
+
+// FrameSuccess implements Eq. (20): the probability a frame of n packets
+// is decodable when each packet is independently usable with probability
+// pd (received AND decryptable), given decoder sensitivity s: the first
+// packet must be usable, plus at least s of the remaining n-1.
+func FrameSuccess(pd float64, n, s int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	if pd <= 0 {
+		return 0
+	}
+	if pd > 1 {
+		pd = 1
+	}
+	if s < 0 {
+		s = 0
+	}
+	if s > n-1 {
+		s = n - 1
+	}
+	var sum float64
+	for j := s; j <= n-1; j++ {
+		sum += Binomial(n-1, j) * math.Pow(pd, float64(j)) * math.Pow(1-pd, float64(n-1-j))
+	}
+	return pd * sum
+}
+
+// UsableProbability returns the per-packet decryption rate p_d of Section
+// 4.3 for a party: ps is the packet success rate on the channel and enc
+// the probability a packet of this class is encrypted. A legitimate
+// receiver passes enc=0 (it decrypts everything); the eavesdropper's
+// encrypted packets are erasures, so p_d = (1-enc)*ps.
+func UsableProbability(ps, enc float64) float64 {
+	return (1 - enc) * ps
+}
+
+// IntraGOPDistortion implements Eq. (21): the GOP-average distortion when
+// the first unrecoverable frame is the i-th P-frame (1 <= i <= G-1) and
+// every later frame is replaced by frame i-1. dmin is the distortion when
+// only the last frame is lost, dmax when the loss starts right after the
+// I-frame. (The published equation's typography is ambiguous; this form
+// matches its endpoints: i=G-1 gives dmin/G, i=1 gives ~dmax.)
+func IntraGOPDistortion(i, g int, dmin, dmax float64) float64 {
+	if i < 1 || i > g-1 {
+		panic(fmt.Sprintf("analytic: intra-GOP index %d out of [1,%d]", i, g-1))
+	}
+	fg := float64(g)
+	fi := float64(i)
+	return (fg - fi) * (fi*dmin + (fg-fi-1)*dmax) / ((fg - 1) * fg)
+}
+
+// DistortionModel evaluates the expected distortion of a whole video
+// transfer for one party (receiver or eavesdropper).
+type DistortionModel struct {
+	// G is the GOP size (I plus G-1 P-frames).
+	G int
+	// PISuccess and PPSuccess are the frame success probabilities of the
+	// I- and P-frame classes from Eq. (20).
+	PISuccess, PPSuccess float64
+	// DMin and DMax parameterise the intra-GOP distortion ramp (Eq. 21);
+	// measured from the codec substrate per clip.
+	DMin, DMax float64
+	// InterGOP maps a reference distance in GOPs (>= 1) to the expected
+	// distortion of a GOP concealed entirely from that far back — the
+	// degree-5 polynomial regression of Fig. 2.
+	InterGOP stats.Polynomial
+	// MaxDistance clamps the polynomial's argument to its fitted range.
+	MaxDistance int
+	// BaseDistortion is the distortion floor of a fully received GOP
+	// (coding noise), so clean transfers land at the codec's clean PSNR
+	// instead of infinity.
+	BaseDistortion float64
+	// NoReferenceMSE is the distortion of a GOP concealed with no
+	// reference at all (grey frames) — Case 3 of Section 4.3.2, the
+	// ceiling reached when no I-frame has ever been decodable (e.g. the
+	// eavesdropper against full encryption). Zero falls back to the
+	// clamped polynomial.
+	NoReferenceMSE float64
+}
+
+// Validate checks the model.
+func (m DistortionModel) Validate() error {
+	switch {
+	case m.G < 2:
+		return fmt.Errorf("analytic: GOP size %d", m.G)
+	case m.PISuccess < 0 || m.PISuccess > 1 || m.PPSuccess < 0 || m.PPSuccess > 1:
+		return fmt.Errorf("analytic: frame success probabilities out of range")
+	case m.DMin < 0 || m.DMax < m.DMin:
+		return fmt.Errorf("analytic: need 0 <= DMin <= DMax")
+	case len(m.InterGOP.Coeffs) == 0:
+		return fmt.Errorf("analytic: missing inter-GOP polynomial")
+	case m.MaxDistance < 1:
+		return fmt.Errorf("analytic: MaxDistance %d", m.MaxDistance)
+	case m.BaseDistortion < 0:
+		return fmt.Errorf("analytic: negative base distortion")
+	}
+	return nil
+}
+
+// interGOPAt evaluates the fitted polynomial with clamping (Case 2/3 of
+// Section 4.3.2; Case 3's "initial GOP" ceiling is the clamped maximum).
+func (m DistortionModel) interGOPAt(d int) float64 {
+	if d < 1 {
+		d = 1
+	}
+	if d > m.MaxDistance {
+		d = m.MaxDistance
+	}
+	v := m.InterGOP.Eval(float64(d))
+	if v < m.BaseDistortion {
+		v = m.BaseDistortion
+	}
+	return v
+}
+
+// ExpectedDistortion computes the mean per-GOP distortion over a flow of
+// numGOPs GOPs (Eq. 27). Instead of enumerating the |S|^N product space of
+// Eq. (25), it tracks the distribution of the reference distance — how
+// many consecutive preceding GOPs lost their I-frame — which is the only
+// inter-GOP state the distortion of Eq. (26) depends on.
+func (m DistortionModel) ExpectedDistortion(numGOPs int) (float64, error) {
+	if err := m.Validate(); err != nil {
+		return 0, err
+	}
+	if numGOPs < 1 {
+		return 0, fmt.Errorf("analytic: numGOPs %d", numGOPs)
+	}
+	// Expected distortion of a GOP whose I-frame decoded, over the intra
+	// cases of Eq. (22).
+	pI, pP := m.PISuccess, m.PPSuccess
+	intra := 0.0
+	probNoLoss := math.Pow(pP, float64(m.G-1))
+	intra += probNoLoss * m.BaseDistortion
+	for i := 1; i <= m.G-1; i++ {
+		probI := math.Pow(pP, float64(i-1)) * (1 - pP)
+		d := IntraGOPDistortion(i, m.G, m.DMin, m.DMax)
+		if d < m.BaseDistortion {
+			d = m.BaseDistortion
+		}
+		intra += probI * d
+	}
+
+	// Forward pass over the reference-distance chain. dist[k] is the
+	// probability that k consecutive GOPs immediately before the current
+	// one lost their I-frames (k = 0 means the previous GOP decoded);
+	// dist[noRef] is the probability nothing has ever decoded (Case 3).
+	maxK := m.MaxDistance + 1
+	noRef := maxK + 1
+	noRefD := m.NoReferenceMSE
+	if noRefD <= 0 {
+		noRefD = m.interGOPAt(maxK)
+	}
+	dist := make([]float64, noRef+1)
+	dist[noRef] = 1
+	var total float64
+	for g := 0; g < numGOPs; g++ {
+		var gopD float64
+		next := make([]float64, noRef+1)
+		for k, pk := range dist {
+			if pk == 0 {
+				continue
+			}
+			// I-frame decodes: intra distortion, distance resets.
+			gopD += pk * pI * intra
+			next[0] += pk * pI
+			// I-frame lost: whole GOP concealed from distance k+1, or
+			// from nothing if there has never been a reference.
+			if k == noRef {
+				gopD += pk * (1 - pI) * noRefD
+				next[noRef] += pk * (1 - pI)
+				continue
+			}
+			gopD += pk * (1 - pI) * m.interGOPAt(k+1)
+			nk := k + 1
+			if nk > maxK {
+				nk = maxK
+			}
+			next[nk] += pk * (1 - pI)
+		}
+		dist = next
+		total += gopD
+	}
+	return total / float64(numGOPs), nil
+}
+
+// ExpectedPSNR maps the expected distortion to dB via Eq. (28).
+func (m DistortionModel) ExpectedPSNR(numGOPs int) (float64, error) {
+	d, err := m.ExpectedDistortion(numGOPs)
+	if err != nil {
+		return 0, err
+	}
+	return PSNRFromDistortion(d), nil
+}
+
+// PSNRFromDistortion is Eq. (28) with the same 100 dB cap the measurement
+// toolkit applies.
+func PSNRFromDistortion(d float64) float64 {
+	if d <= 0 {
+		return 100
+	}
+	p := 20 * math.Log10(255/math.Sqrt(d))
+	if p > 100 {
+		p = 100
+	}
+	return p
+}
+
+// EavesdropperInputs bundles what the distortion model needs about one
+// party and policy into frame success probabilities.
+type EavesdropperInputs struct {
+	// PS is the channel packet success rate for this party.
+	PS float64
+	// EncI, EncP are the policy's class encryption probabilities (0 for
+	// the legitimate receiver, who decrypts).
+	EncI, EncP float64
+	// NI, NP are the packets per I-/P-frame.
+	NI, NP int
+	// SI, SP are the decoder sensitivities per class (Section 4.3): the
+	// minimum usable packets among the remaining n-1. Fast-motion content
+	// has larger s.
+	SI, SP int
+}
+
+// FrameSuccessRates computes (PISuccess, PPSuccess) from the inputs.
+func (e EavesdropperInputs) FrameSuccessRates() (float64, float64) {
+	pdI := UsableProbability(e.PS, e.EncI)
+	pdP := UsableProbability(e.PS, e.EncP)
+	return FrameSuccess(pdI, e.NI, e.SI), FrameSuccess(pdP, e.NP, e.SP)
+}

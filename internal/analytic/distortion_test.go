@@ -1,0 +1,253 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestBinomial(t *testing.T) {
+	cases := []struct {
+		n, k int
+		want float64
+	}{
+		{0, 0, 1}, {5, 0, 1}, {5, 5, 1}, {5, 2, 10}, {10, 3, 120},
+		{5, 6, 0}, {5, -1, 0},
+	}
+	for _, c := range cases {
+		if got := Binomial(c.n, c.k); got != c.want {
+			t.Fatalf("C(%d,%d) = %v want %v", c.n, c.k, got, c.want)
+		}
+	}
+}
+
+func TestFrameSuccessSinglePacket(t *testing.T) {
+	// n=1, s=0: frame succeeds iff its only packet is usable.
+	if got := FrameSuccess(0.9, 1, 0); !near(got, 0.9, 1e-12) {
+		t.Fatalf("single packet %v", got)
+	}
+}
+
+func TestFrameSuccessAllPacketsNeeded(t *testing.T) {
+	// n=4, s=3: all packets needed -> pd^4.
+	pd := 0.8
+	if got := FrameSuccess(pd, 4, 3); !near(got, math.Pow(pd, 4), 1e-12) {
+		t.Fatalf("all-needed %v want %v", got, math.Pow(pd, 4))
+	}
+}
+
+func TestFrameSuccessSensitivityMonotone(t *testing.T) {
+	prev := 2.0
+	for s := 0; s <= 7; s++ {
+		got := FrameSuccess(0.85, 8, s)
+		if got >= prev {
+			t.Fatalf("success must fall as sensitivity rises: s=%d %v >= %v", s, got, prev)
+		}
+		prev = got
+	}
+}
+
+func TestFrameSuccessEdgeCases(t *testing.T) {
+	if FrameSuccess(0, 5, 1) != 0 {
+		t.Fatal("pd=0 must give 0")
+	}
+	if FrameSuccess(1, 5, 4) != 1 {
+		t.Fatal("pd=1 must give 1")
+	}
+	if FrameSuccess(0.5, 0, 0) != 0 {
+		t.Fatal("n=0 must give 0")
+	}
+	// s out of range gets clamped rather than panicking.
+	if got := FrameSuccess(0.9, 3, 99); got != FrameSuccess(0.9, 3, 2) {
+		t.Fatalf("s clamp wrong: %v", got)
+	}
+}
+
+func TestUsableProbability(t *testing.T) {
+	if got := UsableProbability(0.9, 0); !near(got, 0.9, 1e-12) {
+		t.Fatal("receiver usable prob wrong")
+	}
+	if got := UsableProbability(0.9, 1); got != 0 {
+		t.Fatal("fully encrypted must be unusable")
+	}
+	if got := UsableProbability(0.9, 0.25); !near(got, 0.675, 1e-12) {
+		t.Fatalf("partial: %v", got)
+	}
+}
+
+func TestIntraGOPDistortionEndpoints(t *testing.T) {
+	g, dmin, dmax := 30, 2.0, 500.0
+	first := IntraGOPDistortion(1, g, dmin, dmax)
+	last := IntraGOPDistortion(g-1, g, dmin, dmax)
+	if !near(last, dmin/float64(g), 1e-9) {
+		t.Fatalf("losing only the last frame: %v want %v", last, dmin/float64(g))
+	}
+	if first < 0.8*dmax {
+		t.Fatalf("losing right after the I-frame should approach dmax: %v", first)
+	}
+	// Monotone: earlier loss hurts more.
+	prev := math.Inf(1)
+	for i := 1; i < g; i++ {
+		d := IntraGOPDistortion(i, g, dmin, dmax)
+		if d >= prev {
+			t.Fatalf("intra distortion must fall with i: i=%d %v >= %v", i, d, prev)
+		}
+		prev = d
+	}
+}
+
+func testModel() DistortionModel {
+	return DistortionModel{
+		G:         30,
+		PISuccess: 0.95, PPSuccess: 0.98,
+		DMin: 5, DMax: 400,
+		InterGOP:       stats.Polynomial{Coeffs: []float64{100, 150}}, // 100 + 150 d
+		MaxDistance:    4,
+		BaseDistortion: 3,
+	}
+}
+
+func TestExpectedDistortionCleanChannel(t *testing.T) {
+	m := testModel()
+	m.PISuccess, m.PPSuccess = 1, 1
+	d, err := m.ExpectedDistortion(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !near(d, m.BaseDistortion, 1e-9) {
+		t.Fatalf("clean channel distortion %v want base %v", d, m.BaseDistortion)
+	}
+	p, _ := m.ExpectedPSNR(10)
+	if p < 40 {
+		t.Fatalf("clean PSNR %v", p)
+	}
+}
+
+func TestExpectedDistortionTotalBlackout(t *testing.T) {
+	m := testModel()
+	m.PISuccess = 0 // every I-frame unusable (e.g. eavesdropper vs I policy... plus all P encrypted)
+	m.PPSuccess = 0
+	d, err := m.ExpectedDistortion(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All GOPs concealed from ever-growing distance; distortion near the
+	// clamped polynomial maximum.
+	max := m.InterGOP.Eval(float64(m.MaxDistance))
+	if d < 0.7*max {
+		t.Fatalf("blackout distortion %v want near %v", d, max)
+	}
+}
+
+func TestExpectedDistortionMonotoneInSuccess(t *testing.T) {
+	m := testModel()
+	prev := math.Inf(1)
+	for _, ps := range []float64{0.2, 0.5, 0.8, 0.95, 1.0} {
+		m.PISuccess, m.PPSuccess = ps, ps
+		d, err := m.ExpectedDistortion(20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d >= prev {
+			t.Fatalf("distortion must fall as success rises: ps=%v %v >= %v", ps, d, prev)
+		}
+		prev = d
+	}
+}
+
+func TestExpectedDistortionValidation(t *testing.T) {
+	m := testModel()
+	if _, err := m.ExpectedDistortion(0); err == nil {
+		t.Fatal("zero GOPs should fail")
+	}
+	bad := m
+	bad.G = 1
+	if _, err := bad.ExpectedDistortion(5); err == nil {
+		t.Fatal("tiny GOP should fail")
+	}
+	bad = m
+	bad.InterGOP = stats.Polynomial{}
+	if _, err := bad.ExpectedDistortion(5); err == nil {
+		t.Fatal("missing polynomial should fail")
+	}
+	bad = m
+	bad.DMax = 1
+	bad.DMin = 2
+	if _, err := bad.ExpectedDistortion(5); err == nil {
+		t.Fatal("DMax < DMin should fail")
+	}
+}
+
+func TestEavesdropperInputsPolicyEffect(t *testing.T) {
+	base := EavesdropperInputs{PS: 0.95, NI: 8, NP: 1, SI: 5, SP: 0}
+	// No encryption: eavesdropper sees what the channel delivers.
+	pi0, pp0 := base.FrameSuccessRates()
+	if pi0 <= 0 || pp0 != 0.95 {
+		t.Fatalf("unencrypted rates (%v, %v)", pi0, pp0)
+	}
+	// I-frame policy: I-frames become undecodable for the eavesdropper.
+	enc := base
+	enc.EncI = 1
+	piE, ppE := enc.FrameSuccessRates()
+	if piE != 0 || ppE != pp0 {
+		t.Fatalf("I policy rates (%v, %v)", piE, ppE)
+	}
+	// Fractional P encryption lowers the P rate.
+	frac := base
+	frac.EncP = 0.2
+	_, ppF := frac.FrameSuccessRates()
+	if !(ppF < pp0 && ppF > 0) {
+		t.Fatalf("fractional rate %v", ppF)
+	}
+}
+
+// The paper's key distortion claim (Section 6.2): encrypting I-frames
+// hurts slow-motion content more than fast-motion; encrypting P-frames
+// hurts fast-motion more. Slow motion has small sensitive P-frames and
+// informative I-frames (low s_P); fast motion has informative P-frames
+// (higher sensitivity and higher inter-GOP distortion growth).
+func TestPolicyContentInteraction(t *testing.T) {
+	type content struct {
+		ni, np, si, sp int
+		inter          stats.Polynomial
+		dmin, dmax     float64
+	}
+	slow := content{ni: 8, np: 1, si: 5, sp: 0,
+		inter: stats.Polynomial{Coeffs: []float64{80, 40}}, dmin: 3, dmax: 120}
+	fast := content{ni: 9, np: 4, si: 6, sp: 2,
+		inter: stats.Polynomial{Coeffs: []float64{150, 120}}, dmin: 40, dmax: 900}
+
+	eval := func(c content, encI, encP float64) float64 {
+		in := EavesdropperInputs{PS: 0.97, EncI: encI, EncP: encP, NI: c.ni, NP: c.np, SI: c.si, SP: c.sp}
+		pi, pp := in.FrameSuccessRates()
+		m := DistortionModel{
+			G: 30, PISuccess: pi, PPSuccess: pp,
+			DMin: c.dmin, DMax: c.dmax,
+			InterGOP: c.inter, MaxDistance: 4, BaseDistortion: 2,
+		}
+		p, err := m.ExpectedPSNR(10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	slowNone := eval(slow, 0, 0)
+	slowI := eval(slow, 1, 0)
+	slowP := eval(slow, 0, 1)
+	fastNone := eval(fast, 0, 0)
+	fastI := eval(fast, 1, 0)
+	fastP := eval(fast, 0, 1)
+
+	// Relative PSNR drops.
+	dropSlowI := (slowNone - slowI) / slowNone
+	dropFastI := (fastNone - fastI) / fastNone
+	dropSlowP := (slowNone - slowP) / slowNone
+	dropFastP := (fastNone - fastP) / fastNone
+	if dropSlowI <= dropFastI {
+		t.Fatalf("I encryption should hurt slow motion more: slow %.2f fast %.2f", dropSlowI, dropFastI)
+	}
+	if dropFastP <= dropSlowP {
+		t.Fatalf("P encryption should hurt fast motion more: fast %.2f slow %.2f", dropFastP, dropSlowP)
+	}
+}

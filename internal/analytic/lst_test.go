@@ -1,0 +1,132 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+// With zero variances the Gaussian-variation transforms (Eqs. 17-18) must
+// collapse to the constant-time special cases of Eqs. (12) and (14).
+func TestLSTConstantSpecialCases(t *testing.T) {
+	sp := ServiceParams{
+		PI:   0.3,
+		EncI: 0.8, EncP: 0.8, // the paper's class-independent q
+		EncMeanI: 1.2e-3,
+		EncMeanP: 0.5e-3,
+		TxMeanI:  2.0e-3,
+		TxMeanP:  0.8e-3,
+		PS:       1,
+	}
+	q := 0.8
+	for _, s := range []float64{0, 5, 50, 400} {
+		// Eq. (12): He(s) = q pI e^{-s uI} + q(1-pI) e^{-s uP} + (1-q).
+		wantE := q*sp.PI*math.Exp(-s*sp.EncMeanI) +
+			q*(1-sp.PI)*math.Exp(-s*sp.EncMeanP) + (1 - q)
+		if !relNear(sp.lstEnc(s), wantE, 1e-12) {
+			t.Fatalf("He(%v) = %v want %v", s, sp.lstEnc(s), wantE)
+		}
+		// Eq. (14): Ht(s) = pI e^{-s uI} + (1-pI) e^{-s uP}.
+		wantT := sp.PI*math.Exp(-s*sp.TxMeanI) + (1-sp.PI)*math.Exp(-s*sp.TxMeanP)
+		if !relNear(sp.lstTx(s), wantT, 1e-12) {
+			t.Fatalf("Ht(%v) = %v want %v", s, sp.lstTx(s), wantT)
+		}
+		// Eq. (10): the product form.
+		if !relNear(sp.LST(s), wantE*wantT, 1e-12) {
+			t.Fatalf("H(%v) product form violated", s)
+		}
+	}
+}
+
+// Eq. (7): the backoff transform has the closed form ps(lb+s)/(s+ps*lb),
+// equal to the mixture "0 w.p. ps else Exp(ps*lb)".
+func TestLSTBackoffClosedForm(t *testing.T) {
+	sp := ServiceParams{PI: 0, TxMeanI: 1e-3, TxMeanP: 1e-3, PS: 0.85, LambdaB: 1000}
+	for _, s := range []float64{0, 10, 100, 800} {
+		want := sp.PS*1 + (1-sp.PS)*(sp.PS*sp.LambdaB)/(sp.PS*sp.LambdaB+s)
+		if !relNear(sp.lstBackoff(s), want, 1e-12) {
+			t.Fatalf("Hb(%v) = %v want %v", s, sp.lstBackoff(s), want)
+		}
+	}
+	// The condition s < ps*lambdaB of Eq. (7) guards the two-sided
+	// transform; for the right half-plane evaluation used here the form
+	// stays finite and in (0, 1].
+	if v := sp.lstBackoff(5000); v <= 0 || v > 1 {
+		t.Fatalf("Hb out of range: %v", v)
+	}
+}
+
+// LSTs are completely monotone; at minimum they must be decreasing in s.
+func TestLSTMonotonicityProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := stats.NewRNG(seed)
+		sp := ServiceParams{
+			PI:   r.Float64(),
+			EncI: r.Float64(), EncP: r.Float64(),
+			EncMeanI: 0.5e-3 + r.Float64()*2e-3, EncSigmaI: r.Float64() * 0.2e-3,
+			EncMeanP: 0.2e-3 + r.Float64()*1e-3, EncSigmaP: r.Float64() * 0.1e-3,
+			TxMeanI: 1e-3 + r.Float64()*2e-3, TxSigmaI: r.Float64() * 0.2e-3,
+			TxMeanP: 0.5e-3 + r.Float64()*1e-3, TxSigmaP: r.Float64() * 0.1e-3,
+			PS: 0.8 + r.Float64()*0.2, LambdaB: 500 + r.Float64()*1000,
+		}
+		prev := sp.LST(0)
+		if math.Abs(prev-1) > 1e-9 {
+			return false
+		}
+		for s := 10.0; s <= 200; s += 10 {
+			v := sp.LST(s)
+			if v > prev+1e-12 || v < 0 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// FrameSuccess must be non-decreasing in pd and non-increasing in s for
+// any (n, s) pair.
+func TestFrameSuccessMonotonicityProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := stats.NewRNG(seed)
+		n := 1 + r.Intn(12)
+		s := r.Intn(n)
+		prev := -1.0
+		for pd := 0.0; pd <= 1.0001; pd += 0.05 {
+			v := FrameSuccess(pd, n, s)
+			if v < prev-1e-12 || v < 0 || v > 1 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The intra-GOP ramp must stay within [dmin/G, dmax] for any valid setup.
+func TestIntraGOPDistortionBoundsProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := stats.NewRNG(seed)
+		g := 3 + r.Intn(60)
+		dmin := r.Float64() * 100
+		dmax := dmin + r.Float64()*1000
+		for i := 1; i <= g-1; i++ {
+			d := IntraGOPDistortion(i, g, dmin, dmax)
+			if d < dmin/float64(g)-1e-9 || d > dmax+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

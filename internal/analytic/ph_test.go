@@ -1,0 +1,232 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+func near(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func relNear(a, b, rel float64) bool {
+	if b == 0 {
+		return math.Abs(a) < rel
+	}
+	return math.Abs(a-b) <= rel*math.Abs(b)
+}
+
+func TestPHExponentialMoments(t *testing.T) {
+	p := PHExponential(4)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !near(p.Mean(), 0.25, 1e-12) {
+		t.Fatalf("mean = %v", p.Mean())
+	}
+	if !near(p.Variance(), 1.0/16, 1e-12) {
+		t.Fatalf("var = %v", p.Variance())
+	}
+	// LST of Exp(r) is r/(r+s).
+	if !near(p.LST(2), 4.0/6, 1e-12) {
+		t.Fatalf("LST = %v", p.LST(2))
+	}
+}
+
+func TestPHErlangMoments(t *testing.T) {
+	p := PHErlang(5, 2.0)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !near(p.Mean(), 2.0, 1e-10) {
+		t.Fatalf("mean = %v", p.Mean())
+	}
+	// Var of Erlang(k) with mean m is m^2/k.
+	if !near(p.Variance(), 4.0/5, 1e-10) {
+		t.Fatalf("var = %v", p.Variance())
+	}
+}
+
+func TestPHZero(t *testing.T) {
+	p := PHZero()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Mean() != 0 || p.LST(3) != 1 {
+		t.Fatalf("zero distribution misbehaves: mean=%v lst=%v", p.Mean(), p.LST(3))
+	}
+}
+
+func TestPHFit2MomentMatchesTargets(t *testing.T) {
+	cases := []struct{ mean, cv2 float64 }{
+		{1.0, 0.05}, {1.0, 0.3}, {2.5, 0.7}, {0.01, 0.5},
+		{1.0, 1.0}, {1.0, 2.5}, {3.0, 8.0},
+	}
+	for _, c := range cases {
+		variance := c.cv2 * c.mean * c.mean
+		p := PHFit2Moment(c.mean, variance, 0)
+		if err := p.Validate(); err != nil {
+			t.Fatalf("cv2=%v: %v", c.cv2, err)
+		}
+		if !relNear(p.Mean(), c.mean, 1e-9) {
+			t.Fatalf("cv2=%v: mean=%v want %v", c.cv2, p.Mean(), c.mean)
+		}
+		if c.cv2 >= 1.0/float64(DefaultMaxErlangOrder) && !relNear(p.Variance(), variance, 1e-6) {
+			t.Fatalf("cv2=%v: var=%v want %v", c.cv2, p.Variance(), variance)
+		}
+	}
+}
+
+func TestPHFit2MomentDeterministic(t *testing.T) {
+	p := PHFit2Moment(3, 0, 32)
+	if !relNear(p.Mean(), 3, 1e-9) {
+		t.Fatalf("mean = %v", p.Mean())
+	}
+	// Erlang(32) is the closest representable: var = mean^2/32.
+	if !relNear(p.Variance(), 9.0/32, 1e-9) {
+		t.Fatalf("var = %v", p.Variance())
+	}
+}
+
+func TestMixtureMoments(t *testing.T) {
+	a := PHExponential(1) // mean 1, E[X^2]=2
+	b := PHErlang(4, 3)   // mean 3, var 9/4, E[X^2]=9+9/4
+	mix := Mixture([]float64{0.25, 0.75}, []PH{a, b})
+	if err := mix.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	wantMean := 0.25*1 + 0.75*3
+	if !near(mix.Mean(), wantMean, 1e-10) {
+		t.Fatalf("mean = %v want %v", mix.Mean(), wantMean)
+	}
+	wantM2 := 0.25*2 + 0.75*(9+9.0/4)
+	if !near(mix.Moment(2), wantM2, 1e-9) {
+		t.Fatalf("m2 = %v want %v", mix.Moment(2), wantM2)
+	}
+}
+
+func TestConvolveMoments(t *testing.T) {
+	a := PHExponential(2)
+	b := PHErlang(3, 1.5)
+	c := Convolve(a, b)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !near(c.Mean(), 0.5+1.5, 1e-10) {
+		t.Fatalf("mean = %v", c.Mean())
+	}
+	wantVar := 0.25 + 1.5*1.5/3
+	if !near(c.Variance(), wantVar, 1e-9) {
+		t.Fatalf("var = %v want %v", c.Variance(), wantVar)
+	}
+	// LST multiplies under convolution.
+	s := 1.7
+	if !near(c.LST(s), a.LST(s)*b.LST(s), 1e-10) {
+		t.Fatalf("LST(conv) = %v want %v", c.LST(s), a.LST(s)*b.LST(s))
+	}
+}
+
+func TestConvolveWithAtom(t *testing.T) {
+	// Backoff-like: zero w.p. 0.8, else Exp(5).
+	b := PHExponential(5)
+	b.Alpha[0] = 0.2
+	b.Mass0 = 0.8
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !near(b.Mean(), 0.2/5, 1e-12) {
+		t.Fatalf("atom mean = %v", b.Mean())
+	}
+	c := Convolve(b, PHErlang(2, 1))
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !near(c.Mean(), 0.04+1, 1e-10) {
+		t.Fatalf("conv mean = %v", c.Mean())
+	}
+	if c.Mass0 != 0 {
+		t.Fatalf("conv with positive part should have no atom, got %v", c.Mass0)
+	}
+}
+
+func TestCompressRemovesDeadPhases(t *testing.T) {
+	mix := Mixture([]float64{1, 0}, []PH{PHExponential(1), PHErlang(10, 2)})
+	compressed := mix.Compress()
+	if compressed.Dim() != 1 {
+		t.Fatalf("dim = %d want 1", compressed.Dim())
+	}
+	if !near(compressed.Mean(), 1, 1e-12) {
+		t.Fatalf("mean changed: %v", compressed.Mean())
+	}
+}
+
+func TestCompressPreservesMoments(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := stats.NewRNG(seed)
+		comps := []PH{
+			PHErlang(1+r.Intn(5), 0.1+r.Float64()),
+			PHExponential(0.5 + r.Float64()),
+			PHZero(),
+		}
+		w := []float64{r.Float64(), r.Float64(), 0}
+		sum := w[0] + w[1]
+		w[0], w[1] = w[0]/sum, w[1]/sum
+		mix := Mixture(w, comps)
+		c := mix.Compress()
+		return relNear(c.Mean(), mix.Mean(), 1e-9) &&
+			relNear(c.Moment(2), mix.Moment(2), 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPHSampleMatchesMean(t *testing.T) {
+	rng := stats.NewRNG(11)
+	p := Convolve(PHErlang(3, 2), PHExponential(4))
+	n := 50000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += p.Sample(rng)
+	}
+	m := sum / float64(n)
+	if !relNear(m, p.Mean(), 0.02) {
+		t.Fatalf("sample mean %v vs analytic %v", m, p.Mean())
+	}
+}
+
+func TestPHSampleAtom(t *testing.T) {
+	rng := stats.NewRNG(3)
+	b := PHExponential(5)
+	b.Alpha[0] = 0.3
+	b.Mass0 = 0.7
+	zeros := 0
+	n := 20000
+	for i := 0; i < n; i++ {
+		if b.Sample(rng) == 0 {
+			zeros++
+		}
+	}
+	frac := float64(zeros) / float64(n)
+	if math.Abs(frac-0.7) > 0.02 {
+		t.Fatalf("atom frequency %v want 0.7", frac)
+	}
+}
+
+func TestPHLSTAtZeroIsOne(t *testing.T) {
+	p := Mixture([]float64{0.5, 0.5}, []PH{PHErlang(4, 1), PHExponential(2)})
+	if !near(p.LST(0), 1, 1e-10) {
+		t.Fatalf("LST(0) = %v", p.LST(0))
+	}
+}
+
+func TestPHLSTMatchesMomentExpansion(t *testing.T) {
+	// -d/ds LST at 0 ≈ mean (finite difference).
+	p := PHErlang(6, 2.4)
+	h := 1e-6
+	numMean := (1 - p.LST(h)) / h
+	if !relNear(numMean, p.Mean(), 1e-4) {
+		t.Fatalf("numeric mean %v vs %v", numMean, p.Mean())
+	}
+}

@@ -1,0 +1,321 @@
+package analytic
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+)
+
+// QueueResult holds the stationary performance metrics of the sender queue
+// under one encryption policy, the analytical counterparts of the
+// measurements in Figs. 7-8.
+type QueueResult struct {
+	Rho          float64 // traffic intensity lambda * E[S]
+	MeanWait     float64 // E[W]: mean time in queue before service (Eq. 19)
+	MeanSojourn  float64 // E[W] + E[S]: queue entry to transmission complete
+	MeanService  float64 // E[S]
+	MeanQueueLen float64 // E[Lq]: mean number waiting
+	MeanInSystem float64 // E[L]
+	VarInSystem  float64 // Var[L]: queue-length variance (jitter indicator)
+	PBusy        float64 // P{server busy}
+	// TailDecay is the geometric decay rate of the queue-length tail,
+	// the spectral radius of the R matrix: P{L >= k} ~ C * TailDecay^k.
+	// A playout buffer sized for k levels misses with roughly this
+	// geometric probability.
+	TailDecay  float64
+	Phases     int // QBD phase count (diagnostics)
+	Iterations int // logarithmic-reduction iterations (diagnostics)
+}
+
+// ErrUnstable is returned when the offered load is at or beyond capacity.
+var ErrUnstable = errors.New("analytic: queue unstable (rho >= 1)")
+
+// SolveQueue computes the stationary mean delay of the 2-MMPP/G/1 sender
+// queue of Section 4.2 for the given arrival process and service
+// parameters. The service distribution is represented as a phase-type fit
+// (exact in its first two moments per component) and the resulting
+// MMPP/PH/1 queue is solved exactly with the logarithmic-reduction
+// matrix-geometric method. This is the same quantity the numerical
+// procedure of [18]/[16] behind Eq. (19) computes; in the Poisson limit
+// (Lambda1 = Lambda2) it reduces to Pollaczek-Khinchine, which the tests
+// assert.
+func SolveQueue(arrival MMPP2, service ServiceParams) (QueueResult, error) {
+	if err := arrival.Validate(); err != nil {
+		return QueueResult{}, err
+	}
+	if err := service.Validate(); err != nil {
+		return QueueResult{}, err
+	}
+	m1, _ := service.Moments()
+	lambda := arrival.MeanRate()
+	rho := lambda * m1
+	if rho >= 1 {
+		return QueueResult{Rho: rho}, fmt.Errorf("%w: rho=%.4f", ErrUnstable, rho)
+	}
+	ph := service.PH()
+	if ph.Mass0 > 1e-12 {
+		return QueueResult{}, fmt.Errorf("analytic: service time has an atom at zero (%.3g); transmission must take positive time", ph.Mass0)
+	}
+	return solveMAPPH1(arrival.D0(), arrival.D1(), ph, lambda, m1, rho)
+}
+
+// solveMAPPH1 solves the MAP/PH/1 queue with arrival MAP (d0, d1) and
+// service PH (beta, S). Levels count customers in system; the phase within
+// a level ≥ 1 is (arrival phase) x (service phase).
+func solveMAPPH1(d0, d1 *stats.Matrix, ph PH, lambda, meanService, rho float64) (QueueResult, error) {
+	ma := d0.Rows  // arrival phases
+	ms := ph.Dim() // service phases
+	n := ma * ms   // QBD phase count per level
+	idx := func(a, s int) int { return a*ms + s }
+
+	exit := ph.ExitVector()
+
+	// A0: arrival (level up), phase (a,s) -> (a',s): D1 ⊗ I.
+	a0 := stats.NewMatrix(n, n)
+	// A1: local transitions: D0 ⊗ I + I ⊗ S.
+	a1 := stats.NewMatrix(n, n)
+	// A2: service completion (level down), restart service: I ⊗ (s* beta).
+	a2 := stats.NewMatrix(n, n)
+	for a := 0; a < ma; a++ {
+		for s := 0; s < ms; s++ {
+			row := idx(a, s)
+			for a2i := 0; a2i < ma; a2i++ {
+				a0.Set(row, idx(a2i, s), d1.At(a, a2i))
+				a1.Set(row, idx(a2i, s), a1.At(row, idx(a2i, s))+d0.At(a, a2i))
+			}
+			for s2 := 0; s2 < ms; s2++ {
+				a1.Set(row, idx(a, s2), a1.At(row, idx(a, s2))+ph.S.At(s, s2))
+				a2.Set(row, idx(a, s2), exit[s]*ph.Alpha[s2])
+			}
+		}
+	}
+
+	g, iters, err := logarithmicReductionG(a0, a1, a2)
+	if err != nil {
+		return QueueResult{}, err
+	}
+	// R = A0 * (-(A1 + A0*G))^{-1}.
+	u := a1.Add(a0.Mul(g)).Scale(-1)
+	uinv, err := u.Inverse()
+	if err != nil {
+		return QueueResult{}, fmt.Errorf("analytic: QBD U matrix singular: %w", err)
+	}
+	r := a0.Mul(uinv)
+
+	// Boundary: level 0 has only the arrival phases (idle server).
+	// B00 = D0 (ma x ma), B01 = D1 ⊗ beta (ma x n), B10 = I ⊗ s* (n x ma).
+	b01 := stats.NewMatrix(ma, n)
+	for a := 0; a < ma; a++ {
+		for a2i := 0; a2i < ma; a2i++ {
+			for s := 0; s < ms; s++ {
+				b01.Set(a, idx(a2i, s), d1.At(a, a2i)*ph.Alpha[s])
+			}
+		}
+	}
+	b10 := stats.NewMatrix(n, ma)
+	for a := 0; a < ma; a++ {
+		for s := 0; s < ms; s++ {
+			b10.Set(idx(a, s), a, exit[s])
+		}
+	}
+	// Note: with a defective service start (sum beta < 1) a completed
+	// service could instantly complete the next one; SolveQueue rejects
+	// that case up front (Mass0 must be 0).
+
+	// Assemble the boundary generator for z = [x0, x1]:
+	//   x0 B00 + x1 B10 = 0
+	//   x0 B01 + x1 (A1 + R A2) = 0
+	dim := ma + n
+	mboundary := stats.NewMatrix(dim, dim)
+	for i := 0; i < ma; i++ {
+		for j := 0; j < ma; j++ {
+			mboundary.Set(i, j, d0.At(i, j))
+		}
+		for j := 0; j < n; j++ {
+			mboundary.Set(i, ma+j, b01.At(i, j))
+		}
+	}
+	a1ra2 := a1.Add(r.Mul(a2))
+	for i := 0; i < n; i++ {
+		for j := 0; j < ma; j++ {
+			mboundary.Set(ma+i, j, b10.At(i, j))
+		}
+		for j := 0; j < n; j++ {
+			mboundary.Set(ma+i, ma+j, a1ra2.At(i, j))
+		}
+	}
+	// Solve z M = 0 with normalisation z * w = 1 where
+	// w = [e ; (I-R)^{-1} e].
+	iMinusR := stats.Identity(n).Sub(r)
+	iMinusRInv, err := iMinusR.Inverse()
+	if err != nil {
+		return QueueResult{}, fmt.Errorf("analytic: (I-R) singular: %w", err)
+	}
+	ones := make([]float64, n)
+	for i := range ones {
+		ones[i] = 1
+	}
+	geom := iMinusRInv.MulVec(ones) // (I-R)^{-1} e
+	// Transpose system: M^T z^T = 0; replace last equation by the
+	// normalisation.
+	sys := mboundary.Transpose()
+	rhs := make([]float64, dim)
+	for j := 0; j < ma; j++ {
+		sys.Set(dim-1, j, 1)
+	}
+	for j := 0; j < n; j++ {
+		sys.Set(dim-1, ma+j, geom[j])
+	}
+	rhs[dim-1] = 1
+	z, err := sys.Solve(rhs)
+	if err != nil {
+		return QueueResult{}, fmt.Errorf("analytic: boundary solve failed: %w", err)
+	}
+	x1 := z[ma:]
+
+	// E[L] = sum_{k>=1} k x_k e = x1 (I-R)^{-2} e,
+	// E[Lq] = sum_{k>=1} (k-1) x_k e = E[L] - x1 (I-R)^{-1} e,
+	// E[L^2] = sum_{k>=1} k^2 x_k e = x1 (I+R)(I-R)^{-3} e.
+	geom2 := iMinusRInv.MulVec(geom)  // (I-R)^{-2} e
+	geom3 := iMinusRInv.MulVec(geom2) // (I-R)^{-3} e
+	iPlusR3 := stats.Identity(n).Add(r).MulVec(geom3)
+	var meanL, meanL2, busy float64
+	for i, v := range x1 {
+		meanL += v * geom2[i]
+		meanL2 += v * iPlusR3[i]
+		busy += v * geom[i]
+	}
+	meanLq := meanL - busy
+	if meanLq < 0 && meanLq > -1e-9 {
+		meanLq = 0
+	}
+	res := QueueResult{
+		Rho:          rho,
+		MeanService:  meanService,
+		MeanQueueLen: meanLq,
+		MeanInSystem: meanL,
+		VarInSystem:  meanL2 - meanL*meanL,
+		PBusy:        busy,
+		TailDecay:    spectralRadius(r),
+		MeanWait:     meanLq / lambda,
+		Phases:       n,
+		Iterations:   iters,
+	}
+	res.MeanSojourn = res.MeanWait + meanService
+	return res, nil
+}
+
+// logarithmicReductionG computes the minimal non-negative solution G of
+// A0 + A1 G + A2 G^2 ... specifically the QBD first-passage matrix G
+// solving A2 + A1 G + A0 G^2 = 0, via the Latouche-Ramaswami logarithmic
+// reduction algorithm (quadratic convergence).
+func logarithmicReductionG(a0, a1, a2 *stats.Matrix) (*stats.Matrix, int, error) {
+	n := a1.Rows
+	negA1inv, err := a1.Scale(-1).Inverse()
+	if err != nil {
+		return nil, 0, fmt.Errorf("analytic: A1 singular: %w", err)
+	}
+	h := negA1inv.Mul(a0) // up
+	l := negA1inv.Mul(a2) // down
+	g := l.Clone()
+	t := h.Clone()
+	const maxIter = 96
+	prevWorst := math.Inf(1)
+	stalled := 0
+	for iter := 1; iter <= maxIter; iter++ {
+		u := h.Mul(l).Add(l.Mul(h))
+		m := h.Mul(h)
+		iu := stats.Identity(n).Sub(u)
+		iuInv, err := iu.Inverse()
+		if err != nil {
+			return nil, iter, fmt.Errorf("analytic: logarithmic reduction singular at iter %d: %w", iter, err)
+		}
+		h = iuInv.Mul(m)
+		m = l.Mul(l)
+		l = iuInv.Mul(m)
+		g = g.Add(t.Mul(l))
+		t = t.Mul(h)
+		// Convergence: G row sums approach 1 (positive-recurrent case).
+		var worst float64
+		for i := 0; i < n; i++ {
+			var s float64
+			for j := 0; j < n; j++ {
+				s += g.At(i, j)
+			}
+			if d := math.Abs(1 - s); d > worst {
+				worst = d
+			}
+		}
+		if worst < 1e-11 {
+			return g, iter, nil
+		}
+		// On widely separated time scales the row-sum residual can
+		// stagnate just above the tight tolerance from floating-point
+		// round-off while G itself is fully converged; accept a stalled
+		// residual once it is far below any modelling error.
+		if worst >= prevWorst*0.5 {
+			stalled++
+			if stalled >= 3 && worst < 1e-7 {
+				return g, iter, nil
+			}
+		} else {
+			stalled = 0
+		}
+		prevWorst = worst
+	}
+	return nil, maxIter, errors.New("analytic: logarithmic reduction did not converge")
+}
+
+// spectralRadius estimates the dominant eigenvalue of a non-negative
+// matrix by power iteration (the R matrix of a stable QBD has spectral
+// radius in [0, 1)).
+func spectralRadius(m *stats.Matrix) float64 {
+	n := m.Rows
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = 1
+	}
+	radius := 0.0
+	for iter := 0; iter < 200; iter++ {
+		w := m.MulVec(v)
+		var norm float64
+		for _, x := range w {
+			norm += x * x
+		}
+		norm = math.Sqrt(norm)
+		if norm == 0 {
+			return 0
+		}
+		for i := range w {
+			w[i] /= norm
+		}
+		// Rayleigh quotient.
+		mv := m.MulVec(w)
+		var num, den float64
+		for i := range w {
+			num += w[i] * mv[i]
+			den += w[i] * w[i]
+		}
+		next := num / den
+		if math.Abs(next-radius) < 1e-12 {
+			return next
+		}
+		radius = next
+		v = w
+	}
+	return radius
+}
+
+// MGOneWait returns the Pollaczek-Khinchine mean waiting time of an M/G/1
+// queue with arrival rate lambda and service moments (m1, m2):
+// E[W] = lambda*m2 / (2(1-rho)). It is the degenerate-MMPP reference used
+// in validation tests.
+func MGOneWait(lambda, m1, m2 float64) (float64, error) {
+	rho := lambda * m1
+	if rho >= 1 {
+		return 0, ErrUnstable
+	}
+	return lambda * m2 / (2 * (1 - rho)), nil
+}

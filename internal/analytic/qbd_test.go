@@ -1,0 +1,406 @@
+package analytic
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// poissonArrivals builds a degenerate MMPP that is exactly a Poisson
+// process with the given rate (both states identical).
+func poissonArrivals(rate float64) MMPP2 {
+	return MMPP2{P1: 1, P2: 1, Lambda1: rate, Lambda2: rate}
+}
+
+// expService builds service parameters that collapse to a pure
+// exponential-like service via a hyper-tight single class. With PI=0 and
+// no encryption, service = transmission time of the P class.
+func simpleService(mean, sigma float64) ServiceParams {
+	return ServiceParams{
+		PI:       0,
+		TxMeanI:  mean, // unused (PI=0) but must validate
+		TxMeanP:  mean,
+		TxSigmaP: sigma,
+		PS:       1,
+	}
+}
+
+func TestSolveQueueMM1Limit(t *testing.T) {
+	// Exponential service: sigma = mean => cv2 = 1 => PHFit gives Exp.
+	mean := 0.01
+	sp := simpleService(mean, mean)
+	lambda := 60.0
+	res, err := SolveQueue(poissonArrivals(lambda), sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rho := lambda * mean
+	wantW := rho * mean / (1 - rho) // M/M/1: E[W] = rho/(mu-lambda)
+	if !relNear(res.MeanWait, wantW, 1e-6) {
+		t.Fatalf("E[W] = %v want %v", res.MeanWait, wantW)
+	}
+	if !relNear(res.Rho, rho, 1e-12) {
+		t.Fatalf("rho = %v want %v", res.Rho, rho)
+	}
+	wantL := rho / (1 - rho)
+	if !relNear(res.MeanInSystem, wantL, 1e-6) {
+		t.Fatalf("E[L] = %v want %v", res.MeanInSystem, wantL)
+	}
+}
+
+func TestSolveQueueMG1Limit(t *testing.T) {
+	// Low-variance service, Poisson arrivals: must match
+	// Pollaczek-Khinchine computed from the same fitted moments.
+	mean, sigma := 0.008, 0.002
+	sp := simpleService(mean, sigma)
+	lambda := 80.0
+	res, err := SolveQueue(poissonArrivals(lambda), sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, m2 := sp.Moments()
+	wantW, err := MGOneWait(lambda, m1, m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !relNear(res.MeanWait, wantW, 1e-6) {
+		t.Fatalf("E[W] = %v want PK %v", res.MeanWait, wantW)
+	}
+}
+
+func TestSolveQueueMD1Limit(t *testing.T) {
+	// Near-deterministic service: the Erlang(maxOrder) fit has variance
+	// mean^2/k, so compare against P-K with the *fitted* moments and
+	// verify we are within a few percent of true M/D/1 too.
+	mean := 0.005
+	sp := simpleService(mean, 0)
+	sp.MaxErlangOrder = 64
+	lambda := 120.0
+	res, err := SolveQueue(poissonArrivals(lambda), sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rho := lambda * mean
+	md1 := rho * mean / (2 * (1 - rho)) // true M/D/1 E[W]
+	// Erlang(64) slightly inflates the second moment: E[S^2] = m^2(1+1/64).
+	fitted := lambda * mean * mean * (1 + 1.0/64) / (2 * (1 - rho))
+	if !relNear(res.MeanWait, fitted, 1e-6) {
+		t.Fatalf("E[W] = %v want fitted %v", res.MeanWait, fitted)
+	}
+	if !relNear(res.MeanWait, md1, 0.02) {
+		t.Fatalf("E[W] = %v not within 2%% of M/D/1 %v", res.MeanWait, md1)
+	}
+}
+
+func TestSolveQueueBurstinessRaisesDelay(t *testing.T) {
+	// An MMPP with the same mean rate but bursty arrivals must see a
+	// larger mean wait than the Poisson process of equal rate.
+	mean := 0.004
+	sp := simpleService(mean, 0.001)
+	bursty := MMPP2{P1: 20, P2: 20, Lambda1: 180, Lambda2: 20} // mean 100
+	smooth := poissonArrivals(bursty.MeanRate())
+	rb, err := SolveQueue(bursty, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := SolveQueue(smooth, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rb.MeanWait <= rs.MeanWait {
+		t.Fatalf("bursty E[W]=%v should exceed Poisson E[W]=%v", rb.MeanWait, rs.MeanWait)
+	}
+}
+
+func TestSolveQueueUnstable(t *testing.T) {
+	sp := simpleService(0.02, 0.001)
+	_, err := SolveQueue(poissonArrivals(60), sp) // rho = 1.2
+	if !errors.Is(err, ErrUnstable) {
+		t.Fatalf("want ErrUnstable, got %v", err)
+	}
+}
+
+func TestSolveQueueEncryptionIncreasesDelay(t *testing.T) {
+	// Paper-shaped workload: short I-frame bursts (state 1) inside long
+	// P-frame stretches, so only ~20% of packets belong to I-frames and the
+	// numerous P packets dominate total encryption work (the reason
+	// Figs. 7-8 show delay(P) ~ delay(all) >> delay(I)).
+	arr := MMPP2{P1: 400, P2: 10, Lambda1: 1000, Lambda2: 100}
+	if pI := arr.IFramePacketFraction(); pI > 0.3 {
+		t.Fatalf("test workload should be P-dominated, pI = %v", pI)
+	}
+	base := ServiceParams{
+		PI:       arr.IFramePacketFraction(),
+		EncMeanI: 0.9e-3, EncSigmaI: 0.1e-3,
+		EncMeanP: 0.5e-3, EncSigmaP: 0.05e-3,
+		TxMeanI: 1.8e-3, TxSigmaI: 0.1e-3,
+		TxMeanP: 0.6e-3, TxSigmaP: 0.05e-3,
+		PS: 0.95, LambdaB: 500,
+		MaxErlangOrder: 12,
+	}
+	delays := map[string]float64{}
+	for name, enc := range map[string][2]float64{
+		"none": {0, 0}, "I": {1, 0}, "P": {0, 1}, "all": {1, 1},
+	} {
+		sp := base
+		sp.EncI, sp.EncP = enc[0], enc[1]
+		res, err := SolveQueue(arr, sp)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		delays[name] = res.MeanSojourn
+	}
+	if !(delays["none"] < delays["I"] && delays["I"] < delays["all"]) {
+		t.Fatalf("expected none < I < all, got %v", delays)
+	}
+	if !(delays["P"] <= delays["all"] && delays["P"] > delays["I"]) {
+		// With mostly P packets (pI small), P-encryption dominates cost,
+		// as the paper observes in Fig. 7.
+		t.Fatalf("expected I < P <= all, got %v", delays)
+	}
+}
+
+func TestSolveQueueMatchesPaperOrdering3DESvsAES(t *testing.T) {
+	arr := MMPP2{P1: 50, P2: 5, Lambda1: 1200, Lambda2: 40}
+	mk := func(encScale float64) float64 {
+		sp := ServiceParams{
+			PI:   arr.IFramePacketFraction(),
+			EncI: 1, EncP: 1,
+			MaxErlangOrder: 12,
+			EncMeanI:       0.9e-3 * encScale, EncSigmaI: 0.1e-3,
+			EncMeanP: 0.3e-3 * encScale, EncSigmaP: 0.05e-3,
+			TxMeanI: 1.8e-3, TxSigmaI: 0.1e-3,
+			TxMeanP: 0.6e-3, TxSigmaP: 0.05e-3,
+			PS: 0.95, LambdaB: 500,
+		}
+		res, err := SolveQueue(arr, sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.MeanSojourn
+	}
+	aes := mk(1)
+	tdes := mk(4) // 3DES is several times slower per byte
+	if tdes <= aes {
+		t.Fatalf("3DES-like service should be slower: %v vs %v", tdes, aes)
+	}
+}
+
+func TestServiceMomentsMatchPH(t *testing.T) {
+	sp := ServiceParams{
+		PI:   0.3,
+		EncI: 1, EncP: 0.2,
+		EncMeanI: 1e-3, EncSigmaI: 0.2e-3,
+		EncMeanP: 0.4e-3, EncSigmaP: 0.1e-3,
+		TxMeanI: 2e-3, TxSigmaI: 0.4e-3,
+		TxMeanP: 0.7e-3, TxSigmaP: 0.2e-3,
+		PS: 0.9, LambdaB: 800,
+	}
+	m1, m2 := sp.Moments()
+	ph := sp.PH()
+	if err := ph.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !relNear(ph.Mean(), m1, 1e-9) {
+		t.Fatalf("PH mean %v vs analytic %v", ph.Mean(), m1)
+	}
+	// Second moment matches up to the Erlang-order truncation of the
+	// within-class variance fits.
+	if !relNear(ph.Moment(2), m2, 0.02) {
+		t.Fatalf("PH m2 %v vs analytic %v", ph.Moment(2), m2)
+	}
+}
+
+func TestServiceLSTConsistency(t *testing.T) {
+	sp := ServiceParams{
+		PI:   0.25,
+		EncI: 1, EncP: 0,
+		EncMeanI: 1e-3, EncSigmaI: 0.1e-3,
+		EncMeanP: 0.4e-3,
+		TxMeanI:  2e-3, TxSigmaI: 0.2e-3,
+		TxMeanP: 0.7e-3, TxSigmaP: 0.1e-3,
+		PS: 0.92, LambdaB: 700,
+	}
+	// LST(0) = 1 and -LST'(0) = mean.
+	if !near(sp.LST(0), 1, 1e-12) {
+		t.Fatalf("LST(0) = %v", sp.LST(0))
+	}
+	h := 1e-4
+	m1, _ := sp.Moments()
+	numMean := (1 - sp.LST(h)) / h
+	if !relNear(numMean, m1, 1e-3) {
+		t.Fatalf("numeric mean %v vs %v", numMean, m1)
+	}
+	// The PH LST tracks the analytic LST closely at moderate s.
+	ph := sp.PH()
+	for _, s := range []float64{5, 20, 60} {
+		if !relNear(ph.LST(s), sp.LST(s), 0.01) {
+			t.Fatalf("LST mismatch at s=%v: PH %v analytic %v", s, ph.LST(s), sp.LST(s))
+		}
+	}
+}
+
+func TestServiceEncryptedFraction(t *testing.T) {
+	sp := ServiceParams{PI: 0.3, EncI: 1, EncP: 0.5}
+	if !near(sp.EncryptedFraction(), 0.3+0.7*0.5, 1e-12) {
+		t.Fatalf("q = %v", sp.EncryptedFraction())
+	}
+}
+
+func TestServiceValidate(t *testing.T) {
+	good := simpleService(0.01, 0.001)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := good
+	bad.PS = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("PS=0 should fail")
+	}
+	bad = good
+	bad.PI = 1.5
+	if err := bad.Validate(); err == nil {
+		t.Fatal("PI>1 should fail")
+	}
+	bad = good
+	bad.TxMeanP = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero transmission time should fail")
+	}
+	bad = good
+	bad.PS = 0.5
+	bad.LambdaB = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("PS<1 with no backoff rate should fail")
+	}
+}
+
+func TestMGOneWait(t *testing.T) {
+	w, err := MGOneWait(50, 0.01, 0.0002)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 50 * 0.0002 / (2 * (1 - 0.5))
+	if !near(w, want, 1e-12) {
+		t.Fatalf("PK = %v want %v", w, want)
+	}
+	if _, err := MGOneWait(200, 0.01, 0.0002); !errors.Is(err, ErrUnstable) {
+		t.Fatal("expected ErrUnstable")
+	}
+}
+
+func TestSolveQueueLoadMonotonicity(t *testing.T) {
+	sp := simpleService(0.002, 0.0005)
+	prev := -1.0
+	for _, lambda := range []float64{50, 150, 300, 420} {
+		res, err := SolveQueue(poissonArrivals(lambda), sp)
+		if err != nil {
+			t.Fatalf("lambda=%v: %v", lambda, err)
+		}
+		if res.MeanWait <= prev {
+			t.Fatalf("E[W] must grow with load: %v then %v", prev, res.MeanWait)
+		}
+		prev = res.MeanWait
+	}
+}
+
+func TestSolveQueueBackoffIncreasesDelay(t *testing.T) {
+	arr := poissonArrivals(100)
+	noLoss := simpleService(0.003, 0.0005)
+	withLoss := noLoss
+	withLoss.PS = 0.8
+	withLoss.LambdaB = 400
+	r1, err := SolveQueue(arr, noLoss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := SolveQueue(arr, withLoss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.MeanSojourn <= r1.MeanSojourn {
+		t.Fatalf("backoff should add delay: %v vs %v", r2.MeanSojourn, r1.MeanSojourn)
+	}
+	if math.Abs((r2.MeanService-r1.MeanService)-(1-0.8)/(0.8*400)) > 1e-9 {
+		t.Fatalf("backoff mean contribution wrong: %v", r2.MeanService-r1.MeanService)
+	}
+}
+
+func TestSolveQueueVarianceMM1(t *testing.T) {
+	// M/M/1: Var(L) = rho/(1-rho)^2, P{busy} = rho.
+	mean := 0.01
+	sp := simpleService(mean, mean) // cv2=1 -> exponential fit
+	lambda := 60.0
+	res, err := SolveQueue(poissonArrivals(lambda), sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rho := lambda * mean
+	wantVar := rho / ((1 - rho) * (1 - rho))
+	if !relNear(res.VarInSystem, wantVar, 1e-5) {
+		t.Fatalf("Var(L) = %v want %v", res.VarInSystem, wantVar)
+	}
+	if !relNear(res.PBusy, rho, 1e-6) {
+		t.Fatalf("P(busy) = %v want %v", res.PBusy, rho)
+	}
+}
+
+func TestSolveQueueBusyProbabilityIsRho(t *testing.T) {
+	// For any single-server queue with unit service per customer,
+	// P{busy} = rho regardless of arrival correlations.
+	arr := MMPP2{P1: 300, P2: 15, Lambda1: 1500, Lambda2: 120}
+	sp := ServiceParams{
+		PI: arr.IFramePacketFraction(), TxMeanI: 1.6e-3, TxMeanP: 0.7e-3,
+		TxSigmaI: 0.2e-3, TxSigmaP: 0.1e-3, PS: 1, MaxErlangOrder: 16,
+	}
+	res, err := SolveQueue(arr, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !relNear(res.PBusy, res.Rho, 1e-6) {
+		t.Fatalf("P(busy) = %v want rho %v", res.PBusy, res.Rho)
+	}
+	if res.VarInSystem <= 0 {
+		t.Fatal("variance must be positive")
+	}
+}
+
+func TestSolveQueueTailDecayMM1(t *testing.T) {
+	// M/M/1: queue length is geometric with ratio rho, so the dominant
+	// eigenvalue of R equals rho.
+	mean := 0.01
+	sp := simpleService(mean, mean)
+	lambda := 70.0
+	res, err := SolveQueue(poissonArrivals(lambda), sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rho := lambda * mean
+	if !relNear(res.TailDecay, rho, 1e-4) {
+		t.Fatalf("tail decay %v want rho %v", res.TailDecay, rho)
+	}
+}
+
+func TestSolveQueueTailDecayInUnitInterval(t *testing.T) {
+	arr := MMPP2{P1: 300, P2: 15, Lambda1: 1500, Lambda2: 120}
+	sp := ServiceParams{
+		PI: arr.IFramePacketFraction(), TxMeanI: 1.6e-3, TxMeanP: 0.7e-3,
+		PS: 1, MaxErlangOrder: 12,
+	}
+	res, err := SolveQueue(arr, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TailDecay <= 0 || res.TailDecay >= 1 {
+		t.Fatalf("tail decay %v out of (0,1)", res.TailDecay)
+	}
+	// Burstier arrivals must have a heavier tail than Poisson of equal
+	// rate and service.
+	pois, err := SolveQueue(poissonArrivals(arr.MeanRate()), sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TailDecay <= pois.TailDecay {
+		t.Fatalf("bursty tail %v should exceed Poisson %v", res.TailDecay, pois.TailDecay)
+	}
+}

@@ -1,0 +1,278 @@
+// Package audio implements the audio substrate the paper defers to future
+// work (Section 3: "we expect that the volume of audio content is going to
+// be much lower than video and thus, all of it can be encrypted"). It
+// provides 16-bit PCM tracks, an IMA-ADPCM codec (4:1 compression, the
+// classic low-cost speech/VoIP coder), frame packetization at a fixed
+// cadence, and the always-encrypt cost accounting that lets the transport
+// verify the paper's expectation quantitatively.
+package audio
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+)
+
+// Track is a mono 16-bit PCM stream.
+type Track struct {
+	SampleRate int
+	Samples    []int16
+}
+
+// Duration returns the track length in seconds.
+func (t *Track) Duration() float64 {
+	if t.SampleRate <= 0 {
+		return 0
+	}
+	return float64(len(t.Samples)) / float64(t.SampleRate)
+}
+
+// Generate synthesises a speech-band test tone mix: a few drifting
+// sinusoids plus a little noise, deterministic from the seed.
+func Generate(sampleRate int, seconds float64, seed uint64) *Track {
+	n := int(float64(sampleRate) * seconds)
+	rng := stats.NewRNG(seed)
+	samples := make([]int16, n)
+	f1 := 180 + rng.Float64()*80
+	f2 := 450 + rng.Float64()*200
+	f3 := 1200 + rng.Float64()*600
+	for i := range samples {
+		ts := float64(i) / float64(sampleRate)
+		v := 0.45*math.Sin(2*math.Pi*f1*ts) +
+			0.3*math.Sin(2*math.Pi*f2*ts+0.7) +
+			0.15*math.Sin(2*math.Pi*f3*ts*(1+0.05*math.Sin(ts))) +
+			0.05*(rng.Float64()*2-1)
+		samples[i] = int16(v * 20000)
+	}
+	return &Track{SampleRate: sampleRate, Samples: samples}
+}
+
+// IMA-ADPCM step table (standard).
+var stepTable = [89]int{
+	7, 8, 9, 10, 11, 12, 13, 14, 16, 17,
+	19, 21, 23, 25, 28, 31, 34, 37, 41, 45,
+	50, 55, 60, 66, 73, 80, 88, 97, 107, 118,
+	130, 143, 157, 173, 190, 209, 230, 253, 279, 307,
+	337, 371, 408, 449, 494, 544, 598, 658, 724, 796,
+	876, 963, 1060, 1166, 1282, 1411, 1552, 1707, 1878, 2066,
+	2272, 2499, 2749, 3024, 3327, 3660, 4026, 4428, 4871, 5358,
+	5894, 6484, 7132, 7845, 8630, 9493, 10442, 11487, 12635, 13899,
+	15289, 16818, 18500, 20350, 22385, 24623, 27086, 29794, 32767,
+}
+
+var indexTable = [16]int{-1, -1, -1, -1, 2, 4, 6, 8, -1, -1, -1, -1, 2, 4, 6, 8}
+
+type adpcmState struct {
+	predictor int
+	index     int
+}
+
+func (s *adpcmState) encodeSample(sample int16) byte {
+	step := stepTable[s.index]
+	diff := int(sample) - s.predictor
+	var nibble byte
+	if diff < 0 {
+		nibble = 8
+		diff = -diff
+	}
+	delta := 0
+	if diff >= step {
+		nibble |= 4
+		diff -= step
+		delta += step
+	}
+	step >>= 1
+	if diff >= step {
+		nibble |= 2
+		diff -= step
+		delta += step
+	}
+	step >>= 1
+	if diff >= step {
+		nibble |= 1
+		delta += step
+	}
+	delta += stepTable[s.index] >> 3
+	if nibble&8 != 0 {
+		s.predictor -= delta
+	} else {
+		s.predictor += delta
+	}
+	if s.predictor > 32767 {
+		s.predictor = 32767
+	}
+	if s.predictor < -32768 {
+		s.predictor = -32768
+	}
+	s.index += indexTable[nibble]
+	if s.index < 0 {
+		s.index = 0
+	}
+	if s.index > 88 {
+		s.index = 88
+	}
+	return nibble
+}
+
+func (s *adpcmState) decodeSample(nibble byte) int16 {
+	step := stepTable[s.index]
+	delta := step >> 3
+	if nibble&4 != 0 {
+		delta += step
+	}
+	if nibble&2 != 0 {
+		delta += step >> 1
+	}
+	if nibble&1 != 0 {
+		delta += step >> 2
+	}
+	if nibble&8 != 0 {
+		s.predictor -= delta
+	} else {
+		s.predictor += delta
+	}
+	if s.predictor > 32767 {
+		s.predictor = 32767
+	}
+	if s.predictor < -32768 {
+		s.predictor = -32768
+	}
+	s.index += indexTable[nibble]
+	if s.index < 0 {
+		s.index = 0
+	}
+	if s.index > 88 {
+		s.index = 88
+	}
+	return int16(s.predictor)
+}
+
+// Frame is one encoded audio frame: an independently decodable ADPCM
+// block (it carries its own predictor seed), so a lost frame never
+// corrupts its neighbours — the audio analogue of per-packet OFB.
+type Frame struct {
+	Seq     int
+	Samples int
+	Data    []byte
+}
+
+// FrameDuration is the packetization cadence (20 ms, the usual VoIP
+// frame).
+const FrameDuration = 0.020
+
+// Encode compresses the track into 20 ms ADPCM frames.
+//
+// Frame layout: predictor (int16, big endian) | index (byte) | nibbles.
+func Encode(t *Track) ([]Frame, error) {
+	if t.SampleRate <= 0 || len(t.Samples) == 0 {
+		return nil, fmt.Errorf("audio: empty track")
+	}
+	per := int(float64(t.SampleRate) * FrameDuration)
+	if per < 2 {
+		return nil, fmt.Errorf("audio: sample rate %d too low", t.SampleRate)
+	}
+	var frames []Frame
+	// The step index adapts across frames at the encoder and each frame
+	// stores its own starting (predictor, index) pair, so frames stay
+	// independently decodable without paying the adaptation ramp on every
+	// frame boundary.
+	runningIndex := 0
+	for off, seq := 0, 0; off < len(t.Samples); off, seq = off+per, seq+1 {
+		end := off + per
+		if end > len(t.Samples) {
+			end = len(t.Samples)
+		}
+		chunk := t.Samples[off:end]
+		st := adpcmState{predictor: int(chunk[0]), index: runningIndex}
+		data := make([]byte, 0, 3+(len(chunk)+1)/2)
+		data = append(data, byte(uint16(chunk[0])>>8), byte(uint16(chunk[0])), byte(st.index))
+		var cur byte
+		half := false
+		for _, s := range chunk {
+			n := st.encodeSample(s)
+			if !half {
+				cur = n << 4
+				half = true
+			} else {
+				data = append(data, cur|n)
+				half = false
+			}
+		}
+		if half {
+			data = append(data, cur)
+		}
+		runningIndex = st.index
+		frames = append(frames, Frame{Seq: seq, Samples: len(chunk), Data: data})
+	}
+	return frames, nil
+}
+
+// Decode reconstructs a track from frames; nil frames (lost packets) are
+// concealed with silence.
+func Decode(frames []Frame, sampleRate int) (*Track, error) {
+	if sampleRate <= 0 {
+		return nil, fmt.Errorf("audio: bad sample rate")
+	}
+	var samples []int16
+	for _, f := range frames {
+		if f.Data == nil {
+			samples = append(samples, make([]int16, f.Samples)...)
+			continue
+		}
+		if len(f.Data) < 3 {
+			return nil, fmt.Errorf("audio: frame %d truncated", f.Seq)
+		}
+		st := adpcmState{
+			predictor: int(int16(uint16(f.Data[0])<<8 | uint16(f.Data[1]))),
+			index:     int(f.Data[2]),
+		}
+		if st.index > 88 {
+			return nil, fmt.Errorf("audio: frame %d has bad index %d", f.Seq, st.index)
+		}
+		out := make([]int16, 0, f.Samples)
+		for i := 0; i < f.Samples; i++ {
+			b := f.Data[3+i/2]
+			var n byte
+			if i%2 == 0 {
+				n = b >> 4
+			} else {
+				n = b & 0x0F
+			}
+			out = append(out, st.decodeSample(n))
+		}
+		samples = append(samples, out...)
+	}
+	return &Track{SampleRate: sampleRate, Samples: samples}, nil
+}
+
+// SNR returns the signal-to-noise ratio in dB of a reconstruction against
+// the original (higher is better; ADPCM lands in the 20-35 dB range).
+func SNR(orig, recon *Track) (float64, error) {
+	if orig.SampleRate != recon.SampleRate || len(orig.Samples) != len(recon.Samples) {
+		return 0, fmt.Errorf("audio: tracks differ in shape")
+	}
+	var sig, noise float64
+	for i := range orig.Samples {
+		s := float64(orig.Samples[i])
+		d := s - float64(recon.Samples[i])
+		sig += s * s
+		noise += d * d
+	}
+	if noise == 0 {
+		return math.Inf(1), nil
+	}
+	return 10 * math.Log10(sig/noise), nil
+}
+
+// Bitrate returns the encoded bitrate in bits/second.
+func Bitrate(frames []Frame, duration float64) float64 {
+	if duration <= 0 {
+		return 0
+	}
+	bytes := 0
+	for _, f := range frames {
+		bytes += len(f.Data)
+	}
+	return float64(bytes) * 8 / duration
+}

@@ -1,0 +1,148 @@
+package audio
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGenerateShape(t *testing.T) {
+	tr := Generate(8000, 1.5, 1)
+	if tr.SampleRate != 8000 || len(tr.Samples) != 12000 {
+		t.Fatalf("track shape %d @%d", len(tr.Samples), tr.SampleRate)
+	}
+	if math.Abs(tr.Duration()-1.5) > 1e-9 {
+		t.Fatalf("duration %v", tr.Duration())
+	}
+	// Deterministic.
+	tr2 := Generate(8000, 1.5, 1)
+	for i := range tr.Samples {
+		if tr.Samples[i] != tr2.Samples[i] {
+			t.Fatal("same seed diverged")
+		}
+	}
+	// Non-silent.
+	var peak int16
+	for _, s := range tr.Samples {
+		if s > peak {
+			peak = s
+		}
+	}
+	if peak < 10000 {
+		t.Fatalf("peak %d too quiet", peak)
+	}
+}
+
+func TestEncodeDecodeRoundTripSNR(t *testing.T) {
+	tr := Generate(8000, 2, 7)
+	frames, err := Encode(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 s at 20 ms per frame = 100 frames.
+	if len(frames) != 100 {
+		t.Fatalf("frames %d", len(frames))
+	}
+	rec, err := Decode(frames, tr.SampleRate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snr, err := SNR(tr, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snr < 18 {
+		t.Fatalf("ADPCM SNR %.1f dB too low", snr)
+	}
+}
+
+func TestCompressionRatio(t *testing.T) {
+	tr := Generate(8000, 2, 3)
+	frames, err := Encode(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rate := Bitrate(frames, tr.Duration())
+	// 4-bit ADPCM of 16-bit 8 kHz PCM: ~32 kb/s plus small headers.
+	if rate < 30e3 || rate > 40e3 {
+		t.Fatalf("bitrate %.0f b/s out of ADPCM range", rate)
+	}
+}
+
+func TestLostFrameConcealsToSilence(t *testing.T) {
+	tr := Generate(8000, 1, 5)
+	frames, err := Encode(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, _ := Decode(frames, tr.SampleRate)
+	frames[10].Data = nil // lost packet
+	rec, err := Decode(frames, tr.SampleRate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	per := int(8000 * FrameDuration)
+	for i := 10 * per; i < 11*per; i++ {
+		if rec.Samples[i] != 0 {
+			t.Fatal("lost frame should conceal to silence")
+		}
+	}
+	// Neighbouring frames are bit-identical (frames are independent).
+	for i := 11 * per; i < 12*per; i++ {
+		if rec.Samples[i] != clean.Samples[i] {
+			t.Fatal("loss propagated into the next frame")
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode([]Frame{{Seq: 0, Samples: 10, Data: []byte{1}}}, 8000); err == nil {
+		t.Fatal("truncated frame should fail")
+	}
+	if _, err := Decode(nil, 0); err == nil {
+		t.Fatal("bad sample rate should fail")
+	}
+	if _, err := Decode([]Frame{{Samples: 2, Data: []byte{0, 0, 99, 0}}}, 8000); err == nil {
+		t.Fatal("bad index should fail")
+	}
+}
+
+func TestEncodeErrors(t *testing.T) {
+	if _, err := Encode(&Track{SampleRate: 8000}); err == nil {
+		t.Fatal("empty track should fail")
+	}
+	if _, err := Encode(&Track{SampleRate: 10, Samples: make([]int16, 100)}); err == nil {
+		t.Fatal("tiny sample rate should fail")
+	}
+}
+
+func TestSNRErrors(t *testing.T) {
+	a := Generate(8000, 1, 1)
+	b := Generate(16000, 1, 1)
+	if _, err := SNR(a, b); err == nil {
+		t.Fatal("shape mismatch should fail")
+	}
+	if snr, err := SNR(a, a); err != nil || !math.IsInf(snr, 1) {
+		t.Fatal("identical tracks should have infinite SNR")
+	}
+}
+
+// The paper's expectation: audio is cheap enough to always encrypt. Check
+// the byte volumes: 2 s of ADPCM audio is a small fraction of even a
+// slow-motion video stream of the same duration.
+func TestAudioVolumeSmallVersusVideo(t *testing.T) {
+	tr := Generate(8000, 2, 9)
+	frames, err := Encode(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	audioBytes := 0
+	for _, f := range frames {
+		audioBytes += len(f.Data)
+	}
+	// A slow CIF video stream runs ~30-50 kB/s in this codec; audio is
+	// ~4 kB/s. Assert the order-of-magnitude gap that justifies
+	// always-encrypting audio.
+	if audioBytes > 10*1024 {
+		t.Fatalf("2s of audio is %d bytes; expected ~8 kB", audioBytes)
+	}
+}

@@ -1,0 +1,237 @@
+package codec
+
+import (
+	"testing"
+
+	"repro/internal/video"
+)
+
+func bConfig(gop, b int) Config {
+	return Config{Width: 96, Height: 96, GOPSize: gop, QI: 8, QP: 10, SearchRange: 16, BFrames: b}
+}
+
+func TestValidateB(t *testing.T) {
+	if err := bConfig(12, 2).ValidateB(); err != nil {
+		t.Fatal(err)
+	}
+	if err := bConfig(12, 1).ValidateB(); err != nil {
+		t.Fatal(err)
+	}
+	// GOP not a multiple of anchor distance.
+	if err := bConfig(10, 2).ValidateB(); err == nil {
+		t.Fatal("GOP 10 with B=2 should fail")
+	}
+	if err := bConfig(12, 4).ValidateB(); err == nil {
+		t.Fatal("B=4 should fail")
+	}
+}
+
+func TestBStreamRoundTrip(t *testing.T) {
+	clip := video.Generate(video.SceneConfig{W: 96, H: 96, Frames: 24, Motion: video.MotionMedium, Seed: 31})
+	cfg := bConfig(12, 2)
+	encoded, err := EncodeSequenceB(clip, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(encoded) != len(clip) {
+		t.Fatalf("encoded %d frames, want %d", len(encoded), len(clip))
+	}
+	// Coding order: display numbers must cover 0..23 exactly once, and
+	// every B frame must appear after its backward anchor.
+	seen := map[int]bool{}
+	lastAnchor := -1
+	for _, ef := range encoded {
+		if seen[ef.Number] {
+			t.Fatalf("display index %d duplicated", ef.Number)
+		}
+		seen[ef.Number] = true
+		switch ef.Type {
+		case IFrame, PFrame:
+			if ef.Number < lastAnchor {
+				t.Fatalf("anchor %d out of order", ef.Number)
+			}
+			lastAnchor = ef.Number
+		case BFrame:
+			if ef.Number > lastAnchor {
+				t.Fatalf("B frame %d before its backward anchor %d", ef.Number, lastAnchor)
+			}
+		}
+	}
+	decoded, err := DecodeSequenceB(encoded, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded) != len(clip) {
+		t.Fatalf("decoded %d frames", len(decoded))
+	}
+	psnr := video.SequencePSNR(clip, decoded)
+	if psnr < 28 {
+		t.Fatalf("B-stream round trip PSNR %.1f too low", psnr)
+	}
+}
+
+func TestBFrameTypesAndStructure(t *testing.T) {
+	clip := video.Generate(video.SceneConfig{W: 96, H: 96, Frames: 12, Motion: video.MotionLow, Seed: 5})
+	cfg := bConfig(12, 2)
+	encoded, err := EncodeSequenceB(clip, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	types := map[int]FrameType{}
+	for _, ef := range encoded {
+		types[ef.Number] = ef.Type
+	}
+	// Display structure I B B P B B P B B P, then trailing frames with no
+	// backward anchor are forced P.
+	for d := 0; d < 12; d++ {
+		want := BFrame
+		if d%3 == 0 {
+			want = PFrame
+			if d%12 == 0 {
+				want = IFrame
+			}
+		}
+		if d > 9 { // past the last anchor (frames 10, 11)
+			want = PFrame
+		}
+		if types[d] != want {
+			t.Fatalf("display frame %d is %v want %v", d, types[d], want)
+		}
+	}
+}
+
+func TestBFramesCheaperThanP(t *testing.T) {
+	clip := video.Generate(video.SceneConfig{W: 96, H: 96, Frames: 24, Motion: video.MotionMedium, Seed: 9})
+	cfg := bConfig(12, 2)
+	encoded, err := EncodeSequenceB(clip, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bSize, pSize, bN, pN int
+	for _, ef := range encoded {
+		switch ef.Type {
+		case BFrame:
+			bSize += ef.Size()
+			bN++
+		case PFrame:
+			pSize += ef.Size()
+			pN++
+		}
+	}
+	if bN == 0 || pN == 0 {
+		t.Fatal("stream should contain both B and P frames")
+	}
+	meanB := float64(bSize) / float64(bN)
+	meanP := float64(pSize) / float64(pN)
+	if meanB >= meanP {
+		t.Fatalf("B frames (%.0f B) should be cheaper than P frames (%.0f B)", meanB, meanP)
+	}
+}
+
+func TestBFrameLossDoesNotPropagate(t *testing.T) {
+	clip := video.Generate(video.SceneConfig{W: 96, H: 96, Frames: 24, Motion: video.MotionMedium, Seed: 13})
+	cfg := bConfig(12, 2)
+	encoded, err := EncodeSequenceB(clip, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, err := DecodeSequenceB(encoded, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Damage one B frame's macroblocks (keep the entry so coding order
+	// survives).
+	damaged := make([]*EncodedFrame, len(encoded))
+	var hitDisplay int
+	for i, ef := range encoded {
+		damaged[i] = ef
+		if ef.Type == BFrame && hitDisplay == 0 {
+			c := ef.Clone()
+			for m := range c.MBData {
+				c.MBData[m] = nil
+			}
+			damaged[i] = c
+			hitDisplay = ef.Number
+		}
+	}
+	decoded, err := DecodeSequenceB(damaged, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := range clean {
+		if d == hitDisplay {
+			continue // the concealed frame itself may differ
+		}
+		if video.MSE(clean[d], decoded[d]) != 0 {
+			t.Fatalf("B-frame loss leaked into display frame %d", d)
+		}
+	}
+}
+
+func TestBZeroFallsBackToPlain(t *testing.T) {
+	clip := video.Generate(video.SceneConfig{W: 96, H: 96, Frames: 6, Motion: video.MotionLow, Seed: 3})
+	cfg := bConfig(6, 0)
+	a, err := EncodeSequenceB(clip, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := EncodeSequence(clip, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].Size() != b[i].Size() || a[i].Type != b[i].Type {
+			t.Fatalf("BFrames=0 should match the plain encoder at frame %d", i)
+		}
+	}
+}
+
+func TestBFrameTypeString(t *testing.T) {
+	if BFrame.String() != "B" {
+		t.Fatal("BFrame name wrong")
+	}
+}
+
+func TestBStreamThroughPacketizer(t *testing.T) {
+	clip := video.Generate(video.SceneConfig{W: 96, H: 96, Frames: 12, Motion: video.MotionMedium, Seed: 17})
+	cfg := bConfig(12, 2)
+	encoded, err := EncodeSequenceB(clip, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re, err := NewReassembler(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ef := range encoded {
+		pkts, err := Packetize(ef, 1400)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range pkts {
+			if p.Type == BFrame && p.IsIFrame() {
+				t.Fatal("B packets must not be classed as I")
+			}
+			if err := re.Add(p.Payload); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Reassemble by display number, then restore coding order for decode.
+	byDisplay := re.Frames(len(clip))
+	order := make([]*EncodedFrame, 0, len(encoded))
+	for _, ef := range encoded {
+		got := byDisplay[ef.Number]
+		if got == nil {
+			t.Fatalf("frame %d missing after reassembly", ef.Number)
+		}
+		order = append(order, got)
+	}
+	decoded, err := DecodeSequenceB(order, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if psnr := video.SequencePSNR(clip, decoded); psnr < 28 {
+		t.Fatalf("PSNR %.1f after packetized B round trip", psnr)
+	}
+}

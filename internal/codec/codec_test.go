@@ -1,0 +1,396 @@
+package codec
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/stats"
+	"repro/internal/video"
+)
+
+func testClip(t *testing.T, motion video.MotionLevel, frames int) []*video.Frame {
+	t.Helper()
+	return video.Generate(video.SceneConfig{W: 96, H: 96, Frames: frames, Motion: motion, Seed: 7})
+}
+
+func smallConfig(gop int) Config {
+	return Config{Width: 96, Height: 96, GOPSize: gop, QI: 8, QP: 10, SearchRange: 16}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig(30).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{Width: 0, Height: 96, GOPSize: 30, QI: 8, QP: 8},
+		{Width: 90, Height: 96, GOPSize: 30, QI: 8, QP: 8},
+		{Width: 96, Height: 96, GOPSize: 0, QI: 8, QP: 8},
+		{Width: 96, Height: 96, GOPSize: 30, QI: 0, QP: 8},
+		{Width: 96, Height: 96, GOPSize: 30, QI: 8, QP: 8, SearchRange: 100},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Fatalf("case %d should fail", i)
+		}
+	}
+}
+
+func TestEncodeDecodeCleanChannel(t *testing.T) {
+	clip := testClip(t, video.MotionMedium, 20)
+	cfg := smallConfig(10)
+	encoded, err := EncodeSequence(clip, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := DecodeSequence(encoded, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	psnr := video.SequencePSNR(clip, decoded)
+	if psnr < 30 {
+		t.Fatalf("clean-channel PSNR %.2f dB too low", psnr)
+	}
+}
+
+func TestGOPStructure(t *testing.T) {
+	clip := testClip(t, video.MotionLow, 25)
+	cfg := smallConfig(10)
+	encoded, err := EncodeSequence(clip, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, ef := range encoded {
+		want := PFrame
+		if i%10 == 0 {
+			want = IFrame
+		}
+		if ef.Type != want {
+			t.Fatalf("frame %d type %v want %v", i, ef.Type, want)
+		}
+		if ef.Number != i {
+			t.Fatalf("frame %d numbered %d", i, ef.Number)
+		}
+	}
+}
+
+func TestIFramesLargerThanPFrames(t *testing.T) {
+	for _, motion := range []video.MotionLevel{video.MotionLow, video.MotionHigh} {
+		clip := testClip(t, motion, 20)
+		cfg := smallConfig(10)
+		encoded, err := EncodeSequence(clip, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var iSize, pSize, iN, pN int
+		for _, ef := range encoded {
+			if ef.Type == IFrame {
+				iSize += ef.Size()
+				iN++
+			} else {
+				pSize += ef.Size()
+				pN++
+			}
+		}
+		meanI := float64(iSize) / float64(iN)
+		meanP := float64(pSize) / float64(pN)
+		if meanI <= meanP {
+			t.Fatalf("%v motion: mean I %v not larger than mean P %v", motion, meanI, meanP)
+		}
+	}
+}
+
+func TestFastMotionHasLargerPFrames(t *testing.T) {
+	cfg := smallConfig(10)
+	slow, err := EncodeSequence(testClip(t, video.MotionLow, 20), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := EncodeSequence(testClip(t, video.MotionHigh, 20), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pMean := func(efs []*EncodedFrame) float64 {
+		var n, sum int
+		for _, ef := range efs {
+			if ef.Type == PFrame {
+				sum += ef.Size()
+				n++
+			}
+		}
+		return float64(sum) / float64(n)
+	}
+	ps, pf := pMean(slow), pMean(fast)
+	if pf < 2*ps {
+		t.Fatalf("fast-motion P frames (%v B) should dwarf slow-motion ones (%v B)", pf, ps)
+	}
+}
+
+func TestDecodeWithWholeFrameLoss(t *testing.T) {
+	clip := testClip(t, video.MotionMedium, 12)
+	cfg := smallConfig(12)
+	encoded, err := EncodeSequence(clip, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, _ := DecodeSequence(encoded, cfg)
+	damaged := append([]*EncodedFrame(nil), encoded...)
+	damaged[5] = nil // lose one P frame entirely
+	decoded, err := DecodeSequence(damaged, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lossyPSNR := video.SequencePSNR(clip, decoded)
+	cleanPSNR := video.SequencePSNR(clip, full)
+	if lossyPSNR >= cleanPSNR {
+		t.Fatalf("loss should reduce PSNR: %v vs %v", lossyPSNR, cleanPSNR)
+	}
+	// Frame 4 (before the loss) must be untouched.
+	if video.MSE(decoded[4], full[4]) != 0 {
+		t.Fatal("frames before the loss must be unaffected")
+	}
+	// Frame 5 must be a copy of reconstruction 4 (frame-copy concealment).
+	if video.MSE(decoded[5], full[4]) != 0 {
+		t.Fatal("lost frame must be concealed by the previous reconstruction")
+	}
+}
+
+func TestDecodeLeadingLossGivesGrey(t *testing.T) {
+	cfg := smallConfig(6)
+	dec, err := NewDecoder(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := dec.Decode(nil)
+	for _, v := range f.Y {
+		if v != 128 {
+			t.Fatal("leading loss should conceal to mid-grey")
+		}
+	}
+}
+
+func TestDecodeCorruptChunkConceals(t *testing.T) {
+	clip := testClip(t, video.MotionMedium, 3)
+	cfg := smallConfig(3)
+	encoded, err := EncodeSequence(clip, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt a macroblock of the I-frame with random garbage.
+	garbled := encoded[0].Clone()
+	garbled.MBData[7] = []byte{0xFF, 0x00, 0x13, 0x37, 0xFF, 0xFF}
+	dec, _ := NewDecoder(cfg)
+	out := dec.Decode(garbled)
+	if out == nil {
+		t.Fatal("decode must not fail on corrupt chunks")
+	}
+	// And with a nil chunk.
+	lost := encoded[0].Clone()
+	lost.MBData[3] = nil
+	dec2, _ := NewDecoder(cfg)
+	if dec2.Decode(lost) == nil {
+		t.Fatal("decode must not fail on missing chunks")
+	}
+}
+
+func TestEncoderRejectsWrongSize(t *testing.T) {
+	enc, err := NewEncoder(smallConfig(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := enc.Encode(video.NewFrame(32, 32)); err == nil {
+		t.Fatal("size mismatch should fail")
+	}
+}
+
+func TestEncoderReset(t *testing.T) {
+	clip := testClip(t, video.MotionLow, 3)
+	enc, _ := NewEncoder(smallConfig(10))
+	a, _ := enc.Encode(clip[0])
+	enc.Encode(clip[1])
+	enc.Reset()
+	b, _ := enc.Encode(clip[0])
+	if a.Type != IFrame || b.Type != IFrame {
+		t.Fatal("first frame after reset must be an I-frame")
+	}
+	if a.Size() != b.Size() {
+		t.Fatal("reset encoder must reproduce identical output")
+	}
+}
+
+func TestFullSearchAtLeastAsGoodAsDiamond(t *testing.T) {
+	clip := testClip(t, video.MotionHigh, 6)
+	diamond := smallConfig(6)
+	full := diamond
+	full.FullSearch = true
+	de, err := EncodeSequence(clip, diamond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fe, err := EncodeSequence(clip, full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var db, fb int
+	for i := range de {
+		db += de[i].Size()
+		fb += fe[i].Size()
+	}
+	// Full search should not be dramatically worse; allow 2% slack for
+	// rate fluctuations from different-but-equal-SAD vectors.
+	if float64(fb) > float64(db)*1.02 {
+		t.Fatalf("full search produced more bytes (%d) than diamond (%d)", fb, db)
+	}
+}
+
+func TestBitIORoundTrip(t *testing.T) {
+	w := &bitWriter{}
+	values := []uint64{0, 1, 2, 7, 63, 64, 1023, 99999}
+	for _, v := range values {
+		w.writeUE(v)
+	}
+	signed := []int64{0, 1, -1, 5, -17, 400, -100000}
+	for _, v := range signed {
+		w.writeSE(v)
+	}
+	w.writeBits(0b1011, 4)
+	r := newBitReader(w.bytes())
+	for _, v := range values {
+		got, err := r.readUE()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != v {
+			t.Fatalf("UE round trip %d -> %d", v, got)
+		}
+	}
+	for _, v := range signed {
+		got, err := r.readSE()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != v {
+			t.Fatalf("SE round trip %d -> %d", v, got)
+		}
+	}
+	got, err := r.readBits(4)
+	if err != nil || got != 0b1011 {
+		t.Fatalf("bits round trip got %b err %v", got, err)
+	}
+}
+
+func TestBitReaderTruncated(t *testing.T) {
+	r := newBitReader(nil)
+	if _, err := r.readBit(); err == nil {
+		t.Fatal("empty reader should error")
+	}
+	if _, err := r.readUE(); err == nil {
+		t.Fatal("empty UE should error")
+	}
+}
+
+func TestDCTRoundTrip(t *testing.T) {
+	var in, freq, out [64]float64
+	for i := range in {
+		in[i] = float64((i*37)%256) - 128
+	}
+	fdct8(&in, &freq)
+	idct8(&freq, &out)
+	for i := range in {
+		if math.Abs(in[i]-out[i]) > 1e-9 {
+			t.Fatalf("DCT round trip error at %d: %v vs %v", i, in[i], out[i])
+		}
+	}
+}
+
+func TestDCTParseval(t *testing.T) {
+	var in, freq [64]float64
+	for i := range in {
+		in[i] = float64(i%16) - 8
+	}
+	fdct8(&in, &freq)
+	var e1, e2 float64
+	for i := range in {
+		e1 += in[i] * in[i]
+		e2 += freq[i] * freq[i]
+	}
+	if math.Abs(e1-e2) > 1e-6 {
+		t.Fatalf("orthonormal DCT must preserve energy: %v vs %v", e1, e2)
+	}
+}
+
+func TestBlockCodingRoundTripLowQuant(t *testing.T) {
+	var samples, recon [64]float64
+	for i := range samples {
+		samples[i] = float64((i*13)%64) - 32
+	}
+	w := &bitWriter{}
+	encodeBlock(w, &samples, 0.5, &recon)
+	var dec [64]float64
+	r := newBitReader(w.bytes())
+	if err := decodeBlock(r, 0.5, &dec); err != nil {
+		t.Fatal(err)
+	}
+	for i := range recon {
+		if math.Abs(recon[i]-dec[i]) > 1e-9 {
+			t.Fatalf("encoder/decoder reconstruction mismatch at %d", i)
+		}
+		if math.Abs(dec[i]-samples[i]) > 2 {
+			t.Fatalf("low-quant reconstruction too far at %d: %v vs %v", i, dec[i], samples[i])
+		}
+	}
+}
+
+func TestBlockCodingZeroBlock(t *testing.T) {
+	var samples, recon [64]float64
+	w := &bitWriter{}
+	encodeBlock(w, &samples, 8, &recon)
+	if len(w.bytes()) != 1 {
+		t.Fatalf("zero block should cost one byte, got %d", len(w.bytes()))
+	}
+	var dec [64]float64
+	if err := decodeBlock(newBitReader(w.bytes()), 8, &dec); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range dec {
+		if v != 0 {
+			t.Fatal("zero block must decode to zero")
+		}
+	}
+}
+
+// Property: decoding is deterministic and the clean-channel reconstruction
+// error stays within the quantiser's reach for arbitrary random frames.
+func TestCodecRoundTripProperty(t *testing.T) {
+	rng := stats.NewRNG(77)
+	for trial := 0; trial < 8; trial++ {
+		f := video.NewFrame(32, 32)
+		for i := range f.Y {
+			f.Y[i] = byte(rng.Intn(256))
+		}
+		for i := range f.Cb {
+			f.Cb[i] = byte(rng.Intn(256))
+			f.Cr[i] = byte(rng.Intn(256))
+		}
+		cfg := Config{Width: 32, Height: 32, GOPSize: 4, QI: 6, QP: 8, SearchRange: 8}
+		enc, err := EncodeSequence([]*video.Frame{f, f, f}, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d1, _ := DecodeSequence(enc, cfg)
+		d2, _ := DecodeSequence(enc, cfg)
+		for i := range d1 {
+			if video.MSE(d1[i], d2[i]) != 0 {
+				t.Fatal("decode is not deterministic")
+			}
+		}
+		// Random noise is the codec's worst case; the reconstruction must
+		// still be recognisable (bounded MSE) and identical frames 2,3
+		// (static input) must decode almost losslessly via P-frames.
+		if mse := video.MSE(f, d1[0]); mse > 2000 {
+			t.Fatalf("trial %d: intra reconstruction MSE %v", trial, mse)
+		}
+		if mse := video.MSE(d1[1], d1[2]); mse > 1 {
+			t.Fatalf("static P frames drifted: MSE %v", mse)
+		}
+	}
+}

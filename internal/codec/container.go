@@ -1,0 +1,161 @@
+package codec
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Minimal container format for encoded clips, standing in for the MP4
+// packaging role GPAC plays in the original toolchain (DESIGN.md): a
+// header carrying the codec configuration followed by length-prefixed
+// frames of length-prefixed macroblock chunks. All integers are unsigned
+// varints.
+
+// containerMagic identifies the format.
+var containerMagic = [4]byte{'T', 'V', 'I', 'D'}
+
+const containerVersion = 1
+
+// WriteContainer serialises an encoded clip.
+func WriteContainer(w io.Writer, cfg Config, frames []*EncodedFrame) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(containerMagic[:]); err != nil {
+		return err
+	}
+	var tmp [binary.MaxVarintLen64]byte
+	put := func(v uint64) error {
+		n := binary.PutUvarint(tmp[:], v)
+		_, err := bw.Write(tmp[:n])
+		return err
+	}
+	fields := []uint64{
+		containerVersion,
+		uint64(cfg.Width), uint64(cfg.Height), uint64(cfg.GOPSize),
+		uint64(cfg.QI * 1000), uint64(cfg.QP * 1000), uint64(cfg.SearchRange),
+		uint64(len(frames)),
+	}
+	for _, f := range fields {
+		if err := put(f); err != nil {
+			return err
+		}
+	}
+	for i, ef := range frames {
+		if ef == nil {
+			return fmt.Errorf("codec: cannot store nil frame %d", i)
+		}
+		if err := put(uint64(ef.Type)); err != nil {
+			return err
+		}
+		if err := put(uint64(len(ef.MBData))); err != nil {
+			return err
+		}
+		for _, mb := range ef.MBData {
+			if err := put(uint64(len(mb))); err != nil {
+				return err
+			}
+			if _, err := bw.Write(mb); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadContainer parses a clip written by WriteContainer.
+func ReadContainer(r io.Reader) (Config, []*EncodedFrame, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return Config{}, nil, err
+	}
+	if magic != containerMagic {
+		return Config{}, nil, fmt.Errorf("codec: not a TVID container")
+	}
+	get := func() (uint64, error) { return binary.ReadUvarint(br) }
+	version, err := get()
+	if err != nil {
+		return Config{}, nil, err
+	}
+	if version != containerVersion {
+		return Config{}, nil, fmt.Errorf("codec: unsupported container version %d", version)
+	}
+	var cfg Config
+	w, err := get()
+	if err != nil {
+		return Config{}, nil, err
+	}
+	h, err := get()
+	if err != nil {
+		return Config{}, nil, err
+	}
+	gop, err := get()
+	if err != nil {
+		return Config{}, nil, err
+	}
+	qi, err := get()
+	if err != nil {
+		return Config{}, nil, err
+	}
+	qp, err := get()
+	if err != nil {
+		return Config{}, nil, err
+	}
+	sr, err := get()
+	if err != nil {
+		return Config{}, nil, err
+	}
+	count, err := get()
+	if err != nil {
+		return Config{}, nil, err
+	}
+	cfg = Config{
+		Width: int(w), Height: int(h), GOPSize: int(gop),
+		QI: float64(qi) / 1000, QP: float64(qp) / 1000, SearchRange: int(sr),
+	}
+	if err := cfg.Validate(); err != nil {
+		return Config{}, nil, fmt.Errorf("codec: container config invalid: %w", err)
+	}
+	if count > 1<<20 {
+		return Config{}, nil, fmt.Errorf("codec: implausible frame count %d", count)
+	}
+	mbTotal := cfg.MBCols() * cfg.MBRows()
+	frames := make([]*EncodedFrame, count)
+	for i := range frames {
+		ft, err := get()
+		if err != nil {
+			return Config{}, nil, err
+		}
+		if ft > uint64(BFrame) {
+			return Config{}, nil, fmt.Errorf("codec: bad frame type %d", ft)
+		}
+		nmb, err := get()
+		if err != nil {
+			return Config{}, nil, err
+		}
+		if int(nmb) != mbTotal {
+			return Config{}, nil, fmt.Errorf("codec: frame %d has %d macroblocks, want %d", i, nmb, mbTotal)
+		}
+		ef := &EncodedFrame{Number: i, Type: FrameType(ft), MBData: make([][]byte, nmb)}
+		for m := range ef.MBData {
+			l, err := get()
+			if err != nil {
+				return Config{}, nil, err
+			}
+			if l > 1<<24 {
+				return Config{}, nil, fmt.Errorf("codec: implausible macroblock of %d bytes", l)
+			}
+			buf := make([]byte, l)
+			if _, err := io.ReadFull(br, buf); err != nil {
+				return Config{}, nil, err
+			}
+			ef.MBData[m] = buf
+		}
+		frames[i] = ef
+	}
+	return cfg, frames, nil
+}

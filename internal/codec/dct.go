@@ -1,0 +1,94 @@
+package codec
+
+import "math"
+
+// blockSize is the transform block size (8x8, as in MPEG-2/4 and the
+// classic JPEG pipeline).
+const blockSize = 8
+
+// dctCos holds the DCT-II basis cos((2x+1) u pi / 16) scaled by the
+// orthonormal factors, precomputed at init.
+var dctCos [blockSize][blockSize]float64
+
+func init() {
+	for u := 0; u < blockSize; u++ {
+		c := math.Sqrt(2.0 / blockSize)
+		if u == 0 {
+			c = math.Sqrt(1.0 / blockSize)
+		}
+		for x := 0; x < blockSize; x++ {
+			dctCos[u][x] = c * math.Cos(float64(2*x+1)*float64(u)*math.Pi/(2*blockSize))
+		}
+	}
+}
+
+// fdct8 computes the 2-D orthonormal DCT-II of an 8x8 block (row-major
+// in/out, separable implementation).
+func fdct8(in *[64]float64, out *[64]float64) {
+	var tmp [64]float64
+	// Rows.
+	for y := 0; y < blockSize; y++ {
+		for u := 0; u < blockSize; u++ {
+			var s float64
+			for x := 0; x < blockSize; x++ {
+				s += in[y*blockSize+x] * dctCos[u][x]
+			}
+			tmp[y*blockSize+u] = s
+		}
+	}
+	// Columns.
+	for u := 0; u < blockSize; u++ {
+		for v := 0; v < blockSize; v++ {
+			var s float64
+			for y := 0; y < blockSize; y++ {
+				s += tmp[y*blockSize+u] * dctCos[v][y]
+			}
+			out[v*blockSize+u] = s
+		}
+	}
+}
+
+// idct8 computes the inverse 2-D DCT.
+func idct8(in *[64]float64, out *[64]float64) {
+	var tmp [64]float64
+	// Columns first.
+	for u := 0; u < blockSize; u++ {
+		for y := 0; y < blockSize; y++ {
+			var s float64
+			for v := 0; v < blockSize; v++ {
+				s += in[v*blockSize+u] * dctCos[v][y]
+			}
+			tmp[y*blockSize+u] = s
+		}
+	}
+	// Rows.
+	for y := 0; y < blockSize; y++ {
+		for x := 0; x < blockSize; x++ {
+			var s float64
+			for u := 0; u < blockSize; u++ {
+				s += tmp[y*blockSize+u] * dctCos[u][x]
+			}
+			out[y*blockSize+x] = s
+		}
+	}
+}
+
+// zigzag maps coefficient index 0..63 to the raster position within the
+// block, ordering coefficients from low to high frequency.
+var zigzag = [64]int{
+	0, 1, 8, 16, 9, 2, 3, 10,
+	17, 24, 32, 25, 18, 11, 4, 5,
+	12, 19, 26, 33, 40, 48, 41, 34,
+	27, 20, 13, 6, 7, 14, 21, 28,
+	35, 42, 49, 56, 57, 50, 43, 36,
+	29, 22, 15, 23, 30, 37, 44, 51,
+	58, 59, 52, 45, 38, 31, 39, 46,
+	53, 60, 61, 54, 47, 55, 62, 63,
+}
+
+// quantStep returns the quantisation step for zig-zag position zz under
+// base step q: a mild frequency ramp that spends bits on low frequencies,
+// like the default MPEG intra matrix.
+func quantStep(q float64, zz int) float64 {
+	return q * (1 + float64(zz)/16)
+}

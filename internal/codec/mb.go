@@ -1,0 +1,300 @@
+package codec
+
+import "repro/internal/video"
+
+// Macroblock coding. Each macroblock is 16x16 luma (four 8x8 transform
+// blocks) plus one 8x8 block in each half-resolution chroma plane. Intra
+// macroblocks predict from a flat 128 level so that every macroblock — and
+// therefore every slice the packetizer forms — is independently decodable;
+// inter macroblocks carry an absolute motion vector and residual blocks
+// against the previous reconstructed frame.
+
+// loadBlock copies an 8x8 region of a plane into samples, offsetting by
+// -bias (128 for intra, 0 for residual paths handled separately).
+func loadBlock(plane []byte, stride, x0, y0 int, bias float64, samples *[64]float64) {
+	for y := 0; y < blockSize; y++ {
+		row := (y0+y)*stride + x0
+		for x := 0; x < blockSize; x++ {
+			samples[y*blockSize+x] = float64(plane[row+x]) - bias
+		}
+	}
+}
+
+// storeBlock writes reconstructed samples (plus bias) back to a plane.
+func storeBlock(plane []byte, stride, x0, y0 int, bias float64, recon *[64]float64) {
+	for y := 0; y < blockSize; y++ {
+		row := (y0+y)*stride + x0
+		for x := 0; x < blockSize; x++ {
+			plane[row+x] = clampByte(recon[y*blockSize+x] + bias)
+		}
+	}
+}
+
+// encodeIntraMB codes one intra macroblock and writes its reconstruction.
+func encodeIntraMB(w *bitWriter, src, recon *video.Frame, mx, my int, q float64) {
+	x0, y0 := mx*mbSize, my*mbSize
+	var samples, rec [64]float64
+	for by := 0; by < 2; by++ {
+		for bx := 0; bx < 2; bx++ {
+			loadBlock(src.Y, src.W, x0+bx*blockSize, y0+by*blockSize, 128, &samples)
+			encodeBlock(w, &samples, q, &rec)
+			storeBlock(recon.Y, recon.W, x0+bx*blockSize, y0+by*blockSize, 128, &rec)
+		}
+	}
+	cw := src.W / 2
+	cx0, cy0 := x0/2, y0/2
+	loadBlock(src.Cb, cw, cx0, cy0, 128, &samples)
+	encodeBlock(w, &samples, q*1.2, &rec)
+	storeBlock(recon.Cb, cw, cx0, cy0, 128, &rec)
+	loadBlock(src.Cr, cw, cx0, cy0, 128, &samples)
+	encodeBlock(w, &samples, q*1.2, &rec)
+	storeBlock(recon.Cr, cw, cx0, cy0, 128, &rec)
+}
+
+// decodeIntraMB reverses encodeIntraMB.
+func decodeIntraMB(r *bitReader, out *video.Frame, mx, my int, q float64) error {
+	x0, y0 := mx*mbSize, my*mbSize
+	var rec [64]float64
+	for by := 0; by < 2; by++ {
+		for bx := 0; bx < 2; bx++ {
+			if err := decodeBlock(r, q, &rec); err != nil {
+				return err
+			}
+			storeBlock(out.Y, out.W, x0+bx*blockSize, y0+by*blockSize, 128, &rec)
+		}
+	}
+	cw := out.W / 2
+	cx0, cy0 := x0/2, y0/2
+	if err := decodeBlock(r, q*1.2, &rec); err != nil {
+		return err
+	}
+	storeBlock(out.Cb, cw, cx0, cy0, 128, &rec)
+	if err := decodeBlock(r, q*1.2, &rec); err != nil {
+		return err
+	}
+	storeBlock(out.Cr, cw, cx0, cy0, 128, &rec)
+	return nil
+}
+
+// sadMB computes the sum of absolute luma differences between the source
+// macroblock at (x0, y0) and the reference block displaced by (dx, dy),
+// clamping reference coordinates at the frame edge.
+func sadMB(src, ref *video.Frame, x0, y0, dx, dy int) int {
+	var sad int
+	for y := 0; y < mbSize; y++ {
+		sy := y0 + y
+		for x := 0; x < mbSize; x++ {
+			s := int(src.Y[sy*src.W+x0+x])
+			r := int(ref.LumaAt(x0+x+dx, sy+dy))
+			d := s - r
+			if d < 0 {
+				d = -d
+			}
+			sad += d
+		}
+	}
+	return sad
+}
+
+// largeDiamond and smallDiamond are the classic DS motion-search patterns.
+var largeDiamond = [][2]int{{0, -2}, {-1, -1}, {1, -1}, {-2, 0}, {2, 0}, {-1, 1}, {1, 1}, {0, 2}}
+var smallDiamond = [][2]int{{0, -1}, {-1, 0}, {1, 0}, {0, 1}}
+
+// motionSearch finds an integer-pel motion vector for the macroblock.
+// starts lists predictor candidates (neighbour and co-located vectors)
+// seeded alongside (0,0); on textured content the SAD surface only has a
+// basin near the true displacement, so good predictors are what make the
+// diamond search competitive with full search.
+func motionSearch(src, ref *video.Frame, x0, y0 int, cfg Config, starts [][2]int) (int, int) {
+	if cfg.SearchRange == 0 {
+		return 0, 0
+	}
+	if cfg.FullSearch {
+		bestDX, bestDY := 0, 0
+		best := sadMB(src, ref, x0, y0, 0, 0)
+		for dy := -cfg.SearchRange; dy <= cfg.SearchRange; dy++ {
+			for dx := -cfg.SearchRange; dx <= cfg.SearchRange; dx++ {
+				if s := sadMB(src, ref, x0, y0, dx, dy); s < best {
+					best, bestDX, bestDY = s, dx, dy
+				}
+			}
+		}
+		return bestDX, bestDY
+	}
+	// Diamond search from the best candidate.
+	cx, cy := 0, 0
+	best := sadMB(src, ref, x0, y0, 0, 0)
+	for _, st := range starts {
+		dx, dy := st[0], st[1]
+		if dx == 0 && dy == 0 {
+			continue
+		}
+		if dx < -cfg.SearchRange || dx > cfg.SearchRange || dy < -cfg.SearchRange || dy > cfg.SearchRange {
+			continue
+		}
+		if s := sadMB(src, ref, x0, y0, dx, dy); s < best {
+			best, cx, cy = s, dx, dy
+		}
+	}
+	for {
+		improved := false
+		for _, d := range largeDiamond {
+			dx, dy := cx+d[0], cy+d[1]
+			if dx < -cfg.SearchRange || dx > cfg.SearchRange || dy < -cfg.SearchRange || dy > cfg.SearchRange {
+				continue
+			}
+			if s := sadMB(src, ref, x0, y0, dx, dy); s < best {
+				best, cx, cy, improved = s, dx, dy, true
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	for _, d := range smallDiamond {
+		dx, dy := cx+d[0], cy+d[1]
+		if dx < -cfg.SearchRange || dx > cfg.SearchRange || dy < -cfg.SearchRange || dy > cfg.SearchRange {
+			continue
+		}
+		if s := sadMB(src, ref, x0, y0, dx, dy); s < best {
+			best, cx, cy = s, dx, dy
+		}
+	}
+	return cx, cy
+}
+
+// loadResidual fills samples with source minus motion-compensated
+// reference for one 8x8 luma block.
+func loadResidual(src, ref *video.Frame, x0, y0, dx, dy int, samples *[64]float64) {
+	for y := 0; y < blockSize; y++ {
+		for x := 0; x < blockSize; x++ {
+			s := float64(src.Y[(y0+y)*src.W+x0+x])
+			r := float64(ref.LumaAt(x0+x+dx, y0+y+dy))
+			samples[y*blockSize+x] = s - r
+		}
+	}
+}
+
+// storeCompensated writes prediction+residual into the output luma plane.
+func storeCompensated(out, ref *video.Frame, x0, y0, dx, dy int, rec *[64]float64) {
+	for y := 0; y < blockSize; y++ {
+		for x := 0; x < blockSize; x++ {
+			p := float64(ref.LumaAt(x0+x+dx, y0+y+dy))
+			out.Y[(y0+y)*out.W+x0+x] = clampByte(p + rec[y*blockSize+x])
+		}
+	}
+}
+
+// chromaAt reads a chroma sample with clamping.
+func chromaAt(plane []byte, cw, ch, x, y int) float64 {
+	if x < 0 {
+		x = 0
+	}
+	if x >= cw {
+		x = cw - 1
+	}
+	if y < 0 {
+		y = 0
+	}
+	if y >= ch {
+		y = ch - 1
+	}
+	return float64(plane[y*cw+x])
+}
+
+// encodeInterMB codes one predicted macroblock: motion vector plus
+// residual blocks for luma and chroma. It returns the chosen motion
+// vector so the encoder can seed its neighbour predictors.
+func encodeInterMB(w *bitWriter, src, ref, recon *video.Frame, mx, my int, cfg Config, starts [][2]int) (int, int) {
+	x0, y0 := mx*mbSize, my*mbSize
+	dx, dy := motionSearch(src, ref, x0, y0, cfg, starts)
+	w.writeSE(int64(dx))
+	w.writeSE(int64(dy))
+	var samples, rec [64]float64
+	for by := 0; by < 2; by++ {
+		for bx := 0; bx < 2; bx++ {
+			bx0, by0 := x0+bx*blockSize, y0+by*blockSize
+			loadResidual(src, ref, bx0, by0, dx, dy, &samples)
+			encodeBlock(w, &samples, cfg.QP, &rec)
+			storeCompensated(recon, ref, bx0, by0, dx, dy, &rec)
+		}
+	}
+	// Chroma residuals with halved motion.
+	cw, ch := src.W/2, src.H/2
+	cx0, cy0 := x0/2, y0/2
+	cdx, cdy := dx/2, dy/2
+	for plane := 0; plane < 2; plane++ {
+		sp, rp, op := src.Cb, ref.Cb, recon.Cb
+		if plane == 1 {
+			sp, rp, op = src.Cr, ref.Cr, recon.Cr
+		}
+		for y := 0; y < blockSize; y++ {
+			for x := 0; x < blockSize; x++ {
+				s := float64(sp[(cy0+y)*cw+cx0+x])
+				r := chromaAt(rp, cw, ch, cx0+x+cdx, cy0+y+cdy)
+				samples[y*blockSize+x] = s - r
+			}
+		}
+		encodeBlock(w, &samples, cfg.QP*1.2, &rec)
+		for y := 0; y < blockSize; y++ {
+			for x := 0; x < blockSize; x++ {
+				p := chromaAt(rp, cw, ch, cx0+x+cdx, cy0+y+cdy)
+				op[(cy0+y)*cw+cx0+x] = clampByte(p + rec[y*blockSize+x])
+			}
+		}
+	}
+	return dx, dy
+}
+
+// decodeInterMB reverses encodeInterMB against the decoder's reference.
+func decodeInterMB(r *bitReader, ref, out *video.Frame, mx, my int, cfg Config) error {
+	x0, y0 := mx*mbSize, my*mbSize
+	dx64, err := r.readSE()
+	if err != nil {
+		return err
+	}
+	dy64, err := r.readSE()
+	if err != nil {
+		return err
+	}
+	dx, dy := int(dx64), int(dy64)
+	if dx < -64 || dx > 64 || dy < -64 || dy > 64 {
+		return errCorrupt
+	}
+	if ref == nil {
+		// P-frame with no reference (leading loss): decode residuals
+		// against mid-grey so the stream stays in lockstep.
+		ref = video.NewFrame(out.W, out.H)
+		for i := range ref.Y {
+			ref.Y[i] = 128
+		}
+	}
+	var rec [64]float64
+	for by := 0; by < 2; by++ {
+		for bx := 0; bx < 2; bx++ {
+			if err := decodeBlock(r, cfg.QP, &rec); err != nil {
+				return err
+			}
+			storeCompensated(out, ref, x0+bx*blockSize, y0+by*blockSize, dx, dy, &rec)
+		}
+	}
+	cw, ch := out.W/2, out.H/2
+	cx0, cy0 := x0/2, y0/2
+	cdx, cdy := dx/2, dy/2
+	for plane := 0; plane < 2; plane++ {
+		rp, op := ref.Cb, out.Cb
+		if plane == 1 {
+			rp, op = ref.Cr, out.Cr
+		}
+		if err := decodeBlock(r, cfg.QP*1.2, &rec); err != nil {
+			return err
+		}
+		for y := 0; y < blockSize; y++ {
+			for x := 0; x < blockSize; x++ {
+				p := chromaAt(rp, cw, ch, cx0+x+cdx, cy0+y+cdy)
+				op[(cy0+y)*cw+cx0+x] = clampByte(p + rec[y*blockSize+x])
+			}
+		}
+	}
+	return nil
+}

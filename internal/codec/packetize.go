@@ -1,0 +1,226 @@
+package codec
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Slice packetization. A packet carries a self-contained slice: a run of
+// consecutive macroblocks of one frame plus enough header to place them.
+// I-frames are much larger than the MTU and fragment into many packets;
+// P-frames typically fit in one small packet — exactly the two arrival
+// classes of the paper's 2-MMPP model (Section 4.2.1).
+//
+// Wire format (all integers unsigned varints):
+//
+//	frameNumber | frameType | mbStart | mbCount | (len | bytes)*mbCount
+
+// Packet is one network-ready slice of an encoded frame.
+type Packet struct {
+	FrameNumber int
+	Type        FrameType
+	MBStart     int
+	MBCount     int
+	Payload     []byte // serialized slice, the unit of encryption
+}
+
+// IsIFrame reports whether the packet belongs to an I-frame, the property
+// encryption policies select on.
+func (p Packet) IsIFrame() bool { return p.Type == IFrame }
+
+// Packetize splits an encoded frame into slice packets whose payloads do
+// not exceed mtu bytes (individual macroblocks larger than the MTU get a
+// packet of their own; with sane quantisation this does not happen at CIF).
+func Packetize(ef *EncodedFrame, mtu int) ([]Packet, error) {
+	if mtu < 64 {
+		return nil, fmt.Errorf("codec: mtu %d too small", mtu)
+	}
+	var out []Packet
+	start := 0
+	for start < len(ef.MBData) {
+		headerMax := 4 * binary.MaxVarintLen32
+		size := headerMax
+		end := start
+		for end < len(ef.MBData) {
+			mbLen := len(ef.MBData[end])
+			add := mbLen + binary.MaxVarintLen32
+			if end > start && size+add > mtu {
+				break
+			}
+			size += add
+			end++
+		}
+		if end == start {
+			end = start + 1 // oversized single macroblock
+		}
+		payload := marshalSlice(ef, start, end-start)
+		out = append(out, Packet{
+			FrameNumber: ef.Number,
+			Type:        ef.Type,
+			MBStart:     start,
+			MBCount:     end - start,
+			Payload:     payload,
+		})
+		start = end
+	}
+	return out, nil
+}
+
+func marshalSlice(ef *EncodedFrame, mbStart, mbCount int) []byte {
+	var buf []byte
+	var tmp [binary.MaxVarintLen64]byte
+	put := func(v uint64) {
+		n := binary.PutUvarint(tmp[:], v)
+		buf = append(buf, tmp[:n]...)
+	}
+	put(uint64(ef.Number))
+	put(uint64(ef.Type))
+	put(uint64(mbStart))
+	put(uint64(mbCount))
+	for i := mbStart; i < mbStart+mbCount; i++ {
+		mb := ef.MBData[i]
+		put(uint64(len(mb)))
+		buf = append(buf, mb...)
+	}
+	return buf
+}
+
+// ParsePacket decodes a slice payload back into a Packet with the
+// macroblock chunks attached (stored concatenated in Payload; use
+// SliceMBs to extract them).
+func ParsePacket(payload []byte) (Packet, error) {
+	p := Packet{Payload: payload}
+	rest := payload
+	get := func() (uint64, error) {
+		v, n := binary.Uvarint(rest)
+		if n <= 0 {
+			return 0, fmt.Errorf("codec: bad varint in slice header")
+		}
+		rest = rest[n:]
+		return v, nil
+	}
+	fn, err := get()
+	if err != nil {
+		return p, err
+	}
+	ft, err := get()
+	if err != nil {
+		return p, err
+	}
+	if ft > uint64(BFrame) {
+		return p, fmt.Errorf("codec: bad frame type %d", ft)
+	}
+	ms, err := get()
+	if err != nil {
+		return p, err
+	}
+	mc, err := get()
+	if err != nil {
+		return p, err
+	}
+	p.FrameNumber = int(fn)
+	p.Type = FrameType(ft)
+	p.MBStart = int(ms)
+	p.MBCount = int(mc)
+	return p, nil
+}
+
+// SliceMBs extracts the macroblock chunks of a parsed slice payload.
+func SliceMBs(payload []byte) (mbStart int, chunks [][]byte, err error) {
+	rest := payload
+	get := func() (uint64, error) {
+		v, n := binary.Uvarint(rest)
+		if n <= 0 {
+			return 0, fmt.Errorf("codec: bad varint in slice")
+		}
+		rest = rest[n:]
+		return v, nil
+	}
+	if _, err = get(); err != nil { // frame number
+		return 0, nil, err
+	}
+	if _, err = get(); err != nil { // type
+		return 0, nil, err
+	}
+	ms, err := get()
+	if err != nil {
+		return 0, nil, err
+	}
+	mc, err := get()
+	if err != nil {
+		return 0, nil, err
+	}
+	if mc > 1<<20 {
+		return 0, nil, fmt.Errorf("codec: implausible slice size %d", mc)
+	}
+	chunks = make([][]byte, mc)
+	for i := range chunks {
+		l, err := get()
+		if err != nil {
+			return 0, nil, err
+		}
+		if uint64(len(rest)) < l {
+			return 0, nil, fmt.Errorf("codec: slice truncated")
+		}
+		chunks[i] = rest[:l]
+		rest = rest[l:]
+	}
+	return int(ms), chunks, nil
+}
+
+// Reassembler collects slice payloads back into per-frame EncodedFrames,
+// leaving nil chunks where slices never arrived (lost or, at the
+// eavesdropper, encrypted). It is the receive-side counterpart of
+// Packetize.
+type Reassembler struct {
+	cfg    Config
+	frames map[int]*EncodedFrame
+}
+
+// NewReassembler returns a reassembler for streams encoded with cfg.
+func NewReassembler(cfg Config) (*Reassembler, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Reassembler{cfg: cfg, frames: make(map[int]*EncodedFrame)}, nil
+}
+
+// Add incorporates one received slice payload. Damaged payloads are
+// reported but otherwise ignored (the affected macroblocks stay lost).
+func (r *Reassembler) Add(payload []byte) error {
+	p, err := ParsePacket(payload)
+	if err != nil {
+		return err
+	}
+	mbStart, chunks, err := SliceMBs(payload)
+	if err != nil {
+		return err
+	}
+	total := r.cfg.MBCols() * r.cfg.MBRows()
+	if mbStart+len(chunks) > total {
+		return fmt.Errorf("codec: slice range [%d,%d) exceeds %d macroblocks", mbStart, mbStart+len(chunks), total)
+	}
+	f := r.frames[p.FrameNumber]
+	if f == nil {
+		f = &EncodedFrame{Number: p.FrameNumber, Type: p.Type, MBData: make([][]byte, total)}
+		r.frames[p.FrameNumber] = f
+	}
+	for i, c := range chunks {
+		f.MBData[mbStart+i] = append([]byte(nil), c...)
+	}
+	return nil
+}
+
+// Frame returns the (possibly partial) frame n, or nil if nothing of it
+// arrived.
+func (r *Reassembler) Frame(n int) *EncodedFrame { return r.frames[n] }
+
+// Frames returns the first total frames in order; entries are nil for
+// frames of which nothing arrived.
+func (r *Reassembler) Frames(total int) []*EncodedFrame {
+	out := make([]*EncodedFrame, total)
+	for i := range out {
+		out[i] = r.frames[i]
+	}
+	return out
+}

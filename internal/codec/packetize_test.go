@@ -1,0 +1,276 @@
+package codec
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/video"
+)
+
+const testMTU = 1400
+
+func encodeOne(t *testing.T, motion video.MotionLevel) ([]*video.Frame, []*EncodedFrame, Config) {
+	t.Helper()
+	clip := video.Generate(video.SceneConfig{W: 96, H: 96, Frames: 12, Motion: motion, Seed: 21})
+	cfg := smallConfig(6)
+	encoded, err := EncodeSequence(clip, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return clip, encoded, cfg
+}
+
+func TestPacketizeRespectsMTU(t *testing.T) {
+	_, encoded, _ := encodeOne(t, video.MotionMedium)
+	for _, ef := range encoded {
+		pkts, err := Packetize(ef, testMTU)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(pkts) == 0 {
+			t.Fatal("frame produced no packets")
+		}
+		for _, p := range pkts {
+			if p.MBCount > 1 && len(p.Payload) > testMTU {
+				t.Fatalf("multi-MB packet of %d bytes exceeds MTU", len(p.Payload))
+			}
+		}
+	}
+}
+
+func TestPacketizeCoversAllMacroblocks(t *testing.T) {
+	_, encoded, cfg := encodeOne(t, video.MotionHigh)
+	total := cfg.MBCols() * cfg.MBRows()
+	for _, ef := range encoded {
+		pkts, err := Packetize(ef, testMTU)
+		if err != nil {
+			t.Fatal(err)
+		}
+		covered := make([]bool, total)
+		for _, p := range pkts {
+			for i := p.MBStart; i < p.MBStart+p.MBCount; i++ {
+				if covered[i] {
+					t.Fatalf("macroblock %d covered twice", i)
+				}
+				covered[i] = true
+			}
+		}
+		for i, c := range covered {
+			if !c {
+				t.Fatalf("macroblock %d not covered", i)
+			}
+		}
+	}
+}
+
+func TestIFramesFragmentPFramesDoNot(t *testing.T) {
+	_, encoded, _ := encodeOne(t, video.MotionLow)
+	for _, ef := range encoded {
+		pkts, _ := Packetize(ef, testMTU)
+		if ef.Type == IFrame && len(pkts) < 2 {
+			t.Fatalf("I-frame of %d bytes produced only %d packets", ef.Size(), len(pkts))
+		}
+		if ef.Type == PFrame && len(pkts) != 1 {
+			t.Fatalf("slow-motion P-frame of %d bytes fragmented into %d packets", ef.Size(), len(pkts))
+		}
+	}
+}
+
+func TestReassembleLossless(t *testing.T) {
+	clip, encoded, cfg := encodeOne(t, video.MotionMedium)
+	re, err := NewReassembler(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ef := range encoded {
+		pkts, _ := Packetize(ef, testMTU)
+		for _, p := range pkts {
+			if err := re.Add(p.Payload); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	frames := re.Frames(len(encoded))
+	decoded, err := DecodeSequence(frames, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := DecodeSequence(encoded, cfg)
+	for i := range decoded {
+		if video.MSE(decoded[i], want[i]) != 0 {
+			t.Fatalf("frame %d differs after packetize/reassemble", i)
+		}
+	}
+	// The original clip should be well represented too.
+	if psnr := video.SequencePSNR(clip, decoded); psnr < 30 {
+		t.Fatalf("PSNR after lossless transport %.2f", psnr)
+	}
+}
+
+func TestReassembleWithLossConcealsOnly(t *testing.T) {
+	_, encoded, cfg := encodeOne(t, video.MotionMedium)
+	re, _ := NewReassembler(cfg)
+	dropped := 0
+	for _, ef := range encoded {
+		pkts, _ := Packetize(ef, testMTU)
+		for i, p := range pkts {
+			if ef.Type == IFrame && i%3 == 0 {
+				dropped++
+				continue // drop every third I-frame slice
+			}
+			if err := re.Add(p.Payload); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if dropped == 0 {
+		t.Fatal("test expected to drop some slices")
+	}
+	frames := re.Frames(len(encoded))
+	decoded, err := DecodeSequence(frames, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded) != len(encoded) {
+		t.Fatal("frame count changed")
+	}
+}
+
+func TestParsePacketHeader(t *testing.T) {
+	_, encoded, _ := encodeOne(t, video.MotionLow)
+	pkts, _ := Packetize(encoded[0], testMTU)
+	p, err := ParsePacket(pkts[1].Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.FrameNumber != 0 || p.Type != IFrame || p.MBStart != pkts[1].MBStart || p.MBCount != pkts[1].MBCount {
+		t.Fatalf("parsed header %+v vs %+v", p, pkts[1])
+	}
+	if !p.IsIFrame() {
+		t.Fatal("IsIFrame wrong")
+	}
+}
+
+func TestParsePacketGarbage(t *testing.T) {
+	// Random bytes must never panic, only error or parse benignly.
+	f := func(data []byte) bool {
+		if _, err := ParsePacket(data); err != nil {
+			return true
+		}
+		_, _, err := SliceMBs(data)
+		_ = err
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReassemblerRejectsOutOfRange(t *testing.T) {
+	_, _, cfg := encodeOne(t, video.MotionLow)
+	re, _ := NewReassembler(cfg)
+	// A slice claiming an out-of-range macroblock index must be rejected.
+	big := &EncodedFrame{Number: 0, Type: IFrame, MBData: make([][]byte, 100000)}
+	big.MBData[99999] = []byte{1}
+	payload := marshalSlice(big, 99999, 1)
+	if err := re.Add(payload); err == nil {
+		t.Fatal("out-of-range slice should be rejected")
+	}
+}
+
+func TestPacketizeTinyMTU(t *testing.T) {
+	_, encoded, _ := encodeOne(t, video.MotionLow)
+	if _, err := Packetize(encoded[0], 10); err == nil {
+		t.Fatal("tiny MTU should fail")
+	}
+}
+
+func TestAnalyzeClipStats(t *testing.T) {
+	_, encoded, cfg := encodeOne(t, video.MotionLow)
+	st, err := AnalyzeClip(encoded, cfg, testMTU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.IFrames != 2 || st.PFrames != 10 {
+		t.Fatalf("frame counts %d/%d", st.IFrames, st.PFrames)
+	}
+	if st.MeanISize <= st.MeanPSize {
+		t.Fatalf("mean I %v <= mean P %v", st.MeanISize, st.MeanPSize)
+	}
+	if st.IFraction <= 0 || st.IFraction >= 1 {
+		t.Fatalf("pI = %v", st.IFraction)
+	}
+	if st.MeanPacketsPerIFrame() < 2 || st.MeanPacketsPerPFrame() != 1 {
+		t.Fatalf("packets/frame: I %v P %v", st.MeanPacketsPerIFrame(), st.MeanPacketsPerPFrame())
+	}
+	if st.TotalBytes <= 0 {
+		t.Fatal("no bytes counted")
+	}
+}
+
+func TestContainerRoundTrip(t *testing.T) {
+	_, encoded, cfg := encodeOne(t, video.MotionMedium)
+	var buf syncWriter
+	if err := WriteContainer(&buf, cfg, encoded); err != nil {
+		t.Fatal(err)
+	}
+	gotCfg, gotFrames, err := ReadContainer(&byteReader{data: buf.data})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotCfg != cfg {
+		t.Fatalf("config round trip: %+v vs %+v", gotCfg, cfg)
+	}
+	if len(gotFrames) != len(encoded) {
+		t.Fatalf("frame count %d vs %d", len(gotFrames), len(encoded))
+	}
+	for i := range encoded {
+		if gotFrames[i].Type != encoded[i].Type || gotFrames[i].Size() != encoded[i].Size() {
+			t.Fatalf("frame %d mismatch", i)
+		}
+	}
+	// Decoded output must be identical.
+	a, _ := DecodeSequence(encoded, cfg)
+	b, _ := DecodeSequence(gotFrames, cfg)
+	for i := range a {
+		if video.MSE(a[i], b[i]) != 0 {
+			t.Fatalf("frame %d decodes differently after container round trip", i)
+		}
+	}
+}
+
+func TestContainerRejectsGarbage(t *testing.T) {
+	if _, _, err := ReadContainer(&byteReader{data: []byte("NOPE nope")}); err == nil {
+		t.Fatal("bad magic should fail")
+	}
+	if _, _, err := ReadContainer(&byteReader{}); err == nil {
+		t.Fatal("empty input should fail")
+	}
+}
+
+type syncWriter struct{ data []byte }
+
+func (w *syncWriter) Write(p []byte) (int, error) {
+	w.data = append(w.data, p...)
+	return len(p), nil
+}
+
+type byteReader struct {
+	data []byte
+	pos  int
+}
+
+func (r *byteReader) Read(p []byte) (int, error) {
+	if r.pos >= len(r.data) {
+		return 0, errEOFc
+	}
+	n := copy(p, r.data[r.pos:])
+	r.pos += n
+	return n, nil
+}
+
+var errEOFc = errC("EOF")
+
+type errC string
+
+func (e errC) Error() string { return string(e) }

@@ -1,0 +1,413 @@
+// Package core is the user-facing planner of Fig. 1: given a clip (or a
+// short measurement prefix of it), the device, and the network conditions,
+// it calibrates the analytical framework of Section 4 and predicts, for
+// every candidate encryption policy, the per-packet delay at the sender,
+// the PSNR an eavesdropper could reconstruct, and the average power draw —
+// then recommends the cheapest policy that still meets a confidentiality
+// target. This is the "encryption policy with minimum penalties" box of
+// the paper's applicability diagram.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/analytic"
+	"repro/internal/codec"
+	"repro/internal/energy"
+	"repro/internal/stats"
+	"repro/internal/vcrypt"
+	"repro/internal/video"
+	"repro/internal/wifi"
+)
+
+// Network describes the open WiFi cell.
+type Network struct {
+	// Stations contending for the channel (including the sender).
+	Stations int
+	// Rate is the 802.11g data rate in use.
+	Rate wifi.Rate
+	// ReceiverError and EavesdropperError are residual per-packet error
+	// probabilities at each party after a collision-free transmission.
+	ReceiverError, EavesdropperError float64
+}
+
+// DefaultNetwork is a lightly loaded public hotspot: a couple of
+// background stations and small residual error rates, matching the
+// benign-channel regime of the paper's cafe-style testbed.
+func DefaultNetwork() Network {
+	return Network{Stations: 3, Rate: wifi.Rate54, ReceiverError: 0.01, EavesdropperError: 0.03}
+}
+
+// Calibration holds every model parameter extracted from the measurement
+// prefix, the device profile, and the channel fixed point — the inputs the
+// paper estimates "with a few sample measurements" (Section 6.1).
+type Calibration struct {
+	Device  energy.Profile
+	Network Network
+	FPS     float64
+	MTU     int
+
+	// Arrival process fitted to the producer's packet insertions.
+	Arrival analytic.MMPP2
+	// Clip packet/byte structure.
+	Clip codec.ClipStats
+	// Channel operating point.
+	DCF         wifi.DCFResult
+	BackoffRate float64
+	// Per-class transmission time stats (Eq. 16).
+	TxMeanI, TxSigmaI, TxMeanP, TxSigmaP float64
+
+	// Distortion side.
+	Motion         video.MotionLevel
+	DMin, DMax     float64
+	InterGOP       stats.Polynomial
+	MaxDistance    int
+	BaseMSE        float64
+	NoReferenceMSE float64
+	SI, SP         int // decoder sensitivities per class
+	NumGOPs        int
+
+	// UniformQEavesdropper switches the eavesdropper's decryption-rate
+	// model to the literal form of Section 4.3, p_d^e = (1-q)p_s, which
+	// spreads the encrypted fraction q as uniform loss over both frame
+	// classes. The default (false) applies the policy per class — exactly
+	// the packets the policy selects become erasures — which is what the
+	// paper's experiments do (the sender encrypts a deterministic set, not
+	// a random sample) and what reproduces the Fig. 4 shapes; the literal
+	// class-blind form is kept for the ablation study
+	// (BenchmarkAblationUniformQ).
+	UniformQEavesdropper bool
+}
+
+// Prediction is the model's output for one policy.
+type Prediction struct {
+	Policy vcrypt.Policy
+
+	// Delay at the sender (seconds).
+	MeanWait    float64
+	MeanSojourn float64
+	Rho         float64
+
+	// Confidentiality: what the eavesdropper reconstructs.
+	EavesdropperPSNR float64
+	EavesdropperMOS  int
+	// Fidelity at the legitimate receiver.
+	ReceiverPSNR float64
+
+	// Energy.
+	AveragePowerW float64
+
+	// Fraction of packets encrypted (q of Section 4.3).
+	EncryptedFraction float64
+}
+
+// Calibrate builds a Calibration from an encoded clip. The distortion-side
+// parameters (DMin/DMax, inter-GOP polynomial, sensitivities) must be
+// supplied — measure them with MeasureDistortion, or reuse a stored
+// profile for the motion class.
+func Calibrate(
+	encoded []*codec.EncodedFrame,
+	cfg codec.Config,
+	fps float64,
+	mtu int,
+	device energy.Profile,
+	network Network,
+	dist DistortionCalibration,
+) (*Calibration, error) {
+	if fps <= 0 {
+		return nil, fmt.Errorf("core: fps %g", fps)
+	}
+	clipStats, err := codec.AnalyzeClip(encoded, cfg, mtu)
+	if err != nil {
+		return nil, err
+	}
+	if clipStats.IPackets == 0 || clipStats.PPackets == 0 {
+		return nil, fmt.Errorf("core: clip needs both I and P packets")
+	}
+	dcf, err := wifi.SolveDCF(wifi.NewDefaultDCF(network.Stations))
+	if err != nil {
+		return nil, err
+	}
+	phy := wifi.PHY80211g()
+	backoff := wifi.BackoffRate(wifi.NewDefaultDCF(network.Stations), dcf, phy.SlotTime)
+
+	// Arrival fit: replay the producer schedule (frame instants plus the
+	// disk-read gap within a frame burst) and fit the 2-MMPP, exactly the
+	// calibration the paper performs on the initial event sequence. When
+	// P-frames stay single packets the frame classes coincide with the
+	// timing regimes and the class-labelled fit is exact; once P-frames
+	// fragment into bursts (fast motion) the timing-based burst fit
+	// captures the variance the queue actually sees.
+	samples := producerSchedule(encoded, cfg, mtu, fps)
+	var arr analytic.MMPP2
+	if clipStats.MeanPacketsPerPFrame() <= 1.5 {
+		arr, err = analytic.FitMMPP2(samples)
+	} else {
+		arr, err = analytic.FitMMPP2Bursts(samples, 1e-3)
+		if err == analytic.ErrInsufficientData {
+			// No fragmentation bursts at all (every frame fits one
+			// packet); the class fit still describes the I/P cadence.
+			arr, err = analytic.FitMMPP2(samples)
+		}
+	}
+	if err != nil {
+		return nil, fmt.Errorf("core: arrival fit: %w", err)
+	}
+
+	txStats := func(sizes []int) (float64, float64, error) {
+		times := make([]float64, len(sizes))
+		for i, s := range sizes {
+			t, err := phy.PacketTxTime(s, network.Rate)
+			if err != nil {
+				return 0, 0, err
+			}
+			times[i] = t
+		}
+		return stats.Mean(times), stats.StdDev(times), nil
+	}
+	tmi, tsi, err := txStats(clipStats.IPacketSizes)
+	if err != nil {
+		return nil, err
+	}
+	tmp, tsp, err := txStats(clipStats.PPacketSizes)
+	if err != nil {
+		return nil, err
+	}
+
+	cal := &Calibration{
+		Device:  device,
+		Network: network,
+		FPS:     fps,
+		MTU:     mtu,
+		Arrival: arr,
+		Clip:    clipStats,
+		DCF:     dcf, BackoffRate: backoff,
+		TxMeanI: tmi, TxSigmaI: tsi, TxMeanP: tmp, TxSigmaP: tsp,
+		Motion:         dist.Motion,
+		DMin:           dist.DMin,
+		DMax:           dist.DMax,
+		InterGOP:       dist.InterGOP,
+		MaxDistance:    dist.MaxDistance,
+		BaseMSE:        dist.BaseMSE,
+		NoReferenceMSE: dist.NoReferenceMSE,
+		SI:             dist.SI,
+		SP:             dist.SP,
+		NumGOPs:        (clipStats.Frames + cfg.GOPSize - 1) / cfg.GOPSize,
+	}
+	return cal, nil
+}
+
+// producerSchedule reconstructs the queue-insertion instants of the
+// producer thread of Fig. 3.
+func producerSchedule(encoded []*codec.EncodedFrame, cfg codec.Config, mtu int, fps float64) []analytic.ArrivalSample {
+	var out []analytic.ArrivalSample
+	for fi, ef := range encoded {
+		pkts, err := codec.Packetize(ef, mtu)
+		if err != nil {
+			continue
+		}
+		t := float64(fi) / fps
+		for pi, p := range pkts {
+			out = append(out, analytic.ArrivalSample{
+				Time:   t + float64(pi)*50e-6,
+				IFrame: p.IsIFrame(),
+			})
+		}
+	}
+	return out
+}
+
+// ServiceParams assembles the Eq. (3) service model for one policy.
+func (c *Calibration) ServiceParams(policy vcrypt.Policy) (analytic.ServiceParams, error) {
+	encI, encP := policy.ClassProbabilities()
+	emi, esi, err := c.Device.EncryptTimeStats(policy.Alg, encryptSpans(policy, c.Clip.IPacketSizes))
+	if err != nil {
+		return analytic.ServiceParams{}, err
+	}
+	emp, esp, err := c.Device.EncryptTimeStats(policy.Alg, encryptSpans(policy, c.Clip.PPacketSizes))
+	if err != nil {
+		return analytic.ServiceParams{}, err
+	}
+	return analytic.ServiceParams{
+		PI:   c.Clip.IFraction,
+		EncI: encI, EncP: encP,
+		EncMeanI: emi, EncSigmaI: esi,
+		EncMeanP: emp, EncSigmaP: esp,
+		TxMeanI: c.TxMeanI, TxSigmaI: c.TxSigmaI,
+		TxMeanP: c.TxMeanP, TxSigmaP: c.TxSigmaP,
+		PS:      c.DCF.SuccessRate,
+		LambdaB: c.BackoffRate,
+	}, nil
+}
+
+// encryptSpans maps packet sizes to the byte spans the policy actually
+// encrypts (identity unless the policy is header-only).
+func encryptSpans(policy vcrypt.Policy, sizes []int) []int {
+	if policy.HeaderOnlyBytes == 0 {
+		return sizes
+	}
+	out := make([]int, len(sizes))
+	for i, s := range sizes {
+		out[i] = policy.EncryptSpan(s)
+	}
+	return out
+}
+
+// distortionModel builds the Section 4.3 model for a party.
+func (c *Calibration) distortionModel(ps, encI, encP float64) analytic.DistortionModel {
+	in := analytic.EavesdropperInputs{
+		PS: ps, EncI: encI, EncP: encP,
+		NI: int(c.Clip.MeanPacketsPerIFrame() + 0.5),
+		NP: int(c.Clip.MeanPacketsPerPFrame() + 0.5),
+		SI: c.SI, SP: c.SP,
+	}
+	if in.NI < 1 {
+		in.NI = 1
+	}
+	if in.NP < 1 {
+		in.NP = 1
+	}
+	pi, pp := in.FrameSuccessRates()
+	return analytic.DistortionModel{
+		G:         c.Clip.GOPSize,
+		PISuccess: pi, PPSuccess: pp,
+		DMin: c.DMin, DMax: c.DMax,
+		InterGOP:       c.InterGOP,
+		MaxDistance:    c.MaxDistance,
+		BaseDistortion: c.BaseMSE,
+		NoReferenceMSE: c.NoReferenceMSE,
+	}
+}
+
+// Predict evaluates one policy through the full framework.
+func (c *Calibration) Predict(policy vcrypt.Policy) (Prediction, error) {
+	if err := policy.Validate(); err != nil {
+		return Prediction{}, err
+	}
+	sp, err := c.ServiceParams(policy)
+	if err != nil {
+		return Prediction{}, err
+	}
+	q, err := analytic.SolveQueue(c.Arrival, sp)
+	if err != nil {
+		return Prediction{}, fmt.Errorf("core: %s: %w", policy.Name(), err)
+	}
+	encI, encP := policy.ClassProbabilities()
+	if c.UniformQEavesdropper {
+		// Literal Section 4.3 model: the encrypted fraction q acts as
+		// uniform additional packet loss on every class.
+		q := sp.EncryptedFraction()
+		encI, encP = q, q
+	}
+	// Delivery probabilities for the distortion side. MAC-layer retries
+	// recover collisions (that cost shows up as backoff delay, Eq. 6-7),
+	// so the packets a station actually loses are the residual per-station
+	// errors, not the per-attempt collision probability.
+	psRx := 1 - c.Network.ReceiverError
+	psEv := 1 - c.Network.EavesdropperError
+	evModel := c.distortionModel(psEv, encI, encP)
+	evPSNR, err := evModel.ExpectedPSNR(c.NumGOPs)
+	if err != nil {
+		return Prediction{}, err
+	}
+	rxModel := c.distortionModel(psRx, 0, 0) // receiver decrypts everything
+	rxPSNR, err := rxModel.ExpectedPSNR(c.NumGOPs)
+	if err != nil {
+		return Prediction{}, err
+	}
+	power, err := c.predictPower(policy, sp)
+	if err != nil {
+		return Prediction{}, err
+	}
+	return Prediction{
+		Policy:            policy,
+		MeanWait:          q.MeanWait,
+		MeanSojourn:       q.MeanSojourn,
+		Rho:               q.Rho,
+		EavesdropperPSNR:  evPSNR,
+		EavesdropperMOS:   mosFromPSNR(evPSNR),
+		ReceiverPSNR:      rxPSNR,
+		AveragePowerW:     power,
+		EncryptedFraction: sp.EncryptedFraction(),
+	}, nil
+}
+
+// predictPower estimates the stream's average power analytically: the
+// expected crypto busy time plus radio airtime over the playout duration.
+func (c *Calibration) predictPower(policy vcrypt.Policy, sp analytic.ServiceParams) (float64, error) {
+	duration := float64(c.Clip.Frames) / c.FPS
+	encI, encP := policy.ClassProbabilities()
+	var crypto float64
+	if encI > 0 {
+		m, _, err := c.Device.EncryptTimeStats(policy.Alg, encryptSpans(policy, c.Clip.IPacketSizes))
+		if err != nil {
+			return 0, err
+		}
+		crypto += encI * m * float64(c.Clip.IPackets)
+	}
+	if encP > 0 {
+		m, _, err := c.Device.EncryptTimeStats(policy.Alg, encryptSpans(policy, c.Clip.PPacketSizes))
+		if err != nil {
+			return 0, err
+		}
+		crypto += encP * m * float64(c.Clip.PPackets)
+	}
+	tx := sp.TxMeanI*float64(c.Clip.IPackets) + sp.TxMeanP*float64(c.Clip.PPackets)
+	meter := energy.NewMeter(c.Device)
+	meter.AddCrypto(crypto)
+	meter.AddTx(tx)
+	return meter.AveragePower(duration)
+}
+
+func mosFromPSNR(p float64) int {
+	switch {
+	case p > 37:
+		return 5
+	case p > 31:
+		return 4
+	case p > 25:
+		return 3
+	case p > 20:
+		return 2
+	default:
+		return 1
+	}
+}
+
+// Plan evaluates the candidate policies and returns the one with the
+// smallest mean delay whose eavesdropper PSNR does not exceed
+// maxEavesdropperPSNR (i.e. that keeps the stolen video at least that
+// distorted), together with every prediction sorted by delay. If no
+// candidate meets the target the strongest (lowest eavesdropper PSNR)
+// candidate is returned with ErrNoPolicyMeetsTarget.
+func Plan(cal *Calibration, candidates []vcrypt.Policy, maxEavesdropperPSNR float64) (Prediction, []Prediction, error) {
+	if len(candidates) == 0 {
+		return Prediction{}, nil, fmt.Errorf("core: no candidate policies")
+	}
+	preds := make([]Prediction, 0, len(candidates))
+	for _, p := range candidates {
+		pr, err := cal.Predict(p)
+		if err != nil {
+			return Prediction{}, nil, err
+		}
+		preds = append(preds, pr)
+	}
+	sort.Slice(preds, func(i, j int) bool { return preds[i].MeanSojourn < preds[j].MeanSojourn })
+	for _, pr := range preds {
+		if pr.EavesdropperPSNR <= maxEavesdropperPSNR {
+			return pr, preds, nil
+		}
+	}
+	best := preds[0]
+	for _, pr := range preds[1:] {
+		if pr.EavesdropperPSNR < best.EavesdropperPSNR {
+			best = pr
+		}
+	}
+	return best, preds, ErrNoPolicyMeetsTarget
+}
+
+// ErrNoPolicyMeetsTarget reports that no candidate achieved the requested
+// confidentiality level.
+var ErrNoPolicyMeetsTarget = fmt.Errorf("core: no candidate policy meets the confidentiality target")

@@ -1,0 +1,184 @@
+package energy
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/vcrypt"
+)
+
+func TestEncryptTimeOrdering(t *testing.T) {
+	for _, p := range Devices() {
+		aes128, err := p.EncryptTime(vcrypt.AES128, 1400)
+		if err != nil {
+			t.Fatal(err)
+		}
+		aes256, _ := p.EncryptTime(vcrypt.AES256, 1400)
+		tdes, _ := p.EncryptTime(vcrypt.TripleDES, 1400)
+		if !(aes128 < aes256 && aes256 < tdes) {
+			t.Fatalf("%s: cipher cost ordering violated: %v %v %v", p.Name, aes128, aes256, tdes)
+		}
+	}
+}
+
+func TestEncryptTimeGrowsWithSize(t *testing.T) {
+	p := SamsungGalaxySII()
+	small, _ := p.EncryptTime(vcrypt.AES256, 100)
+	big, _ := p.EncryptTime(vcrypt.AES256, 1400)
+	if big <= small {
+		t.Fatal("larger packets must take longer")
+	}
+	// Per-packet overhead must matter: encrypting 14 packets of 100 B
+	// costs more than one packet of 1400 B (the effect that makes P-frame
+	// encryption expensive, Section 6.3).
+	if 14*small <= big {
+		t.Fatal("per-packet overhead not reflected")
+	}
+}
+
+func TestHTCFasterThanSamsung(t *testing.T) {
+	s, _ := SamsungGalaxySII().EncryptTime(vcrypt.AES256, 1400)
+	h, _ := HTCAmaze4G().EncryptTime(vcrypt.AES256, 1400)
+	if h >= s {
+		t.Fatalf("HTC (%v) should be faster than Samsung (%v)", h, s)
+	}
+}
+
+func TestEncryptTimeErrors(t *testing.T) {
+	p := SamsungGalaxySII()
+	if _, err := p.EncryptTime(vcrypt.Algorithm(9), 100); err == nil {
+		t.Fatal("unknown algorithm should fail")
+	}
+	if _, err := p.EncryptTime(vcrypt.AES128, -1); err == nil {
+		t.Fatal("negative payload should fail")
+	}
+}
+
+func TestEncryptTimeStats(t *testing.T) {
+	p := SamsungGalaxySII()
+	mean, sigma, err := p.EncryptTimeStats(vcrypt.AES256, []int{1400, 1400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := p.EncryptTime(vcrypt.AES256, 1400)
+	if math.Abs(mean-want) > 1e-15 || sigma != 0 {
+		t.Fatalf("stats (%v, %v)", mean, sigma)
+	}
+	mean2, sigma2, _ := p.EncryptTimeStats(vcrypt.AES256, []int{200, 1400})
+	if sigma2 <= 0 || mean2 <= 0 {
+		t.Fatal("varied sizes must give positive sigma")
+	}
+	if _, _, err := p.EncryptTimeStats(vcrypt.AES256, nil); err == nil {
+		t.Fatal("empty class should fail")
+	}
+}
+
+func TestMeterBaselineOnly(t *testing.T) {
+	p := SamsungGalaxySII()
+	m := NewMeter(p)
+	w, err := m.AveragePower(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(w-p.IdlePower) > 1e-12 {
+		t.Fatalf("idle power = %v want %v", w, p.IdlePower)
+	}
+}
+
+func TestMeterComponentsAdd(t *testing.T) {
+	p := SamsungGalaxySII()
+	m := NewMeter(p)
+	m.AddCrypto(2)
+	m.AddTx(3)
+	m.AddEnergy(1.5)
+	w, err := m.AveragePower(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (p.IdlePower*10 + p.CPUActivePower*2 + p.TxPower*3 + 1.5) / 10
+	if math.Abs(w-want) > 1e-12 {
+		t.Fatalf("power = %v want %v", w, want)
+	}
+	if math.Abs(m.EnergyJoules()-want*10) > 1e-9 {
+		t.Fatalf("energy = %v", m.EnergyJoules())
+	}
+}
+
+func TestMeterRejectsOverrun(t *testing.T) {
+	m := NewMeter(SamsungGalaxySII())
+	m.AddCrypto(11)
+	if _, err := m.AveragePower(10); err == nil {
+		t.Fatal("crypto time exceeding duration should fail")
+	}
+	if _, err := NewMeter(SamsungGalaxySII()).AveragePower(0); err == nil {
+		t.Fatal("zero duration should fail")
+	}
+}
+
+func TestMeterPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewMeter(SamsungGalaxySII()).AddCrypto(-1)
+}
+
+func TestMicroAmpHoursConversion(t *testing.T) {
+	// Eq. (29): v * 3.9 V * 3600e-6 / duration.
+	w, err := MicroAmpHoursToWatts(1000, PaperSupplyVoltage, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1000 * 3.9 * 3600e-6 / 10
+	if math.Abs(w-want) > 1e-12 {
+		t.Fatalf("conversion = %v want %v", w, want)
+	}
+	if _, err := MicroAmpHoursToWatts(10, 3.9, 0); err == nil {
+		t.Fatal("zero duration should fail")
+	}
+}
+
+func TestEncryptionPolicyPowerOrdering(t *testing.T) {
+	// Simulate a 10-second stream with a fixed byte budget: no encryption,
+	// I-only, P-only, all. Power must be strictly increasing in that
+	// order when P bytes+packets dominate.
+	p := SamsungGalaxySII()
+	duration := 10.0
+	iSizes := make([]int, 80)
+	for i := range iSizes {
+		iSizes[i] = 1400
+	}
+	pSizes := make([]int, 600)
+	for i := range pSizes {
+		pSizes[i] = 700
+	}
+	power := func(encI, encP bool) float64 {
+		m := NewMeter(p)
+		if encI {
+			for _, s := range iSizes {
+				et, _ := p.EncryptTime(vcrypt.AES256, s)
+				m.AddCrypto(et)
+			}
+		}
+		if encP {
+			for _, s := range pSizes {
+				et, _ := p.EncryptTime(vcrypt.AES256, s)
+				m.AddCrypto(et)
+			}
+		}
+		m.AddTx(1.0)
+		w, err := m.AveragePower(duration)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return w
+	}
+	none := power(false, false)
+	iOnly := power(true, false)
+	pOnly := power(false, true)
+	all := power(true, true)
+	if !(none < iOnly && iOnly < pOnly && pOnly < all) {
+		t.Fatalf("power ordering violated: %v %v %v %v", none, iOnly, pOnly, all)
+	}
+}

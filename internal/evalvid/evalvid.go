@@ -1,0 +1,87 @@
+// Package evalvid reproduces the video-quality toolkit role of the EvalVid
+// suite in the paper's methodology (Section 6.1): PSNR between the
+// original clip and a reconstruction (Eq. 28), the Mean Opinion Score
+// mapping used for Figs. 5 and 15, and plain-text sender/receiver traces
+// for offline analysis.
+package evalvid
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/video"
+)
+
+// MaxPSNR caps the PSNR of (near-)identical frames so sequence averages
+// stay finite, as EvalVid does.
+const MaxPSNR = 100.0
+
+// PSNRFromMSE implements Eq. (28): 20 log10(255 / sqrt(MSE)).
+func PSNRFromMSE(mse float64) float64 {
+	if mse <= 0 {
+		return MaxPSNR
+	}
+	p := 20 * math.Log10(255/math.Sqrt(mse))
+	if p > MaxPSNR {
+		return MaxPSNR
+	}
+	return p
+}
+
+// MOSFromPSNR maps PSNR (dB) to the 1..5 Mean Opinion Score with the
+// standard EvalVid thresholds: >37 excellent (5), 31-37 good (4), 25-31
+// fair (3), 20-25 poor (2), <20 bad (1).
+func MOSFromPSNR(psnr float64) int {
+	switch {
+	case psnr > 37:
+		return 5
+	case psnr > 31:
+		return 4
+	case psnr > 25:
+		return 3
+	case psnr > 20:
+		return 2
+	default:
+		return 1
+	}
+}
+
+// Quality is the evaluation of one reconstruction against the original.
+type Quality struct {
+	MeanMSE      float64
+	PSNR         float64 // PSNR of the mean MSE (EvalVid's aggregate)
+	MOS          float64 // mean per-frame MOS
+	PerFramePSNR []float64
+}
+
+// Evaluate compares a reconstruction with the original clip. The two
+// sequences must have equal length; a nil reconstruction frame counts as
+// maximally distorted (mid-grey comparison frame).
+func Evaluate(orig, recon []*video.Frame) (Quality, error) {
+	if len(orig) != len(recon) {
+		return Quality{}, fmt.Errorf("evalvid: length mismatch %d vs %d", len(orig), len(recon))
+	}
+	if len(orig) == 0 {
+		return Quality{}, fmt.Errorf("evalvid: empty clip")
+	}
+	q := Quality{PerFramePSNR: make([]float64, len(orig))}
+	var mosSum float64
+	for i := range orig {
+		r := recon[i]
+		if r == nil {
+			r = video.NewFrame(orig[i].W, orig[i].H)
+			for k := range r.Y {
+				r.Y[k] = 128
+			}
+		}
+		mse := video.MSE(orig[i], r)
+		q.MeanMSE += mse
+		p := PSNRFromMSE(mse)
+		q.PerFramePSNR[i] = p
+		mosSum += float64(MOSFromPSNR(p))
+	}
+	q.MeanMSE /= float64(len(orig))
+	q.PSNR = PSNRFromMSE(q.MeanMSE)
+	q.MOS = mosSum / float64(len(orig))
+	return q, nil
+}

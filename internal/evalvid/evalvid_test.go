@@ -1,0 +1,97 @@
+package evalvid
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/video"
+)
+
+func TestPSNRFromMSE(t *testing.T) {
+	if PSNRFromMSE(0) != MaxPSNR {
+		t.Fatal("zero MSE should cap at MaxPSNR")
+	}
+	want := 20 * math.Log10(255.0/10)
+	if got := PSNRFromMSE(100); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("PSNR(100) = %v want %v", got, want)
+	}
+	if PSNRFromMSE(1e-30) != MaxPSNR {
+		t.Fatal("tiny MSE should cap")
+	}
+}
+
+func TestMOSThresholds(t *testing.T) {
+	cases := []struct {
+		psnr float64
+		mos  int
+	}{
+		{40, 5}, {37.01, 5}, {37, 4}, {31.5, 4}, {31, 3}, {26, 3},
+		{25, 2}, {21, 2}, {20, 1}, {5, 1},
+	}
+	for _, c := range cases {
+		if got := MOSFromPSNR(c.psnr); got != c.mos {
+			t.Fatalf("MOS(%v) = %d want %d", c.psnr, got, c.mos)
+		}
+	}
+}
+
+func TestEvaluateIdentical(t *testing.T) {
+	clip := video.Generate(video.SceneConfig{W: 32, H: 32, Frames: 4, Motion: video.MotionLow, Seed: 1})
+	q, err := Evaluate(clip, clip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.PSNR != MaxPSNR || q.MOS != 5 || q.MeanMSE != 0 {
+		t.Fatalf("identical clips: %+v", q)
+	}
+	if len(q.PerFramePSNR) != 4 {
+		t.Fatal("per-frame PSNR missing")
+	}
+}
+
+func TestEvaluateNilFramesAreWorstCase(t *testing.T) {
+	clip := video.Generate(video.SceneConfig{W: 32, H: 32, Frames: 3, Motion: video.MotionHigh, Seed: 2})
+	recon := []*video.Frame{clip[0], nil, clip[2]}
+	q, err := Evaluate(clip, recon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.PerFramePSNR[0] != MaxPSNR || q.PerFramePSNR[2] != MaxPSNR {
+		t.Fatal("present frames should be perfect")
+	}
+	if q.PerFramePSNR[1] >= 30 {
+		t.Fatalf("nil frame PSNR %v should be low", q.PerFramePSNR[1])
+	}
+	if q.MOS >= 5 {
+		t.Fatal("MOS should drop with a missing frame")
+	}
+}
+
+func TestEvaluateErrors(t *testing.T) {
+	clip := video.Generate(video.SceneConfig{W: 32, H: 32, Frames: 2, Motion: video.MotionLow, Seed: 3})
+	if _, err := Evaluate(clip, clip[:1]); err == nil {
+		t.Fatal("length mismatch should fail")
+	}
+	if _, err := Evaluate(nil, nil); err == nil {
+		t.Fatal("empty input should fail")
+	}
+}
+
+func TestEvaluateAggregateUsesMeanMSE(t *testing.T) {
+	a := video.NewFrame(8, 8)
+	b := video.NewFrame(8, 8)
+	c := video.NewFrame(8, 8)
+	for i := range c.Y {
+		c.Y[i] = 20 // MSE 400
+	}
+	q, err := Evaluate([]*video.Frame{a, a}, []*video.Frame{b, c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.MeanMSE != 200 {
+		t.Fatalf("mean MSE %v want 200", q.MeanMSE)
+	}
+	if math.Abs(q.PSNR-PSNRFromMSE(200)) > 1e-12 {
+		t.Fatal("aggregate PSNR should come from mean MSE")
+	}
+}

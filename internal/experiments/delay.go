@@ -1,0 +1,196 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/energy"
+	"repro/internal/stats"
+	"repro/internal/vcrypt"
+	"repro/internal/video"
+)
+
+// SamsungDevice and HTCDevice name the two testbed profiles.
+func SamsungDevice() energy.Profile { return energy.SamsungGalaxySII() }
+
+// HTCDevice returns the HTC Amaze 4G profile.
+func HTCDevice() energy.Profile { return energy.HTCAmaze4G() }
+
+// delayAlgorithms are the two algorithms the paper plots (AES128 behaves
+// like AES256 and is relegated to the tech report).
+var delayAlgorithms = []vcrypt.Algorithm{vcrypt.AES256, vcrypt.TripleDES}
+
+// DelayResult is one bar of Figs. 7/8 (or 12/13).
+type DelayResult struct {
+	Alg           vcrypt.Algorithm
+	GOP           int
+	Motion        video.MotionLevel
+	Level         vcrypt.Mode
+	AnalysisDelay float64 // seconds (mean per-packet sojourn)
+	ExpDelay      stats.Summary
+}
+
+// RunDelay produces the per-packet delay comparison for one device:
+// algorithm x GOP x motion x level, analysis vs experiment. With tcp=true
+// it produces the HTTP/TCP variants (Figs. 12/13), for which the paper
+// shows experiment only.
+func RunDelay(f *Fixture, device energy.Profile, tcp bool) ([]DelayResult, error) {
+	var out []DelayResult
+	for _, alg := range delayAlgorithms {
+		for _, gop := range []int{30, 50} {
+			for _, motion := range []video.MotionLevel{video.MotionLow, video.MotionHigh} {
+				w, err := f.Workload(motion, gop)
+				if err != nil {
+					return nil, err
+				}
+				cal, err := f.Calibrate(w, device)
+				if err != nil {
+					return nil, err
+				}
+				for _, level := range levelOrder {
+					pol := vcrypt.Policy{Mode: level, Alg: alg}
+					pred, err := cal.Predict(pol)
+					if err != nil {
+						return nil, err
+					}
+					cell, err := f.runCell(w, pol, device, tcp, false)
+					if err != nil {
+						return nil, err
+					}
+					out = append(out, DelayResult{
+						Alg: alg, GOP: gop, Motion: motion, Level: level,
+						AnalysisDelay: pred.MeanSojourn,
+						ExpDelay:      cell.Delay,
+					})
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+func delayTable(title string, res []DelayResult, withAnalysis bool) *Table {
+	cols := []string{"alg", "GOP", "motion", "level", "exp delay(ms)"}
+	if withAnalysis {
+		cols = append(cols, "analysis delay(ms)")
+	}
+	t := &Table{Title: title, Columns: cols}
+	for _, r := range res {
+		row := []string{
+			r.Alg.String(), fmt.Sprintf("%d", r.GOP), r.Motion.String(), r.Level.String(),
+			msCI(r.ExpDelay.Mean, r.ExpDelay.CI95),
+		}
+		if withAnalysis {
+			row = append(row, ms(r.AnalysisDelay))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = append(t.Notes,
+		"delay(I) stays near delay(none); delay(P) approaches delay(all); 3DES costs more than AES (Section 6.2)")
+	return t
+}
+
+// Fig7 is the Samsung delay comparison over RTP/UDP.
+func Fig7(f *Fixture) (*Table, error) {
+	res, err := RunDelay(f, SamsungDevice(), false)
+	if err != nil {
+		return nil, err
+	}
+	return delayTable("Fig 7: Per-packet delay, analysis vs experiment (Samsung S-II, RTP/UDP)", res, true), nil
+}
+
+// Fig8 is the HTC delay comparison over RTP/UDP.
+func Fig8(f *Fixture) (*Table, error) {
+	res, err := RunDelay(f, HTCDevice(), false)
+	if err != nil {
+		return nil, err
+	}
+	return delayTable("Fig 8: Per-packet delay, analysis vs experiment (HTC Amaze 4G, RTP/UDP)", res, true), nil
+}
+
+// Fig12 is the Samsung HTTP/TCP delay figure.
+func Fig12(f *Fixture) (*Table, error) {
+	res, err := RunDelay(f, SamsungDevice(), true)
+	if err != nil {
+		return nil, err
+	}
+	return delayTable("Fig 12: Per-packet delay with HTTP/TCP (Samsung S-II)", res, false), nil
+}
+
+// Fig13 is the HTC HTTP/TCP delay figure.
+func Fig13(f *Fixture) (*Table, error) {
+	res, err := RunDelay(f, HTCDevice(), true)
+	if err != nil {
+		return nil, err
+	}
+	return delayTable("Fig 13: Per-packet delay with HTTP/TCP (HTC Amaze 4G)", res, false), nil
+}
+
+// fracPSweep is the x-axis of Fig. 9a / Table 2.
+var fracPSweep = []float64{0.10, 0.15, 0.20, 0.25, 0.30, 0.50}
+
+// Fig9 sweeps the fraction of P-frame packets encrypted on top of all
+// I-frame packets, for each algorithm and device, on the fast-motion clip
+// (the finer-control policy of Section 6.2).
+func Fig9(f *Fixture) (*Table, error) {
+	w, err := f.Workload(video.MotionHigh, 30)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:   "Fig 9a: Upload latency vs fraction of P-frame packets encrypted (fast motion, GOP=30)",
+		Columns: []string{"device", "alg", "%P", "exp delay(ms)"},
+	}
+	for _, device := range []energy.Profile{HTCDevice(), SamsungDevice()} {
+		for _, alg := range []vcrypt.Algorithm{vcrypt.AES128, vcrypt.AES256, vcrypt.TripleDES} {
+			for _, frac := range fracPSweep {
+				pol := vcrypt.Policy{Mode: vcrypt.ModeIPlusFracP, FracP: frac, Alg: alg}
+				cell, err := f.runCell(w, pol, device, false, false)
+				if err != nil {
+					return nil, err
+				}
+				t.Rows = append(t.Rows, []string{
+					device.Name, alg.String(), fmt.Sprintf("%d", int(frac*100+0.5)),
+					msCI(cell.Delay.Mean, cell.Delay.CI95),
+				})
+			}
+		}
+	}
+	t.Notes = append(t.Notes, "latency grows mildly with the encrypted P fraction; 20% suffices for obfuscation (Table 2)")
+	return t, nil
+}
+
+// Table2 reproduces the delay/PSNR/MOS trade-off of the mixed policy on
+// the Samsung device with AES-256 and the fast-motion clip.
+func Table2(f *Fixture) (*Table, error) {
+	w, err := f.Workload(video.MotionHigh, 30)
+	if err != nil {
+		return nil, err
+	}
+	device := SamsungDevice()
+	t := &Table{
+		Title:   "Table 2: Delay vs distortion for I + alpha*P encryption (Samsung S-II, AES256, fast motion)",
+		Columns: []string{"policy", "delay(ms)", "PSNR(dB)", "MOS"},
+	}
+	policies := []vcrypt.Policy{{Mode: vcrypt.ModeIFrames, Alg: vcrypt.AES256}}
+	for _, frac := range fracPSweep {
+		policies = append(policies, vcrypt.Policy{Mode: vcrypt.ModeIPlusFracP, FracP: frac, Alg: vcrypt.AES256})
+	}
+	for _, pol := range policies {
+		cell, err := f.runCell(w, pol, device, false, false)
+		if err != nil {
+			return nil, err
+		}
+		label := "I"
+		if pol.Mode == vcrypt.ModeIPlusFracP {
+			label = fmt.Sprintf("I+%d%% P", int(pol.FracP*100+0.5))
+		}
+		t.Rows = append(t.Rows, []string{
+			label,
+			msCI(cell.Delay.Mean, cell.Delay.CI95),
+			dbCI(cell.PSNR.Mean, cell.PSNR.CI95),
+			f2(cell.MOS.Mean),
+		})
+	}
+	t.Notes = append(t.Notes, "PSNR and MOS at the eavesdropper sit at the floor once the I-frames plus any P fraction are encrypted")
+	return t, nil
+}

@@ -1,0 +1,235 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/codec"
+	"repro/internal/stats"
+	"repro/internal/transport"
+	"repro/internal/vcrypt"
+	"repro/internal/video"
+)
+
+// levelOrder is the x-axis of the paper's distortion/delay bar plots.
+var levelOrder = []vcrypt.Mode{vcrypt.ModeNone, vcrypt.ModePFrames, vcrypt.ModeIFrames, vcrypt.ModeAll}
+
+// Table1 reproduces the experimental setup table.
+func Table1() *Table {
+	return &Table{
+		Title:   "Table 1: Experimental Setup",
+		Columns: []string{"Parameter", "Values"},
+		Rows: [][]string{
+			{"Frame Size", fmt.Sprintf("CIF (%dx%d)", video.CIFWidth, video.CIFHeight)},
+			{"GOP Size", "30, 50"},
+			{"Video Motion", "slow-motion, fast-motion"},
+			{"Encryption Algorithm", "AES128, AES256, 3DES"},
+			{"Encryption Level", "none, I-frame, P-frame, all"},
+			{"Wireless Devices", "Samsung Galaxy S-II, HTC Amaze 4G (profiles)"},
+			{"Android Version", "Ice Cream Sandwich (4.0) — emulated via device profiles"},
+		},
+	}
+}
+
+// Fig2 reproduces "average distortion with distance": for each motion
+// class, the measured mean distortion of a GOP concealed from d GOPs back,
+// plus the polynomial fit the model consumes (Section 4.3.2).
+func Fig2(f *Fixture) (*Table, error) {
+	t := &Table{
+		Title:   "Fig 2: Average distortion (MSE) vs reference distance",
+		Columns: []string{"motion", "d=1", "d=2", "d=3", "d=4", "fit", "R2"},
+	}
+	for _, motion := range []video.MotionLevel{video.MotionLow, video.MotionMedium, video.MotionHigh} {
+		w, err := f.Workload(motion, 30)
+		if err != nil {
+			return nil, err
+		}
+		row := []string{motion.String()}
+		var xs, ys []float64
+		for d := 1; d <= 4; d++ {
+			v := w.Dist.InterGOP.Eval(float64(d))
+			if d > w.Dist.MaxDistance {
+				v = w.Dist.InterGOP.Eval(float64(w.Dist.MaxDistance))
+			}
+			row = append(row, f2(v))
+			xs = append(xs, float64(d))
+			ys = append(ys, v)
+		}
+		row = append(row, w.Dist.InterGOP.String())
+		row = append(row, f2(stats.RSquared(w.Dist.InterGOP, xs, ys)))
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = append(t.Notes,
+		"distance is in GOPs between the concealed GOP and its reference, as in the calibration of Section 4.3.2",
+		"higher motion must give uniformly higher distortion at every distance")
+	return t, nil
+}
+
+// DistortionResult carries one cell of Figs. 4/5 (or 14/15).
+type DistortionResult struct {
+	Motion       video.MotionLevel
+	GOP          int
+	Level        vcrypt.Mode
+	AnalysisPSNR float64
+	ExpPSNR      stats.Summary
+	ExpMOS       stats.Summary
+}
+
+// RunDistortion produces the data behind Fig. 4 (PSNR) and Fig. 5 (MOS):
+// slow/fast motion x GOP {30,50} x encryption level, analysis vs
+// experiment, under AES-256 (the paper notes the algorithm does not change
+// distortion, only delay). With tcp=true it produces Figs. 14/15 instead.
+func RunDistortion(f *Fixture, tcp bool) ([]DistortionResult, error) {
+	var out []DistortionResult
+	device := SamsungDevice()
+	for _, motion := range []video.MotionLevel{video.MotionLow, video.MotionHigh} {
+		for _, gop := range []int{30, 50} {
+			w, err := f.Workload(motion, gop)
+			if err != nil {
+				return nil, err
+			}
+			cal, err := f.Calibrate(w, device)
+			if err != nil {
+				return nil, err
+			}
+			for _, level := range levelOrder {
+				pol := vcrypt.Policy{Mode: level, Alg: vcrypt.AES256}
+				pred, err := cal.Predict(pol)
+				if err != nil {
+					return nil, err
+				}
+				cell, err := f.runCell(w, pol, device, tcp, false)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, DistortionResult{
+					Motion:       motion,
+					GOP:          gop,
+					Level:        level,
+					AnalysisPSNR: pred.EavesdropperPSNR,
+					ExpPSNR:      cell.PSNR,
+					ExpMOS:       cell.MOS,
+				})
+			}
+		}
+	}
+	return out, nil
+}
+
+// Fig4 renders the eavesdropper-PSNR comparison.
+func Fig4(f *Fixture) (*Table, error) {
+	res, err := RunDistortion(f, false)
+	if err != nil {
+		return nil, err
+	}
+	return distortionTable("Fig 4: Eavesdropper PSNR (dB), analysis vs experiment (AES256, RTP/UDP)", res, true), nil
+}
+
+// Fig5 renders the MOS table from the same runs.
+func Fig5(f *Fixture) (*Table, error) {
+	res, err := RunDistortion(f, false)
+	if err != nil {
+		return nil, err
+	}
+	return mosTable("Fig 5: Mean Opinion Score at the eavesdropper (RTP/UDP)", res), nil
+}
+
+// Fig14 is the HTTP/TCP distortion counterpart.
+func Fig14(f *Fixture) (*Table, error) {
+	res, err := RunDistortion(f, true)
+	if err != nil {
+		return nil, err
+	}
+	return distortionTable("Fig 14: Eavesdropper PSNR (dB) with HTTP/TCP", res, false), nil
+}
+
+// Fig15 is the HTTP/TCP MOS counterpart.
+func Fig15(f *Fixture) (*Table, error) {
+	res, err := RunDistortion(f, true)
+	if err != nil {
+		return nil, err
+	}
+	return mosTable("Fig 15: Mean Opinion Score at the eavesdropper with HTTP/TCP", res), nil
+}
+
+func distortionTable(title string, res []DistortionResult, withAnalysis bool) *Table {
+	cols := []string{"motion", "GOP", "level", "exp PSNR(dB)"}
+	if withAnalysis {
+		cols = append(cols, "analysis PSNR(dB)")
+	}
+	t := &Table{Title: title, Columns: cols}
+	for _, r := range res {
+		row := []string{r.Motion.String(), fmt.Sprintf("%d", r.GOP), r.Level.String(),
+			dbCI(r.ExpPSNR.Mean, r.ExpPSNR.CI95)}
+		if withAnalysis {
+			row = append(row, f2(r.AnalysisPSNR))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = append(t.Notes,
+		"I-frame encryption must degrade slow motion more than fast motion; P-frame encryption the reverse (Section 6.2)")
+	return t
+}
+
+func mosTable(title string, res []DistortionResult) *Table {
+	t := &Table{Title: title, Columns: []string{"motion", "GOP", "level", "MOS"}}
+	for _, r := range res {
+		t.Rows = append(t.Rows, []string{
+			r.Motion.String(), fmt.Sprintf("%d", r.GOP), r.Level.String(),
+			dbCI(r.ExpMOS.Mean, r.ExpMOS.CI95),
+		})
+	}
+	t.Notes = append(t.Notes, "MOS ~1 under the partial policies means the stolen video is practically unviewable")
+	return t
+}
+
+// Fig6 writes the screenshot counterparts: the eavesdropper's
+// reconstructed middle frame per (motion, level) as PGM files.
+func Fig6(f *Fixture, outDir string) (*Table, error) {
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:   "Fig 6: Eavesdropper screenshots (PGM files)",
+		Columns: []string{"motion", "level", "file", "frame PSNR(dB)"},
+	}
+	device := SamsungDevice()
+	for _, motion := range []video.MotionLevel{video.MotionLow, video.MotionHigh} {
+		w, err := f.Workload(motion, 30)
+		if err != nil {
+			return nil, err
+		}
+		for _, level := range levelOrder {
+			pol := vcrypt.Policy{Mode: level, Alg: vcrypt.AES256}
+			s := f.Session(w, pol, device, f.opts.Seed+uint64(level))
+			res, err := transport.RunUDP(s, f.opts.Seed+uint64(level))
+			if err != nil {
+				return nil, err
+			}
+			dec, err := codec.DecodeSequence(res.EavesFrames, w.Cfg)
+			if err != nil {
+				return nil, err
+			}
+			mid := len(dec) / 2
+			name := fmt.Sprintf("fig6-%s-%s.pgm", motion, level)
+			path := filepath.Join(outDir, name)
+			file, err := os.Create(path)
+			if err != nil {
+				return nil, err
+			}
+			if err := dec[mid].WritePGM(file); err != nil {
+				file.Close()
+				return nil, err
+			}
+			if err := file.Close(); err != nil {
+				return nil, err
+			}
+			t.Rows = append(t.Rows, []string{
+				motion.String(), level.String(), name,
+				f2(video.PSNR(w.Clip[mid], dec[mid])),
+			})
+		}
+	}
+	return t, nil
+}

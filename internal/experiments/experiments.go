@@ -1,0 +1,318 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section 6) on the reproduction's substrates. Each FigNN /
+// TableNN function returns a Table whose rows mirror the bars/series of
+// the corresponding plot; cmd/figures prints them and bench_test.go wraps
+// each one in a benchmark so `go test -bench` re-derives the whole
+// evaluation.
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/energy"
+	"repro/internal/stats"
+	"repro/internal/transport"
+	"repro/internal/vcrypt"
+	"repro/internal/video"
+	"repro/internal/wifi"
+)
+
+// Options scales the experiments. The paper uses 300-frame CIF clips and
+// 20 repetitions; Quick() keeps the same structure on smaller inputs so
+// the full suite runs in seconds.
+type Options struct {
+	Width, Height int
+	Frames        int
+	Repetitions   int
+	Seed          uint64
+	// Stations sets WiFi contention for the medium.
+	Stations int
+}
+
+// Full returns the paper-scale settings.
+func Full() Options {
+	return Options{Width: video.CIFWidth, Height: video.CIFHeight, Frames: 300, Repetitions: 20, Seed: 1, Stations: 3}
+}
+
+// Quick returns reduced settings for tests and benchmarks.
+func Quick() Options {
+	return Options{Width: 128, Height: 96, Frames: 200, Repetitions: 3, Seed: 1, Stations: 3}
+}
+
+func (o Options) fill() Options {
+	if o.Width == 0 || o.Height == 0 {
+		o.Width, o.Height = video.CIFWidth, video.CIFHeight
+	}
+	if o.Frames == 0 {
+		o.Frames = 300
+	}
+	if o.Repetitions == 0 {
+		o.Repetitions = 5
+	}
+	if o.Stations == 0 {
+		o.Stations = 3
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// MTU is the application payload bound used throughout (WiFi MTU minus
+// IP/UDP/RTP headers).
+const MTU = 1400
+
+// FPS is the clip frame rate (Section 4.3.2: 30 fps).
+const FPS = 30.0
+
+// Table is a printable experiment result.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// Fprint renders the table as aligned text.
+func (t *Table) Fprint(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "== %s ==\n", t.Title); err != nil {
+		return err
+	}
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		return strings.TrimRight(strings.Join(parts, "  "), " ")
+	}
+	if _, err := fmt.Fprintln(w, line(t.Columns)); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if _, err := fmt.Fprintln(w, line(row)); err != nil {
+			return err
+		}
+	}
+	for _, n := range t.Notes {
+		if _, err := fmt.Fprintf(w, "note: %s\n", n); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// Workload is one encoded clip under one GOP size.
+type Workload struct {
+	Name    string
+	Motion  video.MotionLevel
+	GOP     int
+	Clip    []*video.Frame
+	Cfg     codec.Config
+	Encoded []*codec.EncodedFrame
+	Dist    core.DistortionCalibration
+}
+
+// Fixture caches workloads and channel state across figures.
+type Fixture struct {
+	opts      Options
+	workloads map[string]*Workload
+	dcfParams wifi.DCFParams
+	dcf       wifi.DCFResult
+	backoff   float64
+}
+
+// NewFixture prepares a fixture.
+func NewFixture(opts Options) (*Fixture, error) {
+	opts = opts.fill()
+	params := wifi.NewDefaultDCF(opts.Stations)
+	dcf, err := wifi.SolveDCF(params)
+	if err != nil {
+		return nil, err
+	}
+	return &Fixture{
+		opts:      opts,
+		workloads: make(map[string]*Workload),
+		dcfParams: params,
+		dcf:       dcf,
+		backoff:   wifi.BackoffRate(params, dcf, wifi.PHY80211g().SlotTime),
+	}, nil
+}
+
+// Options returns the fixture's (filled) options.
+func (f *Fixture) Options() Options { return f.opts }
+
+// Workload encodes (and caches) a clip for a motion class and GOP size.
+func (f *Fixture) Workload(motion video.MotionLevel, gop int) (*Workload, error) {
+	key := fmt.Sprintf("%v/%d", motion, gop)
+	if w, ok := f.workloads[key]; ok {
+		return w, nil
+	}
+	clip := video.Generate(video.SceneConfig{
+		W: f.opts.Width, H: f.opts.Height, Frames: f.opts.Frames,
+		Motion: motion, Seed: f.opts.Seed + uint64(motion),
+	})
+	cfg := codec.DefaultConfig(gop)
+	cfg.Width, cfg.Height = f.opts.Width, f.opts.Height
+	encoded, err := codec.EncodeSequence(clip, cfg)
+	if err != nil {
+		return nil, err
+	}
+	dist, err := core.MeasureDistortion(clip, cfg, MTU)
+	if err != nil {
+		return nil, err
+	}
+	w := &Workload{
+		Name:    fmt.Sprintf("%v-motion GOP=%d", motion, gop),
+		Motion:  motion,
+		GOP:     gop,
+		Clip:    clip,
+		Cfg:     cfg,
+		Encoded: encoded,
+		Dist:    dist,
+	}
+	f.workloads[key] = w
+	return w, nil
+}
+
+// Medium builds a fresh simulated channel.
+func (f *Fixture) Medium(seed uint64) *wifi.Medium {
+	phy := wifi.PHY80211g()
+	med := wifi.NewMedium(phy, wifi.Rate54, f.dcf, f.backoff, stats.NewRNG(seed))
+	med.ReceiverError = 0.01
+	med.EavesdropperError = 0.03
+	return med
+}
+
+// Calibrate runs the model calibration for a workload and device.
+func (f *Fixture) Calibrate(w *Workload, device energy.Profile) (*core.Calibration, error) {
+	net := core.Network{
+		Stations: f.opts.Stations, Rate: wifi.Rate54,
+		ReceiverError: 0.01, EavesdropperError: 0.03,
+	}
+	return core.Calibrate(w.Encoded, w.Cfg, FPS, MTU, device, net, w.Dist)
+}
+
+// Session assembles a transport session.
+func (f *Fixture) Session(w *Workload, policy vcrypt.Policy, device energy.Profile, seed uint64) transport.Session {
+	key := make([]byte, policy.Alg.KeySize())
+	for i := range key {
+		key[i] = byte(i*3 + 1)
+	}
+	return transport.Session{
+		Config:  w.Cfg,
+		Encoded: w.Encoded,
+		FPS:     FPS,
+		MTU:     MTU,
+		Policy:  policy,
+		Key:     key,
+		Device:  device,
+		Medium:  f.Medium(seed),
+	}
+}
+
+// runStats are repeated-run summaries of one experimental cell.
+type runStats struct {
+	Delay  stats.Summary // mean per-packet sojourn (seconds)
+	Wait   stats.Summary
+	PSNR   stats.Summary // eavesdropper PSNR unless noted
+	RxPSNR stats.Summary
+	MOS    stats.Summary
+	Power  stats.Summary
+}
+
+// runCell executes Repetitions transfers of one (workload, policy, device)
+// cell and aggregates the measurements. unpaced selects the back-to-back
+// upload mode (used by the power figures, matching the paper's
+// methodology) instead of 30 fps streaming.
+func (f *Fixture) runCell(w *Workload, policy vcrypt.Policy, device energy.Profile, tcp, unpaced bool) (runStats, error) {
+	var delays, waits, psnrs, rxpsnrs, moss, powers []float64
+	for rep := 0; rep < f.opts.Repetitions; rep++ {
+		seed := f.opts.Seed*1000 + uint64(rep) + uint64(policy.Mode)*77 + uint64(w.GOP)
+		s := f.Session(w, policy, device, seed)
+		s.Unpaced = unpaced
+		var res *transport.Result
+		var err error
+		if tcp {
+			res, err = transport.RunHTTP(s, seed)
+		} else {
+			res, err = transport.RunUDP(s, seed)
+		}
+		if err != nil {
+			return runStats{}, err
+		}
+		delays = append(delays, res.MeanSojourn)
+		waits = append(waits, res.MeanWait)
+		powers = append(powers, res.AveragePowerW)
+		q, rq, err := evaluateReconstruction(w, s.Config, res)
+		if err != nil {
+			return runStats{}, err
+		}
+		psnrs = append(psnrs, q.psnr)
+		moss = append(moss, q.mos)
+		rxpsnrs = append(rxpsnrs, rq.psnr)
+	}
+	return runStats{
+		Delay:  stats.Summarize(delays),
+		Wait:   stats.Summarize(waits),
+		PSNR:   stats.Summarize(psnrs),
+		RxPSNR: stats.Summarize(rxpsnrs),
+		MOS:    stats.Summarize(moss),
+		Power:  stats.Summarize(powers),
+	}, nil
+}
+
+type qualityPair struct {
+	psnr, mos float64
+}
+
+func evaluateReconstruction(w *Workload, cfg codec.Config, res *transport.Result) (eav, rx qualityPair, err error) {
+	evDec, err := codec.DecodeSequence(res.EavesFrames, cfg)
+	if err != nil {
+		return eav, rx, err
+	}
+	qe, err := evalQuality(w.Clip, evDec)
+	if err != nil {
+		return eav, rx, err
+	}
+	rxDec, err := codec.DecodeSequence(res.ReceiverFrames, cfg)
+	if err != nil {
+		return eav, rx, err
+	}
+	qr, err := evalQuality(w.Clip, rxDec)
+	if err != nil {
+		return eav, rx, err
+	}
+	return qe, qr, nil
+}
+
+// WriteCSV renders the table as RFC-4180 CSV for external plotting.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Columns); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,294 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/vcrypt"
+	"repro/internal/video"
+)
+
+func testFixture(t *testing.T) *Fixture {
+	t.Helper()
+	f, err := NewFixture(Options{Width: 96, Height: 96, Frames: 150, Repetitions: 1, Seed: 1, Stations: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestTable1Static(t *testing.T) {
+	tab := Table1()
+	if len(tab.Rows) != 7 {
+		t.Fatalf("Table 1 has %d rows", len(tab.Rows))
+	}
+	var buf bytes.Buffer
+	if err := tab.Fprint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"GOP Size", "AES128, AES256, 3DES", "CIF"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in rendered table:\n%s", want, out)
+		}
+	}
+}
+
+func TestWorkloadCachingAndShapes(t *testing.T) {
+	f := testFixture(t)
+	w1, err := f.Workload(video.MotionLow, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := f.Workload(video.MotionLow, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w1 != w2 {
+		t.Fatal("workload should be cached")
+	}
+	if len(w1.Encoded) != 150 || w1.Cfg.GOPSize != 30 {
+		t.Fatalf("workload shape wrong: %d frames GOP %d", len(w1.Encoded), w1.Cfg.GOPSize)
+	}
+	if err := w1.Dist.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunCellPolicyOrderings(t *testing.T) {
+	f := testFixture(t)
+	w, err := f.Workload(video.MotionHigh, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	none, err := f.runCell(w, vcrypt.Policy{Mode: vcrypt.ModeNone, Alg: vcrypt.TripleDES}, SamsungDevice(), false, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := f.runCell(w, vcrypt.Policy{Mode: vcrypt.ModeAll, Alg: vcrypt.TripleDES}, SamsungDevice(), false, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if all.Delay.Mean <= none.Delay.Mean {
+		t.Fatalf("full encryption must cost delay: %v vs %v", all.Delay.Mean, none.Delay.Mean)
+	}
+	if all.Power.Mean <= none.Power.Mean {
+		t.Fatalf("full encryption must cost power: %v vs %v", all.Power.Mean, none.Power.Mean)
+	}
+	if all.PSNR.Mean >= none.PSNR.Mean {
+		t.Fatalf("full encryption must lower eavesdropper PSNR: %v vs %v", all.PSNR.Mean, none.PSNR.Mean)
+	}
+	// The receiver decodes usable video either way (channel losses on a
+	// fast clip cost some quality, but it must stay far above the
+	// eavesdropper's floor).
+	if all.RxPSNR.Mean < 18 {
+		t.Fatalf("receiver PSNR %v too low", all.RxPSNR.Mean)
+	}
+	if all.RxPSNR.Mean <= all.PSNR.Mean {
+		t.Fatalf("receiver (%v dB) must beat eavesdropper (%v dB)", all.RxPSNR.Mean, all.PSNR.Mean)
+	}
+}
+
+func TestRunCellHTTPSlower(t *testing.T) {
+	f := testFixture(t)
+	w, err := f.Workload(video.MotionLow, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol := vcrypt.Policy{Mode: vcrypt.ModeIFrames, Alg: vcrypt.AES256}
+	udp, err := f.runCell(w, pol, SamsungDevice(), false, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tcp, err := f.runCell(w, pol, SamsungDevice(), true, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tcp.Delay.Mean <= udp.Delay.Mean {
+		t.Fatalf("HTTP/TCP should be slower: %v vs %v", tcp.Delay.Mean, udp.Delay.Mean)
+	}
+}
+
+func TestFig2Shapes(t *testing.T) {
+	f := testFixture(t)
+	tab, err := Fig2(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("Fig 2 should have 3 motion rows, got %d", len(tab.Rows))
+	}
+	if tab.Rows[0][0] != "low" || tab.Rows[2][0] != "high" {
+		t.Fatalf("row order wrong: %v", tab.Rows)
+	}
+}
+
+func TestPowerSavingsComputation(t *testing.T) {
+	res := []PowerResult{
+		{Alg: vcrypt.AES256, GOP: 30, Motion: video.MotionLow, Level: vcrypt.ModeNone},
+		{Alg: vcrypt.AES256, GOP: 30, Motion: video.MotionLow, Level: vcrypt.ModeIFrames},
+		{Alg: vcrypt.AES256, GOP: 30, Motion: video.MotionLow, Level: vcrypt.ModeAll},
+	}
+	res[0].Power.Mean = 1.0
+	res[1].Power.Mean = 1.1
+	res[2].Power.Mean = 2.0
+	incI, incAll, saved, err := PowerSavings(res, video.MotionLow, vcrypt.AES256, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if incI < 0.099 || incI > 0.101 {
+		t.Fatalf("I increase %v want 0.10", incI)
+	}
+	if incAll != 1.0 {
+		t.Fatalf("all increase %v want 1.0", incAll)
+	}
+	if saved < 0.899 || saved > 0.901 {
+		t.Fatalf("saved %v want 0.90", saved)
+	}
+	if _, _, _, err := PowerSavings(nil, video.MotionLow, vcrypt.AES256, 30); err == nil {
+		t.Fatal("missing cells should error")
+	}
+}
+
+func TestOptionsFillDefaults(t *testing.T) {
+	o := Options{}.fill()
+	if o.Width != video.CIFWidth || o.Frames != 300 || o.Repetitions != 5 || o.Stations != 3 || o.Seed != 1 {
+		t.Fatalf("defaults wrong: %+v", o)
+	}
+	full := Full()
+	if full.Frames != 300 || full.Repetitions != 20 {
+		t.Fatalf("Full wrong: %+v", full)
+	}
+	quick := Quick()
+	if quick.Frames < 150 {
+		t.Fatalf("Quick too short for GOP-50 calibration: %+v", quick)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{
+		Title:   "test",
+		Columns: []string{"a", "bb"},
+		Rows:    [][]string{{"xxx", "y"}},
+		Notes:   []string{"hello"},
+	}
+	var buf bytes.Buffer
+	if err := tab.Fprint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "== test ==") || !strings.Contains(out, "note: hello") {
+		t.Fatalf("rendering wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "xxx  y") {
+		t.Fatalf("alignment wrong:\n%s", out)
+	}
+}
+
+func TestExtensionsTable(t *testing.T) {
+	f := testFixture(t)
+	tab, err := ExtensionsTable(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 5 {
+		t.Fatalf("want 5 variants, got %d", len(tab.Rows))
+	}
+	find := func(name string) []string {
+		for _, r := range tab.Rows {
+			if r[0] == name {
+				return r
+			}
+		}
+		t.Fatalf("row %q missing", name)
+		return nil
+	}
+	full := find("all (full payload)")
+	hdr := find("all (header-only 64B)")
+	padded := find("I-only + pad-to-MTU")
+	// Header-only must be cheaper than full payload.
+	var fd, hd float64
+	fmt.Sscanf(full[1], "%f", &fd)
+	fmt.Sscanf(hdr[1], "%f", &hd)
+	if hd >= fd {
+		t.Fatalf("header-only delay %v not below full %v", hd, fd)
+	}
+	// Padding must reduce the size-attack accuracy to near the base rate.
+	var accPad float64
+	fmt.Sscanf(padded[4], "%f", &accPad)
+	if accPad > 95 {
+		t.Fatalf("padding left the size attack at %.1f%%", accPad)
+	}
+}
+
+// Regression guard on the headline validation: the analytical delay must
+// track the measured delay within 20% on a representative cell (Fig. 7's
+// agreement, pinned as a test).
+func TestAnalysisTracksExperimentDelay(t *testing.T) {
+	f := testFixture(t)
+	w, err := f.Workload(video.MotionHigh, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cal, err := f.Calibrate(w, SamsungDevice())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []vcrypt.Mode{vcrypt.ModeNone, vcrypt.ModeAll} {
+		pol := vcrypt.Policy{Mode: mode, Alg: vcrypt.TripleDES}
+		pred, err := cal.Predict(pol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cell, err := f.runCell(w, pol, SamsungDevice(), false, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ratio := pred.MeanSojourn / cell.Delay.Mean
+		if ratio < 0.8 || ratio > 1.2 {
+			t.Fatalf("%v: analysis %.3f ms vs experiment %.3f ms (ratio %.2f)",
+				mode, pred.MeanSojourn*1e3, cell.Delay.Mean*1e3, ratio)
+		}
+	}
+}
+
+func TestTableWriteCSV(t *testing.T) {
+	tab := &Table{
+		Title:   "csv",
+		Columns: []string{"a", "b"},
+		Rows:    [][]string{{"1", "two, with comma"}},
+	}
+	var buf bytes.Buffer
+	if err := tab.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\n1,\"two, with comma\"\n"
+	if buf.String() != want {
+		t.Fatalf("csv = %q want %q", buf.String(), want)
+	}
+}
+
+func TestSNRSweepShapes(t *testing.T) {
+	f := testFixture(t)
+	tab, err := SNRSweepTable(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("want 4 SNR rows, got %d", len(tab.Rows))
+	}
+	var firstPlain, lastPlain, firstEnc float64
+	fmt.Sscanf(tab.Rows[0][2], "%f", &firstPlain)
+	fmt.Sscanf(tab.Rows[len(tab.Rows)-1][2], "%f", &lastPlain)
+	fmt.Sscanf(tab.Rows[0][3], "%f", &firstEnc)
+	// Plaintext leak shrinks as the eavesdropper's channel worsens.
+	if lastPlain >= firstPlain {
+		t.Fatalf("plaintext PSNR should fall with SNR: %v -> %v", firstPlain, lastPlain)
+	}
+	// Encryption floors even the adjacent eavesdropper.
+	if firstEnc > 20 {
+		t.Fatalf("I-encrypted PSNR at high SNR is %v, want floor", firstEnc)
+	}
+}

@@ -1,0 +1,153 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/audio"
+	"repro/internal/codec"
+	"repro/internal/evalvid"
+	"repro/internal/stats"
+	"repro/internal/traffic"
+	"repro/internal/transport"
+	"repro/internal/vcrypt"
+	"repro/internal/video"
+	"repro/internal/wifi"
+)
+
+// ExtensionsTable quantifies the reproduction's beyond-the-paper
+// extensions in one run: header-only selective encryption (reference [24]
+// style), the pad-to-MTU traffic-analysis countermeasure, and the
+// always-encrypted audio mux of the paper's future-work section. Each row
+// is one variant of the same fast-motion transfer.
+func ExtensionsTable(f *Fixture) (*Table, error) {
+	w, err := f.Workload(video.MotionHigh, 30)
+	if err != nil {
+		return nil, err
+	}
+	device := SamsungDevice()
+	t := &Table{
+		Title: "Extensions: header-only encryption, padding, audio mux (fast motion, GOP=30, 3DES)",
+		Columns: []string{
+			"variant", "delay(ms)", "eav PSNR(dB)", "power(W)", "size-attack acc(%)", "guess base(%)",
+		},
+	}
+	type variant struct {
+		name  string
+		setup func(*transport.Session)
+	}
+	variants := []variant{
+		{"all (full payload)", func(s *transport.Session) {}},
+		{"all (header-only 64B)", func(s *transport.Session) { s.Policy.HeaderOnlyBytes = 64 }},
+		{"I-only", func(s *transport.Session) { s.Policy.Mode = vcrypt.ModeIFrames }},
+		{"I-only + pad-to-MTU", func(s *transport.Session) {
+			s.Policy.Mode = vcrypt.ModeIFrames
+			s.PadToMTU = true
+		}},
+		{"all + audio mux", func(s *transport.Session) {
+			s.Audio = audio.Generate(8000, float64(len(s.Encoded))/s.FPS, 4)
+		}},
+	}
+	for _, v := range variants {
+		pol := vcrypt.Policy{Mode: vcrypt.ModeAll, Alg: vcrypt.TripleDES}
+		s := f.Session(w, pol, device, f.opts.Seed+99)
+		v.setup(&s)
+		res, err := transport.RunUDP(s, f.opts.Seed+99)
+		if err != nil {
+			return nil, err
+		}
+		ev, err := codec.DecodeSequence(res.EavesFrames, s.Config)
+		if err != nil {
+			return nil, err
+		}
+		q, err := evalvid.Evaluate(w.Clip, ev)
+		if err != nil {
+			return nil, err
+		}
+		// Mount the size side channel on the capture.
+		var obs []traffic.Observation
+		var labels []bool
+		for _, rec := range res.Records {
+			if rec.EavesGot && !rec.Audio {
+				obs = append(obs, traffic.Observation{Size: rec.Size, Time: rec.Departure})
+				labels = append(labels, rec.IFrame)
+			}
+		}
+		acc, base := 0.0, 0.0
+		if len(obs) > 0 {
+			clf, err := traffic.TrainSizeClassifier(obs, labels)
+			if err != nil {
+				return nil, err
+			}
+			acc = traffic.Accuracy(clf, obs, labels)
+			base = traffic.BaseRate(labels)
+		}
+		t.Rows = append(t.Rows, []string{
+			v.name,
+			ms(res.MeanSojourn),
+			f2(q.PSNR),
+			f2(res.AveragePowerW),
+			fmt.Sprintf("%.1f", acc*100),
+			fmt.Sprintf("%.1f", base*100),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"header-only matches full-payload confidentiality at roughly half the delay",
+		"an attack accuracy at the guess base rate means the size channel is closed",
+		"fast-motion P-frames fragment to MTU size themselves, so the size channel is weak here to begin with; examples/trafficanalysis shows the slow-motion case where padding matters",
+		"audio packets are small, so muxing audio lowers the per-packet mean while adding its own (fully encrypted) traffic")
+	return t, nil
+}
+
+// SNRSweepTable sweeps the eavesdropper's channel quality (its distance
+// from the sender, expressed as SNR) under plaintext and I-frame
+// encryption: without encryption confidentiality degrades gracefully with
+// the eavesdropper's channel, with encryption it is gone even for an
+// adjacent eavesdropper with a perfect channel — the reason selective
+// encryption, not distance, is the defence.
+func SNRSweepTable(f *Fixture) (*Table, error) {
+	w, err := f.Workload(video.MotionLow, 30)
+	if err != nil {
+		return nil, err
+	}
+	device := SamsungDevice()
+	t := &Table{
+		Title:   "Extension: eavesdropper PSNR vs its channel SNR (slow motion, GOP=30, AES256)",
+		Columns: []string{"eaves SNR(dB)", "rate", "plaintext PSNR(dB)", "I-encrypted PSNR(dB)"},
+	}
+	phy := wifi.PHY80211g()
+	for _, snr := range []float64{30, 16, 13, 11} {
+		row := []string{fmt.Sprintf("%.0f", snr)}
+		var rateName string
+		for _, mode := range []vcrypt.Mode{vcrypt.ModeNone, vcrypt.ModeIFrames} {
+			med, err := wifi.NewMediumFromSNR(phy, f.opts.Stations, 30, snr, MTU, stats.NewRNG(f.opts.Seed+7))
+			if err != nil {
+				return nil, err
+			}
+			rateName = fmt.Sprintf("%dM", med.Rate())
+			pol := vcrypt.Policy{Mode: mode, Alg: vcrypt.AES256}
+			s := f.Session(w, pol, device, f.opts.Seed+7)
+			s.Medium = med
+			res, err := transport.RunUDP(s, f.opts.Seed+7)
+			if err != nil {
+				return nil, err
+			}
+			ev, err := codec.DecodeSequence(res.EavesFrames, s.Config)
+			if err != nil {
+				return nil, err
+			}
+			q, err := evalvid.Evaluate(w.Clip, ev)
+			if err != nil {
+				return nil, err
+			}
+			if mode == vcrypt.ModeNone {
+				row = append(row, rateName, f2(q.PSNR))
+			} else {
+				row = append(row, f2(q.PSNR))
+			}
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = append(t.Notes,
+		"plaintext leaks less as the eavesdropper's channel worsens; encryption floors the leak regardless of SNR")
+	return t, nil
+}

@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/energy"
+	"repro/internal/stats"
+	"repro/internal/vcrypt"
+	"repro/internal/video"
+)
+
+// PowerResult is one bar of Figs. 10/11.
+type PowerResult struct {
+	Alg    vcrypt.Algorithm
+	GOP    int
+	Motion video.MotionLevel
+	Level  vcrypt.Mode
+	Power  stats.Summary // Watts
+}
+
+// RunPower measures the mean power over the stream for each (motion,
+// algorithm, GOP, level) cell on one device (Section 6.3).
+func RunPower(f *Fixture, device energy.Profile) ([]PowerResult, error) {
+	var out []PowerResult
+	for _, motion := range []video.MotionLevel{video.MotionLow, video.MotionHigh} {
+		for _, alg := range delayAlgorithms {
+			for _, gop := range []int{30, 50} {
+				w, err := f.Workload(motion, gop)
+				if err != nil {
+					return nil, err
+				}
+				for _, level := range levelOrder {
+					pol := vcrypt.Policy{Mode: level, Alg: alg}
+					cell, err := f.runCell(w, pol, device, false, true)
+					if err != nil {
+						return nil, err
+					}
+					out = append(out, PowerResult{
+						Alg: alg, GOP: gop, Motion: motion, Level: level, Power: cell.Power,
+					})
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+func powerTable(title string, res []PowerResult) *Table {
+	t := &Table{
+		Title:   title,
+		Columns: []string{"motion", "alg", "GOP", "level", "power(W)"},
+	}
+	for _, r := range res {
+		t.Rows = append(t.Rows, []string{
+			r.Motion.String(), r.Alg.String(), fmt.Sprintf("%d", r.GOP), r.Level.String(),
+			dbCI(r.Power.Mean, r.Power.CI95),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"power(none) < power(I) < power(P) < power(all); the I-only policy avoids most of the full-encryption penalty (Section 6.3)")
+	return t
+}
+
+// Fig10 is the Samsung power figure.
+func Fig10(f *Fixture) (*Table, error) {
+	res, err := RunPower(f, SamsungDevice())
+	if err != nil {
+		return nil, err
+	}
+	return powerTable("Fig 10: Power consumption (Samsung S-II)", res), nil
+}
+
+// Fig11 is the HTC power figure.
+func Fig11(f *Fixture) (*Table, error) {
+	res, err := RunPower(f, HTCDevice())
+	if err != nil {
+		return nil, err
+	}
+	return powerTable("Fig 11: Power consumption (HTC Amaze 4G)", res), nil
+}
+
+// PowerSavings summarises the headline numbers of Sections 1/6.3: the
+// relative power increase of each level over the unencrypted stream and
+// the fraction of the full-encryption penalty the I-only policy avoids.
+func PowerSavings(res []PowerResult, motion video.MotionLevel, alg vcrypt.Algorithm, gop int) (increaseI, increaseAll, saved float64, err error) {
+	var none, iOnly, all float64
+	found := 0
+	for _, r := range res {
+		if r.Motion != motion || r.Alg != alg || r.GOP != gop {
+			continue
+		}
+		switch r.Level {
+		case vcrypt.ModeNone:
+			none = r.Power.Mean
+			found++
+		case vcrypt.ModeIFrames:
+			iOnly = r.Power.Mean
+			found++
+		case vcrypt.ModeAll:
+			all = r.Power.Mean
+			found++
+		}
+	}
+	if found < 3 || none == 0 {
+		return 0, 0, 0, fmt.Errorf("experiments: missing cells for savings computation")
+	}
+	increaseI = (iOnly - none) / none
+	increaseAll = (all - none) / none
+	saved = 1 - (iOnly-none)/(all-none)
+	return increaseI, increaseAll, saved, nil
+}

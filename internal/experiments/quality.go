@@ -1,0 +1,33 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/evalvid"
+	"repro/internal/video"
+)
+
+// evalQuality wraps evalvid.Evaluate into the harness's compact pair.
+func evalQuality(orig, recon []*video.Frame) (qualityPair, error) {
+	q, err := evalvid.Evaluate(orig, recon)
+	if err != nil {
+		return qualityPair{}, err
+	}
+	return qualityPair{psnr: q.PSNR, mos: q.MOS}, nil
+}
+
+// ms renders seconds as milliseconds with two decimals.
+func ms(seconds float64) string { return fmt.Sprintf("%.2f", seconds*1e3) }
+
+// msCI renders a mean +/- CI pair in milliseconds.
+func msCI(mean, ci float64) string {
+	return fmt.Sprintf("%.2f±%.2f", mean*1e3, ci*1e3)
+}
+
+// dbCI renders a dB mean +/- CI pair.
+func dbCI(mean, ci float64) string {
+	return fmt.Sprintf("%.2f±%.2f", mean, ci)
+}
+
+// f2 renders a float with two decimals.
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }

@@ -1,0 +1,86 @@
+// Package netem provides the small network-emulation shims the live
+// (real-socket) transports use to recreate open-WiFi conditions on
+// loopback: Bernoulli packet loss filters for the receiver's and
+// eavesdropper's reception, and a token-bucket pacer that imposes a
+// WiFi-like bottleneck rate on a byte stream.
+package netem
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// Filter drops packets with a fixed probability, emulating residual
+// channel loss at one station. It is safe for concurrent use.
+type Filter struct {
+	mu   sync.Mutex
+	loss float64
+	rng  *stats.RNG
+
+	dropped, passed int
+}
+
+// NewFilter builds a filter with the given loss probability in [0,1).
+func NewFilter(loss float64, seed uint64) (*Filter, error) {
+	if loss < 0 || loss >= 1 {
+		return nil, fmt.Errorf("netem: loss %g out of [0,1)", loss)
+	}
+	return &Filter{loss: loss, rng: stats.NewRNG(seed)}, nil
+}
+
+// Drop decides the fate of one packet.
+func (f *Filter) Drop() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.rng.Bool(f.loss) {
+		f.dropped++
+		return true
+	}
+	f.passed++
+	return false
+}
+
+// Counts returns how many packets were dropped and passed so far.
+func (f *Filter) Counts() (dropped, passed int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.dropped, f.passed
+}
+
+// Pacer rate-limits a byte stream to the given bytes/second, emulating the
+// WiFi bottleneck for live TCP transfers. A zero rate means unlimited.
+type Pacer struct {
+	mu      sync.Mutex
+	rate    float64
+	nextOK  time.Time
+	sleepFn func(time.Duration)
+}
+
+// NewPacer builds a pacer at the given rate in bytes/second.
+func NewPacer(bytesPerSecond float64) (*Pacer, error) {
+	if bytesPerSecond < 0 {
+		return nil, fmt.Errorf("netem: negative rate")
+	}
+	return &Pacer{rate: bytesPerSecond, sleepFn: time.Sleep}, nil
+}
+
+// Wait blocks until n more bytes may be sent.
+func (p *Pacer) Wait(n int) {
+	if p.rate == 0 || n <= 0 {
+		return
+	}
+	p.mu.Lock()
+	now := time.Now()
+	if p.nextOK.Before(now) {
+		p.nextOK = now
+	}
+	due := p.nextOK
+	p.nextOK = p.nextOK.Add(time.Duration(float64(n) / p.rate * float64(time.Second)))
+	p.mu.Unlock()
+	if d := time.Until(due); d > 0 {
+		p.sleepFn(d)
+	}
+}

@@ -1,0 +1,97 @@
+package netem
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestFilterLossRate(t *testing.T) {
+	f, err := NewFilter(0.25, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 40000
+	drops := 0
+	for i := 0; i < n; i++ {
+		if f.Drop() {
+			drops++
+		}
+	}
+	if frac := float64(drops) / float64(n); math.Abs(frac-0.25) > 0.01 {
+		t.Fatalf("drop rate %v want 0.25", frac)
+	}
+	d, p := f.Counts()
+	if d+p != n || d != drops {
+		t.Fatalf("counts (%d,%d)", d, p)
+	}
+}
+
+func TestFilterZeroLoss(t *testing.T) {
+	f, _ := NewFilter(0, 1)
+	for i := 0; i < 100; i++ {
+		if f.Drop() {
+			t.Fatal("zero-loss filter dropped a packet")
+		}
+	}
+}
+
+func TestFilterRejectsBadLoss(t *testing.T) {
+	if _, err := NewFilter(1, 1); err == nil {
+		t.Fatal("loss=1 should fail")
+	}
+	if _, err := NewFilter(-0.1, 1); err == nil {
+		t.Fatal("negative loss should fail")
+	}
+}
+
+func TestFilterConcurrentSafe(t *testing.T) {
+	f, _ := NewFilter(0.5, 2)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				f.Drop()
+			}
+		}()
+	}
+	wg.Wait()
+	d, p := f.Counts()
+	if d+p != 8000 {
+		t.Fatalf("lost updates: %d", d+p)
+	}
+}
+
+func TestPacerThrottles(t *testing.T) {
+	p, err := NewPacer(100e3) // 100 kB/s
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	for i := 0; i < 10; i++ {
+		p.Wait(1000) // 10 kB total -> >= ~90 ms after the first chunk
+	}
+	if el := time.Since(start); el < 60*time.Millisecond {
+		t.Fatalf("pacer too fast: %v", el)
+	}
+}
+
+func TestPacerUnlimited(t *testing.T) {
+	p, _ := NewPacer(0)
+	start := time.Now()
+	for i := 0; i < 1000; i++ {
+		p.Wait(1 << 20)
+	}
+	if el := time.Since(start); el > 100*time.Millisecond {
+		t.Fatalf("unlimited pacer slept: %v", el)
+	}
+}
+
+func TestPacerRejectsNegative(t *testing.T) {
+	if _, err := NewPacer(-1); err == nil {
+		t.Fatal("negative rate should fail")
+	}
+}

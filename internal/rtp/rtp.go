@@ -1,0 +1,104 @@
+// Package rtp implements the RTP framing of Section 5: each video slice is
+// carried in an RTP packet over UDP, and the header's Marker bit signals
+// whether the payload is encrypted under the session policy, so the
+// receiver knows which packets to decrypt. The header layout follows
+// RFC 3550.
+package rtp
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// HeaderSize is the fixed RTP header size (no CSRC, no extensions).
+const HeaderSize = 12
+
+// Version is the RTP version (2).
+const Version = 2
+
+// PayloadTypeVideo is the dynamic payload type used for the codec's
+// slices.
+const PayloadTypeVideo = 96
+
+// Packet is a parsed RTP packet. Per the paper's convention, Marker set
+// means "payload is encrypted".
+type Packet struct {
+	PayloadType uint8
+	Marker      bool // encrypted-payload flag (Section 5)
+	Sequence    uint16
+	Timestamp   uint32
+	SSRC        uint32
+	Payload     []byte
+}
+
+// Encrypted reports whether the payload is flagged as encrypted.
+func (p Packet) Encrypted() bool { return p.Marker }
+
+// Marshal serialises the packet.
+func (p Packet) Marshal() []byte {
+	buf := make([]byte, HeaderSize+len(p.Payload))
+	buf[0] = Version << 6
+	b1 := p.PayloadType & 0x7F
+	if p.Marker {
+		b1 |= 0x80
+	}
+	buf[1] = b1
+	binary.BigEndian.PutUint16(buf[2:], p.Sequence)
+	binary.BigEndian.PutUint32(buf[4:], p.Timestamp)
+	binary.BigEndian.PutUint32(buf[8:], p.SSRC)
+	copy(buf[HeaderSize:], p.Payload)
+	return buf
+}
+
+// Parse decodes an RTP packet. The payload aliases data; copy it if the
+// buffer is reused.
+func Parse(data []byte) (Packet, error) {
+	if len(data) < HeaderSize {
+		return Packet{}, fmt.Errorf("rtp: packet of %d bytes too short", len(data))
+	}
+	if v := data[0] >> 6; v != Version {
+		return Packet{}, fmt.Errorf("rtp: unsupported version %d", v)
+	}
+	if data[0]&0x20 != 0 {
+		return Packet{}, fmt.Errorf("rtp: padding not supported")
+	}
+	if cc := data[0] & 0x0F; cc != 0 {
+		return Packet{}, fmt.Errorf("rtp: CSRC entries not supported (%d)", cc)
+	}
+	p := Packet{
+		PayloadType: data[1] & 0x7F,
+		Marker:      data[1]&0x80 != 0,
+		Sequence:    binary.BigEndian.Uint16(data[2:]),
+		Timestamp:   binary.BigEndian.Uint32(data[4:]),
+		SSRC:        binary.BigEndian.Uint32(data[8:]),
+		Payload:     data[HeaderSize:],
+	}
+	return p, nil
+}
+
+// Sequencer hands out consecutive sequence numbers and RTP timestamps for
+// a stream. RTP timestamps tick at 90 kHz as usual for video.
+type Sequencer struct {
+	seq  uint16
+	ssrc uint32
+}
+
+// NewSequencer creates a sequencer for one stream (SSRC).
+func NewSequencer(ssrc uint32) *Sequencer { return &Sequencer{ssrc: ssrc} }
+
+// ClockRate is the RTP video clock (Hz).
+const ClockRate = 90000
+
+// Next builds the next packet for a payload captured at mediaTime seconds.
+func (s *Sequencer) Next(payload []byte, mediaTime float64, encrypted bool) Packet {
+	p := Packet{
+		PayloadType: PayloadTypeVideo,
+		Marker:      encrypted,
+		Sequence:    s.seq,
+		Timestamp:   uint32(mediaTime * ClockRate),
+		SSRC:        s.ssrc,
+		Payload:     payload,
+	}
+	s.seq++
+	return p
+}

@@ -1,0 +1,102 @@
+package rtp
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestMarshalParseRoundTrip(t *testing.T) {
+	p := Packet{
+		PayloadType: PayloadTypeVideo,
+		Marker:      true,
+		Sequence:    4242,
+		Timestamp:   900001,
+		SSRC:        0xDEADBEEF,
+		Payload:     []byte("slice payload"),
+	}
+	got, err := Parse(p.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.PayloadType != p.PayloadType || got.Marker != p.Marker ||
+		got.Sequence != p.Sequence || got.Timestamp != p.Timestamp ||
+		got.SSRC != p.SSRC || !bytes.Equal(got.Payload, p.Payload) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", got, p)
+	}
+	if !got.Encrypted() {
+		t.Fatal("marker must signal encryption")
+	}
+}
+
+func TestParseRejectsShort(t *testing.T) {
+	if _, err := Parse(make([]byte, HeaderSize-1)); err == nil {
+		t.Fatal("short packet should fail")
+	}
+}
+
+func TestParseRejectsBadVersion(t *testing.T) {
+	b := Packet{}.Marshal()
+	b[0] = 0x00 // version 0
+	if _, err := Parse(b); err == nil {
+		t.Fatal("bad version should fail")
+	}
+}
+
+func TestParseRejectsPaddingAndCSRC(t *testing.T) {
+	b := Packet{}.Marshal()
+	b[0] = Version<<6 | 0x20
+	if _, err := Parse(b); err == nil {
+		t.Fatal("padding should be rejected")
+	}
+	b[0] = Version<<6 | 0x02
+	if _, err := Parse(b); err == nil {
+		t.Fatal("CSRC should be rejected")
+	}
+}
+
+func TestSequencerIncrements(t *testing.T) {
+	s := NewSequencer(7)
+	a := s.Next([]byte("a"), 0, false)
+	b := s.Next([]byte("b"), 1.0/30, true)
+	if a.Sequence != 0 || b.Sequence != 1 {
+		t.Fatalf("sequences %d %d", a.Sequence, b.Sequence)
+	}
+	if a.SSRC != 7 || b.SSRC != 7 {
+		t.Fatal("SSRC wrong")
+	}
+	if !b.Marker || a.Marker {
+		t.Fatal("markers wrong")
+	}
+	if b.Timestamp != uint32(ClockRate/30) {
+		t.Fatalf("timestamp %d", b.Timestamp)
+	}
+}
+
+func TestSequencerWraps(t *testing.T) {
+	s := NewSequencer(1)
+	s.seq = 65535
+	a := s.Next(nil, 0, false)
+	b := s.Next(nil, 0, false)
+	if a.Sequence != 65535 || b.Sequence != 0 {
+		t.Fatalf("wrap failed: %d %d", a.Sequence, b.Sequence)
+	}
+}
+
+func TestParseNeverPanics(t *testing.T) {
+	f := func(data []byte) bool {
+		_, err := Parse(data)
+		_ = err
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMarshalAllocatesExactSize(t *testing.T) {
+	p := Packet{Payload: make([]byte, 100)}
+	if len(p.Marshal()) != HeaderSize+100 {
+		t.Fatal("marshal size wrong")
+	}
+}

@@ -1,0 +1,376 @@
+// Package stats provides the small numerical toolbox shared by the
+// analytical framework and the experiment harnesses: dense matrix algebra,
+// polynomial least-squares regression, descriptive statistics with
+// confidence intervals, and deterministic pseudo-random helpers.
+//
+// Everything here is intentionally self-contained (stdlib only) and sized
+// for the dimensions that actually occur in the reproduction: matrices up to
+// a few hundred rows (the QBD phase space) and sample sets up to a few
+// hundred thousand points.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Matrix is a dense, row-major matrix of float64 values.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len == Rows*Cols, row-major
+}
+
+// NewMatrix returns a zero matrix with the given shape.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("stats: invalid matrix shape %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// MatrixFromRows builds a matrix from row slices. All rows must have equal
+// length.
+func MatrixFromRows(rows [][]float64) *Matrix {
+	if len(rows) == 0 || len(rows[0]) == 0 {
+		panic("stats: MatrixFromRows needs at least one non-empty row")
+	}
+	m := NewMatrix(len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != m.Cols {
+			panic("stats: ragged rows in MatrixFromRows")
+		}
+		copy(m.Data[i*m.Cols:(i+1)*m.Cols], r)
+	}
+	return m
+}
+
+// Identity returns the n-by-n identity matrix.
+func Identity(n int) *Matrix {
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// Add returns m + other.
+func (m *Matrix) Add(other *Matrix) *Matrix {
+	m.mustMatch(other)
+	out := NewMatrix(m.Rows, m.Cols)
+	for i := range m.Data {
+		out.Data[i] = m.Data[i] + other.Data[i]
+	}
+	return out
+}
+
+// Sub returns m - other.
+func (m *Matrix) Sub(other *Matrix) *Matrix {
+	m.mustMatch(other)
+	out := NewMatrix(m.Rows, m.Cols)
+	for i := range m.Data {
+		out.Data[i] = m.Data[i] - other.Data[i]
+	}
+	return out
+}
+
+// Scale returns s*m.
+func (m *Matrix) Scale(s float64) *Matrix {
+	out := NewMatrix(m.Rows, m.Cols)
+	for i := range m.Data {
+		out.Data[i] = s * m.Data[i]
+	}
+	return out
+}
+
+// Mul returns the matrix product m*other.
+func (m *Matrix) Mul(other *Matrix) *Matrix {
+	if m.Cols != other.Rows {
+		panic(fmt.Sprintf("stats: dimension mismatch in Mul: %dx%d * %dx%d",
+			m.Rows, m.Cols, other.Rows, other.Cols))
+	}
+	out := NewMatrix(m.Rows, other.Cols)
+	for i := 0; i < m.Rows; i++ {
+		mi := m.Data[i*m.Cols : (i+1)*m.Cols]
+		oi := out.Data[i*out.Cols : (i+1)*out.Cols]
+		for k, mik := range mi {
+			if mik == 0 {
+				continue
+			}
+			ok := other.Data[k*other.Cols : (k+1)*other.Cols]
+			for j, okj := range ok {
+				oi[j] += mik * okj
+			}
+		}
+	}
+	return out
+}
+
+// MulVec returns m*v for a column vector v (len == m.Cols).
+func (m *Matrix) MulVec(v []float64) []float64 {
+	if len(v) != m.Cols {
+		panic("stats: dimension mismatch in MulVec")
+	}
+	out := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		var s float64
+		for j, rv := range row {
+			s += rv * v[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// VecMul returns the row-vector product v*m (len(v) == m.Rows).
+func (m *Matrix) VecMul(v []float64) []float64 {
+	if len(v) != m.Rows {
+		panic("stats: dimension mismatch in VecMul")
+	}
+	out := make([]float64, m.Cols)
+	for i, vi := range v {
+		if vi == 0 {
+			continue
+		}
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for j, rv := range row {
+			out[j] += vi * rv
+		}
+	}
+	return out
+}
+
+// Transpose returns mᵀ.
+func (m *Matrix) Transpose() *Matrix {
+	out := NewMatrix(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			out.Set(j, i, m.At(i, j))
+		}
+	}
+	return out
+}
+
+// MaxAbsDiff returns max_ij |m_ij - other_ij|, a convergence metric for
+// fixed-point iterations.
+func (m *Matrix) MaxAbsDiff(other *Matrix) float64 {
+	m.mustMatch(other)
+	var d float64
+	for i := range m.Data {
+		if v := math.Abs(m.Data[i] - other.Data[i]); v > d {
+			d = v
+		}
+	}
+	return d
+}
+
+// ErrSingular is returned when a linear solve encounters a (numerically)
+// singular matrix.
+var ErrSingular = errors.New("stats: singular matrix")
+
+// Solve solves m*x = b for x using Gaussian elimination with partial
+// pivoting. m must be square; b must have length m.Rows. m and b are not
+// modified.
+func (m *Matrix) Solve(b []float64) ([]float64, error) {
+	if m.Rows != m.Cols {
+		panic("stats: Solve requires a square matrix")
+	}
+	if len(b) != m.Rows {
+		panic("stats: Solve rhs length mismatch")
+	}
+	n := m.Rows
+	a := m.Clone()
+	x := make([]float64, n)
+	copy(x, b)
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		pivot, pivotAbs := col, math.Abs(a.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(a.At(r, col)); v > pivotAbs {
+				pivot, pivotAbs = r, v
+			}
+		}
+		if pivotAbs < 1e-300 {
+			return nil, ErrSingular
+		}
+		if pivot != col {
+			a.swapRows(pivot, col)
+			x[pivot], x[col] = x[col], x[pivot]
+		}
+		inv := 1 / a.At(col, col)
+		for r := col + 1; r < n; r++ {
+			f := a.At(r, col) * inv
+			if f == 0 {
+				continue
+			}
+			a.Set(r, col, 0)
+			for c := col + 1; c < n; c++ {
+				a.Set(r, c, a.At(r, c)-f*a.At(col, c))
+			}
+			x[r] -= f * x[col]
+		}
+	}
+	for r := n - 1; r >= 0; r-- {
+		s := x[r]
+		for c := r + 1; c < n; c++ {
+			s -= a.At(r, c) * x[c]
+		}
+		x[r] = s / a.At(r, r)
+	}
+	return x, nil
+}
+
+// Inverse returns m⁻¹, or ErrSingular.
+func (m *Matrix) Inverse() (*Matrix, error) {
+	if m.Rows != m.Cols {
+		panic("stats: Inverse requires a square matrix")
+	}
+	n := m.Rows
+	a := m.Clone()
+	inv := Identity(n)
+	for col := 0; col < n; col++ {
+		pivot, pivotAbs := col, math.Abs(a.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(a.At(r, col)); v > pivotAbs {
+				pivot, pivotAbs = r, v
+			}
+		}
+		if pivotAbs < 1e-300 {
+			return nil, ErrSingular
+		}
+		if pivot != col {
+			a.swapRows(pivot, col)
+			inv.swapRows(pivot, col)
+		}
+		d := 1 / a.At(col, col)
+		for c := 0; c < n; c++ {
+			a.Set(col, c, a.At(col, c)*d)
+			inv.Set(col, c, inv.At(col, c)*d)
+		}
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			f := a.At(r, col)
+			if f == 0 {
+				continue
+			}
+			for c := 0; c < n; c++ {
+				a.Set(r, c, a.At(r, c)-f*a.At(col, c))
+				inv.Set(r, c, inv.At(r, c)-f*inv.At(col, c))
+			}
+		}
+	}
+	return inv, nil
+}
+
+// SolveLeft solves x*m = b for the row vector x (i.e. mᵀ xᵀ = bᵀ).
+func (m *Matrix) SolveLeft(b []float64) ([]float64, error) {
+	return m.Transpose().Solve(b)
+}
+
+func (m *Matrix) swapRows(i, j int) {
+	ri := m.Data[i*m.Cols : (i+1)*m.Cols]
+	rj := m.Data[j*m.Cols : (j+1)*m.Cols]
+	for k := range ri {
+		ri[k], rj[k] = rj[k], ri[k]
+	}
+}
+
+func (m *Matrix) mustMatch(other *Matrix) {
+	if m.Rows != other.Rows || m.Cols != other.Cols {
+		panic(fmt.Sprintf("stats: shape mismatch %dx%d vs %dx%d",
+			m.Rows, m.Cols, other.Rows, other.Cols))
+	}
+}
+
+// String renders the matrix for debugging.
+func (m *Matrix) String() string {
+	var sb strings.Builder
+	for i := 0; i < m.Rows; i++ {
+		sb.WriteByte('[')
+		for j := 0; j < m.Cols; j++ {
+			if j > 0 {
+				sb.WriteByte(' ')
+			}
+			fmt.Fprintf(&sb, "%.6g", m.At(i, j))
+		}
+		sb.WriteString("]\n")
+	}
+	return sb.String()
+}
+
+// StationaryVector returns the stationary probability row vector π of an
+// irreducible CTMC generator Q (πQ = 0, πe = 1) or of a DTMC transition
+// matrix P (πP = π, πe = 1). The kind is detected from the diagonal: a
+// generator has non-positive diagonal entries and zero row sums.
+func StationaryVector(q *Matrix) ([]float64, error) {
+	if q.Rows != q.Cols {
+		panic("stats: StationaryVector requires a square matrix")
+	}
+	n := q.Rows
+	// Build A = Qᵀ (or (P-I)ᵀ) with the last equation replaced by Σπ = 1.
+	a := NewMatrix(n, n)
+	isGenerator := true
+	for i := 0; i < n; i++ {
+		if q.At(i, i) > 1e-12 {
+			isGenerator = false
+			break
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			v := q.At(j, i) // transpose
+			if !isGenerator && i == j {
+				v -= 1 // P - I
+			} else if !isGenerator {
+				// off-diagonal of (P-I)ᵀ is just Pᵀ
+			}
+			a.Set(i, j, v)
+		}
+	}
+	b := make([]float64, n)
+	// Replace the last row with the normalisation Σπ_j = 1.
+	for j := 0; j < n; j++ {
+		a.Set(n-1, j, 1)
+	}
+	b[n-1] = 1
+	pi, err := a.Solve(b)
+	if err != nil {
+		return nil, err
+	}
+	// Clamp tiny negative round-off.
+	var sum float64
+	for i, v := range pi {
+		if v < 0 && v > -1e-9 {
+			pi[i] = 0
+		}
+		sum += pi[i]
+	}
+	if sum <= 0 {
+		return nil, ErrSingular
+	}
+	for i := range pi {
+		pi[i] /= sum
+	}
+	return pi, nil
+}

@@ -1,0 +1,208 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestMatrixMul(t *testing.T) {
+	a := MatrixFromRows([][]float64{{1, 2}, {3, 4}})
+	b := MatrixFromRows([][]float64{{5, 6}, {7, 8}})
+	c := a.Mul(b)
+	want := MatrixFromRows([][]float64{{19, 22}, {43, 50}})
+	if c.MaxAbsDiff(want) > 1e-12 {
+		t.Fatalf("Mul mismatch:\n%v want\n%v", c, want)
+	}
+}
+
+func TestMatrixMulIdentity(t *testing.T) {
+	a := MatrixFromRows([][]float64{{2, -1, 0}, {0.5, 3, 7}, {-2, 1, 4}})
+	id := Identity(3)
+	if a.Mul(id).MaxAbsDiff(a) > 1e-12 || id.Mul(a).MaxAbsDiff(a) > 1e-12 {
+		t.Fatal("identity multiplication changed the matrix")
+	}
+}
+
+func TestMatrixAddSubScale(t *testing.T) {
+	a := MatrixFromRows([][]float64{{1, 2}, {3, 4}})
+	b := MatrixFromRows([][]float64{{4, 3}, {2, 1}})
+	if a.Add(b).MaxAbsDiff(MatrixFromRows([][]float64{{5, 5}, {5, 5}})) > 0 {
+		t.Fatal("Add wrong")
+	}
+	if a.Sub(a).MaxAbsDiff(NewMatrix(2, 2)) > 0 {
+		t.Fatal("Sub wrong")
+	}
+	if a.Scale(2).MaxAbsDiff(MatrixFromRows([][]float64{{2, 4}, {6, 8}})) > 0 {
+		t.Fatal("Scale wrong")
+	}
+}
+
+func TestSolveKnownSystem(t *testing.T) {
+	a := MatrixFromRows([][]float64{{2, 1, -1}, {-3, -1, 2}, {-2, 1, 2}})
+	b := []float64{8, -11, -3}
+	x, err := a.Solve(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 3, -1}
+	for i := range want {
+		if !almostEqual(x[i], want[i], 1e-10) {
+			t.Fatalf("x[%d] = %v want %v", i, x[i], want[i])
+		}
+	}
+}
+
+func TestSolveSingular(t *testing.T) {
+	a := MatrixFromRows([][]float64{{1, 2}, {2, 4}})
+	if _, err := a.Solve([]float64{1, 2}); err == nil {
+		t.Fatal("expected ErrSingular")
+	}
+}
+
+func TestInverseRoundTrip(t *testing.T) {
+	a := MatrixFromRows([][]float64{{4, 7, 2}, {3, 6, 1}, {2, 5, 3}})
+	inv, err := a.Inverse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Mul(inv).MaxAbsDiff(Identity(3)) > 1e-10 {
+		t.Fatalf("A*A^-1 != I:\n%v", a.Mul(inv))
+	}
+}
+
+func TestInverseSingular(t *testing.T) {
+	a := MatrixFromRows([][]float64{{1, 2}, {2, 4}})
+	if _, err := a.Inverse(); err == nil {
+		t.Fatal("expected ErrSingular")
+	}
+}
+
+// Property: for random well-conditioned matrices, Solve(A, A*x) recovers x.
+func TestSolveRecoversProperty(t *testing.T) {
+	rng := NewRNG(42)
+	f := func(seed uint64) bool {
+		r := NewRNG(seed ^ rng.Uint64())
+		n := 2 + r.Intn(6)
+		a := NewMatrix(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				a.Set(i, j, r.Float64()*2-1)
+			}
+			// Diagonal dominance keeps the system well conditioned.
+			a.Set(i, i, a.At(i, i)+float64(n)+1)
+		}
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = r.Float64()*10 - 5
+		}
+		b := a.MulVec(x)
+		got, err := a.Solve(b)
+		if err != nil {
+			return false
+		}
+		for i := range x {
+			if !almostEqual(got[i], x[i], 1e-8) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVecMulMulVecConsistency(t *testing.T) {
+	a := MatrixFromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	v := []float64{1, 1}
+	got := a.VecMul(v)
+	want := []float64{5, 7, 9}
+	for i := range want {
+		if !almostEqual(got[i], want[i], 1e-12) {
+			t.Fatalf("VecMul[%d] = %v want %v", i, got[i], want[i])
+		}
+	}
+	u := []float64{1, 0, -1}
+	got2 := a.MulVec(u)
+	want2 := []float64{-2, -2}
+	for i := range want2 {
+		if !almostEqual(got2[i], want2[i], 1e-12) {
+			t.Fatalf("MulVec[%d] = %v want %v", i, got2[i], want2[i])
+		}
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	a := MatrixFromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	at := a.Transpose()
+	if at.Rows != 3 || at.Cols != 2 || at.At(2, 1) != 6 || at.At(0, 1) != 4 {
+		t.Fatalf("bad transpose:\n%v", at)
+	}
+}
+
+func TestStationaryVectorCTMC(t *testing.T) {
+	// Two-state generator with rates p1=2 (1→2), p2=3 (2→1).
+	// π = (p2, p1)/(p1+p2) = (0.6, 0.4) per Eq. (2) of the paper.
+	q := MatrixFromRows([][]float64{{-2, 2}, {3, -3}})
+	pi, err := StationaryVector(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(pi[0], 0.6, 1e-12) || !almostEqual(pi[1], 0.4, 1e-12) {
+		t.Fatalf("pi = %v want [0.6 0.4]", pi)
+	}
+}
+
+func TestStationaryVectorDTMC(t *testing.T) {
+	p := MatrixFromRows([][]float64{{0.9, 0.1}, {0.5, 0.5}})
+	pi, err := StationaryVector(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Solve: pi0*0.9 + pi1*0.5 = pi0 → pi1*0.5 = 0.1 pi0 → pi0 = 5 pi1.
+	if !almostEqual(pi[0], 5.0/6, 1e-12) || !almostEqual(pi[1], 1.0/6, 1e-12) {
+		t.Fatalf("pi = %v want [5/6 1/6]", pi)
+	}
+}
+
+func TestStationaryVectorInvariance(t *testing.T) {
+	q := MatrixFromRows([][]float64{
+		{-1.5, 1.0, 0.5},
+		{0.2, -0.7, 0.5},
+		{0.9, 0.1, -1.0},
+	})
+	pi, err := StationaryVector(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := q.VecMul(pi)
+	for i, v := range res {
+		if !almostEqual(v, 0, 1e-10) {
+			t.Fatalf("piQ[%d] = %v, want 0", i, v)
+		}
+	}
+}
+
+func TestSolveLeft(t *testing.T) {
+	a := MatrixFromRows([][]float64{{2, 1}, {0, 3}})
+	// x * A = b with x = (1, 2): b = (2, 7).
+	x, err := a.SolveLeft([]float64{2, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(x[0], 1, 1e-12) || !almostEqual(x[1], 2, 1e-12) {
+		t.Fatalf("x = %v", x)
+	}
+}
+
+func TestMatrixString(t *testing.T) {
+	a := MatrixFromRows([][]float64{{1, 2}})
+	if got := a.String(); got != "[1 2]\n" {
+		t.Fatalf("String() = %q", got)
+	}
+}

@@ -1,0 +1,111 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Polynomial is a real polynomial stored as coefficients in increasing
+// degree order: p(x) = Coeffs[0] + Coeffs[1]*x + ... .
+type Polynomial struct {
+	Coeffs []float64
+}
+
+// Eval evaluates the polynomial at x using Horner's rule.
+func (p Polynomial) Eval(x float64) float64 {
+	var v float64
+	for i := len(p.Coeffs) - 1; i >= 0; i-- {
+		v = v*x + p.Coeffs[i]
+	}
+	return v
+}
+
+// Degree returns the nominal degree (len(Coeffs)-1).
+func (p Polynomial) Degree() int { return len(p.Coeffs) - 1 }
+
+// String renders the polynomial in human-readable form.
+func (p Polynomial) String() string {
+	s := ""
+	for i, c := range p.Coeffs {
+		if i == 0 {
+			s = fmt.Sprintf("%.6g", c)
+			continue
+		}
+		s += fmt.Sprintf(" %+.6g*x^%d", c, i)
+	}
+	return s
+}
+
+// PolyFit fits a least-squares polynomial of the given degree to the points
+// (xs[i], ys[i]), mirroring the degree-5 multinomial regression the paper
+// uses to approximate inter-GOP distortion as a function of reference
+// distance (Section 4.3.2). It solves the normal equations of the
+// Vandermonde system; for the small degrees used here (≤ 8) this is
+// numerically adequate after centring x.
+func PolyFit(xs, ys []float64, degree int) (Polynomial, error) {
+	if len(xs) != len(ys) {
+		panic("stats: PolyFit length mismatch")
+	}
+	if degree < 0 {
+		panic("stats: PolyFit negative degree")
+	}
+	if len(xs) < degree+1 {
+		return Polynomial{}, fmt.Errorf("stats: PolyFit needs at least %d points, got %d", degree+1, len(xs))
+	}
+	n := degree + 1
+	// Normal equations: (VᵀV) c = Vᵀy with V_{ij} = x_i^j.
+	ata := NewMatrix(n, n)
+	atb := make([]float64, n)
+	pow := make([]float64, 2*degree+1)
+	for k := range xs {
+		x, y := xs[k], ys[k]
+		pow[0] = 1
+		for j := 1; j < len(pow); j++ {
+			pow[j] = pow[j-1] * x
+		}
+		for i := 0; i < n; i++ {
+			atb[i] += pow[i] * y
+			for j := 0; j < n; j++ {
+				ata.Set(i, j, ata.At(i, j)+pow[i+j])
+			}
+		}
+	}
+	c, err := ata.Solve(atb)
+	if err != nil {
+		return Polynomial{}, err
+	}
+	return Polynomial{Coeffs: c}, nil
+}
+
+// RSquared returns the coefficient of determination of the fit p on the
+// points (xs, ys). 1 means a perfect fit.
+func RSquared(p Polynomial, xs, ys []float64) float64 {
+	if len(xs) != len(ys) || len(ys) == 0 {
+		panic("stats: RSquared length mismatch")
+	}
+	mean := Mean(ys)
+	var ssRes, ssTot float64
+	for i := range xs {
+		d := ys[i] - p.Eval(xs[i])
+		ssRes += d * d
+		t := ys[i] - mean
+		ssTot += t * t
+	}
+	if ssTot == 0 {
+		if ssRes == 0 {
+			return 1
+		}
+		return math.Inf(-1)
+	}
+	return 1 - ssRes/ssTot
+}
+
+// LinearFit is a convenience wrapper fitting y = a + b*x and returning
+// (a, b).
+func LinearFit(xs, ys []float64) (a, b float64, err error) {
+	p, err := PolyFit(xs, ys, 1)
+	if err != nil {
+		return 0, 0, err
+	}
+	return p.Coeffs[0], p.Coeffs[1], nil
+}

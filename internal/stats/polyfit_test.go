@@ -1,0 +1,108 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPolyFitExact(t *testing.T) {
+	// p(x) = 2 - 3x + 0.5x^2 sampled exactly must be recovered.
+	truth := Polynomial{Coeffs: []float64{2, -3, 0.5}}
+	var xs, ys []float64
+	for x := -3.0; x <= 3.0; x += 0.5 {
+		xs = append(xs, x)
+		ys = append(ys, truth.Eval(x))
+	}
+	p, err := PolyFit(xs, ys, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range truth.Coeffs {
+		if !almostEqual(p.Coeffs[i], truth.Coeffs[i], 1e-8) {
+			t.Fatalf("coeff %d = %v want %v", i, p.Coeffs[i], truth.Coeffs[i])
+		}
+	}
+	if r2 := RSquared(p, xs, ys); !almostEqual(r2, 1, 1e-12) {
+		t.Fatalf("R^2 = %v want 1", r2)
+	}
+}
+
+func TestPolyFitDegree5(t *testing.T) {
+	truth := Polynomial{Coeffs: []float64{1, 0.2, -0.05, 0.3, -0.02, 0.001}}
+	var xs, ys []float64
+	for x := 0.5; x <= 6; x += 0.25 {
+		xs = append(xs, x)
+		ys = append(ys, truth.Eval(x))
+	}
+	p, err := PolyFit(xs, ys, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for x := 1.0; x <= 5; x += 0.5 {
+		if !almostEqual(p.Eval(x), truth.Eval(x), 1e-6) {
+			t.Fatalf("p(%v) = %v want %v", x, p.Eval(x), truth.Eval(x))
+		}
+	}
+}
+
+func TestPolyFitTooFewPoints(t *testing.T) {
+	if _, err := PolyFit([]float64{1, 2}, []float64{1, 2}, 5); err == nil {
+		t.Fatal("expected error for underdetermined fit")
+	}
+}
+
+func TestLinearFit(t *testing.T) {
+	xs := []float64{0, 1, 2, 3, 4}
+	ys := []float64{1, 3, 5, 7, 9} // y = 1 + 2x
+	a, b, err := LinearFit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(a, 1, 1e-10) || !almostEqual(b, 2, 1e-10) {
+		t.Fatalf("fit = (%v, %v) want (1, 2)", a, b)
+	}
+}
+
+// Property: a fit of degree d reproduces any polynomial of degree ≤ d
+// sampled at d+3 distinct points.
+func TestPolyFitRecoversProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := NewRNG(seed)
+		d := 1 + r.Intn(4)
+		coeffs := make([]float64, d+1)
+		for i := range coeffs {
+			coeffs[i] = r.Float64()*4 - 2
+		}
+		truth := Polynomial{Coeffs: coeffs}
+		var xs, ys []float64
+		for i := 0; i < d+3; i++ {
+			x := float64(i) * 0.7
+			xs = append(xs, x)
+			ys = append(ys, truth.Eval(x))
+		}
+		p, err := PolyFit(xs, ys, d)
+		if err != nil {
+			return false
+		}
+		for _, x := range xs {
+			if math.Abs(p.Eval(x)-truth.Eval(x)) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPolynomialEvalHorner(t *testing.T) {
+	p := Polynomial{Coeffs: []float64{1, 2, 3}}
+	if got := p.Eval(2); got != 1+4+12 {
+		t.Fatalf("Eval(2) = %v want 17", got)
+	}
+	if p.Degree() != 2 {
+		t.Fatalf("Degree = %d want 2", p.Degree())
+	}
+}

@@ -1,0 +1,114 @@
+package stats
+
+import "math"
+
+// RNG is a small deterministic pseudo-random generator (xorshift64*) used
+// throughout the simulators so that every experiment is reproducible from a
+// seed, independent of math/rand version drift across Go releases.
+type RNG struct {
+	state uint64
+	// cached spare normal deviate for Box-Muller
+	haveSpare bool
+	spare     float64
+}
+
+// NewRNG returns a generator seeded with seed (0 is remapped to a fixed
+// non-zero constant because the xorshift state must be non-zero).
+func NewRNG(seed uint64) *RNG {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &RNG{state: seed}
+}
+
+// Uint64 returns the next raw 64-bit value.
+func (r *RNG) Uint64() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform integer in [0, n). n must be positive.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("stats: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Bool returns true with probability p.
+func (r *RNG) Bool(p float64) bool { return r.Float64() < p }
+
+// Exp returns an exponential deviate with the given rate (mean 1/rate).
+func (r *RNG) Exp(rate float64) float64 {
+	if rate <= 0 {
+		panic("stats: Exp with non-positive rate")
+	}
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return -math.Log(u) / rate
+}
+
+// Norm returns a normal deviate with the given mean and standard deviation
+// using the Box-Muller transform.
+func (r *RNG) Norm(mean, stddev float64) float64 {
+	if r.haveSpare {
+		r.haveSpare = false
+		return mean + stddev*r.spare
+	}
+	var u, v, s float64
+	for {
+		u = 2*r.Float64() - 1
+		v = 2*r.Float64() - 1
+		s = u*u + v*v
+		if s > 0 && s < 1 {
+			break
+		}
+	}
+	f := math.Sqrt(-2 * math.Log(s) / s)
+	r.spare = v * f
+	r.haveSpare = true
+	return mean + stddev*u*f
+}
+
+// Geometric returns K ≥ 0 distributed P{K=k} = (1-p)^k p, i.e. the number
+// of failures before the first success of a Bernoulli(p) sequence. This is
+// exactly the collision-count distribution of Eq. (6) in the paper with
+// p = packet success rate.
+func (r *RNG) Geometric(p float64) int {
+	if p <= 0 || p > 1 {
+		panic("stats: Geometric needs p in (0,1]")
+	}
+	if p == 1 {
+		return 0
+	}
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return int(math.Floor(math.Log(u) / math.Log(1-p)))
+}
+
+// Split derives an independent generator from r, for deterministic fan-out
+// across goroutines or sub-simulations.
+func (r *RNG) Split() *RNG {
+	return NewRNG(r.Uint64() ^ 0xD1B54A32D192ED03)
+}
+
+// Shuffle permutes the integers [0, n) with Fisher-Yates and calls swap.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}

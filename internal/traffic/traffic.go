@@ -1,0 +1,166 @@
+// Package traffic implements the traffic-analysis side channel the paper's
+// threat model names but leaves open (Section 3): "the eavesdropper may be
+// able to distinguish packets as belonging to either I-frames or P-frames
+// based on their size or other characteristics. While the sender can
+// obfuscate these features by using techniques such as padding the
+// payload, we do not consider these possibilities." This package considers
+// them: size- and burst-based frame-class classifiers (the attack), their
+// accuracy measurement, and the MTU-padding countermeasure whose cost the
+// transport can then quantify.
+package traffic
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Observation is what a passive observer sees of one packet: its wire size
+// and capture time. No payload access is assumed.
+type Observation struct {
+	Size int
+	Time float64
+}
+
+// SizeClassifier predicts that packets at least Threshold bytes long
+// belong to I-frames (which fragment at the MTU, so they ride in maximal
+// packets, while P-frames are typically smaller).
+type SizeClassifier struct {
+	Threshold int
+}
+
+// Classify reports the predicted class (true = I-frame packet).
+func (c SizeClassifier) Classify(o Observation) bool { return o.Size >= c.Threshold }
+
+// TrainSizeClassifier picks the threshold that minimises training error on
+// labelled observations (labels: true = I-frame packet). It sweeps every
+// distinct size boundary, O(n log n).
+func TrainSizeClassifier(obs []Observation, labels []bool) (SizeClassifier, error) {
+	if len(obs) != len(labels) || len(obs) == 0 {
+		return SizeClassifier{}, fmt.Errorf("traffic: need matching non-empty observations and labels")
+	}
+	type pair struct {
+		size int
+		isI  bool
+	}
+	pairs := make([]pair, len(obs))
+	for i, o := range obs {
+		pairs[i] = pair{o.Size, labels[i]}
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].size < pairs[j].size })
+	totalI := 0
+	for _, p := range pairs {
+		if p.isI {
+			totalI++
+		}
+	}
+	// With threshold below everything, all predicted I: errors = #P.
+	bestErr := len(pairs) - totalI
+	bestThresh := pairs[0].size
+	// Walk thresholds upward: moving the threshold above pairs[i] flips
+	// its prediction to P.
+	errs := bestErr
+	for i := 0; i < len(pairs); i++ {
+		if pairs[i].isI {
+			errs++ // an I packet now misclassified
+		} else {
+			errs-- // a P packet now correct
+		}
+		// Candidate threshold just above this size (skip ties).
+		if i+1 < len(pairs) && pairs[i+1].size == pairs[i].size {
+			continue
+		}
+		if errs < bestErr {
+			bestErr = errs
+			bestThresh = pairs[i].size + 1
+		}
+	}
+	return SizeClassifier{Threshold: bestThresh}, nil
+}
+
+// Accuracy returns the fraction of observations a classifier labels
+// correctly.
+func Accuracy(c interface{ Classify(Observation) bool }, obs []Observation, labels []bool) float64 {
+	if len(obs) == 0 || len(obs) != len(labels) {
+		return 0
+	}
+	correct := 0
+	for i, o := range obs {
+		if c.Classify(o) == labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(obs))
+}
+
+// BaseRate returns the accuracy of always guessing the majority class —
+// the floor a defeated classifier decays to.
+func BaseRate(labels []bool) float64 {
+	if len(labels) == 0 {
+		return 0
+	}
+	nI := 0
+	for _, l := range labels {
+		if l {
+			nI++
+		}
+	}
+	if nI*2 > len(labels) {
+		return float64(nI) / float64(len(labels))
+	}
+	return float64(len(labels)-nI) / float64(len(labels))
+}
+
+// BurstClassifier exploits timing: I-frames fragment into back-to-back
+// packet bursts, so a packet whose neighbourhood (within Gap seconds)
+// contains at least MinRun packets is classified as I-frame traffic. It
+// works even when sizes are padded, which is why padding alone does not
+// close the side channel (constant-rate cover traffic would).
+type BurstClassifier struct {
+	Gap    float64
+	MinRun int
+}
+
+// ClassifyAll labels a whole capture at once (burst membership needs the
+// neighbours). Observations must be in time order.
+func (c BurstClassifier) ClassifyAll(obs []Observation) []bool {
+	out := make([]bool, len(obs))
+	i := 0
+	for i < len(obs) {
+		j := i
+		for j+1 < len(obs) && obs[j+1].Time-obs[j].Time <= c.Gap {
+			j++
+		}
+		run := j - i + 1
+		if run >= c.MinRun {
+			for k := i; k <= j; k++ {
+				out[k] = true
+			}
+		}
+		i = j + 1
+	}
+	return out
+}
+
+// AccuracyAll measures a whole-capture classifier.
+func AccuracyAll(pred, labels []bool) float64 {
+	if len(pred) != len(labels) || len(pred) == 0 {
+		return 0
+	}
+	correct := 0
+	for i := range pred {
+		if pred[i] == labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(pred))
+}
+
+// PadTo returns the padded wire size under the pad-to-MTU countermeasure:
+// every payload is grown to exactly mtu bytes (the slice format ignores
+// trailing padding, so no framing changes are needed).
+func PadTo(size, mtu int) int {
+	if size >= mtu {
+		return size
+	}
+	return mtu
+}

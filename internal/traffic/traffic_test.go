@@ -1,0 +1,124 @@
+package traffic
+
+import (
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// synthCapture builds an observation trace shaped like a GOP-30 clip:
+// bursts of nI MTU-sized packets every second, single small P packets at
+// 30/s otherwise.
+func synthCapture(rng *stats.RNG, seconds, nI, pSize, mtu int) (obs []Observation, labels []bool) {
+	t := 0.0
+	for s := 0; s < seconds; s++ {
+		for i := 0; i < nI; i++ {
+			obs = append(obs, Observation{Size: mtu, Time: t})
+			labels = append(labels, true)
+			t += 50e-6
+		}
+		for p := 0; p < 29; p++ {
+			t += 1.0 / 30
+			size := pSize + rng.Intn(100)
+			obs = append(obs, Observation{Size: size, Time: t})
+			labels = append(labels, false)
+		}
+		t += 1.0 / 30
+	}
+	return obs, labels
+}
+
+func TestSizeClassifierSeparatesClasses(t *testing.T) {
+	rng := stats.NewRNG(1)
+	obs, labels := synthCapture(rng, 10, 8, 400, 1400)
+	c, err := TrainSizeClassifier(obs, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := Accuracy(c, obs, labels); acc < 0.99 {
+		t.Fatalf("unpadded traffic should be trivially classifiable, accuracy %v", acc)
+	}
+	// Any boundary strictly between the largest P packet (499 B) and the
+	// MTU separates perfectly; the trainer picks the first one.
+	if c.Threshold < 500 || c.Threshold > 1400 {
+		t.Fatalf("threshold %d implausible", c.Threshold)
+	}
+}
+
+func TestPaddingDefeatsSizeClassifier(t *testing.T) {
+	rng := stats.NewRNG(2)
+	obs, labels := synthCapture(rng, 10, 8, 400, 1400)
+	for i := range obs {
+		obs[i].Size = PadTo(obs[i].Size, 1400)
+	}
+	c, err := TrainSizeClassifier(obs, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := Accuracy(c, obs, labels)
+	base := BaseRate(labels)
+	if acc > base+0.01 {
+		t.Fatalf("padding should reduce the classifier to the base rate: acc %v base %v", acc, base)
+	}
+}
+
+func TestBurstClassifierSurvivesPadding(t *testing.T) {
+	rng := stats.NewRNG(3)
+	obs, labels := synthCapture(rng, 10, 8, 400, 1400)
+	for i := range obs {
+		obs[i].Size = PadTo(obs[i].Size, 1400) // sizes hidden
+	}
+	c := BurstClassifier{Gap: 1e-3, MinRun: 3}
+	pred := c.ClassifyAll(obs)
+	if acc := AccuracyAll(pred, labels); acc < 0.95 {
+		t.Fatalf("timing bursts should still identify I-frames: accuracy %v", acc)
+	}
+}
+
+func TestTrainSizeClassifierErrors(t *testing.T) {
+	if _, err := TrainSizeClassifier(nil, nil); err == nil {
+		t.Fatal("empty input should fail")
+	}
+	if _, err := TrainSizeClassifier(make([]Observation, 2), make([]bool, 3)); err == nil {
+		t.Fatal("length mismatch should fail")
+	}
+}
+
+func TestBaseRate(t *testing.T) {
+	if BaseRate([]bool{true, true, false}) != 2.0/3 {
+		t.Fatal("majority-I base rate wrong")
+	}
+	if BaseRate([]bool{true, false, false, false}) != 0.75 {
+		t.Fatal("majority-P base rate wrong")
+	}
+	if BaseRate(nil) != 0 {
+		t.Fatal("empty base rate should be 0")
+	}
+}
+
+func TestPadTo(t *testing.T) {
+	if PadTo(100, 1400) != 1400 || PadTo(1400, 1400) != 1400 || PadTo(1500, 1400) != 1500 {
+		t.Fatal("PadTo wrong")
+	}
+}
+
+func TestAccuracyEdgeCases(t *testing.T) {
+	if Accuracy(SizeClassifier{}, nil, nil) != 0 {
+		t.Fatal("empty accuracy should be 0")
+	}
+	if AccuracyAll([]bool{true}, []bool{true, false}) != 0 {
+		t.Fatal("mismatched AccuracyAll should be 0")
+	}
+}
+
+func TestTrainSizeClassifierAllOneClass(t *testing.T) {
+	obs := []Observation{{Size: 100}, {Size: 200}, {Size: 300}}
+	labels := []bool{false, false, false}
+	c, err := TrainSizeClassifier(obs, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := Accuracy(c, obs, labels); acc != 1 {
+		t.Fatalf("single-class training should be perfect, got %v", acc)
+	}
+}

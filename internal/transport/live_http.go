@@ -1,0 +1,227 @@
+package transport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/codec"
+	"repro/internal/netem"
+	"repro/internal/vcrypt"
+)
+
+// HTTP/TCP transfer mode (Section 6.4). The upload body is a sequence of
+// segments, each carrying the encrypted-flag in its header — the paper's
+// "Marker bit in the option header" moved into an application framing
+// header, which is equivalent for the receiver's decrypt-or-not decision:
+//
+//	flags(1) | seq(8, big endian) | length(4) | payload
+//
+// The eavesdropper overhears the TCP stream on the WiFi channel; the
+// server exposes a Tap so a capture pipeline with its own loss filter can
+// be attached, standing in for tcpdump on the open network.
+
+const segmentHeaderSize = 1 + 8 + 4
+
+const flagEncrypted = 0x01
+
+// WriteSegment frames one payload.
+func WriteSegment(w io.Writer, seq uint64, encrypted bool, payload []byte) error {
+	var hdr [segmentHeaderSize]byte
+	if encrypted {
+		hdr[0] = flagEncrypted
+	}
+	binary.BigEndian.PutUint64(hdr[1:9], seq)
+	binary.BigEndian.PutUint32(hdr[9:13], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadSegment parses one framed segment.
+func ReadSegment(r io.Reader) (seq uint64, encrypted bool, payload []byte, err error) {
+	var hdr [segmentHeaderSize]byte
+	if _, err = io.ReadFull(r, hdr[:]); err != nil {
+		return 0, false, nil, err
+	}
+	encrypted = hdr[0]&flagEncrypted != 0
+	seq = binary.BigEndian.Uint64(hdr[1:9])
+	n := binary.BigEndian.Uint32(hdr[9:13])
+	if n > 1<<24 {
+		return 0, false, nil, fmt.Errorf("transport: implausible segment of %d bytes", n)
+	}
+	payload = make([]byte, n)
+	if _, err = io.ReadFull(r, payload); err != nil {
+		return 0, false, nil, err
+	}
+	return seq, encrypted, payload, nil
+}
+
+// HTTPUploadServer receives video uploads, decrypts marked segments and
+// reassembles the clip, playing the commercial-upload-endpoint role of
+// Section 6.4.
+type HTTPUploadServer struct {
+	cfg    codec.Config
+	cipher *vcrypt.Cipher
+
+	// HeaderOnlyBytes mirrors the sender's Policy.HeaderOnlyBytes
+	// (0 = whole payload is encrypted). Set before serving.
+	HeaderOnlyBytes int
+
+	mu       sync.Mutex
+	asm      *codec.Reassembler
+	segments int
+
+	// Tap, when non-nil, sees every segment exactly as it crossed the
+	// wire (still encrypted), emulating a radio capture of the TCP
+	// stream.
+	Tap func(seq uint64, encrypted bool, payload []byte)
+}
+
+// NewHTTPUploadServer builds the handler state.
+func NewHTTPUploadServer(cfg codec.Config, alg vcrypt.Algorithm, key []byte) (*HTTPUploadServer, error) {
+	asm, err := codec.NewReassembler(cfg)
+	if err != nil {
+		return nil, err
+	}
+	cipher, err := vcrypt.NewCipher(alg, key)
+	if err != nil {
+		return nil, err
+	}
+	return &HTTPUploadServer{cfg: cfg, cipher: cipher, asm: asm}, nil
+}
+
+// ServeHTTP implements http.Handler for POST /upload.
+func (s *HTTPUploadServer) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	br := bufio.NewReader(req.Body)
+	count := 0
+	for {
+		seq, encrypted, payload, err := ReadSegment(br)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if s.Tap != nil {
+			tapCopy := append([]byte(nil), payload...)
+			s.Tap(seq, encrypted, tapCopy)
+		}
+		if encrypted {
+			span := len(payload)
+			if s.HeaderOnlyBytes > 0 && s.HeaderOnlyBytes < span {
+				span = s.HeaderOnlyBytes
+			}
+			s.cipher.DecryptPacket(seq, payload[:span])
+		}
+		s.mu.Lock()
+		if err := s.asm.Add(payload); err == nil {
+			count++
+		}
+		s.segments++
+		s.mu.Unlock()
+	}
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintf(w, "ok %d\n", count)
+}
+
+// Frames returns the reassembled clip.
+func (s *HTTPUploadServer) Frames(total int) []*codec.EncodedFrame {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.asm.Frames(total)
+}
+
+// Segments returns how many segments arrived.
+func (s *HTTPUploadServer) Segments() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.segments
+}
+
+// HTTPUploadReport summarises a live HTTP upload.
+type HTTPUploadReport struct {
+	Segments  int
+	Encrypted int
+	Bytes     int
+	Elapsed   time.Duration
+}
+
+// LiveHTTPUpload streams the session to the server URL as one POST,
+// optionally pacing the body through a netem.Pacer to emulate the WiFi
+// bottleneck.
+func LiveHTTPUpload(s Session, url string, pacer *netem.Pacer) (HTTPUploadReport, error) {
+	var rep HTTPUploadReport
+	if err := s.Validate(); err != nil {
+		return rep, err
+	}
+	cipher, err := vcrypt.NewCipher(s.Policy.Alg, s.Key)
+	if err != nil {
+		return rep, err
+	}
+	selector, err := vcrypt.NewSelector(s.Policy)
+	if err != nil {
+		return rep, err
+	}
+	pr, pw := io.Pipe()
+	start := time.Now()
+	errCh := make(chan error, 1)
+	go func() {
+		defer pw.Close()
+		seq := uint64(0)
+		for _, ef := range s.Encoded {
+			pkts, err := codec.Packetize(ef, s.MTU)
+			if err != nil {
+				errCh <- err
+				pw.CloseWithError(err)
+				return
+			}
+			for _, pkt := range pkts {
+				payload := append([]byte(nil), pkt.Payload...)
+				encrypted := selector.ShouldEncrypt(pkt.IsIFrame())
+				if encrypted {
+					cipher.EncryptPacket(seq, payload[:s.Policy.EncryptSpan(len(payload))])
+					rep.Encrypted++
+				}
+				if pacer != nil {
+					pacer.Wait(segmentHeaderSize + len(payload))
+				}
+				if err := WriteSegment(pw, seq, encrypted, payload); err != nil {
+					errCh <- err
+					return
+				}
+				rep.Segments++
+				rep.Bytes += segmentHeaderSize + len(payload)
+				seq++
+			}
+		}
+		errCh <- nil
+	}()
+	resp, err := http.Post(url, "application/octet-stream", pr)
+	if err != nil {
+		return rep, err
+	}
+	defer resp.Body.Close()
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		return rep, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return rep, fmt.Errorf("transport: upload failed with status %s", resp.Status)
+	}
+	if err := <-errCh; err != nil {
+		return rep, err
+	}
+	rep.Elapsed = time.Since(start)
+	return rep, nil
+}

@@ -1,0 +1,224 @@
+package transport
+
+import (
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/codec"
+	"repro/internal/evalvid"
+	"repro/internal/netem"
+	"repro/internal/vcrypt"
+	"repro/internal/video"
+)
+
+func TestLiveUDPEndToEnd(t *testing.T) {
+	pol := vcrypt.Policy{Mode: vcrypt.ModeIFrames, Alg: vcrypt.AES256}
+	s, clip := testSession(t, video.MotionLow, pol)
+	rx, err := NewLiveReceiver(s.Config, pol.Alg, s.Key, "127.0.0.1:0", 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rx.Close()
+	ev, err := NewLiveReceiver(s.Config, pol.Alg, nil, "127.0.0.1:0", 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ev.Close()
+
+	rep, err := LiveUDPSend(s, rx.Addr(), ev.Addr(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Packets == 0 || rep.Encrypted == 0 {
+		t.Fatalf("send report %+v", rep)
+	}
+	if err := rx.WaitForPackets(rep.Packets, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := ev.WaitForPackets(rep.Packets, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	rxFrames := rx.Frames(len(s.Encoded))
+	rxClip, err := codec.DecodeSequence(rxFrames, s.Config)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := evalvid.Evaluate(clip, rxClip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.PSNR < 30 {
+		t.Fatalf("live receiver PSNR %.1f", q.PSNR)
+	}
+
+	evClip, _ := codec.DecodeSequence(ev.Frames(len(s.Encoded)), s.Config)
+	qe, _ := evalvid.Evaluate(clip, evClip)
+	if qe.PSNR > q.PSNR-8 {
+		t.Fatalf("live eavesdropper too sharp: %.1f vs %.1f", qe.PSNR, q.PSNR)
+	}
+	// The eavesdropper captured everything but could use only plaintext.
+	captured, usable := ev.Stats()
+	if captured != rep.Packets {
+		t.Fatalf("eavesdropper captured %d of %d", captured, rep.Packets)
+	}
+	if usable != rep.Packets-rep.Encrypted {
+		t.Fatalf("eavesdropper used %d, want %d", usable, rep.Packets-rep.Encrypted)
+	}
+}
+
+func TestLiveUDPWithLossFilter(t *testing.T) {
+	pol := vcrypt.Policy{Mode: vcrypt.ModeNone, Alg: vcrypt.AES128}
+	s, _ := testSession(t, video.MotionLow, pol)
+	rx, err := NewLiveReceiver(s.Config, pol.Alg, s.Key, "127.0.0.1:0", 0.3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rx.Close()
+	rep, err := LiveUDPSend(s, rx.Addr(), "", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Give datagrams time to land, then confirm the filter dropped some.
+	time.Sleep(200 * time.Millisecond)
+	captured, _ := rx.Stats()
+	if captured >= rep.Packets {
+		t.Fatalf("loss filter passed everything (%d of %d)", captured, rep.Packets)
+	}
+}
+
+func TestLiveUDPPacing(t *testing.T) {
+	pol := vcrypt.Policy{Mode: vcrypt.ModeNone, Alg: vcrypt.AES128}
+	s, _ := testSession(t, video.MotionLow, pol)
+	s.Encoded = s.Encoded[:6]
+	s.FPS = 60
+	rx, err := NewLiveReceiver(s.Config, pol.Alg, s.Key, "127.0.0.1:0", 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rx.Close()
+	rep, err := LiveUDPSend(s, rx.Addr(), "", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 6 frames at 60 fps: at least 5 inter-frame gaps ~ 83 ms.
+	if rep.Elapsed < 80*time.Millisecond {
+		t.Fatalf("paced send finished too fast: %v", rep.Elapsed)
+	}
+}
+
+func TestLiveHTTPUpload(t *testing.T) {
+	pol := vcrypt.Policy{Mode: vcrypt.ModeIPlusFracP, FracP: 0.2, Alg: vcrypt.AES256}
+	s, clip := testSession(t, video.MotionMedium, pol)
+	srv, err := NewHTTPUploadServer(s.Config, pol.Alg, s.Key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var tapped, tappedEnc int
+	srv.Tap = func(seq uint64, encrypted bool, payload []byte) {
+		mu.Lock()
+		tapped++
+		if encrypted {
+			tappedEnc++
+		}
+		mu.Unlock()
+	}
+	hs := httptest.NewServer(srv)
+	defer hs.Close()
+
+	rep, err := LiveHTTPUpload(s, hs.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Segments == 0 || rep.Encrypted == 0 {
+		t.Fatalf("upload report %+v", rep)
+	}
+	if srv.Segments() != rep.Segments {
+		t.Fatalf("server saw %d segments, sender sent %d", srv.Segments(), rep.Segments)
+	}
+	mu.Lock()
+	if tapped != rep.Segments || tappedEnc != rep.Encrypted {
+		t.Fatalf("tap saw %d/%d, want %d/%d", tapped, tappedEnc, rep.Segments, rep.Encrypted)
+	}
+	mu.Unlock()
+
+	rxClip, err := codec.DecodeSequence(srv.Frames(len(s.Encoded)), s.Config)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := evalvid.Evaluate(clip, rxClip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.PSNR < 30 {
+		t.Fatalf("HTTP receiver PSNR %.1f", q.PSNR)
+	}
+}
+
+func TestLiveHTTPUploadPaced(t *testing.T) {
+	pol := vcrypt.Policy{Mode: vcrypt.ModeNone, Alg: vcrypt.AES128}
+	s, _ := testSession(t, video.MotionLow, pol)
+	s.Encoded = s.Encoded[:4]
+	srv, err := NewHTTPUploadServer(s.Config, pol.Alg, s.Key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv)
+	defer hs.Close()
+	// Total bytes of 4 low-motion frames is a few kB; a 50 kB/s pacer
+	// makes the upload take a measurable fraction of a second.
+	pacer, err := netem.NewPacer(50e3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := LiveHTTPUpload(s, hs.URL, pacer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	minTime := time.Duration(float64(rep.Bytes) / 50e3 * float64(time.Second) * 0.5)
+	if rep.Elapsed < minTime {
+		t.Fatalf("paced upload of %d bytes finished in %v (< %v)", rep.Bytes, rep.Elapsed, minTime)
+	}
+}
+
+func TestSegmentRoundTrip(t *testing.T) {
+	var buf syncBuffer
+	if err := WriteSegment(&buf, 77, true, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	seq, enc, payload, err := ReadSegment(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 77 || !enc || string(payload) != "hello" {
+		t.Fatalf("round trip got (%d, %v, %q)", seq, enc, payload)
+	}
+}
+
+// syncBuffer is a minimal in-memory io.ReadWriter for segment tests.
+type syncBuffer struct {
+	data []byte
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.data = append(b.data, p...)
+	return len(p), nil
+}
+
+func (b *syncBuffer) Read(p []byte) (int, error) {
+	if len(b.data) == 0 {
+		return 0, errEOF
+	}
+	n := copy(p, b.data)
+	b.data = b.data[n:]
+	return n, nil
+}
+
+var errEOF = errIO("EOF")
+
+type errIO string
+
+func (e errIO) Error() string { return string(e) }

@@ -1,0 +1,258 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/codec"
+	"repro/internal/netem"
+	"repro/internal/rtp"
+	"repro/internal/vcrypt"
+)
+
+// The live backend mirrors the simulated pipeline over real sockets: the
+// sender unicasts every RTP packet to the legitimate receiver and to the
+// eavesdropper's socket (standing in for the broadcast nature of open
+// WiFi, where tcpdump on a nearby device captures the same frames), each
+// endpoint applies its own netem loss filter, and only the receiver can
+// decrypt marked payloads.
+
+// LiveSendReport summarises a live transmission.
+type LiveSendReport struct {
+	Packets    int
+	Encrypted  int
+	Bytes      int
+	Elapsed    time.Duration
+	CryptoTime time.Duration // wall time spent inside the cipher
+}
+
+// LiveUDPSend streams the session's packets to the receiver and
+// eavesdropper addresses. With pace=true packets are released on the
+// frame-capture schedule (real-time streaming); otherwise back to back
+// (file upload).
+func LiveUDPSend(s Session, rxAddr, evAddr string, pace bool) (LiveSendReport, error) {
+	var rep LiveSendReport
+	if err := s.Validate(); err != nil {
+		return rep, err
+	}
+	cipher, err := vcrypt.NewCipher(s.Policy.Alg, s.Key)
+	if err != nil {
+		return rep, err
+	}
+	selector, err := vcrypt.NewSelector(s.Policy)
+	if err != nil {
+		return rep, err
+	}
+	rxConn, err := net.Dial("udp", rxAddr)
+	if err != nil {
+		return rep, fmt.Errorf("transport: dial receiver: %w", err)
+	}
+	defer rxConn.Close()
+	var evConn net.Conn
+	if evAddr != "" {
+		evConn, err = net.Dial("udp", evAddr)
+		if err != nil {
+			return rep, fmt.Errorf("transport: dial eavesdropper: %w", err)
+		}
+		defer evConn.Close()
+	}
+	seqr := rtp.NewSequencer(0x7561) // arbitrary SSRC
+	start := time.Now()
+	seq := 0
+	for fi, ef := range s.Encoded {
+		if pace {
+			due := start.Add(time.Duration(float64(fi) / s.FPS * float64(time.Second)))
+			if d := time.Until(due); d > 0 {
+				time.Sleep(d)
+			}
+		}
+		pkts, err := codec.Packetize(ef, s.MTU)
+		if err != nil {
+			return rep, err
+		}
+		for _, pkt := range pkts {
+			payload := append([]byte(nil), pkt.Payload...)
+			if s.PadToMTU && len(payload) < s.MTU {
+				payload = append(payload, make([]byte, s.MTU-len(payload))...)
+			}
+			encrypted := selector.ShouldEncrypt(pkt.IsIFrame())
+			if encrypted {
+				t0 := time.Now()
+				cipher.EncryptPacket(uint64(seq), payload[:s.Policy.EncryptSpan(len(payload))])
+				rep.CryptoTime += time.Since(t0)
+				rep.Encrypted++
+			}
+			out := seqr.Next(payload, float64(fi)/s.FPS, encrypted).Marshal()
+			if _, err := rxConn.Write(out); err != nil {
+				return rep, fmt.Errorf("transport: send to receiver: %w", err)
+			}
+			if evConn != nil {
+				// Broadcast overhear: the same datagram reaches the
+				// eavesdropper's capture socket.
+				if _, err := evConn.Write(out); err != nil {
+					return rep, fmt.Errorf("transport: send to eavesdropper: %w", err)
+				}
+			}
+			rep.Packets++
+			rep.Bytes += len(out)
+			seq++
+		}
+	}
+	rep.Elapsed = time.Since(start)
+	return rep, nil
+}
+
+// LiveReceiver captures RTP packets on a UDP socket, applies a loss
+// filter, decrypts marked payloads when it has the key (the legitimate
+// receiver) or discards them as erasures when it does not (the
+// eavesdropper), and reassembles frames.
+type LiveReceiver struct {
+	conn   *net.UDPConn
+	filter *netem.Filter
+	cipher *vcrypt.Cipher // nil for the eavesdropper
+
+	mu       sync.Mutex
+	asm      *codec.Reassembler
+	received int
+	captured int
+	closed   bool
+	done     chan struct{}
+	hdrOnly  int
+}
+
+// SetHeaderOnlyBytes tells the receiver the sender uses a header-only
+// policy encrypting just the first n bytes of each marked payload
+// (0 = whole payload). Must match the sender's Policy.HeaderOnlyBytes.
+func (r *LiveReceiver) SetHeaderOnlyBytes(n int) {
+	r.mu.Lock()
+	r.hdrOnly = n
+	r.mu.Unlock()
+}
+
+// NewLiveReceiver opens a listening socket. Pass a nil key to create an
+// eavesdropper (marked packets become erasures). addr may use port 0.
+func NewLiveReceiver(cfg codec.Config, alg vcrypt.Algorithm, key []byte, addr string, loss float64, seed uint64) (*LiveReceiver, error) {
+	asm, err := codec.NewReassembler(cfg)
+	if err != nil {
+		return nil, err
+	}
+	filter, err := netem.NewFilter(loss, seed)
+	if err != nil {
+		return nil, err
+	}
+	var cipher *vcrypt.Cipher
+	if key != nil {
+		cipher, err = vcrypt.NewCipher(alg, key)
+		if err != nil {
+			return nil, err
+		}
+	}
+	udpAddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := net.ListenUDP("udp", udpAddr)
+	if err != nil {
+		return nil, err
+	}
+	r := &LiveReceiver{conn: conn, filter: filter, cipher: cipher, asm: asm, done: make(chan struct{})}
+	go r.loop()
+	return r, nil
+}
+
+// Addr returns the bound address to hand to the sender.
+func (r *LiveReceiver) Addr() string { return r.conn.LocalAddr().String() }
+
+func (r *LiveReceiver) loop() {
+	defer close(r.done)
+	buf := make([]byte, 65536)
+	// rtpSeq tracks the RTP 16-bit sequence with epoch extension so the
+	// cipher IV matches the sender's 64-bit counter.
+	var epoch uint64
+	var lastSeq uint16
+	first := true
+	for {
+		n, _, err := r.conn.ReadFromUDP(buf)
+		if err != nil {
+			return
+		}
+		pkt, err := rtp.Parse(buf[:n])
+		if err != nil {
+			continue
+		}
+		if r.filter.Drop() {
+			continue
+		}
+		if !first && pkt.Sequence < lastSeq && lastSeq-pkt.Sequence > 32768 {
+			epoch += 1 << 16
+		}
+		lastSeq = pkt.Sequence
+		first = false
+		seq64 := epoch | uint64(pkt.Sequence)
+		payload := append([]byte(nil), pkt.Payload...)
+		r.mu.Lock()
+		r.captured++
+		if pkt.Encrypted() {
+			if r.cipher == nil {
+				r.mu.Unlock()
+				continue // eavesdropper: erasure
+			}
+			span := len(payload)
+			if r.hdrOnly > 0 && r.hdrOnly < span {
+				span = r.hdrOnly
+			}
+			r.cipher.DecryptPacket(seq64, payload[:span])
+		}
+		if err := r.asm.Add(payload); err == nil {
+			r.received++
+		}
+		r.mu.Unlock()
+	}
+}
+
+// WaitForPackets blocks until the receiver has captured at least n
+// packets or the timeout elapses.
+func (r *LiveReceiver) WaitForPackets(n int, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		r.mu.Lock()
+		got := r.captured
+		r.mu.Unlock()
+		if got >= n {
+			return nil
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return errors.New("transport: timed out waiting for packets")
+}
+
+// Frames returns the reassembled (possibly partial) encoded frames.
+func (r *LiveReceiver) Frames(total int) []*codec.EncodedFrame {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.asm.Frames(total)
+}
+
+// Stats returns (captured, usable) packet counts.
+func (r *LiveReceiver) Stats() (captured, usable int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.captured, r.received
+}
+
+// Close shuts the socket down.
+func (r *LiveReceiver) Close() error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil
+	}
+	r.closed = true
+	r.mu.Unlock()
+	err := r.conn.Close()
+	<-r.done
+	return err
+}

@@ -1,0 +1,184 @@
+// Package transport implements the sender/receiver/eavesdropper pipeline
+// of Fig. 3: the producer reads video segments into a queue, the consumer
+// applies the encryption policy and hands packets to the network, the
+// legitimate receiver decrypts marked packets and reconstructs the clip,
+// and the eavesdropper overhears the broadcast medium but can only use
+// plaintext packets.
+//
+// Two backends are provided. The simulated backend (RunUDP, RunHTTP) runs
+// the whole pipeline in virtual time against the 802.11 medium model and
+// the device energy/crypto model — this is the "testbed" that regenerates
+// the paper's figures quickly and deterministically, with real ciphers
+// garbling real bitstreams. The live backend (LiveUDP*, LiveHTTP*) moves
+// the same packets over real sockets for the runnable examples and the
+// CLI.
+package transport
+
+import (
+	"fmt"
+
+	"repro/internal/audio"
+	"repro/internal/codec"
+	"repro/internal/energy"
+	"repro/internal/stats"
+	"repro/internal/vcrypt"
+	"repro/internal/wifi"
+)
+
+// Session describes one video transfer experiment.
+type Session struct {
+	// Codec configuration of the encoded clip.
+	Config codec.Config
+	// Encoded clip (the producer's input).
+	Encoded []*codec.EncodedFrame
+	// FPS is the capture/playout rate (the paper's clips run at 30).
+	FPS float64
+	// MTU bounds packet payloads (1400 matches the testbed's WiFi MTU
+	// after headers).
+	MTU int
+	// Policy is the encryption policy under test.
+	Policy vcrypt.Policy
+	// Key is the pre-established symmetric key (Section 3).
+	Key []byte
+	// Device provides crypto timing and power.
+	Device energy.Profile
+	// Medium is the shared 802.11 channel (simulated backend).
+	Medium *wifi.Medium
+	// Audio, when non-nil, muxes an always-encrypted audio track into the
+	// stream (the paper's Section 3 expectation that audio is cheap
+	// enough to encrypt entirely; simulated backend only).
+	Audio *audio.Track
+	// DiskReadGap is the time between successive packet reads of one
+	// frame from storage into the queue (the producer thread of Fig. 3);
+	// it shapes the within-burst interarrival times of the 2-MMPP.
+	DiskReadGap float64
+	// PadToMTU pads every payload to the MTU before (any) encryption —
+	// the traffic-analysis countermeasure of Section 3 that hides the
+	// I/P size signature from a passive observer (internal/traffic). The
+	// slice format ignores trailing padding, so only the wire size, the
+	// crypto cost and the airtime change.
+	PadToMTU bool
+	// Unpaced switches from real-time streaming (packets released on the
+	// frame-capture schedule) to an as-fast-as-possible file upload: the
+	// producer reads the whole clip back to back, so the pipeline is
+	// busy end to end. The paper's power measurements ride on this mode
+	// (the CPU is pegged for the duration of the transfer); its delay
+	// figures use the paced mode (a stable queue, which is what the
+	// 2-MMPP/G/1 model describes).
+	Unpaced bool
+}
+
+// Validate checks the session.
+func (s Session) Validate() error {
+	if err := s.Config.Validate(); err != nil {
+		return err
+	}
+	if len(s.Encoded) == 0 {
+		return fmt.Errorf("transport: empty clip")
+	}
+	if s.FPS <= 0 {
+		return fmt.Errorf("transport: FPS %g", s.FPS)
+	}
+	if s.MTU < 64 {
+		return fmt.Errorf("transport: MTU %d too small", s.MTU)
+	}
+	if err := s.Policy.Validate(); err != nil {
+		return err
+	}
+	if len(s.Key) != s.Policy.Alg.KeySize() {
+		return fmt.Errorf("transport: key size %d does not match %v", len(s.Key), s.Policy.Alg)
+	}
+	if s.DiskReadGap < 0 {
+		return fmt.Errorf("transport: negative disk read gap")
+	}
+	return nil
+}
+
+// DefaultDiskReadGap is the default producer gap between packets of one
+// frame (50 us: flash-storage page reads plus queue bookkeeping).
+const DefaultDiskReadGap = 50e-6
+
+// PacketRecord traces one packet through the pipeline, the per-packet
+// measurements the paper extracts from its instrumented app plus tcpdump.
+type PacketRecord struct {
+	Seq         int
+	FrameNumber int
+	IFrame      bool
+	Audio       bool
+	Encrypted   bool
+	Size        int // payload bytes
+
+	Arrival      float64 // enqueued by the producer
+	ServiceStart float64 // consumer picked it up
+	Departure    float64 // cleared the channel
+
+	EncryptTime float64
+	Backoff     float64
+	Airtime     float64
+	Attempts    int
+
+	ReceiverGot bool
+	EavesGot    bool // captured by the eavesdropper (may still be useless if encrypted)
+}
+
+// Wait returns the queueing delay (Eq. 19's W).
+func (r PacketRecord) Wait() float64 { return r.ServiceStart - r.Arrival }
+
+// Sojourn returns the total per-packet delay the figures report.
+func (r PacketRecord) Sojourn() float64 { return r.Departure - r.Arrival }
+
+// Result of a transfer run.
+type Result struct {
+	Records  []PacketRecord
+	Duration float64 // stream duration (last departure vs playout end)
+
+	MeanWait    float64
+	MeanSojourn float64
+	MeanService float64
+
+	// Receiver and eavesdropper reconstructions (encoded domain; decode
+	// with codec.DecodeSequence).
+	ReceiverFrames []*codec.EncodedFrame
+	EavesFrames    []*codec.EncodedFrame
+
+	// Fractions for calibration/bookkeeping.
+	EncryptedFraction float64
+	ReceiverLossRate  float64
+
+	// Audio reconstructions when the session carries a track (frames
+	// with nil Data were lost or, at the eavesdropper, encrypted).
+	ReceiverAudio []audio.Frame
+	EavesAudio    []audio.Frame
+
+	// Energy integrated over Duration.
+	AveragePowerW float64
+	EnergyJ       float64
+}
+
+// SojournPercentile returns the p-quantile (0..1) of the per-packet
+// sojourn times — the tail-latency view a playout buffer cares about.
+func (r *Result) SojournPercentile(p float64) float64 {
+	if len(r.Records) == 0 {
+		return 0
+	}
+	xs := make([]float64, len(r.Records))
+	for i, rec := range r.Records {
+		xs[i] = rec.Sojourn()
+	}
+	return stats.Percentile(xs, p)
+}
+
+// Goodput returns the application bytes per second the receiver actually
+// obtained over the stream duration.
+func (r *Result) Goodput() float64 {
+	if r.Duration <= 0 {
+		return 0
+	}
+	var bytes int
+	for _, rec := range r.Records {
+		if rec.ReceiverGot {
+			bytes += rec.Size
+		}
+	}
+	return float64(bytes) / r.Duration
+}

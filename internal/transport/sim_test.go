@@ -1,0 +1,252 @@
+package transport
+
+import (
+	"testing"
+
+	"repro/internal/codec"
+	"repro/internal/energy"
+	"repro/internal/evalvid"
+	"repro/internal/stats"
+	"repro/internal/vcrypt"
+	"repro/internal/video"
+	"repro/internal/wifi"
+)
+
+// testMedium builds a deterministic medium with mild contention.
+func testMedium(t *testing.T, seed uint64) *wifi.Medium {
+	t.Helper()
+	params := wifi.NewDefaultDCF(6)
+	dcf, err := wifi.SolveDCF(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phy := wifi.PHY80211g()
+	med := wifi.NewMedium(phy, wifi.Rate54, dcf, wifi.BackoffRate(params, dcf, phy.SlotTime), stats.NewRNG(seed))
+	med.ReceiverError = 0.02
+	med.EavesdropperError = 0.05
+	return med
+}
+
+// testSession encodes a small clip and builds a session around it.
+func testSession(t *testing.T, motion video.MotionLevel, policy vcrypt.Policy) (Session, []*video.Frame) {
+	t.Helper()
+	clip := video.Generate(video.SceneConfig{W: 96, H: 96, Frames: 24, Motion: motion, Seed: 5})
+	cfg := codec.Config{Width: 96, Height: 96, GOPSize: 12, QI: 8, QP: 10, SearchRange: 16}
+	encoded, err := codec.EncodeSequence(clip, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := make([]byte, policy.Alg.KeySize())
+	for i := range key {
+		key[i] = byte(i)
+	}
+	return Session{
+		Config:  cfg,
+		Encoded: encoded,
+		FPS:     30,
+		MTU:     1400,
+		Policy:  policy,
+		Key:     key,
+		Device:  energy.SamsungGalaxySII(),
+		Medium:  testMedium(t, 99),
+	}, clip
+}
+
+func TestRunUDPCleanPolicyNone(t *testing.T) {
+	s, clip := testSession(t, video.MotionMedium, vcrypt.Policy{Mode: vcrypt.ModeNone, Alg: vcrypt.AES256})
+	s.Medium.ReceiverError = 0
+	s.Medium.EavesdropperError = 0
+	res, err := RunUDP(s, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EncryptedFraction != 0 {
+		t.Fatalf("none policy encrypted %v of packets", res.EncryptedFraction)
+	}
+	rx, err := codec.DecodeSequence(res.ReceiverFrames, s.Config)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := evalvid.Evaluate(clip, rx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.PSNR < 30 {
+		t.Fatalf("clean receiver PSNR %.1f too low", q.PSNR)
+	}
+	// With no encryption the eavesdropper sees the same quality.
+	ev, _ := codec.DecodeSequence(res.EavesFrames, s.Config)
+	qe, _ := evalvid.Evaluate(clip, ev)
+	if qe.PSNR < q.PSNR-1 {
+		t.Fatalf("eavesdropper (%v dB) should match receiver (%v dB) without encryption", qe.PSNR, q.PSNR)
+	}
+}
+
+func TestRunUDPEncryptAllBlindsEavesdropper(t *testing.T) {
+	s, clip := testSession(t, video.MotionMedium, vcrypt.Policy{Mode: vcrypt.ModeAll, Alg: vcrypt.AES256})
+	res, err := RunUDP(s, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EncryptedFraction != 1 {
+		t.Fatalf("all policy encrypted only %v", res.EncryptedFraction)
+	}
+	// Receiver still fine (decrypts everything it got).
+	rx, _ := codec.DecodeSequence(res.ReceiverFrames, s.Config)
+	q, _ := evalvid.Evaluate(clip, rx)
+	if q.PSNR < 28 {
+		t.Fatalf("receiver PSNR %.1f too low", q.PSNR)
+	}
+	// Eavesdropper got nothing usable: all frames nil.
+	for i, ef := range res.EavesFrames {
+		if ef != nil {
+			t.Fatalf("eavesdropper reassembled frame %d despite full encryption", i)
+		}
+	}
+	ev, _ := codec.DecodeSequence(res.EavesFrames, s.Config)
+	qe, _ := evalvid.Evaluate(clip, ev)
+	if qe.PSNR > 20 {
+		t.Fatalf("eavesdropper PSNR %.1f should be rock bottom", qe.PSNR)
+	}
+}
+
+func TestRunUDPIFramePolicyDistortsEavesdropper(t *testing.T) {
+	pol := vcrypt.Policy{Mode: vcrypt.ModeIFrames, Alg: vcrypt.AES256}
+	s, clip := testSession(t, video.MotionLow, pol)
+	// Clean receiver channel so the comparison isolates the encryption
+	// effect rather than channel luck on a short clip.
+	s.Medium.ReceiverError = 0
+	res, err := RunUDP(s, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rx, _ := codec.DecodeSequence(res.ReceiverFrames, s.Config)
+	qr, _ := evalvid.Evaluate(clip, rx)
+	ev, _ := codec.DecodeSequence(res.EavesFrames, s.Config)
+	qe, _ := evalvid.Evaluate(clip, ev)
+	if qe.PSNR > qr.PSNR-8 {
+		t.Fatalf("I-frame encryption should crush eavesdropper quality: rx %.1f vs eav %.1f", qr.PSNR, qe.PSNR)
+	}
+	// The realised encrypted fraction equals the clip's I-packet share.
+	st, _ := codec.AnalyzeClip(s.Encoded, s.Config, s.MTU)
+	if diff := res.EncryptedFraction - st.IFraction; diff > 0.02 || diff < -0.02 {
+		t.Fatalf("encrypted fraction %v vs I share %v", res.EncryptedFraction, st.IFraction)
+	}
+}
+
+func TestRunUDPDelayOrderingAcrossPolicies(t *testing.T) {
+	delays := map[string]float64{}
+	powers := map[string]float64{}
+	for _, mode := range []vcrypt.Mode{vcrypt.ModeNone, vcrypt.ModeIFrames, vcrypt.ModePFrames, vcrypt.ModeAll} {
+		pol := vcrypt.Policy{Mode: mode, Alg: vcrypt.TripleDES}
+		s, _ := testSession(t, video.MotionHigh, pol)
+		res, err := RunUDP(s, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		delays[mode.String()] = res.MeanSojourn
+		powers[mode.String()] = res.AveragePowerW
+	}
+	if !(delays["none"] < delays["I"] && delays["I"] < delays["P"] && delays["P"] <= delays["all"]) {
+		t.Fatalf("delay ordering violated: %v", delays)
+	}
+	if !(powers["none"] < powers["I"] && powers["I"] < powers["P"] && powers["P"] <= powers["all"]) {
+		t.Fatalf("power ordering violated: %v", powers)
+	}
+}
+
+func TestRunHTTPReliableAndSlower(t *testing.T) {
+	pol := vcrypt.Policy{Mode: vcrypt.ModeIFrames, Alg: vcrypt.AES256}
+	s, clip := testSession(t, video.MotionMedium, pol)
+	s.Medium.ReceiverError = 0.08
+	udp, err := RunUDP(s, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, _ := testSession(t, video.MotionMedium, pol)
+	s2.Medium.ReceiverError = 0.08
+	tcp, err := RunHTTP(s2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tcp.MeanSojourn <= udp.MeanSojourn {
+		t.Fatalf("TCP (%v) should be slower than UDP (%v)", tcp.MeanSojourn, udp.MeanSojourn)
+	}
+	// TCP delivery is lossless for the receiver.
+	for i, r := range tcp.Records {
+		if !r.ReceiverGot {
+			t.Fatalf("TCP packet %d not delivered", i)
+		}
+	}
+	rx, _ := codec.DecodeSequence(tcp.ReceiverFrames, s2.Config)
+	q, _ := evalvid.Evaluate(clip, rx)
+	if q.PSNR < 30 {
+		t.Fatalf("TCP receiver PSNR %.1f", q.PSNR)
+	}
+}
+
+func TestRunUDPDeterministicBySeed(t *testing.T) {
+	pol := vcrypt.Policy{Mode: vcrypt.ModeIFrames, Alg: vcrypt.AES128}
+	s, _ := testSession(t, video.MotionLow, pol)
+	a, err := RunUDP(s, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, _ := testSession(t, video.MotionLow, pol)
+	b, err := RunUDP(s2, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MeanSojourn != b.MeanSojourn || a.ReceiverLossRate != b.ReceiverLossRate {
+		t.Fatal("identical seeds must reproduce identical runs")
+	}
+	c, _ := RunUDP(s, 43)
+	if a.MeanSojourn == c.MeanSojourn && a.ReceiverLossRate == c.ReceiverLossRate {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestSessionValidation(t *testing.T) {
+	pol := vcrypt.Policy{Mode: vcrypt.ModeNone, Alg: vcrypt.AES128}
+	s, _ := testSession(t, video.MotionLow, pol)
+	bad := s
+	bad.FPS = 0
+	if _, err := RunUDP(bad, 1); err == nil {
+		t.Fatal("zero FPS should fail")
+	}
+	bad = s
+	bad.Key = nil
+	if _, err := RunUDP(bad, 1); err == nil {
+		t.Fatal("missing key should fail")
+	}
+	bad = s
+	bad.MTU = 1
+	if _, err := RunUDP(bad, 1); err == nil {
+		t.Fatal("tiny MTU should fail")
+	}
+	bad = s
+	bad.Medium = nil
+	if _, err := RunUDP(bad, 1); err == nil {
+		t.Fatal("missing medium should fail")
+	}
+	bad = s
+	bad.Encoded = nil
+	if _, err := RunUDP(bad, 1); err == nil {
+		t.Fatal("empty clip should fail")
+	}
+}
+
+func TestRunUDP3DESSlowerThanAES(t *testing.T) {
+	mk := func(alg vcrypt.Algorithm) float64 {
+		pol := vcrypt.Policy{Mode: vcrypt.ModeAll, Alg: alg}
+		s, _ := testSession(t, video.MotionMedium, pol)
+		res, err := RunUDP(s, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.MeanSojourn
+	}
+	if a, d := mk(vcrypt.AES256), mk(vcrypt.TripleDES); d <= a {
+		t.Fatalf("3DES (%v) should be slower than AES256 (%v)", d, a)
+	}
+}

@@ -1,0 +1,51 @@
+package transport
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteSenderTrace writes a per-packet sender trace in an EvalVid-like
+// plain-text format: seq, time the packet entered the queue, departure,
+// size, frame, class, encrypted flag.
+func WriteSenderTrace(w io.Writer, records []PacketRecord) error {
+	if _, err := fmt.Fprintln(w, "# seq arrival departure size frame class encrypted"); err != nil {
+		return err
+	}
+	for _, r := range records {
+		class := "P"
+		if r.IFrame {
+			class = "I"
+		}
+		enc := 0
+		if r.Encrypted {
+			enc = 1
+		}
+		if _, err := fmt.Fprintf(w, "%d %.9f %.9f %d %d %s %d\n",
+			r.Seq, r.Arrival, r.Departure, r.Size, r.FrameNumber, class, enc); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteReceiverTrace writes the delivery outcome per packet: seq,
+// departure time, received-by-receiver and captured-by-eavesdropper flags.
+func WriteReceiverTrace(w io.Writer, records []PacketRecord) error {
+	if _, err := fmt.Fprintln(w, "# seq departure receiver eavesdropper"); err != nil {
+		return err
+	}
+	for _, r := range records {
+		rx, ev := 0, 0
+		if r.ReceiverGot {
+			rx = 1
+		}
+		if r.EavesGot {
+			ev = 1
+		}
+		if _, err := fmt.Fprintf(w, "%d %.9f %d %d\n", r.Seq, r.Departure, rx, ev); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,48 @@
+package transport
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/vcrypt"
+	"repro/internal/video"
+)
+
+func TestTraceWriters(t *testing.T) {
+	pol := vcrypt.Policy{Mode: vcrypt.ModeIFrames, Alg: vcrypt.AES128}
+	s, _ := testSession(t, video.MotionLow, pol)
+	res, err := RunUDP(s, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snd bytes.Buffer
+	if err := WriteSenderTrace(&snd, res.Records); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(snd.String()), "\n")
+	if len(lines) != len(res.Records)+1 {
+		t.Fatalf("sender trace has %d lines for %d records", len(lines), len(res.Records))
+	}
+	if !strings.HasPrefix(lines[0], "# seq arrival") {
+		t.Fatalf("header wrong: %q", lines[0])
+	}
+	// Every data line has seven fields and class I or P.
+	for _, l := range lines[1:] {
+		fields := strings.Fields(l)
+		if len(fields) != 7 {
+			t.Fatalf("bad sender line %q", l)
+		}
+		if fields[5] != "I" && fields[5] != "P" {
+			t.Fatalf("bad class in %q", l)
+		}
+	}
+	var rcv bytes.Buffer
+	if err := WriteReceiverTrace(&rcv, res.Records); err != nil {
+		t.Fatal(err)
+	}
+	rl := strings.Split(strings.TrimSpace(rcv.String()), "\n")
+	if len(rl) != len(res.Records)+1 {
+		t.Fatalf("receiver trace has %d lines", len(rl))
+	}
+}

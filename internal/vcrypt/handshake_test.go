@@ -1,0 +1,105 @@
+package vcrypt
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestHandshakeAgreesOnKey(t *testing.T) {
+	alice, err := NewHandshake(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bob, err := NewHandshake(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range []Algorithm{AES128, AES256, TripleDES} {
+		ka, err := alice.SessionKey(bob.Public(), alg, "video")
+		if err != nil {
+			t.Fatal(err)
+		}
+		kb, err := bob.SessionKey(alice.Public(), alg, "video")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(ka, kb) {
+			t.Fatalf("%v: keys differ", alg)
+		}
+		if len(ka) != alg.KeySize() {
+			t.Fatalf("%v: key size %d", alg, len(ka))
+		}
+	}
+}
+
+func TestHandshakeContextSeparation(t *testing.T) {
+	alice, _ := NewHandshake(nil)
+	bob, _ := NewHandshake(nil)
+	k1, err := alice.SessionKey(bob.Public(), AES256, "video")
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := alice.SessionKey(bob.Public(), AES256, "audio")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(k1, k2) {
+		t.Fatal("different contexts must give independent keys")
+	}
+}
+
+func TestHandshakeDifferentPeersDiffer(t *testing.T) {
+	alice, _ := NewHandshake(nil)
+	bob, _ := NewHandshake(nil)
+	carol, _ := NewHandshake(nil)
+	kb, _ := alice.SessionKey(bob.Public(), AES128, "v")
+	kc, _ := alice.SessionKey(carol.Public(), AES128, "v")
+	if bytes.Equal(kb, kc) {
+		t.Fatal("sessions with different peers must have different keys")
+	}
+}
+
+func TestHandshakeRejectsGarbagePublic(t *testing.T) {
+	alice, _ := NewHandshake(nil)
+	if _, err := alice.SessionKey([]byte("not a point"), AES256, "v"); err == nil {
+		t.Fatal("bad public key should fail")
+	}
+	if _, err := alice.SessionKey(alice.Public(), Algorithm(9), "v"); err == nil {
+		t.Fatal("unknown algorithm should fail")
+	}
+}
+
+func TestHandshakeSessionCipherInterops(t *testing.T) {
+	alice, _ := NewHandshake(nil)
+	bob, _ := NewHandshake(nil)
+	ca, err := alice.SessionCipher(bob.Public(), AES256, "stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := bob.SessionCipher(alice.Public(), AES256, "stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("I-frame slice bytes")
+	orig := append([]byte(nil), payload...)
+	ca.EncryptPacket(5, payload)
+	cb.DecryptPacket(5, payload)
+	if !bytes.Equal(payload, orig) {
+		t.Fatal("handshake-derived ciphers do not interoperate")
+	}
+}
+
+func TestHKDFDeterministicAndLength(t *testing.T) {
+	a := hkdf([]byte("secret"), []byte("salt"), []byte("info"), 42)
+	b := hkdf([]byte("secret"), []byte("salt"), []byte("info"), 42)
+	if !bytes.Equal(a, b) {
+		t.Fatal("HKDF must be deterministic")
+	}
+	if len(a) != 42 {
+		t.Fatalf("length %d", len(a))
+	}
+	c := hkdf([]byte("secret"), []byte("salt"), []byte("other"), 42)
+	if bytes.Equal(a, c) {
+		t.Fatal("info must separate outputs")
+	}
+}

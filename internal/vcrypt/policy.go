@@ -1,0 +1,187 @@
+package vcrypt
+
+import (
+	"fmt"
+)
+
+// Mode is the packet-selection rule of an encryption policy: which subset
+// of a video flow's packets gets encrypted (Section 3, "selection policy").
+type Mode int
+
+// The selection rules evaluated in the paper.
+const (
+	// ModeNone transmits everything in the clear (no privacy, no cost).
+	ModeNone Mode = iota
+	// ModeAll encrypts every packet (full privacy, full cost).
+	ModeAll
+	// ModeIFrames encrypts only packets belonging to I-frames.
+	ModeIFrames
+	// ModePFrames encrypts only packets belonging to P-frames.
+	ModePFrames
+	// ModeIPlusFracP encrypts all I-frame packets plus a fraction alpha of
+	// the P-frame packets (the finer-control policy of Section 6.2 /
+	// Table 2).
+	ModeIPlusFracP
+	// ModeHalfI encrypts half of the I-frame packets (examined and
+	// rejected by the paper at the end of Section 6.2 — kept so the
+	// negative result is reproducible).
+	ModeHalfI
+)
+
+// String names the mode as in the paper's x-axis labels.
+func (m Mode) String() string {
+	switch m {
+	case ModeNone:
+		return "none"
+	case ModeAll:
+		return "all"
+	case ModeIFrames:
+		return "I"
+	case ModePFrames:
+		return "P"
+	case ModeIPlusFracP:
+		return "I+frac(P)"
+	case ModeHalfI:
+		return "half-I"
+	default:
+		return "unknown"
+	}
+}
+
+// Policy is a complete encryption policy P: the algorithm plus the packet
+// selection rule.
+type Policy struct {
+	Mode  Mode
+	Alg   Algorithm
+	FracP float64 // fraction of P packets for ModeIPlusFracP, in [0,1]
+
+	// HeaderOnlyBytes, when positive, encrypts only the first
+	// HeaderOnlyBytes of each selected packet instead of the whole
+	// payload — format-aware selective encryption in the spirit of
+	// Lookabaugh & Sicker [24]: garbling the slice header makes the
+	// whole packet undecodable, so the eavesdropper's distortion matches
+	// full-packet encryption at a fraction of the cipher cost. The tail
+	// bytes travel in the clear (they leak residual statistics, which is
+	// the classic trade-off of the technique). Must be at least
+	// MinHeaderOnlyBytes to guarantee the slice header is covered.
+	HeaderOnlyBytes int
+}
+
+// MinHeaderOnlyBytes is the smallest allowed header-only prefix: it
+// covers the slice header (four varints) plus the first macroblock's
+// length and leading coefficients with margin.
+const MinHeaderOnlyBytes = 24
+
+// Validate checks the policy.
+func (p Policy) Validate() error {
+	if p.Mode < ModeNone || p.Mode > ModeHalfI {
+		return fmt.Errorf("vcrypt: unknown mode %d", p.Mode)
+	}
+	if p.Mode == ModeIPlusFracP && (p.FracP < 0 || p.FracP > 1) {
+		return fmt.Errorf("vcrypt: FracP %g out of [0,1]", p.FracP)
+	}
+	if p.HeaderOnlyBytes != 0 && p.HeaderOnlyBytes < MinHeaderOnlyBytes {
+		return fmt.Errorf("vcrypt: HeaderOnlyBytes %d below minimum %d", p.HeaderOnlyBytes, MinHeaderOnlyBytes)
+	}
+	return nil
+}
+
+// EncryptSpan returns how many bytes of a payload of the given size the
+// policy encrypts when the packet is selected.
+func (p Policy) EncryptSpan(payloadSize int) int {
+	if p.HeaderOnlyBytes > 0 && p.HeaderOnlyBytes < payloadSize {
+		return p.HeaderOnlyBytes
+	}
+	return payloadSize
+}
+
+// Name renders the policy for tables ("I+20%P AES256").
+func (p Policy) Name() string {
+	if p.Mode == ModeIPlusFracP {
+		return fmt.Sprintf("I+%d%%P %v", int(p.FracP*100+0.5), p.Alg)
+	}
+	return fmt.Sprintf("%v %v", p.Mode, p.Alg)
+}
+
+// ClassProbabilities returns (encI, encP), the per-class encryption
+// selection probabilities the analytical service model consumes
+// (analytic.ServiceParams.EncI/EncP).
+func (p Policy) ClassProbabilities() (encI, encP float64) {
+	switch p.Mode {
+	case ModeNone:
+		return 0, 0
+	case ModeAll:
+		return 1, 1
+	case ModeIFrames:
+		return 1, 0
+	case ModePFrames:
+		return 0, 1
+	case ModeIPlusFracP:
+		return 1, p.FracP
+	case ModeHalfI:
+		return 0.5, 0
+	default:
+		return 0, 0
+	}
+}
+
+// Selector applies a policy to a packet stream deterministically: for
+// fractional rules it spreads the encrypted packets evenly (Bresenham-style
+// accumulation) instead of random sampling, so experiments are exactly
+// reproducible and the realised fraction matches alpha to within one
+// packet.
+type Selector struct {
+	policy Policy
+	accI   float64
+	accP   float64
+}
+
+// NewSelector builds a Selector; the policy must validate.
+func NewSelector(p Policy) (*Selector, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &Selector{policy: p}, nil
+}
+
+// Policy returns the selector's policy.
+func (s *Selector) Policy() Policy { return s.policy }
+
+// ShouldEncrypt decides whether the next packet of the given class is
+// encrypted under the policy.
+func (s *Selector) ShouldEncrypt(isIFrame bool) bool {
+	encI, encP := s.policy.ClassProbabilities()
+	if isIFrame {
+		return s.step(&s.accI, encI)
+	}
+	return s.step(&s.accP, encP)
+}
+
+func (s *Selector) step(acc *float64, frac float64) bool {
+	if frac <= 0 {
+		return false
+	}
+	if frac >= 1 {
+		return true
+	}
+	*acc += frac
+	if *acc >= 1 {
+		*acc--
+		return true
+	}
+	return false
+}
+
+// StandardPolicies returns the twelve policies of Section 6.1 (three
+// algorithms x four modes) in a stable order.
+func StandardPolicies() []Policy {
+	algs := []Algorithm{AES128, AES256, TripleDES}
+	modes := []Mode{ModeNone, ModeIFrames, ModePFrames, ModeAll}
+	var out []Policy
+	for _, a := range algs {
+		for _, m := range modes {
+			out = append(out, Policy{Mode: m, Alg: a})
+		}
+	}
+	return out
+}

@@ -1,0 +1,229 @@
+package vcrypt
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func testKey(alg Algorithm) []byte {
+	k := make([]byte, alg.KeySize())
+	for i := range k {
+		k[i] = byte(i*7 + 3)
+	}
+	return k
+}
+
+func TestCipherRoundTripAllAlgorithms(t *testing.T) {
+	for _, alg := range []Algorithm{AES128, AES256, TripleDES} {
+		c, err := NewCipher(alg, testKey(alg))
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		payload := []byte("the quick brown fox jumps over the lazy dog 0123456789")
+		orig := append([]byte(nil), payload...)
+		c.EncryptPacket(42, payload)
+		if bytes.Equal(payload, orig) {
+			t.Fatalf("%v: encryption left payload unchanged", alg)
+		}
+		c.DecryptPacket(42, payload)
+		if !bytes.Equal(payload, orig) {
+			t.Fatalf("%v: round trip failed", alg)
+		}
+	}
+}
+
+func TestCipherWrongKeySize(t *testing.T) {
+	if _, err := NewCipher(AES256, make([]byte, 16)); err == nil {
+		t.Fatal("short key should fail")
+	}
+	if _, err := NewCipher(TripleDES, make([]byte, 16)); err == nil {
+		t.Fatal("short 3DES key should fail")
+	}
+}
+
+func TestCipherSequenceBindsIV(t *testing.T) {
+	c, _ := NewCipher(AES128, testKey(AES128))
+	a := []byte("identical plaintext payload")
+	b := append([]byte(nil), a...)
+	c.EncryptPacket(1, a)
+	c.EncryptPacket(2, b)
+	if bytes.Equal(a, b) {
+		t.Fatal("different sequence numbers must give different ciphertexts")
+	}
+}
+
+func TestCipherWrongSeqGarbles(t *testing.T) {
+	c, _ := NewCipher(AES256, testKey(AES256))
+	payload := []byte("some packet payload bytes here")
+	orig := append([]byte(nil), payload...)
+	c.EncryptPacket(7, payload)
+	c.DecryptPacket(8, payload) // wrong sequence: stays garbled
+	if bytes.Equal(payload, orig) {
+		t.Fatal("decrypting with the wrong IV must not recover plaintext")
+	}
+}
+
+func TestCipherIndependentPackets(t *testing.T) {
+	// Corrupting one packet must not affect another (the reason the paper
+	// applies OFB per segment).
+	c, _ := NewCipher(AES128, testKey(AES128))
+	p1 := []byte("packet one payload")
+	p2 := []byte("packet two payload")
+	o2 := append([]byte(nil), p2...)
+	c.EncryptPacket(1, p1)
+	c.EncryptPacket(2, p2)
+	p1[0] ^= 0xFF // corruption in transit
+	c.DecryptPacket(2, p2)
+	if !bytes.Equal(p2, o2) {
+		t.Fatal("corruption propagated across packets")
+	}
+}
+
+func TestCipherRoundTripProperty(t *testing.T) {
+	c, _ := NewCipher(AES256, testKey(AES256))
+	f := func(seq uint64, payload []byte) bool {
+		if len(payload) == 0 {
+			return true
+		}
+		orig := append([]byte(nil), payload...)
+		c.EncryptPacket(seq, payload)
+		c.DecryptPacket(seq, payload)
+		return bytes.Equal(payload, orig)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlgorithmStrings(t *testing.T) {
+	if AES128.String() != "AES128" || AES256.String() != "AES256" ||
+		TripleDES.String() != "3DES" || Algorithm(9).String() != "unknown" {
+		t.Fatal("algorithm names wrong")
+	}
+	if Algorithm(9).KeySize() != 0 {
+		t.Fatal("unknown algorithm key size should be 0")
+	}
+	if _, err := NewCipher(Algorithm(9), nil); err == nil {
+		t.Fatal("unknown algorithm should fail")
+	}
+}
+
+func TestPolicyClassProbabilities(t *testing.T) {
+	cases := []struct {
+		p          Policy
+		encI, encP float64
+	}{
+		{Policy{Mode: ModeNone}, 0, 0},
+		{Policy{Mode: ModeAll}, 1, 1},
+		{Policy{Mode: ModeIFrames}, 1, 0},
+		{Policy{Mode: ModePFrames}, 0, 1},
+		{Policy{Mode: ModeIPlusFracP, FracP: 0.2}, 1, 0.2},
+		{Policy{Mode: ModeHalfI}, 0.5, 0},
+	}
+	for _, c := range cases {
+		i, p := c.p.ClassProbabilities()
+		if i != c.encI || p != c.encP {
+			t.Fatalf("%v: got (%v,%v) want (%v,%v)", c.p.Mode, i, p, c.encI, c.encP)
+		}
+	}
+}
+
+func TestPolicyValidate(t *testing.T) {
+	if err := (Policy{Mode: ModeIPlusFracP, FracP: 0.5}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Policy{Mode: ModeIPlusFracP, FracP: 1.5}).Validate(); err == nil {
+		t.Fatal("FracP > 1 should fail")
+	}
+	if err := (Policy{Mode: Mode(42)}).Validate(); err == nil {
+		t.Fatal("unknown mode should fail")
+	}
+}
+
+func TestSelectorFractionConverges(t *testing.T) {
+	sel, err := NewSelector(Policy{Mode: ModeIPlusFracP, FracP: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 10000
+	enc := 0
+	for i := 0; i < n; i++ {
+		if sel.ShouldEncrypt(false) {
+			enc++
+		}
+	}
+	if frac := float64(enc) / float64(n); math.Abs(frac-0.2) > 0.001 {
+		t.Fatalf("realised P fraction %v want 0.2", frac)
+	}
+	// All I packets encrypted under the same policy.
+	for i := 0; i < 100; i++ {
+		if !sel.ShouldEncrypt(true) {
+			t.Fatal("I packets must always be encrypted under I+fracP")
+		}
+	}
+}
+
+func TestSelectorExtremes(t *testing.T) {
+	none, _ := NewSelector(Policy{Mode: ModeNone})
+	all, _ := NewSelector(Policy{Mode: ModeAll})
+	for i := 0; i < 10; i++ {
+		if none.ShouldEncrypt(i%2 == 0) {
+			t.Fatal("none must never encrypt")
+		}
+		if !all.ShouldEncrypt(i%2 == 0) {
+			t.Fatal("all must always encrypt")
+		}
+	}
+}
+
+func TestSelectorHalfI(t *testing.T) {
+	sel, _ := NewSelector(Policy{Mode: ModeHalfI})
+	enc := 0
+	for i := 0; i < 1000; i++ {
+		if sel.ShouldEncrypt(true) {
+			enc++
+		}
+		if sel.ShouldEncrypt(false) {
+			t.Fatal("half-I must not encrypt P packets")
+		}
+	}
+	if enc != 500 {
+		t.Fatalf("half-I encrypted %d of 1000 I packets", enc)
+	}
+}
+
+func TestSelectorRejectsBadPolicy(t *testing.T) {
+	if _, err := NewSelector(Policy{Mode: ModeIPlusFracP, FracP: -1}); err == nil {
+		t.Fatal("bad policy should be rejected")
+	}
+}
+
+func TestStandardPolicies(t *testing.T) {
+	ps := StandardPolicies()
+	if len(ps) != 12 {
+		t.Fatalf("want 12 policies, got %d", len(ps))
+	}
+	seen := map[string]bool{}
+	for _, p := range ps {
+		if err := p.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if seen[p.Name()] {
+			t.Fatalf("duplicate policy %s", p.Name())
+		}
+		seen[p.Name()] = true
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	p := Policy{Mode: ModeIPlusFracP, FracP: 0.2, Alg: AES256}
+	if p.Name() != "I+20%P AES256" {
+		t.Fatalf("name = %q", p.Name())
+	}
+	q := Policy{Mode: ModeIFrames, Alg: TripleDES}
+	if q.Name() != "I 3DES" {
+		t.Fatalf("name = %q", q.Name())
+	}
+}

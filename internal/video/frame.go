@@ -1,0 +1,162 @@
+// Package video provides the raw-video substrate of the reproduction: YUV
+// 4:2:0 frames (the format of the paper's CIF reference clips), a
+// deterministic synthetic scene generator with tunable motion level
+// (replacing the tkn.tu-berlin.de YUV test sequences), an AForge-like
+// motion-level analyzer, and PGM/PPM dumping for the "screenshot" figures.
+package video
+
+import (
+	"fmt"
+	"io"
+	"math"
+)
+
+// CIF dimensions, the frame size used in all the paper's experiments
+// (Table 1).
+const (
+	CIFWidth  = 352
+	CIFHeight = 288
+)
+
+// Frame is a YUV 4:2:0 picture. Y has W*H samples; Cb and Cr have
+// (W/2)*(H/2) samples each. W and H must be even.
+type Frame struct {
+	W, H      int
+	Y, Cb, Cr []byte
+}
+
+// NewFrame allocates a zeroed (black, neutral chroma) frame.
+func NewFrame(w, h int) *Frame {
+	if w <= 0 || h <= 0 || w%2 != 0 || h%2 != 0 {
+		panic(fmt.Sprintf("video: invalid frame size %dx%d", w, h))
+	}
+	f := &Frame{
+		W: w, H: h,
+		Y:  make([]byte, w*h),
+		Cb: make([]byte, w*h/4),
+		Cr: make([]byte, w*h/4),
+	}
+	for i := range f.Cb {
+		f.Cb[i] = 128
+		f.Cr[i] = 128
+	}
+	return f
+}
+
+// Clone returns a deep copy.
+func (f *Frame) Clone() *Frame {
+	c := &Frame{W: f.W, H: f.H,
+		Y:  append([]byte(nil), f.Y...),
+		Cb: append([]byte(nil), f.Cb...),
+		Cr: append([]byte(nil), f.Cr...),
+	}
+	return c
+}
+
+// SameSize reports whether g has the same dimensions.
+func (f *Frame) SameSize(g *Frame) bool { return f.W == g.W && f.H == g.H }
+
+// LumaAt returns the luma sample at (x, y) with edge clamping.
+func (f *Frame) LumaAt(x, y int) byte {
+	if x < 0 {
+		x = 0
+	}
+	if x >= f.W {
+		x = f.W - 1
+	}
+	if y < 0 {
+		y = 0
+	}
+	if y >= f.H {
+		y = f.H - 1
+	}
+	return f.Y[y*f.W+x]
+}
+
+// MSE returns the mean squared error between the luma planes of f and g,
+// the distortion measure of Section 4.3.2.
+func MSE(f, g *Frame) float64 {
+	if !f.SameSize(g) {
+		panic("video: MSE frames differ in size")
+	}
+	var sum float64
+	for i := range f.Y {
+		d := float64(f.Y[i]) - float64(g.Y[i])
+		sum += d * d
+	}
+	return sum / float64(len(f.Y))
+}
+
+// PSNR returns the peak signal-to-noise ratio in dB between f and g
+// (Eq. 28): 20*log10(255/sqrt(MSE)). Identical frames return +Inf.
+func PSNR(f, g *Frame) float64 {
+	mse := MSE(f, g)
+	if mse == 0 {
+		return math.Inf(1)
+	}
+	return 20 * math.Log10(255/math.Sqrt(mse))
+}
+
+// SequenceMSE returns the mean luma MSE across two equal-length sequences.
+func SequenceMSE(a, b []*Frame) float64 {
+	if len(a) != len(b) {
+		panic("video: SequenceMSE length mismatch")
+	}
+	if len(a) == 0 {
+		return 0
+	}
+	var sum float64
+	for i := range a {
+		sum += MSE(a[i], b[i])
+	}
+	return sum / float64(len(a))
+}
+
+// SequencePSNR returns the PSNR corresponding to the mean sequence MSE,
+// the aggregation EvalVid reports.
+func SequencePSNR(a, b []*Frame) float64 {
+	mse := SequenceMSE(a, b)
+	if mse == 0 {
+		return math.Inf(1)
+	}
+	return 20 * math.Log10(255/math.Sqrt(mse))
+}
+
+// WritePGM writes the luma plane as a binary PGM image, the format used
+// for the reproduction's counterpart of the screenshot figures (Fig. 6,
+// Fig. 9b).
+func (f *Frame) WritePGM(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "P5\n%d %d\n255\n", f.W, f.H); err != nil {
+		return err
+	}
+	_, err := w.Write(f.Y)
+	return err
+}
+
+// WriteYUV appends the raw planar YUV420 bytes of the frame (the on-disk
+// format of the original reference clips).
+func (f *Frame) WriteYUV(w io.Writer) error {
+	if _, err := w.Write(f.Y); err != nil {
+		return err
+	}
+	if _, err := w.Write(f.Cb); err != nil {
+		return err
+	}
+	_, err := w.Write(f.Cr)
+	return err
+}
+
+// ReadYUV reads one planar YUV420 frame of the given size.
+func ReadYUV(r io.Reader, w, h int) (*Frame, error) {
+	f := NewFrame(w, h)
+	if _, err := io.ReadFull(r, f.Y); err != nil {
+		return nil, err
+	}
+	if _, err := io.ReadFull(r, f.Cb); err != nil {
+		return nil, err
+	}
+	if _, err := io.ReadFull(r, f.Cr); err != nil {
+		return nil, err
+	}
+	return f, nil
+}

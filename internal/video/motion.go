@@ -1,0 +1,69 @@
+package video
+
+// This file implements the AForge-style motion detector the paper uses to
+// "dynamically categorize the motion level in different parts of the video
+// clip" (Section 6.1). AForge's two-frame difference detector thresholds
+// the per-pixel luma difference and reports the fraction of changed pixels;
+// we reproduce that and map the score to the low/medium/high classes of
+// Fig. 2.
+
+// MotionThreshold is the luma difference (out of 255) above which a pixel
+// counts as moving; AForge's default is 15.
+const MotionThreshold = 15
+
+// MotionScore returns the fraction of luma pixels whose difference between
+// the two frames exceeds MotionThreshold.
+func MotionScore(prev, cur *Frame) float64 {
+	if !prev.SameSize(cur) {
+		panic("video: MotionScore frames differ in size")
+	}
+	changed := 0
+	for i := range cur.Y {
+		d := int(cur.Y[i]) - int(prev.Y[i])
+		if d < 0 {
+			d = -d
+		}
+		if d > MotionThreshold {
+			changed++
+		}
+	}
+	return float64(changed) / float64(len(cur.Y))
+}
+
+// SequenceMotionScore averages MotionScore over consecutive frame pairs.
+func SequenceMotionScore(frames []*Frame) float64 {
+	if len(frames) < 2 {
+		return 0
+	}
+	var sum float64
+	for i := 1; i < len(frames); i++ {
+		sum += MotionScore(frames[i-1], frames[i])
+	}
+	return sum / float64(len(frames)-1)
+}
+
+// Class boundaries for the mean motion score, tuned on the synthetic
+// generator so that DefaultScene(MotionLow/Medium/High) land in their own
+// classes with a wide margin.
+const (
+	lowMotionCutoff  = 0.06
+	highMotionCutoff = 0.20
+)
+
+// ClassifyMotion maps a mean motion score to the paper's three content
+// classes.
+func ClassifyMotion(score float64) MotionLevel {
+	switch {
+	case score < lowMotionCutoff:
+		return MotionLow
+	case score < highMotionCutoff:
+		return MotionMedium
+	default:
+		return MotionHigh
+	}
+}
+
+// AnalyzeMotion classifies a clip.
+func AnalyzeMotion(frames []*Frame) MotionLevel {
+	return ClassifyMotion(SequenceMotionScore(frames))
+}

@@ -1,0 +1,101 @@
+package wifi
+
+import "fmt"
+
+// PHY captures the 802.11g OFDM timing constants (ERP-OFDM, long
+// preamble-compatible mode disabled: pure 802.11g timing).
+type PHY struct {
+	Name          string
+	SlotTime      float64 // seconds
+	SIFS          float64
+	DIFS          float64
+	PreambleTime  float64 // PLCP preamble + header
+	SymbolTime    float64 // OFDM symbol duration
+	BitsPerSymbol map[Rate]int
+}
+
+// Rate is an 802.11g OFDM data rate in Mb/s.
+type Rate int
+
+// Supported 802.11g rates.
+const (
+	Rate6  Rate = 6
+	Rate9  Rate = 9
+	Rate12 Rate = 12
+	Rate18 Rate = 18
+	Rate24 Rate = 24
+	Rate36 Rate = 36
+	Rate48 Rate = 48
+	Rate54 Rate = 54
+)
+
+// PHY80211g returns the ERP-OFDM timing of IEEE 802.11g, the network used
+// in the paper's experiments (Section 6.1).
+func PHY80211g() PHY {
+	return PHY{
+		Name:         "802.11g",
+		SlotTime:     9e-6,
+		SIFS:         10e-6,
+		DIFS:         28e-6, // SIFS + 2*slot
+		PreambleTime: 20e-6, // PLCP preamble (16us) + SIGNAL (4us)
+		SymbolTime:   4e-6,
+		BitsPerSymbol: map[Rate]int{
+			Rate6: 24, Rate9: 36, Rate12: 48, Rate18: 72,
+			Rate24: 96, Rate36: 144, Rate48: 192, Rate54: 216,
+		},
+	}
+}
+
+// MACOverheadBytes is the 802.11 MAC header + FCS (3-address data frame).
+const MACOverheadBytes = 28
+
+// IPUDPRTPOverheadBytes is the IP + UDP + RTP header overhead carried in
+// every video packet.
+const IPUDPRTPOverheadBytes = 20 + 8 + 12
+
+// ServiceBits is the OFDM SERVICE (16 bits) + tail (6 bits) overhead per
+// PPDU.
+const ServiceBits = 22
+
+// FrameAirtime returns the time to put one MAC-layer frame with the given
+// payload (bytes above the MAC, e.g. IP packet) on the air at the given
+// rate, including PLCP preamble and OFDM symbol rounding. It does not
+// include DIFS/backoff/ACK: those are accounted separately (backoff through
+// the queue model's Tb, the rest through TxOverhead).
+func (p PHY) FrameAirtime(payloadBytes int, rate Rate) (float64, error) {
+	bps, ok := p.BitsPerSymbol[rate]
+	if !ok {
+		return 0, fmt.Errorf("wifi: unsupported rate %d", rate)
+	}
+	if payloadBytes < 0 {
+		return 0, fmt.Errorf("wifi: negative payload %d", payloadBytes)
+	}
+	bits := 8*(payloadBytes+MACOverheadBytes) + ServiceBits
+	symbols := (bits + bps - 1) / bps
+	return p.PreambleTime + float64(symbols)*p.SymbolTime, nil
+}
+
+// ACKAirtime returns the airtime of a MAC ACK (14 bytes) at the basic
+// rate.
+func (p PHY) ACKAirtime(rate Rate) float64 {
+	bits := 8*14 + ServiceBits
+	bps := p.BitsPerSymbol[rate]
+	if bps == 0 {
+		bps = p.BitsPerSymbol[Rate6]
+	}
+	symbols := (bits + bps - 1) / bps
+	return p.PreambleTime + float64(symbols)*p.SymbolTime
+}
+
+// PacketTxTime returns the full per-packet channel occupancy for a video
+// packet with the given application payload: frame airtime + SIFS + ACK +
+// DIFS. This is the transmission-time component Tt of Eq. (3); its
+// distribution across the I/P packet-size classes is what Eqs. (13)/(16)
+// capture.
+func (p PHY) PacketTxTime(appPayloadBytes int, rate Rate) (float64, error) {
+	air, err := p.FrameAirtime(appPayloadBytes+IPUDPRTPOverheadBytes, rate)
+	if err != nil {
+		return 0, err
+	}
+	return air + p.SIFS + p.ACKAirtime(Rate24) + p.DIFS, nil
+}

@@ -1,0 +1,122 @@
+// Package wifi models the IEEE 802.11 substrate the paper's framework sits
+// on: a Bianchi-style DCF fixed point supplying the packet success rate p_s
+// of Section 4.1, an 802.11g OFDM airtime calculator for per-packet
+// transmission times, and a broadcast medium simulator that plays the role
+// of the open WiFi network (every station, including the eavesdropper,
+// overhears every frame).
+package wifi
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// DCFParams parameterises the distributed coordination function fixed
+// point. The defaults (NewDefaultDCF) correspond to 802.11g with the
+// standard contention window.
+type DCFParams struct {
+	Stations     int     // contending stations with persistent traffic
+	CWMin        int     // minimum contention window (W)
+	MaxBackoff   int     // maximum backoff stage m (CWmax = 2^m * CWmin)
+	ChannelError float64 // independent per-packet channel error probability
+}
+
+// NewDefaultDCF returns 802.11g defaults: CWmin 16, 6 backoff stages.
+func NewDefaultDCF(stations int) DCFParams {
+	return DCFParams{Stations: stations, CWMin: 16, MaxBackoff: 6}
+}
+
+// DCFResult is the solution of the fixed point.
+type DCFResult struct {
+	Tau         float64 // per-slot transmission attempt probability
+	PCollision  float64 // conditional collision probability
+	SuccessRate float64 // packet success rate p_s (collision- and error-free)
+	Iterations  int
+}
+
+// ErrNoConvergence is returned when the fixed-point iteration fails.
+var ErrNoConvergence = errors.New("wifi: DCF fixed point did not converge")
+
+// SolveDCF computes the Bianchi fixed point for n persistent stations:
+//
+//	tau = 2(1-2p) / ((1-2p)(W+1) + p W (1-(2p)^m))
+//	p   = 1 - (1-tau)^(n-1)
+//
+// and combines the collision-free probability with the independent channel
+// error rate into the packet success rate p_s used throughout Section 4.
+// This is the role the model of [13] plays in the paper: a quick map from
+// network conditions to p_s.
+func SolveDCF(params DCFParams) (DCFResult, error) {
+	if params.Stations < 1 {
+		return DCFResult{}, fmt.Errorf("wifi: need at least one station, got %d", params.Stations)
+	}
+	if params.CWMin < 2 {
+		return DCFResult{}, fmt.Errorf("wifi: CWMin %d too small", params.CWMin)
+	}
+	if params.ChannelError < 0 || params.ChannelError >= 1 {
+		return DCFResult{}, fmt.Errorf("wifi: channel error %g out of [0,1)", params.ChannelError)
+	}
+	n := float64(params.Stations)
+	w := float64(params.CWMin)
+	m := float64(params.MaxBackoff)
+	tauOf := func(p float64) float64 {
+		if params.Stations == 1 {
+			// No contention: the station transmits at the first backoff
+			// expiry; the classic formula still applies with p=0.
+			p = 0
+		}
+		den := (1-2*p)*(w+1) + p*w*(1-math.Pow(2*p, m))
+		return 2 * (1 - 2*p) / den
+	}
+	p := 0.1
+	const maxIter = 10000
+	for i := 1; i <= maxIter; i++ {
+		tau := tauOf(p)
+		pNew := 1 - math.Pow(1-tau, n-1)
+		// Damped iteration for stability at high contention.
+		pNext := 0.5*p + 0.5*pNew
+		if math.Abs(pNext-p) < 1e-12 {
+			success := (1 - pNext) * (1 - params.ChannelError)
+			if params.Stations == 1 {
+				success = 1 - params.ChannelError
+			}
+			return DCFResult{
+				Tau:         tauOf(pNext),
+				PCollision:  pNext,
+				SuccessRate: success,
+				Iterations:  i,
+			}, nil
+		}
+		p = pNext
+	}
+	return DCFResult{}, ErrNoConvergence
+}
+
+// BackoffRate estimates the paper's lambda_b, the rate of the exponential
+// waiting intervals a collided packet experiences (Eq. 6-7), from the DCF
+// solution and the mean slot duration: after a collision the station waits
+// on average CW/2 slots of the current stage; we use the stage-averaged
+// expected backoff window.
+func BackoffRate(params DCFParams, res DCFResult, slotTime float64) float64 {
+	if slotTime <= 0 {
+		panic("wifi: BackoffRate needs positive slot time")
+	}
+	// Expected number of slots of one backoff interval, averaged over
+	// stages weighted by the probability of reaching each stage.
+	w := float64(params.CWMin)
+	p := res.PCollision
+	var num, den float64
+	stageProb := 1.0
+	for k := 0; k <= params.MaxBackoff; k++ {
+		cw := w * math.Pow(2, float64(k))
+		num += stageProb * (cw - 1) / 2
+		den += stageProb
+		stageProb *= p
+	}
+	meanSlots := num / den
+	if meanSlots <= 0 {
+		meanSlots = (w - 1) / 2
+	}
+	return 1 / (meanSlots * slotTime)
+}

@@ -1,0 +1,138 @@
+package wifi
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// Medium simulates the shared, broadcast nature of an open WiFi network:
+// every transmission attempt occupies the channel, collides with
+// probability 1-ps (then backs off and retries, per the geometric model of
+// Eq. 6), and once cleanly transmitted is overheard by the legitimate
+// receiver and by the eavesdropper, each subject to independent residual
+// channel error. This is the "testbed" counterpart of the analytical p_s /
+// Tb / Tt machinery.
+type Medium struct {
+	phy  PHY
+	rate Rate
+
+	// SuccessRate is the per-attempt collision-free probability p_s from
+	// the DCF fixed point.
+	SuccessRate float64
+	// BackoffRate is lambda_b of Eq. (7).
+	BackoffRate float64
+	// ReceiverError and EavesdropperError are residual per-packet error
+	// probabilities after a collision-free transmission (e.g. fading at
+	// each station's location).
+	ReceiverError     float64
+	EavesdropperError float64
+
+	rng *stats.RNG
+}
+
+// NewMedium builds a medium from a solved DCF operating point.
+func NewMedium(phy PHY, rate Rate, dcf DCFResult, backoffRate float64, rng *stats.RNG) *Medium {
+	return &Medium{
+		phy:         phy,
+		rate:        rate,
+		SuccessRate: dcf.SuccessRate,
+		BackoffRate: backoffRate,
+		rng:         rng,
+	}
+}
+
+// NewMediumFromSNR builds a medium from the physical channel qualities of
+// the two listeners: it auto-selects the sender's data rate for the
+// receiver's SNR (goodput-optimal, see SelectRate) and derives each
+// station's residual packet error rate from the BER model at that rate.
+// typicalPacket sizes the rate decision (use the MTU payload).
+func NewMediumFromSNR(phy PHY, stations int, snrReceiverDB, snrEavesdropperDB float64, typicalPacket int, rng *stats.RNG) (*Medium, error) {
+	params := NewDefaultDCF(stations)
+	dcf, err := SolveDCF(params)
+	if err != nil {
+		return nil, err
+	}
+	rate, err := SelectRate(phy, snrReceiverDB, typicalPacket)
+	if err != nil {
+		return nil, err
+	}
+	rxErr, err := PacketErrorRate(rate, snrReceiverDB, typicalPacket)
+	if err != nil {
+		return nil, err
+	}
+	evErr, err := PacketErrorRate(rate, snrEavesdropperDB, typicalPacket)
+	if err != nil {
+		return nil, err
+	}
+	med := NewMedium(phy, rate, dcf, BackoffRate(params, dcf, phy.SlotTime), rng)
+	med.ReceiverError = rxErr
+	med.EavesdropperError = evErr
+	return med, nil
+}
+
+// Reseed resets the medium's random stream, making a run reproducible
+// regardless of how much traffic the medium carried before.
+func (m *Medium) Reseed(seed uint64) { m.rng = stats.NewRNG(seed) }
+
+// TxReport describes the fate of one packet offered to the medium.
+type TxReport struct {
+	Airtime     float64 // airtime of the final (successful) attempt
+	Backoff     float64 // total collision backoff time before success
+	Attempts    int     // 1 + number of collisions
+	ReceiverGot bool    // receiver decoded the frame
+	EavesGot    bool    // eavesdropper captured the frame
+}
+
+// Duration returns the total channel time consumed by the packet.
+func (r TxReport) Duration() float64 { return r.Airtime + r.Backoff }
+
+// Transmit sends one application packet of the given size through the
+// medium and reports the outcome. Collisions repeat until the frame clears
+// the channel (matching the unbounded geometric retry model of Eq. 6);
+// residual per-station errors then decide delivery.
+func (m *Medium) Transmit(appPayloadBytes int) (TxReport, error) {
+	if appPayloadBytes < 0 {
+		return TxReport{}, fmt.Errorf("wifi: negative payload")
+	}
+	air, err := m.phy.PacketTxTime(appPayloadBytes, m.rate)
+	if err != nil {
+		return TxReport{}, err
+	}
+	rep := TxReport{Airtime: air, Attempts: 1}
+	if m.SuccessRate < 1 {
+		k := m.rng.Geometric(m.SuccessRate)
+		rep.Attempts += k
+		for i := 0; i < k; i++ {
+			rep.Backoff += m.rng.Exp(m.BackoffRate)
+		}
+	}
+	rep.ReceiverGot = !m.rng.Bool(m.ReceiverError)
+	rep.EavesGot = !m.rng.Bool(m.EavesdropperError)
+	return rep, nil
+}
+
+// TxTimeStats returns the mean and standard deviation of the transmission
+// time Tt for a packet-size class, the quantities Eq. (16) models with a
+// Gaussian. sizes lists the observed application payload sizes of the
+// class.
+func (m *Medium) TxTimeStats(sizes []int) (mean, sigma float64, err error) {
+	if len(sizes) == 0 {
+		return 0, 0, fmt.Errorf("wifi: empty size class")
+	}
+	times := make([]float64, len(sizes))
+	for i, s := range sizes {
+		t, err := m.phy.PacketTxTime(s, m.rate)
+		if err != nil {
+			return 0, 0, err
+		}
+		times[i] = t
+	}
+	return stats.Mean(times), stats.StdDev(times), nil
+}
+
+// Rate returns the configured data rate.
+func (m *Medium) Rate() Rate { return m.rate }
+
+// PHY returns the configured PHY timing.
+func (m *Medium) PHY() PHY { return m.phy }

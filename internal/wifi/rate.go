@@ -1,0 +1,110 @@
+package wifi
+
+import (
+	"fmt"
+	"math"
+)
+
+// SNR/BER-based rate selection. The paper takes the channel's packet
+// success rate as an input; this file supplies the missing link from a
+// physical channel quality (SNR) to per-rate packet error rates and an
+// auto-rate policy, so experiments can be parameterised by "how far the
+// eavesdropper sits" instead of raw loss probabilities.
+//
+// The BER model is the standard AWGN approximation for the 802.11g OFDM
+// modes: BPSK/QPSK use the Q-function form, 16/64-QAM the nearest-
+// neighbour approximation, each scaled by its convolutional coding rate
+// (treated as an SNR gain, a common first-order simplification).
+
+// qfunc is the Gaussian tail function Q(x).
+func qfunc(x float64) float64 {
+	return 0.5 * math.Erfc(x/math.Sqrt2)
+}
+
+// modulation describes one 802.11g OFDM mode.
+type modulation struct {
+	bitsPerSymbol int     // per subcarrier
+	codingRate    float64 // convolutional code rate
+}
+
+var rateModulation = map[Rate]modulation{
+	Rate6:  {1, 1. / 2}, // BPSK 1/2
+	Rate9:  {1, 3. / 4}, // BPSK 3/4
+	Rate12: {2, 1. / 2}, // QPSK 1/2
+	Rate18: {2, 3. / 4}, // QPSK 3/4
+	Rate24: {4, 1. / 2}, // 16-QAM 1/2
+	Rate36: {4, 3. / 4}, // 16-QAM 3/4
+	Rate48: {6, 2. / 3}, // 64-QAM 2/3
+	Rate54: {6, 3. / 4}, // 64-QAM 3/4
+}
+
+// BitErrorRate returns the approximate BER of the given rate at the given
+// SNR (dB).
+func BitErrorRate(rate Rate, snrDB float64) (float64, error) {
+	mod, ok := rateModulation[rate]
+	if !ok {
+		return 0, fmt.Errorf("wifi: unsupported rate %d", rate)
+	}
+	// Coding acts as an effective SNR gain relative to rate-1 coding.
+	gain := 10 * math.Log10(1/mod.codingRate)
+	snr := math.Pow(10, (snrDB+gain)/10)
+	switch mod.bitsPerSymbol {
+	case 1: // BPSK
+		return qfunc(math.Sqrt(2 * snr)), nil
+	case 2: // QPSK
+		return qfunc(math.Sqrt(snr)), nil
+	default: // M-QAM nearest-neighbour approximation
+		m := float64(int(1) << mod.bitsPerSymbol)
+		k := float64(mod.bitsPerSymbol)
+		return 4 / k * (1 - 1/math.Sqrt(m)) * qfunc(math.Sqrt(3*k*snr/(m-1))), nil
+	}
+}
+
+// PacketErrorRate returns the probability a packet of the given size is
+// corrupted at the given rate and SNR (independent bit errors).
+func PacketErrorRate(rate Rate, snrDB float64, packetBytes int) (float64, error) {
+	ber, err := BitErrorRate(rate, snrDB)
+	if err != nil {
+		return 0, err
+	}
+	if packetBytes < 0 {
+		return 0, fmt.Errorf("wifi: negative packet size")
+	}
+	bits := float64(8 * (packetBytes + MACOverheadBytes))
+	// 1 - (1-ber)^bits, computed stably.
+	return -math.Expm1(bits * math.Log1p(-ber)), nil
+}
+
+// AllRates lists the 802.11g rates fastest first.
+var AllRates = []Rate{Rate54, Rate48, Rate36, Rate24, Rate18, Rate12, Rate9, Rate6}
+
+// SelectRate picks the rate that maximises expected goodput for packets of
+// the given size at the given SNR: payload bits over airtime, discounted
+// by the delivery probability.
+func SelectRate(phy PHY, snrDB float64, packetBytes int) (Rate, error) {
+	if packetBytes <= 0 {
+		return 0, fmt.Errorf("wifi: packet size %d", packetBytes)
+	}
+	best := Rate(0)
+	bestGoodput := -1.0
+	for _, r := range AllRates {
+		per, err := PacketErrorRate(r, snrDB, packetBytes)
+		if err != nil {
+			return 0, err
+		}
+		air, err := phy.FrameAirtime(packetBytes, r)
+		if err != nil {
+			return 0, err
+		}
+		goodput := float64(8*packetBytes) * (1 - per) / air
+		if goodput > bestGoodput {
+			bestGoodput = goodput
+			best = r
+		}
+	}
+	if bestGoodput <= 0 {
+		// Nothing gets through; fall back to the most robust rate.
+		return Rate6, nil
+	}
+	return best, nil
+}

@@ -1,0 +1,148 @@
+package wifi
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBitErrorRateMonotoneInSNR(t *testing.T) {
+	for _, r := range AllRates {
+		prev := 1.0
+		for snr := -5.0; snr <= 40; snr += 5 {
+			ber, err := BitErrorRate(r, snr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ber < 0 || ber > 0.5+1e-9 {
+				t.Fatalf("rate %d snr %v: BER %v out of range", r, snr, ber)
+			}
+			if ber > prev+1e-15 {
+				t.Fatalf("rate %d: BER must fall with SNR", r)
+			}
+			prev = ber
+		}
+	}
+}
+
+func TestBitErrorRateOrderingAcrossRates(t *testing.T) {
+	// At a fixed mid SNR, the more aggressive the modulation, the higher
+	// the BER.
+	snr := 12.0
+	b6, _ := BitErrorRate(Rate6, snr)
+	b24, _ := BitErrorRate(Rate24, snr)
+	b54, _ := BitErrorRate(Rate54, snr)
+	if !(b6 < b24 && b24 < b54) {
+		t.Fatalf("BER ordering violated: %v %v %v", b6, b24, b54)
+	}
+}
+
+func TestBitErrorRateUnknownRate(t *testing.T) {
+	if _, err := BitErrorRate(Rate(7), 10); err == nil {
+		t.Fatal("unknown rate should fail")
+	}
+}
+
+func TestPacketErrorRate(t *testing.T) {
+	// High SNR: essentially error free even for big packets at 54M.
+	per, err := PacketErrorRate(Rate54, 35, 1400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if per > 1e-6 {
+		t.Fatalf("PER at 35 dB = %v", per)
+	}
+	// Low SNR: 54M is hopeless.
+	per, _ = PacketErrorRate(Rate54, 5, 1400)
+	if per < 0.99 {
+		t.Fatalf("PER at 5 dB = %v should be ~1", per)
+	}
+	// Bigger packets fail more often at equal SNR.
+	small, _ := PacketErrorRate(Rate24, 14, 200)
+	big, _ := PacketErrorRate(Rate24, 14, 1400)
+	if big <= small {
+		t.Fatalf("PER must grow with size: %v vs %v", small, big)
+	}
+	if _, err := PacketErrorRate(Rate24, 10, -1); err == nil {
+		t.Fatal("negative size should fail")
+	}
+}
+
+func TestSelectRateAdapts(t *testing.T) {
+	phy := PHY80211g()
+	// Excellent channel: the fastest rate wins.
+	r, err := SelectRate(phy, 35, 1400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != Rate54 {
+		t.Fatalf("at 35 dB want 54M, got %d", r)
+	}
+	// Poor channel: a robust rate wins.
+	r, err = SelectRate(phy, 6, 1400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r > Rate12 {
+		t.Fatalf("at 6 dB want a robust rate, got %d", r)
+	}
+	// Monotone: the selected rate never speeds up as SNR falls.
+	prev := Rate54
+	for snr := 35.0; snr >= 0; snr -= 2.5 {
+		r, err := SelectRate(phy, snr, 1400)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r > prev {
+			t.Fatalf("rate went up (%d -> %d) as SNR fell to %v", prev, r, snr)
+		}
+		prev = r
+	}
+	if _, err := SelectRate(phy, 10, 0); err == nil {
+		t.Fatal("zero size should fail")
+	}
+}
+
+func TestSelectRateHopelessChannel(t *testing.T) {
+	phy := PHY80211g()
+	r, err := SelectRate(phy, -30, 1400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != Rate6 {
+		t.Fatalf("hopeless channel should fall back to 6M, got %d", r)
+	}
+}
+
+func TestQFunc(t *testing.T) {
+	if math.Abs(qfunc(0)-0.5) > 1e-12 {
+		t.Fatal("Q(0) != 0.5")
+	}
+	if qfunc(5) > 1e-6 || qfunc(5) <= 0 {
+		t.Fatalf("Q(5) = %v", qfunc(5))
+	}
+}
+
+func TestNewMediumFromSNR(t *testing.T) {
+	phy := PHY80211g()
+	med, err := NewMediumFromSNR(phy, 3, 30, 12, 1400, statsRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if med.Rate() != Rate54 {
+		t.Fatalf("good channel should pick 54M, got %d", med.Rate())
+	}
+	// A distant eavesdropper loses far more packets than the receiver.
+	if med.EavesdropperError <= med.ReceiverError {
+		t.Fatalf("eavesdropper error %v should exceed receiver %v",
+			med.EavesdropperError, med.ReceiverError)
+	}
+	if med.SuccessRate <= 0 || med.SuccessRate >= 1 {
+		t.Fatalf("success rate %v", med.SuccessRate)
+	}
+	if _, err := NewMediumFromSNR(phy, 0, 30, 12, 1400, statsRNG(1)); err == nil {
+		t.Fatal("zero stations should fail")
+	}
+	if _, err := NewMediumFromSNR(phy, 3, 30, 12, 0, statsRNG(1)); err == nil {
+		t.Fatal("zero packet size should fail")
+	}
+}

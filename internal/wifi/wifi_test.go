@@ -1,0 +1,275 @@
+package wifi
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestSolveDCFSingleStation(t *testing.T) {
+	res, err := SolveDCF(NewDefaultDCF(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SuccessRate != 1 {
+		t.Fatalf("single station success = %v want 1", res.SuccessRate)
+	}
+}
+
+func TestSolveDCFMoreStationsMoreCollisions(t *testing.T) {
+	prev := -1.0
+	for _, n := range []int{2, 5, 10, 20, 50} {
+		res, err := SolveDCF(NewDefaultDCF(n))
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if res.PCollision <= prev {
+			t.Fatalf("collision probability must grow with contention: n=%d p=%v prev=%v", n, res.PCollision, prev)
+		}
+		if res.SuccessRate <= 0 || res.SuccessRate >= 1 {
+			t.Fatalf("n=%d: success rate %v out of (0,1)", n, res.SuccessRate)
+		}
+		prev = res.PCollision
+	}
+}
+
+func TestSolveDCFFixedPointConsistency(t *testing.T) {
+	params := NewDefaultDCF(8)
+	res, err := SolveDCF(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// p must satisfy p = 1 - (1-tau)^(n-1).
+	want := 1 - math.Pow(1-res.Tau, float64(params.Stations-1))
+	if math.Abs(res.PCollision-want) > 1e-9 {
+		t.Fatalf("fixed point violated: p=%v want %v", res.PCollision, want)
+	}
+}
+
+func TestSolveDCFChannelError(t *testing.T) {
+	clean, _ := SolveDCF(NewDefaultDCF(5))
+	p := NewDefaultDCF(5)
+	p.ChannelError = 0.1
+	noisy, err := SolveDCF(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := clean.SuccessRate * 0.9
+	if math.Abs(noisy.SuccessRate-want) > 1e-9 {
+		t.Fatalf("noisy success = %v want %v", noisy.SuccessRate, want)
+	}
+}
+
+func TestSolveDCFValidation(t *testing.T) {
+	if _, err := SolveDCF(DCFParams{Stations: 0, CWMin: 16}); err == nil {
+		t.Fatal("0 stations should fail")
+	}
+	if _, err := SolveDCF(DCFParams{Stations: 2, CWMin: 1}); err == nil {
+		t.Fatal("tiny CW should fail")
+	}
+	if _, err := SolveDCF(DCFParams{Stations: 2, CWMin: 16, ChannelError: 1}); err == nil {
+		t.Fatal("channel error 1 should fail")
+	}
+}
+
+func TestFrameAirtime(t *testing.T) {
+	phy := PHY80211g()
+	// 1500-byte payload at 54 Mb/s: bits = 8*(1500+28)+22 = 12246,
+	// symbols = ceil(12246/216) = 57, time = 20us + 57*4us = 248us.
+	air, err := phy.FrameAirtime(1500, Rate54)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(air-248e-6) > 1e-12 {
+		t.Fatalf("airtime = %v want 248us", air)
+	}
+}
+
+func TestFrameAirtimeMonotonic(t *testing.T) {
+	phy := PHY80211g()
+	prev := -1.0
+	for _, size := range []int{0, 100, 500, 1000, 1500} {
+		air, err := phy.FrameAirtime(size, Rate24)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if air <= prev {
+			t.Fatalf("airtime must grow with size: %v then %v", prev, air)
+		}
+		prev = air
+	}
+	// Faster rate, shorter airtime.
+	slow, _ := phy.FrameAirtime(1000, Rate6)
+	fast, _ := phy.FrameAirtime(1000, Rate54)
+	if fast >= slow {
+		t.Fatalf("54M (%v) should beat 6M (%v)", fast, slow)
+	}
+}
+
+func TestFrameAirtimeErrors(t *testing.T) {
+	phy := PHY80211g()
+	if _, err := phy.FrameAirtime(100, Rate(7)); err == nil {
+		t.Fatal("unsupported rate should fail")
+	}
+	if _, err := phy.FrameAirtime(-1, Rate54); err == nil {
+		t.Fatal("negative payload should fail")
+	}
+}
+
+func TestPacketTxTimeIncludesOverheads(t *testing.T) {
+	phy := PHY80211g()
+	tx, err := phy.PacketTxTime(1400, Rate54)
+	if err != nil {
+		t.Fatal(err)
+	}
+	air, _ := phy.FrameAirtime(1400+IPUDPRTPOverheadBytes, Rate54)
+	if tx <= air {
+		t.Fatalf("PacketTxTime %v must exceed bare airtime %v", tx, air)
+	}
+	// Sanity: an MTU packet occupies well under a millisecond at 54M.
+	if tx > 1e-3 {
+		t.Fatalf("tx time %v implausibly large", tx)
+	}
+}
+
+func TestBackoffRatePositive(t *testing.T) {
+	params := NewDefaultDCF(10)
+	res, err := SolveDCF(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rate := BackoffRate(params, res, PHY80211g().SlotTime)
+	if rate <= 0 {
+		t.Fatalf("backoff rate %v", rate)
+	}
+	// Mean backoff interval should be in the tens-to-hundreds of
+	// microseconds for 802.11g.
+	mean := 1 / rate
+	if mean < 10e-6 || mean > 10e-3 {
+		t.Fatalf("mean backoff %v out of plausible range", mean)
+	}
+}
+
+func TestMediumTransmitStatistics(t *testing.T) {
+	params := NewDefaultDCF(10)
+	dcf, err := SolveDCF(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phy := PHY80211g()
+	med := NewMedium(phy, Rate54, dcf, BackoffRate(params, dcf, phy.SlotTime), stats.NewRNG(9))
+	med.ReceiverError = 0.05
+	med.EavesdropperError = 0.2
+
+	n := 20000
+	var rxGot, evGot, collisions int
+	var backoff float64
+	for i := 0; i < n; i++ {
+		rep, err := med.Transmit(1000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.ReceiverGot {
+			rxGot++
+		}
+		if rep.EavesGot {
+			evGot++
+		}
+		collisions += rep.Attempts - 1
+		backoff += rep.Backoff
+	}
+	rxFrac := float64(rxGot) / float64(n)
+	if math.Abs(rxFrac-0.95) > 0.01 {
+		t.Fatalf("receiver delivery %v want ~0.95", rxFrac)
+	}
+	evFrac := float64(evGot) / float64(n)
+	if math.Abs(evFrac-0.8) > 0.01 {
+		t.Fatalf("eavesdropper capture %v want ~0.8", evFrac)
+	}
+	// Mean collisions per packet should match the geometric mean
+	// (1-ps)/ps.
+	wantColl := (1 - dcf.SuccessRate) / dcf.SuccessRate
+	gotColl := float64(collisions) / float64(n)
+	if math.Abs(gotColl-wantColl) > 0.05*wantColl+0.01 {
+		t.Fatalf("collisions/pkt %v want %v", gotColl, wantColl)
+	}
+}
+
+func TestMediumTxTimeStats(t *testing.T) {
+	dcf, _ := SolveDCF(NewDefaultDCF(1))
+	phy := PHY80211g()
+	med := NewMedium(phy, Rate54, dcf, 1e4, stats.NewRNG(1))
+	mean, sigma, err := med.TxTimeStats([]int{1400, 1400, 1400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := phy.PacketTxTime(1400, Rate54)
+	if math.Abs(mean-want) > 1e-12 || sigma != 0 {
+		t.Fatalf("stats = (%v, %v) want (%v, 0)", mean, sigma, want)
+	}
+	if _, _, err := med.TxTimeStats(nil); err == nil {
+		t.Fatal("empty class should fail")
+	}
+}
+
+func TestMediumTransmitNegative(t *testing.T) {
+	dcf, _ := SolveDCF(NewDefaultDCF(2))
+	phy := PHY80211g()
+	med := NewMedium(phy, Rate54, dcf, 1e4, stats.NewRNG(1))
+	if _, err := med.Transmit(-5); err == nil {
+		t.Fatal("negative payload should fail")
+	}
+}
+
+func TestMediumReseedReproduces(t *testing.T) {
+	params := NewDefaultDCF(10)
+	dcf, err := SolveDCF(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phy := PHY80211g()
+	med := NewMedium(phy, Rate54, dcf, BackoffRate(params, dcf, phy.SlotTime), stats.NewRNG(1))
+	med.ReceiverError = 0.1
+	run := func() []TxReport {
+		med.Reseed(42)
+		out := make([]TxReport, 50)
+		for i := range out {
+			rep, err := med.Transmit(800)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out[i] = rep
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("reseeded run diverged at packet %d", i)
+		}
+	}
+}
+
+func TestBackoffRatePanicsOnBadSlot(t *testing.T) {
+	params := NewDefaultDCF(5)
+	res, _ := SolveDCF(params)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	BackoffRate(params, res, 0)
+}
+
+func TestACKAirtimeFallsBackToBasicRate(t *testing.T) {
+	phy := PHY80211g()
+	// Unknown rate falls back to 6M for the ACK computation.
+	if phy.ACKAirtime(Rate(7)) != phy.ACKAirtime(Rate6) {
+		t.Fatal("ACK fallback wrong")
+	}
+}
+
+// statsRNG is a tiny indirection so rate_test.go can build generators
+// without importing stats twice.
+func statsRNG(seed uint64) *stats.RNG { return stats.NewRNG(seed) }
