@@ -32,6 +32,7 @@ func main() {
 	csvOut := flag.Bool("csv", false, "also write each table as <out>/<figure>.csv")
 	frames := flag.Int("frames", 0, "override clip length in frames")
 	reps := flag.Int("reps", 0, "override repetitions")
+	workers := flag.Int("workers", 0, "worker goroutines for cells/repetitions/macroblock rows (0 = NumCPU, 1 = serial; output is identical at any setting)")
 	flag.Parse()
 
 	opts := experiments.Quick()
@@ -47,6 +48,9 @@ func main() {
 	}
 	if *reps > 0 {
 		opts.Repetitions = *reps
+	}
+	if *workers > 0 {
+		opts.Workers = *workers
 	}
 
 	fixture, err := experiments.NewFixture(opts)

@@ -21,6 +21,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -195,6 +196,7 @@ func cmdEncode(args []string) error {
 	width := fs.Int("width", video.CIFWidth, "frame width")
 	height := fs.Int("height", video.CIFHeight, "frame height")
 	gop := fs.Int("gop", 30, "GOP size")
+	workers := workersFlag(fs)
 	fs.Parse(args)
 	clip, err := readYUVClip(*in, *width, *height)
 	if err != nil {
@@ -202,6 +204,7 @@ func cmdEncode(args []string) error {
 	}
 	cfg := codec.DefaultConfig(*gop)
 	cfg.Width, cfg.Height = *width, *height
+	cfg.Workers = resolveWorkers(*workers)
 	start := time.Now()
 	encoded, err := codec.EncodeSequence(clip, cfg)
 	if err != nil {
@@ -224,6 +227,21 @@ func cmdEncode(args []string) error {
 	return nil
 }
 
+// workersFlag registers the shared -workers flag. The worker count only
+// changes wall-clock time: macroblock rows land in the bitstream in row
+// order regardless, so the output is identical at any setting.
+func workersFlag(fs *flag.FlagSet) *int {
+	return fs.Int("workers", 0, "worker goroutines for macroblock rows (0 = NumCPU, 1 = serial; output is identical at any setting)")
+}
+
+// resolveWorkers maps the flag's 0 default to one worker per CPU.
+func resolveWorkers(n int) int {
+	if n <= 0 {
+		return runtime.NumCPU()
+	}
+	return n
+}
+
 func loadContainer(path string) (codec.Config, []*codec.EncodedFrame, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -237,11 +255,13 @@ func cmdAnalyze(args []string) error {
 	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
 	in := fs.String("in", "clip.tvid", "input container")
 	mtu := fs.Int("mtu", 1400, "network MTU payload")
+	workers := workersFlag(fs)
 	fs.Parse(args)
 	cfg, encoded, err := loadContainer(*in)
 	if err != nil {
 		return err
 	}
+	cfg.Workers = resolveWorkers(*workers)
 	st, err := codec.AnalyzeClip(encoded, cfg, *mtu)
 	if err != nil {
 		return err
@@ -267,11 +287,13 @@ func cmdPlan(args []string) error {
 	target := fs.Float64("target", 20, "maximum tolerable eavesdropper PSNR (dB)")
 	fps := fs.Float64("fps", 30, "stream frame rate")
 	mtu := fs.Int("mtu", 1400, "network MTU payload")
+	workers := workersFlag(fs)
 	fs.Parse(args)
 	cfg, encoded, err := loadContainer(*in)
 	if err != nil {
 		return err
 	}
+	cfg.Workers = resolveWorkers(*workers)
 	dev, err := parseDevice(*device)
 	if err != nil {
 		return err
@@ -354,11 +376,13 @@ func cmdSimulate(args []string) error {
 	snrEv := fs.Float64("snr-ev", 0, "eavesdropper channel SNR in dB")
 	headerOnly := fs.Int("headeronly", 0, "encrypt only the first N bytes of each selected packet (0 = whole payload)")
 	unpaced := fs.Bool("unpaced", false, "upload back to back instead of streaming at the frame rate")
+	workers := workersFlag(fs)
 	fs.Parse(args)
 	cfg, encoded, err := loadContainer(*in)
 	if err != nil {
 		return err
 	}
+	cfg.Workers = resolveWorkers(*workers)
 	dev, err := parseDevice(*device)
 	if err != nil {
 		return err

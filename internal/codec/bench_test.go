@@ -1,0 +1,95 @@
+package codec
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"repro/internal/video"
+)
+
+func benchBlock() *[64]float64 {
+	rng := rand.New(rand.NewSource(5))
+	var b [64]float64
+	for i := range b {
+		b[i] = rng.Float64()*255 - 128
+	}
+	return &b
+}
+
+func BenchmarkFDCT8(b *testing.B) {
+	in := benchBlock()
+	var out [64]float64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fdct8(in, &out)
+	}
+}
+
+func BenchmarkIDCT8(b *testing.B) {
+	in := benchBlock()
+	var out [64]float64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idct8(in, &out)
+	}
+}
+
+func benchFrames(b *testing.B, n int) []*video.Frame {
+	b.Helper()
+	return video.Generate(video.SceneConfig{
+		W: video.CIFWidth, H: video.CIFHeight, Frames: n,
+		Motion: video.MotionMedium, Seed: 9,
+	})
+}
+
+func BenchmarkMotionSearch(b *testing.B) {
+	clip := benchFrames(b, 2)
+	cfg := DefaultConfig(30)
+	src, ref := clip[1], clip[0]
+	starts := [][2]int{{1, 0}, {0, 1}}
+	cols, rows := cfg.MBCols(), cfg.MBRows()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mb := i % (cols * rows)
+		motionSearch(src, ref, (mb%cols)*mbSize, (mb/cols)*mbSize, cfg, starts)
+	}
+}
+
+// BenchmarkEncodeFrameParallel times one P-frame through the row
+// pipeline at the configured worker count; the serial variant is the
+// Workers=1 baseline for the same frame.
+func BenchmarkEncodeFrameParallel(b *testing.B) {
+	par := runtime.NumCPU()
+	if par < 2 {
+		// Still exercise the wavefront machinery on single-CPU hosts.
+		par = 2
+	}
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{{"serial", 1}, {"workers", par}} {
+		b.Run(bc.name, func(b *testing.B) {
+			clip := benchFrames(b, 2)
+			cfg := DefaultConfig(30)
+			cfg.Workers = bc.workers
+			enc, err := NewEncoder(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := enc.Encode(clip[0]); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := enc.encodeAs(clip[1], PFrame); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

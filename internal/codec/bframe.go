@@ -59,6 +59,10 @@ func EncodeSequenceB(frames []*video.Frame, cfg Config) ([]*EncodedFrame, error)
 	if err != nil {
 		return nil, err
 	}
+	// Anchor reconstructions stay referenced (prevAnchorRecon/curRecon)
+	// across Encode calls, so they must not be recycled into the frame
+	// pool when the encoder moves on.
+	enc.retainRefs = true
 	var out []*EncodedFrame
 	step := cfg.BFrames + 1
 	var prevAnchorRecon *video.Frame
@@ -99,15 +103,29 @@ func EncodeSequenceB(frames []*video.Frame, cfg Config) ([]*EncodedFrame, error)
 }
 
 // encodeBFrame codes one bidirectional frame against two reconstructed
-// anchors. It does not touch the anchor prediction chain.
+// anchors. It does not touch the anchor prediction chain. B macroblocks
+// have no coded-neighbour dependencies, so rows parallelise freely.
 func encodeBFrame(src, fwd, bwd *video.Frame, cfg Config) *EncodedFrame {
 	cols, rows := cfg.MBCols(), cfg.MBRows()
 	out := &EncodedFrame{Type: BFrame, MBData: make([][]byte, cols*rows)}
-	for my := 0; my < rows; my++ {
+	row := func(my int) {
+		sc := getScratch()
+		var arena []byte
 		for mx := 0; mx < cols; mx++ {
-			w := &bitWriter{}
-			encodeBMB(w, src, fwd, bwd, mx, my, cfg)
-			out.MBData[my*cols+mx] = w.bytes()
+			sc.w.reset()
+			encodeBMB(sc, src, fwd, bwd, mx, my, cfg)
+			chunk := sc.w.bytes()
+			start := len(arena)
+			arena = append(arena, chunk...)
+			out.MBData[my*cols+mx] = arena[start:len(arena):len(arena)]
+		}
+		putScratch(sc)
+	}
+	if workers := cfg.rowWorkers(rows); workers > 1 {
+		parallelRows(workers, rows, row)
+	} else {
+		for my := 0; my < rows; my++ {
+			row(my)
 		}
 	}
 	return out
@@ -132,7 +150,8 @@ func biPredictLuma(fwd, bwd *video.Frame, mode, x0, y0, fdx, fdy, bdx, bdy int, 
 	}
 }
 
-func encodeBMB(w *bitWriter, src, fwd, bwd *video.Frame, mx, my int, cfg Config) {
+func encodeBMB(sc *mbScratch, src, fwd, bwd *video.Frame, mx, my int, cfg Config) {
+	w := &sc.w
 	x0, y0 := mx*mbSize, my*mbSize
 	fdx, fdy := motionSearch(src, fwd, x0, y0, cfg, nil)
 	bdx, bdy := motionSearch(src, bwd, x0, y0, cfg, nil)
@@ -154,21 +173,21 @@ func encodeBMB(w *bitWriter, src, fwd, bwd *video.Frame, mx, my int, cfg Config)
 		w.writeSE(int64(bdx))
 		w.writeSE(int64(bdy))
 	}
-	var samples, rec, pred [64]float64
+	samples, rec, pred := &sc.samples, &sc.rec, &sc.pred
 	for by := 0; by < 2; by++ {
 		for bx := 0; bx < 2; bx++ {
 			bx0, by0 := x0+bx*blockSize, y0+by*blockSize
-			biPredictLuma(fwd, bwd, mode, bx0, by0, fdx, fdy, bdx, bdy, &pred)
+			biPredictLuma(fwd, bwd, mode, bx0, by0, fdx, fdy, bdx, bdy, pred)
 			for i := 0; i < blockSize; i++ {
 				for j := 0; j < blockSize; j++ {
 					samples[i*blockSize+j] = float64(src.Y[(by0+i)*src.W+bx0+j]) - pred[i*blockSize+j]
 				}
 			}
-			encodeBlock(w, &samples, cfg.QP*1.1, &rec)
+			encodeBlock(w, samples, cfg.QP*1.1, rec)
 		}
 	}
 	// Chroma: predict with halved vectors per plane.
-	encodeBChroma(w, src, fwd, bwd, mode, mx, my, fdx, fdy, bdx, bdy, cfg)
+	encodeBChroma(sc, src, fwd, bwd, mode, mx, my, fdx, fdy, bdx, bdy, cfg)
 }
 
 func sadBiMB(src, fwd, bwd *video.Frame, x0, y0, fdx, fdy, bdx, bdy int) int {
@@ -198,10 +217,10 @@ func bChromaPredict(fwdP, bwdP []byte, cw, ch, mode, x, y, fdx, fdy, bdx, bdy in
 	}
 }
 
-func encodeBChroma(w *bitWriter, src, fwd, bwd *video.Frame, mode, mx, my, fdx, fdy, bdx, bdy int, cfg Config) {
+func encodeBChroma(sc *mbScratch, src, fwd, bwd *video.Frame, mode, mx, my, fdx, fdy, bdx, bdy int, cfg Config) {
+	w, samples, rec := &sc.w, &sc.samples, &sc.rec
 	cw, ch := src.W/2, src.H/2
 	cx0, cy0 := mx*mbSize/2, my*mbSize/2
-	var samples, rec [64]float64
 	for plane := 0; plane < 2; plane++ {
 		sp, fp, bp := src.Cb, fwd.Cb, bwd.Cb
 		if plane == 1 {
@@ -213,7 +232,7 @@ func encodeBChroma(w *bitWriter, src, fwd, bwd *video.Frame, mode, mx, my, fdx, 
 				samples[y*blockSize+x] = float64(sp[(cy0+y)*cw+cx0+x]) - p
 			}
 		}
-		encodeBlock(w, &samples, cfg.QP*1.3, &rec)
+		encodeBlock(w, samples, cfg.QP*1.3, rec)
 	}
 }
 
@@ -354,7 +373,7 @@ func decodeBFrame(ef *EncodedFrame, fwd, bwd *video.Frame, cfg Config) *video.Fr
 		bwd = fwd
 	}
 	cols, rows := cfg.MBCols(), cfg.MBRows()
-	for my := 0; my < rows; my++ {
+	row := func(my int) {
 		for mx := 0; mx < cols; mx++ {
 			chunk := ef.MBData[my*cols+mx]
 			ok := chunk != nil
@@ -367,6 +386,13 @@ func decodeBFrame(ef *EncodedFrame, fwd, bwd *video.Frame, cfg Config) *video.Fr
 				// Conceal from the forward anchor.
 				concealBMB(out, fwd, mx, my)
 			}
+		}
+	}
+	if workers := cfg.rowWorkers(rows); workers > 1 {
+		parallelRows(workers, rows, row)
+	} else {
+		for my := 0; my < rows; my++ {
+			row(my)
 		}
 	}
 	return out

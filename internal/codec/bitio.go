@@ -65,6 +65,12 @@ func (w *bitWriter) writeSE(v int64) {
 	w.writeUE(u)
 }
 
+// reset clears the writer for reuse, keeping the buffer's capacity.
+func (w *bitWriter) reset() {
+	w.buf = w.buf[:0]
+	w.cur, w.nbit = 0, 0
+}
+
 // bytes flushes (zero-padding the last byte) and returns the buffer.
 func (w *bitWriter) bytes() []byte {
 	if w.nbit > 0 {

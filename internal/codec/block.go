@@ -15,9 +15,9 @@ func encodeBlock(w *bitWriter, samples *[64]float64, q float64, recon *[64]float
 	fdct8(samples, &coeff)
 	var quant [64]int32
 	nonzero := -1
+	invQ := 1 / q
 	for zz := 0; zz < 64; zz++ {
-		step := quantStep(q, zz)
-		v := coeff[zigzag[zz]] / step
+		v := coeff[zigzag[zz]] * invQ * invQuantRamp[zz]
 		var iv int32
 		if v >= 0 {
 			iv = int32(v + 0.5)

@@ -23,8 +23,10 @@ func (t FrameType) String() string {
 		return "I"
 	case PFrame:
 		return "P"
-	default:
+	case BFrame:
 		return "B"
+	default:
+		return fmt.Sprintf("FrameType(%d)", uint8(t))
 	}
 }
 
@@ -53,6 +55,13 @@ type Config struct {
 	// anchors (0 = the paper's IPP...P structure). Only the sequence APIs
 	// (EncodeSequenceB / DecodeSequenceB) understand B streams.
 	BFrames int
+	// Workers bounds the number of goroutines coding macroblock rows of a
+	// frame concurrently. 0 and 1 both select the serial path (so the zero
+	// value behaves exactly as before); larger values are clamped to the
+	// row count. The bitstream is bit-identical for every setting — see
+	// parallel.go for the wavefront argument. Callers typically set it to
+	// runtime.NumCPU().
+	Workers int
 }
 
 // DefaultConfig returns the settings used by the experiment harness:
@@ -83,6 +92,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("codec: quantisation steps must be positive")
 	case c.SearchRange < 0 || c.SearchRange > 64:
 		return fmt.Errorf("codec: search range %d out of [0,64]", c.SearchRange)
+	case c.Workers < 0:
+		return fmt.Errorf("codec: negative worker count %d", c.Workers)
 	}
 	return nil
 }
@@ -132,6 +143,10 @@ type Encoder struct {
 	// with the left-neighbour vector it seeds the diamond search, which is
 	// what lets it track global pan on textured content.
 	prevMVs [][2]int
+	// retainRefs disables recycling of superseded reference frames. The
+	// B-frame sequence encoder sets it because it keeps anchor
+	// reconstructions alive across Encode calls.
+	retainRefs bool
 }
 
 // NewEncoder returns an encoder for the configuration.
@@ -160,36 +175,21 @@ func (e *Encoder) encodeAs(f *video.Frame, ft FrameType) (*EncodedFrame, error) 
 	if ft == PFrame && e.ref == nil {
 		ft = IFrame
 	}
-	recon := video.NewFrame(f.W, f.H)
+	// Pooled frames come back dirty, which is fine: every macroblock coder
+	// writes its full pixel footprint, so the whole reconstruction is
+	// overwritten below.
+	recon := getFrame(f.W, f.H)
 	cols, rows := e.cfg.MBCols(), e.cfg.MBRows()
 	out := &EncodedFrame{Number: e.count, Type: ft, MBData: make([][]byte, cols*rows)}
 	mvs := make([][2]int, cols*rows)
-	for my := 0; my < rows; my++ {
-		for mx := 0; mx < cols; mx++ {
-			w := &bitWriter{}
-			if ft == IFrame {
-				encodeIntraMB(w, f, recon, mx, my, e.cfg.QI)
-			} else {
-				var starts [][2]int
-				if mx > 0 {
-					starts = append(starts, mvs[my*cols+mx-1])
-				}
-				if my > 0 {
-					starts = append(starts, mvs[(my-1)*cols+mx])
-				}
-				if e.prevMVs != nil {
-					starts = append(starts, e.prevMVs[my*cols+mx])
-				}
-				dx, dy := encodeInterMB(w, f, e.ref, recon, mx, my, e.cfg, starts)
-				mvs[my*cols+mx] = [2]int{dx, dy}
-			}
-			out.MBData[my*cols+mx] = w.bytes()
-		}
-	}
+	e.encodeRows(f, recon, out, mvs, ft)
 	if ft == PFrame {
 		e.prevMVs = mvs
 	} else {
 		e.prevMVs = nil
+	}
+	if e.ref != nil && !e.retainRefs {
+		putFrame(e.ref)
 	}
 	e.ref = recon
 	e.count++
@@ -197,7 +197,12 @@ func (e *Encoder) encodeAs(f *video.Frame, ft FrameType) (*EncodedFrame, error) 
 }
 
 // Reset returns the encoder to the start-of-stream state.
-func (e *Encoder) Reset() { e.ref, e.count, e.prevMVs = nil, 0, nil }
+func (e *Encoder) Reset() {
+	if e.ref != nil && !e.retainRefs {
+		putFrame(e.ref)
+	}
+	e.ref, e.count, e.prevMVs = nil, 0, nil
+}
 
 // Decoder reconstructs a frame sequence, concealing lost macroblocks and
 // frames by copying from the most recent reference (the substitution rule
@@ -228,24 +233,30 @@ func (d *Decoder) Decode(ef *EncodedFrame) *video.Frame {
 		d.ref = out
 		return out
 	}
-	for my := 0; my < rows; my++ {
-		for mx := 0; mx < cols; mx++ {
-			chunk := ef.MBData[my*cols+mx]
-			ok := chunk != nil
-			if ok {
-				r := newBitReader(chunk)
-				var err error
-				if ef.Type == IFrame {
-					err = decodeIntraMB(r, out, mx, my, d.cfg.QI)
-				} else {
-					err = decodeInterMB(r, d.ref, out, mx, my, d.cfg)
-				}
-				ok = err == nil
-			}
-			if !ok {
-				d.concealMB(out, mx, my)
-			}
+	if cols*rows != len(ef.MBData) {
+		d.concealFrame(out)
+		d.ref = out
+		return out
+	}
+	// Resolve the leading-loss reference once per frame instead of per
+	// macroblock so inter rows share one pooled grey frame.
+	ref := d.ref
+	var grey *video.Frame
+	if ef.Type != IFrame && ref == nil {
+		grey = getGreyFrame(d.cfg.Width, d.cfg.Height)
+		ref = grey
+	}
+	if workers := d.cfg.rowWorkers(rows); workers > 1 {
+		parallelRows(workers, rows, func(my int) {
+			d.decodeRow(ef, ref, out, my)
+		})
+	} else {
+		for my := 0; my < rows; my++ {
+			d.decodeRow(ef, ref, out, my)
 		}
+	}
+	if grey != nil {
+		putFrame(grey)
 	}
 	d.ref = out
 	return out

@@ -31,24 +31,26 @@ func storeBlock(plane []byte, stride, x0, y0 int, bias float64, recon *[64]float
 }
 
 // encodeIntraMB codes one intra macroblock and writes its reconstruction.
-func encodeIntraMB(w *bitWriter, src, recon *video.Frame, mx, my int, q float64) {
+// The bitstream goes to sc.w; sample buffers come from sc so the hot path
+// stays allocation-free.
+func encodeIntraMB(sc *mbScratch, src, recon *video.Frame, mx, my int, q float64) {
+	w, samples, rec := &sc.w, &sc.samples, &sc.rec
 	x0, y0 := mx*mbSize, my*mbSize
-	var samples, rec [64]float64
 	for by := 0; by < 2; by++ {
 		for bx := 0; bx < 2; bx++ {
-			loadBlock(src.Y, src.W, x0+bx*blockSize, y0+by*blockSize, 128, &samples)
-			encodeBlock(w, &samples, q, &rec)
-			storeBlock(recon.Y, recon.W, x0+bx*blockSize, y0+by*blockSize, 128, &rec)
+			loadBlock(src.Y, src.W, x0+bx*blockSize, y0+by*blockSize, 128, samples)
+			encodeBlock(w, samples, q, rec)
+			storeBlock(recon.Y, recon.W, x0+bx*blockSize, y0+by*blockSize, 128, rec)
 		}
 	}
 	cw := src.W / 2
 	cx0, cy0 := x0/2, y0/2
-	loadBlock(src.Cb, cw, cx0, cy0, 128, &samples)
-	encodeBlock(w, &samples, q*1.2, &rec)
-	storeBlock(recon.Cb, cw, cx0, cy0, 128, &rec)
-	loadBlock(src.Cr, cw, cx0, cy0, 128, &samples)
-	encodeBlock(w, &samples, q*1.2, &rec)
-	storeBlock(recon.Cr, cw, cx0, cy0, 128, &rec)
+	loadBlock(src.Cb, cw, cx0, cy0, 128, samples)
+	encodeBlock(w, samples, q*1.2, rec)
+	storeBlock(recon.Cb, cw, cx0, cy0, 128, rec)
+	loadBlock(src.Cr, cw, cx0, cy0, 128, samples)
+	encodeBlock(w, samples, q*1.2, rec)
+	storeBlock(recon.Cr, cw, cx0, cy0, 128, rec)
 }
 
 // decodeIntraMB reverses encodeIntraMB.
@@ -76,11 +78,44 @@ func decodeIntraMB(r *bitReader, out *video.Frame, mx, my int, q float64) error 
 	return nil
 }
 
+// maxInt is the largest int (used as a no-op SAD early-exit limit).
+const maxInt = int(^uint(0) >> 1)
+
 // sadMB computes the sum of absolute luma differences between the source
 // macroblock at (x0, y0) and the reference block displaced by (dx, dy),
 // clamping reference coordinates at the frame edge.
 func sadMB(src, ref *video.Frame, x0, y0, dx, dy int) int {
+	return sadMBLimit(src, ref, x0, y0, dx, dy, maxInt)
+}
+
+// sadMBLimit is sadMB with a row-granular early exit: once the partial sum
+// reaches limit the (partial, >= limit) value is returned. Callers that
+// compare with a strict `< best` see exactly the selections the full sum
+// would give, because any bailed candidate already lost. Displacements
+// that keep the whole block inside the reference skip the per-pixel edge
+// clamping.
+func sadMBLimit(src, ref *video.Frame, x0, y0, dx, dy, limit int) int {
 	var sad int
+	rx0, ry0 := x0+dx, y0+dy
+	if rx0 >= 0 && ry0 >= 0 && rx0+mbSize <= ref.W && ry0+mbSize <= ref.H {
+		for y := 0; y < mbSize; y++ {
+			so := (y0+y)*src.W + x0
+			ro := (ry0+y)*ref.W + rx0
+			srow := src.Y[so : so+mbSize]
+			rrow := ref.Y[ro : ro+mbSize]
+			for x := 0; x < mbSize; x++ {
+				d := int(srow[x]) - int(rrow[x])
+				if d < 0 {
+					d = -d
+				}
+				sad += d
+			}
+			if sad >= limit {
+				return sad
+			}
+		}
+		return sad
+	}
 	for y := 0; y < mbSize; y++ {
 		sy := y0 + y
 		for x := 0; x < mbSize; x++ {
@@ -91,6 +126,9 @@ func sadMB(src, ref *video.Frame, x0, y0, dx, dy int) int {
 				d = -d
 			}
 			sad += d
+		}
+		if sad >= limit {
+			return sad
 		}
 	}
 	return sad
@@ -114,7 +152,7 @@ func motionSearch(src, ref *video.Frame, x0, y0 int, cfg Config, starts [][2]int
 		best := sadMB(src, ref, x0, y0, 0, 0)
 		for dy := -cfg.SearchRange; dy <= cfg.SearchRange; dy++ {
 			for dx := -cfg.SearchRange; dx <= cfg.SearchRange; dx++ {
-				if s := sadMB(src, ref, x0, y0, dx, dy); s < best {
+				if s := sadMBLimit(src, ref, x0, y0, dx, dy, best); s < best {
 					best, bestDX, bestDY = s, dx, dy
 				}
 			}
@@ -132,7 +170,7 @@ func motionSearch(src, ref *video.Frame, x0, y0 int, cfg Config, starts [][2]int
 		if dx < -cfg.SearchRange || dx > cfg.SearchRange || dy < -cfg.SearchRange || dy > cfg.SearchRange {
 			continue
 		}
-		if s := sadMB(src, ref, x0, y0, dx, dy); s < best {
+		if s := sadMBLimit(src, ref, x0, y0, dx, dy, best); s < best {
 			best, cx, cy = s, dx, dy
 		}
 	}
@@ -143,7 +181,7 @@ func motionSearch(src, ref *video.Frame, x0, y0 int, cfg Config, starts [][2]int
 			if dx < -cfg.SearchRange || dx > cfg.SearchRange || dy < -cfg.SearchRange || dy > cfg.SearchRange {
 				continue
 			}
-			if s := sadMB(src, ref, x0, y0, dx, dy); s < best {
+			if s := sadMBLimit(src, ref, x0, y0, dx, dy, best); s < best {
 				best, cx, cy, improved = s, dx, dy, true
 			}
 		}
@@ -156,7 +194,7 @@ func motionSearch(src, ref *video.Frame, x0, y0 int, cfg Config, starts [][2]int
 		if dx < -cfg.SearchRange || dx > cfg.SearchRange || dy < -cfg.SearchRange || dy > cfg.SearchRange {
 			continue
 		}
-		if s := sadMB(src, ref, x0, y0, dx, dy); s < best {
+		if s := sadMBLimit(src, ref, x0, y0, dx, dy, best); s < best {
 			best, cx, cy = s, dx, dy
 		}
 	}
@@ -164,8 +202,22 @@ func motionSearch(src, ref *video.Frame, x0, y0 int, cfg Config, starts [][2]int
 }
 
 // loadResidual fills samples with source minus motion-compensated
-// reference for one 8x8 luma block.
+// reference for one 8x8 luma block. Blocks whose displaced footprint lies
+// fully inside the reference skip the per-pixel edge clamping of LumaAt.
 func loadResidual(src, ref *video.Frame, x0, y0, dx, dy int, samples *[64]float64) {
+	rx0, ry0 := x0+dx, y0+dy
+	if rx0 >= 0 && ry0 >= 0 && rx0+blockSize <= ref.W && ry0+blockSize <= ref.H {
+		for y := 0; y < blockSize; y++ {
+			so := (y0+y)*src.W + x0
+			ro := (ry0+y)*ref.W + rx0
+			srow := src.Y[so : so+blockSize]
+			rrow := ref.Y[ro : ro+blockSize]
+			for x := 0; x < blockSize; x++ {
+				samples[y*blockSize+x] = float64(srow[x]) - float64(rrow[x])
+			}
+		}
+		return
+	}
 	for y := 0; y < blockSize; y++ {
 		for x := 0; x < blockSize; x++ {
 			s := float64(src.Y[(y0+y)*src.W+x0+x])
@@ -175,8 +227,22 @@ func loadResidual(src, ref *video.Frame, x0, y0, dx, dy int, samples *[64]float6
 	}
 }
 
-// storeCompensated writes prediction+residual into the output luma plane.
+// storeCompensated writes prediction+residual into the output luma plane,
+// with the same interior fast path as loadResidual.
 func storeCompensated(out, ref *video.Frame, x0, y0, dx, dy int, rec *[64]float64) {
+	rx0, ry0 := x0+dx, y0+dy
+	if rx0 >= 0 && ry0 >= 0 && rx0+blockSize <= ref.W && ry0+blockSize <= ref.H {
+		for y := 0; y < blockSize; y++ {
+			oo := (y0+y)*out.W + x0
+			ro := (ry0+y)*ref.W + rx0
+			orow := out.Y[oo : oo+blockSize]
+			rrow := ref.Y[ro : ro+blockSize]
+			for x := 0; x < blockSize; x++ {
+				orow[x] = clampByte(float64(rrow[x]) + rec[y*blockSize+x])
+			}
+		}
+		return
+	}
 	for y := 0; y < blockSize; y++ {
 		for x := 0; x < blockSize; x++ {
 			p := float64(ref.LumaAt(x0+x+dx, y0+y+dy))
@@ -204,19 +270,20 @@ func chromaAt(plane []byte, cw, ch, x, y int) float64 {
 
 // encodeInterMB codes one predicted macroblock: motion vector plus
 // residual blocks for luma and chroma. It returns the chosen motion
-// vector so the encoder can seed its neighbour predictors.
-func encodeInterMB(w *bitWriter, src, ref, recon *video.Frame, mx, my int, cfg Config, starts [][2]int) (int, int) {
+// vector so the encoder can seed its neighbour predictors. The bitstream
+// goes to sc.w; sample buffers come from sc.
+func encodeInterMB(sc *mbScratch, src, ref, recon *video.Frame, mx, my int, cfg Config, starts [][2]int) (int, int) {
+	w, samples, rec := &sc.w, &sc.samples, &sc.rec
 	x0, y0 := mx*mbSize, my*mbSize
 	dx, dy := motionSearch(src, ref, x0, y0, cfg, starts)
 	w.writeSE(int64(dx))
 	w.writeSE(int64(dy))
-	var samples, rec [64]float64
 	for by := 0; by < 2; by++ {
 		for bx := 0; bx < 2; bx++ {
 			bx0, by0 := x0+bx*blockSize, y0+by*blockSize
-			loadResidual(src, ref, bx0, by0, dx, dy, &samples)
-			encodeBlock(w, &samples, cfg.QP, &rec)
-			storeCompensated(recon, ref, bx0, by0, dx, dy, &rec)
+			loadResidual(src, ref, bx0, by0, dx, dy, samples)
+			encodeBlock(w, samples, cfg.QP, rec)
+			storeCompensated(recon, ref, bx0, by0, dx, dy, rec)
 		}
 	}
 	// Chroma residuals with halved motion.
@@ -235,7 +302,7 @@ func encodeInterMB(w *bitWriter, src, ref, recon *video.Frame, mx, my int, cfg C
 				samples[y*blockSize+x] = s - r
 			}
 		}
-		encodeBlock(w, &samples, cfg.QP*1.2, &rec)
+		encodeBlock(w, samples, cfg.QP*1.2, rec)
 		for y := 0; y < blockSize; y++ {
 			for x := 0; x < blockSize; x++ {
 				p := chromaAt(rp, cw, ch, cx0+x+cdx, cy0+y+cdy)
@@ -263,11 +330,12 @@ func decodeInterMB(r *bitReader, ref, out *video.Frame, mx, my int, cfg Config) 
 	}
 	if ref == nil {
 		// P-frame with no reference (leading loss): decode residuals
-		// against mid-grey so the stream stays in lockstep.
-		ref = video.NewFrame(out.W, out.H)
-		for i := range ref.Y {
-			ref.Y[i] = 128
-		}
+		// against mid-grey so the stream stays in lockstep. Decode hoists
+		// this to one pooled frame per frame; the fallback covers direct
+		// callers.
+		grey := getGreyFrame(out.W, out.H)
+		defer putFrame(grey)
+		ref = grey
 	}
 	var rec [64]float64
 	for by := 0; by < 2; by++ {

@@ -1,0 +1,214 @@
+package codec
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/video"
+)
+
+// Intra-frame parallelism. Frames are coded one macroblock row at a time;
+// rows are distributed over Config.Workers goroutines that claim row
+// indices from a shared atomic counter (always in ascending order). Each
+// row writes its chunks into a fresh per-row arena and stores them at
+// their raster positions in EncodedFrame.MBData, so the assembled
+// bitstream is byte-for-byte the one the serial encoder emits regardless
+// of scheduling.
+//
+// I-frame, B-frame and decode rows are mutually independent (intra MBs
+// predict from flat 128, inter MBs from the previous reconstruction, and
+// every MB writes a disjoint pixel region). P-frame *encode* rows are
+// not: the motion search of MB (my, mx) is seeded with the vector chosen
+// at (my-1, mx). Dropping that predictor would change the bitstream, so
+// P-rows run as a wavefront instead: row my-1 sends one token on a
+// buffered channel after each macroblock it finishes, and row my receives
+// one token before each of its own macroblocks, which keeps it exactly
+// one column behind. The channel send/receive pair also orders the mvs[]
+// writes of the row above before the reads below. Because rows are
+// claimed in ascending order, the lowest unfinished row never waits on an
+// unclaimed one, so the wavefront cannot deadlock.
+
+// mbScratch bundles the per-worker buffers of the macroblock hot path:
+// the bitstream writer (its buffer is recycled between macroblocks after
+// the chunk is copied into the row arena), the three 8x8 sample blocks,
+// and the motion-predictor candidate array.
+type mbScratch struct {
+	w       bitWriter
+	samples [64]float64
+	rec     [64]float64
+	pred    [64]float64
+	starts  [3][2]int
+}
+
+var scratchPool = sync.Pool{New: func() interface{} { return new(mbScratch) }}
+
+func getScratch() *mbScratch  { return scratchPool.Get().(*mbScratch) }
+func putScratch(sc *mbScratch) { scratchPool.Put(sc) }
+
+// framePool recycles reconstruction frames (encoder references and the
+// decoder's grey stand-in reference). Pooled frames come back dirty;
+// every consumer either overwrites all three planes or fills them
+// explicitly. Frames of the wrong geometry are dropped on Get.
+var framePool sync.Pool
+
+// getFrame returns a w x h frame with undefined contents.
+func getFrame(w, h int) *video.Frame {
+	for i := 0; i < 4; i++ {
+		v := framePool.Get()
+		if v == nil {
+			break
+		}
+		f := v.(*video.Frame)
+		if f.W == w && f.H == h {
+			return f
+		}
+	}
+	return video.NewFrame(w, h)
+}
+
+// putFrame returns a frame to the pool. Callers must not retain any
+// reference to it afterwards.
+func putFrame(f *video.Frame) {
+	if f != nil {
+		framePool.Put(f)
+	}
+}
+
+// getGreyFrame returns a pooled frame with all planes at mid-grey.
+func getGreyFrame(w, h int) *video.Frame {
+	f := getFrame(w, h)
+	for i := range f.Y {
+		f.Y[i] = 128
+	}
+	for i := range f.Cb {
+		f.Cb[i] = 128
+		f.Cr[i] = 128
+	}
+	return f
+}
+
+// rowWorkers resolves the Workers knob against the macroblock row count:
+// 0 and 1 both mean serial (the zero value keeps existing configurations
+// byte-compatible), larger values are clamped to the row count.
+func (c Config) rowWorkers(rows int) int {
+	w := c.Workers
+	if w > rows {
+		w = rows
+	}
+	if w < 2 {
+		return 1
+	}
+	return w
+}
+
+// parallelRows runs fn(my) for my in [0, rows) on workers goroutines.
+// Rows are claimed in ascending order, which the P-frame wavefront relies
+// on for deadlock freedom.
+func parallelRows(workers, rows int, fn func(my int)) {
+	var next int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer wg.Done()
+			for {
+				my := int(atomic.AddInt64(&next, 1)) - 1
+				if my >= rows {
+					return
+				}
+				fn(my)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// encodeRow codes macroblock row my of a frame. rowDone is the wavefront
+// token array for P-frames (nil for I-frames and the serial path). The
+// row's chunks are packed into one arena allocation; the arena must be
+// fresh per row because the MBData subslices outlive the call.
+func (e *Encoder) encodeRow(src, recon *video.Frame, out *EncodedFrame, mvs [][2]int, ft FrameType, my int, sc *mbScratch, rowDone []chan struct{}) {
+	cols := e.cfg.MBCols()
+	var arena []byte
+	for mx := 0; mx < cols; mx++ {
+		if rowDone != nil && my > 0 {
+			<-rowDone[my-1]
+		}
+		sc.w.reset()
+		if ft == IFrame {
+			encodeIntraMB(sc, src, recon, mx, my, e.cfg.QI)
+		} else {
+			starts := sc.starts[:0]
+			if mx > 0 {
+				starts = append(starts, mvs[my*cols+mx-1])
+			}
+			if my > 0 {
+				starts = append(starts, mvs[(my-1)*cols+mx])
+			}
+			if e.prevMVs != nil {
+				starts = append(starts, e.prevMVs[my*cols+mx])
+			}
+			dx, dy := encodeInterMB(sc, src, e.ref, recon, mx, my, e.cfg, starts)
+			mvs[my*cols+mx] = [2]int{dx, dy}
+		}
+		chunk := sc.w.bytes()
+		start := len(arena)
+		arena = append(arena, chunk...)
+		out.MBData[my*cols+mx] = arena[start:len(arena):len(arena)]
+		if rowDone != nil {
+			rowDone[my] <- struct{}{}
+		}
+	}
+}
+
+// encodeRows codes every macroblock row of a frame, serially or on the
+// configured worker pool.
+func (e *Encoder) encodeRows(src, recon *video.Frame, out *EncodedFrame, mvs [][2]int, ft FrameType) {
+	rows := e.cfg.MBRows()
+	workers := e.cfg.rowWorkers(rows)
+	if workers <= 1 {
+		sc := getScratch()
+		for my := 0; my < rows; my++ {
+			e.encodeRow(src, recon, out, mvs, ft, my, sc, nil)
+		}
+		putScratch(sc)
+		return
+	}
+	var rowDone []chan struct{}
+	if ft != IFrame {
+		cols := e.cfg.MBCols()
+		rowDone = make([]chan struct{}, rows)
+		for i := range rowDone {
+			rowDone[i] = make(chan struct{}, cols)
+		}
+	}
+	parallelRows(workers, rows, func(my int) {
+		sc := getScratch()
+		e.encodeRow(src, recon, out, mvs, ft, my, sc, rowDone)
+		putScratch(sc)
+	})
+}
+
+// decodeRow reconstructs macroblock row my. ref is the prediction
+// reference for inter rows (already resolved to a grey stand-in for a
+// leading loss); conceal copies come from d.ref as in the serial path.
+func (d *Decoder) decodeRow(ef *EncodedFrame, ref, out *video.Frame, my int) {
+	cols := d.cfg.MBCols()
+	for mx := 0; mx < cols; mx++ {
+		chunk := ef.MBData[my*cols+mx]
+		ok := chunk != nil
+		if ok {
+			r := newBitReader(chunk)
+			var err error
+			if ef.Type == IFrame {
+				err = decodeIntraMB(r, out, mx, my, d.cfg.QI)
+			} else {
+				err = decodeInterMB(r, ref, out, mx, my, d.cfg)
+			}
+			ok = err == nil
+		}
+		if !ok {
+			d.concealMB(out, mx, my)
+		}
+	}
+}

@@ -32,38 +32,60 @@ type DelayResult struct {
 // RunDelay produces the per-packet delay comparison for one device:
 // algorithm x GOP x motion x level, analysis vs experiment. With tcp=true
 // it produces the HTTP/TCP variants (Figs. 12/13), for which the paper
-// shows experiment only.
+// shows experiment only. Cells run concurrently on the fixture's worker
+// budget and land at their grid index, so the result order (and every
+// number in it) matches the serial nested loops exactly.
 func RunDelay(f *Fixture, device energy.Profile, tcp bool) ([]DelayResult, error) {
-	var out []DelayResult
+	motions := []video.MotionLevel{video.MotionLow, video.MotionHigh}
+	gops := []int{30, 50}
+	if err := f.PrefetchWorkloads(motions, gops); err != nil {
+		return nil, err
+	}
+	type cellSpec struct {
+		alg    vcrypt.Algorithm
+		gop    int
+		motion video.MotionLevel
+		level  vcrypt.Mode
+	}
+	var specs []cellSpec
 	for _, alg := range delayAlgorithms {
-		for _, gop := range []int{30, 50} {
-			for _, motion := range []video.MotionLevel{video.MotionLow, video.MotionHigh} {
-				w, err := f.Workload(motion, gop)
-				if err != nil {
-					return nil, err
-				}
-				cal, err := f.Calibrate(w, device)
-				if err != nil {
-					return nil, err
-				}
+		for _, gop := range gops {
+			for _, motion := range motions {
 				for _, level := range levelOrder {
-					pol := vcrypt.Policy{Mode: level, Alg: alg}
-					pred, err := cal.Predict(pol)
-					if err != nil {
-						return nil, err
-					}
-					cell, err := f.runCell(w, pol, device, tcp, false)
-					if err != nil {
-						return nil, err
-					}
-					out = append(out, DelayResult{
-						Alg: alg, GOP: gop, Motion: motion, Level: level,
-						AnalysisDelay: pred.MeanSojourn,
-						ExpDelay:      cell.Delay,
-					})
+					specs = append(specs, cellSpec{alg, gop, motion, level})
 				}
 			}
 		}
+	}
+	out := make([]DelayResult, len(specs))
+	err := parallelFor(f.workers(), len(specs), func(i int) error {
+		sp := specs[i]
+		w, err := f.Workload(sp.motion, sp.gop)
+		if err != nil {
+			return err
+		}
+		cal, err := f.Calibrate(w, device)
+		if err != nil {
+			return err
+		}
+		pol := vcrypt.Policy{Mode: sp.level, Alg: sp.alg}
+		pred, err := cal.Predict(pol)
+		if err != nil {
+			return err
+		}
+		cell, err := f.runCell(w, pol, device, tcp, false)
+		if err != nil {
+			return err
+		}
+		out[i] = DelayResult{
+			Alg: sp.alg, GOP: sp.gop, Motion: sp.motion, Level: sp.level,
+			AnalysisDelay: pred.MeanSojourn,
+			ExpDelay:      cell.Delay,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -140,21 +162,37 @@ func Fig9(f *Fixture) (*Table, error) {
 		Title:   "Fig 9a: Upload latency vs fraction of P-frame packets encrypted (fast motion, GOP=30)",
 		Columns: []string{"device", "alg", "%P", "exp delay(ms)"},
 	}
+	type cellSpec struct {
+		device energy.Profile
+		alg    vcrypt.Algorithm
+		frac   float64
+	}
+	var specs []cellSpec
 	for _, device := range []energy.Profile{HTCDevice(), SamsungDevice()} {
 		for _, alg := range []vcrypt.Algorithm{vcrypt.AES128, vcrypt.AES256, vcrypt.TripleDES} {
 			for _, frac := range fracPSweep {
-				pol := vcrypt.Policy{Mode: vcrypt.ModeIPlusFracP, FracP: frac, Alg: alg}
-				cell, err := f.runCell(w, pol, device, false, false)
-				if err != nil {
-					return nil, err
-				}
-				t.Rows = append(t.Rows, []string{
-					device.Name, alg.String(), fmt.Sprintf("%d", int(frac*100+0.5)),
-					msCI(cell.Delay.Mean, cell.Delay.CI95),
-				})
+				specs = append(specs, cellSpec{device, alg, frac})
 			}
 		}
 	}
+	rows := make([][]string, len(specs))
+	err = parallelFor(f.workers(), len(specs), func(i int) error {
+		sp := specs[i]
+		pol := vcrypt.Policy{Mode: vcrypt.ModeIPlusFracP, FracP: sp.frac, Alg: sp.alg}
+		cell, err := f.runCell(w, pol, sp.device, false, false)
+		if err != nil {
+			return err
+		}
+		rows[i] = []string{
+			sp.device.Name, sp.alg.String(), fmt.Sprintf("%d", int(sp.frac*100+0.5)),
+			msCI(cell.Delay.Mean, cell.Delay.CI95),
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	t.Rows = rows
 	t.Notes = append(t.Notes, "latency grows mildly with the encrypted P fraction; 20% suffices for obfuscation (Table 2)")
 	return t, nil
 }
@@ -175,22 +213,29 @@ func Table2(f *Fixture) (*Table, error) {
 	for _, frac := range fracPSweep {
 		policies = append(policies, vcrypt.Policy{Mode: vcrypt.ModeIPlusFracP, FracP: frac, Alg: vcrypt.AES256})
 	}
-	for _, pol := range policies {
+	rows := make([][]string, len(policies))
+	err = parallelFor(f.workers(), len(policies), func(i int) error {
+		pol := policies[i]
 		cell, err := f.runCell(w, pol, device, false, false)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		label := "I"
 		if pol.Mode == vcrypt.ModeIPlusFracP {
 			label = fmt.Sprintf("I+%d%% P", int(pol.FracP*100+0.5))
 		}
-		t.Rows = append(t.Rows, []string{
+		rows[i] = []string{
 			label,
 			msCI(cell.Delay.Mean, cell.Delay.CI95),
 			dbCI(cell.PSNR.Mean, cell.PSNR.CI95),
 			f2(cell.MOS.Mean),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.Rows = rows
 	t.Notes = append(t.Notes, "PSNR and MOS at the eavesdropper sit at the floor once the I-frames plus any P fraction are encrypted")
 	return t, nil
 }

@@ -40,7 +40,11 @@ func Fig2(f *Fixture) (*Table, error) {
 		Title:   "Fig 2: Average distortion (MSE) vs reference distance",
 		Columns: []string{"motion", "d=1", "d=2", "d=3", "d=4", "fit", "R2"},
 	}
-	for _, motion := range []video.MotionLevel{video.MotionLow, video.MotionMedium, video.MotionHigh} {
+	allMotions := []video.MotionLevel{video.MotionLow, video.MotionMedium, video.MotionHigh}
+	if err := f.PrefetchWorkloads(allMotions, []int{30}); err != nil {
+		return nil, err
+	}
+	for _, motion := range allMotions {
 		w, err := f.Workload(motion, 30)
 		if err != nil {
 			return nil, err
@@ -81,38 +85,57 @@ type DistortionResult struct {
 // experiment, under AES-256 (the paper notes the algorithm does not change
 // distortion, only delay). With tcp=true it produces Figs. 14/15 instead.
 func RunDistortion(f *Fixture, tcp bool) ([]DistortionResult, error) {
-	var out []DistortionResult
 	device := SamsungDevice()
-	for _, motion := range []video.MotionLevel{video.MotionLow, video.MotionHigh} {
-		for _, gop := range []int{30, 50} {
-			w, err := f.Workload(motion, gop)
-			if err != nil {
-				return nil, err
-			}
-			cal, err := f.Calibrate(w, device)
-			if err != nil {
-				return nil, err
-			}
+	motions := []video.MotionLevel{video.MotionLow, video.MotionHigh}
+	gops := []int{30, 50}
+	if err := f.PrefetchWorkloads(motions, gops); err != nil {
+		return nil, err
+	}
+	type cellSpec struct {
+		motion video.MotionLevel
+		gop    int
+		level  vcrypt.Mode
+	}
+	var specs []cellSpec
+	for _, motion := range motions {
+		for _, gop := range gops {
 			for _, level := range levelOrder {
-				pol := vcrypt.Policy{Mode: level, Alg: vcrypt.AES256}
-				pred, err := cal.Predict(pol)
-				if err != nil {
-					return nil, err
-				}
-				cell, err := f.runCell(w, pol, device, tcp, false)
-				if err != nil {
-					return nil, err
-				}
-				out = append(out, DistortionResult{
-					Motion:       motion,
-					GOP:          gop,
-					Level:        level,
-					AnalysisPSNR: pred.EavesdropperPSNR,
-					ExpPSNR:      cell.PSNR,
-					ExpMOS:       cell.MOS,
-				})
+				specs = append(specs, cellSpec{motion, gop, level})
 			}
 		}
+	}
+	out := make([]DistortionResult, len(specs))
+	err := parallelFor(f.workers(), len(specs), func(i int) error {
+		sp := specs[i]
+		w, err := f.Workload(sp.motion, sp.gop)
+		if err != nil {
+			return err
+		}
+		cal, err := f.Calibrate(w, device)
+		if err != nil {
+			return err
+		}
+		pol := vcrypt.Policy{Mode: sp.level, Alg: vcrypt.AES256}
+		pred, err := cal.Predict(pol)
+		if err != nil {
+			return err
+		}
+		cell, err := f.runCell(w, pol, device, tcp, false)
+		if err != nil {
+			return err
+		}
+		out[i] = DistortionResult{
+			Motion:       sp.motion,
+			GOP:          sp.gop,
+			Level:        sp.level,
+			AnalysisPSNR: pred.EavesdropperPSNR,
+			ExpPSNR:      cell.PSNR,
+			ExpMOS:       cell.MOS,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

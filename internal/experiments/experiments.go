@@ -10,7 +10,10 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
+	"runtime"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/codec"
 	"repro/internal/core"
@@ -32,6 +35,13 @@ type Options struct {
 	Seed          uint64
 	// Stations sets WiFi contention for the medium.
 	Stations int
+	// Workers bounds the concurrency of the runner: figure cells and the
+	// repetitions inside each cell fan out over this many goroutines, and
+	// the same value drives the codec's macroblock-row workers. 0 selects
+	// runtime.NumCPU(), 1 forces the serial path. Every setting produces
+	// identical tables: cells and repetitions keep their per-(rep, policy,
+	// gop) seeds and results are aggregated in index order.
+	Workers int
 }
 
 // Full returns the paper-scale settings.
@@ -60,7 +70,54 @@ func (o Options) fill() Options {
 	if o.Seed == 0 {
 		o.Seed = 1
 	}
+	if o.Workers == 0 {
+		o.Workers = runtime.NumCPU()
+	}
+	if o.Workers < 1 {
+		o.Workers = 1
+	}
 	return o
+}
+
+// parallelFor runs fn(0..n-1) on up to workers goroutines, claiming
+// indices in ascending order, and returns the error of the lowest failing
+// index (the one a serial loop would have hit first). workers <= 1 runs
+// inline.
+func parallelFor(workers, n int, fn func(i int) error) error {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for k := 0; k < workers; k++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // MTU is the application payload bound used throughout (WiFi MTU minus
@@ -129,10 +186,30 @@ type Workload struct {
 	Dist    core.DistortionCalibration
 }
 
-// Fixture caches workloads and channel state across figures.
+// workloadEntry is one slot of the workload cache: the sync.Once
+// guarantees a workload is built exactly once even when many figure cells
+// request it concurrently, while other keys build in parallel.
+type workloadEntry struct {
+	once sync.Once
+	w    *Workload
+	err  error
+}
+
+// calEntry is the analogous slot of the calibration cache.
+type calEntry struct {
+	once sync.Once
+	cal  *core.Calibration
+	err  error
+}
+
+// Fixture caches workloads and channel state across figures. The caches
+// are safe for concurrent use: the map itself is mutex-guarded and each
+// entry builds under its own sync.Once.
 type Fixture struct {
 	opts      Options
-	workloads map[string]*Workload
+	mu        sync.Mutex
+	workloads map[string]*workloadEntry
+	cals      map[string]*calEntry
 	dcfParams wifi.DCFParams
 	dcf       wifi.DCFResult
 	backoff   float64
@@ -148,7 +225,8 @@ func NewFixture(opts Options) (*Fixture, error) {
 	}
 	return &Fixture{
 		opts:      opts,
-		workloads: make(map[string]*Workload),
+		workloads: make(map[string]*workloadEntry),
+		cals:      make(map[string]*calEntry),
 		dcfParams: params,
 		dcf:       dcf,
 		backoff:   wifi.BackoffRate(params, dcf, wifi.PHY80211g().SlotTime),
@@ -158,18 +236,54 @@ func NewFixture(opts Options) (*Fixture, error) {
 // Options returns the fixture's (filled) options.
 func (f *Fixture) Options() Options { return f.opts }
 
+// workers returns the resolved runner concurrency.
+func (f *Fixture) workers() int { return f.opts.Workers }
+
 // Workload encodes (and caches) a clip for a motion class and GOP size.
+// Concurrent callers block only on the key they need; distinct workloads
+// encode in parallel.
 func (f *Fixture) Workload(motion video.MotionLevel, gop int) (*Workload, error) {
 	key := fmt.Sprintf("%v/%d", motion, gop)
-	if w, ok := f.workloads[key]; ok {
-		return w, nil
+	f.mu.Lock()
+	e, ok := f.workloads[key]
+	if !ok {
+		e = &workloadEntry{}
+		f.workloads[key] = e
 	}
+	f.mu.Unlock()
+	e.once.Do(func() { e.w, e.err = f.buildWorkload(motion, gop) })
+	return e.w, e.err
+}
+
+// PrefetchWorkloads builds the given (motion, gop) workloads concurrently
+// on the fixture's worker budget; figures that need several workloads
+// call it so clip generation and encoding overlap instead of serialising
+// on first use.
+func (f *Fixture) PrefetchWorkloads(motions []video.MotionLevel, gops []int) error {
+	type spec struct {
+		motion video.MotionLevel
+		gop    int
+	}
+	var specs []spec
+	for _, m := range motions {
+		for _, g := range gops {
+			specs = append(specs, spec{m, g})
+		}
+	}
+	return parallelFor(f.workers(), len(specs), func(i int) error {
+		_, err := f.Workload(specs[i].motion, specs[i].gop)
+		return err
+	})
+}
+
+func (f *Fixture) buildWorkload(motion video.MotionLevel, gop int) (*Workload, error) {
 	clip := video.Generate(video.SceneConfig{
 		W: f.opts.Width, H: f.opts.Height, Frames: f.opts.Frames,
 		Motion: motion, Seed: f.opts.Seed + uint64(motion),
 	})
 	cfg := codec.DefaultConfig(gop)
 	cfg.Width, cfg.Height = f.opts.Width, f.opts.Height
+	cfg.Workers = f.opts.Workers
 	encoded, err := codec.EncodeSequence(clip, cfg)
 	if err != nil {
 		return nil, err
@@ -178,7 +292,7 @@ func (f *Fixture) Workload(motion video.MotionLevel, gop int) (*Workload, error)
 	if err != nil {
 		return nil, err
 	}
-	w := &Workload{
+	return &Workload{
 		Name:    fmt.Sprintf("%v-motion GOP=%d", motion, gop),
 		Motion:  motion,
 		GOP:     gop,
@@ -186,9 +300,7 @@ func (f *Fixture) Workload(motion video.MotionLevel, gop int) (*Workload, error)
 		Cfg:     cfg,
 		Encoded: encoded,
 		Dist:    dist,
-	}
-	f.workloads[key] = w
-	return w, nil
+	}, nil
 }
 
 // Medium builds a fresh simulated channel.
@@ -200,13 +312,33 @@ func (f *Fixture) Medium(seed uint64) *wifi.Medium {
 	return med
 }
 
-// Calibrate runs the model calibration for a workload and device.
+// Calibrate runs (and caches) the model calibration for a workload and
+// device. The calibration is deterministic in (workload, device), and the
+// delay figures request the same pair once per algorithm, so caching
+// removes redundant linear-system solves from the hot path. Callers
+// receive a private shallow copy: some consumers (the ablation
+// benchmarks) overwrite scalar fields of the returned struct.
 func (f *Fixture) Calibrate(w *Workload, device energy.Profile) (*core.Calibration, error) {
-	net := core.Network{
-		Stations: f.opts.Stations, Rate: wifi.Rate54,
-		ReceiverError: 0.01, EavesdropperError: 0.03,
+	key := w.Name + "\x00" + device.Name
+	f.mu.Lock()
+	e, ok := f.cals[key]
+	if !ok {
+		e = &calEntry{}
+		f.cals[key] = e
 	}
-	return core.Calibrate(w.Encoded, w.Cfg, FPS, MTU, device, net, w.Dist)
+	f.mu.Unlock()
+	e.once.Do(func() {
+		net := core.Network{
+			Stations: f.opts.Stations, Rate: wifi.Rate54,
+			ReceiverError: 0.01, EavesdropperError: 0.03,
+		}
+		e.cal, e.err = core.Calibrate(w.Encoded, w.Cfg, FPS, MTU, device, net, w.Dist)
+	})
+	if e.err != nil {
+		return nil, e.err
+	}
+	c := *e.cal
+	return &c, nil
 }
 
 // Session assembles a transport session.
@@ -242,8 +374,18 @@ type runStats struct {
 // upload mode (used by the power figures, matching the paper's
 // methodology) instead of 30 fps streaming.
 func (f *Fixture) runCell(w *Workload, policy vcrypt.Policy, device energy.Profile, tcp, unpaced bool) (runStats, error) {
-	var delays, waits, psnrs, rxpsnrs, moss, powers []float64
-	for rep := 0; rep < f.opts.Repetitions; rep++ {
+	n := f.opts.Repetitions
+	delays := make([]float64, n)
+	waits := make([]float64, n)
+	psnrs := make([]float64, n)
+	rxpsnrs := make([]float64, n)
+	moss := make([]float64, n)
+	powers := make([]float64, n)
+	// Repetitions are independent by construction (each gets its own seed
+	// and Medium; the shared Workload is read-only in the transport), so
+	// they fan out over the worker budget. Results land at their rep index,
+	// which keeps the Summarize inputs in exactly the serial order.
+	err := parallelFor(f.workers(), n, func(rep int) error {
 		seed := f.opts.Seed*1000 + uint64(rep) + uint64(policy.Mode)*77 + uint64(w.GOP)
 		s := f.Session(w, policy, device, seed)
 		s.Unpaced = unpaced
@@ -255,18 +397,22 @@ func (f *Fixture) runCell(w *Workload, policy vcrypt.Policy, device energy.Profi
 			res, err = transport.RunUDP(s, seed)
 		}
 		if err != nil {
-			return runStats{}, err
+			return err
 		}
-		delays = append(delays, res.MeanSojourn)
-		waits = append(waits, res.MeanWait)
-		powers = append(powers, res.AveragePowerW)
+		delays[rep] = res.MeanSojourn
+		waits[rep] = res.MeanWait
+		powers[rep] = res.AveragePowerW
 		q, rq, err := evaluateReconstruction(w, s.Config, res)
 		if err != nil {
-			return runStats{}, err
+			return err
 		}
-		psnrs = append(psnrs, q.psnr)
-		moss = append(moss, q.mos)
-		rxpsnrs = append(rxpsnrs, rq.psnr)
+		psnrs[rep] = q.psnr
+		moss[rep] = q.mos
+		rxpsnrs[rep] = rq.psnr
+		return nil
+	})
+	if err != nil {
+		return runStats{}, err
 	}
 	return runStats{
 		Delay:  stats.Summarize(delays),

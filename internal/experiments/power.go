@@ -19,28 +19,50 @@ type PowerResult struct {
 }
 
 // RunPower measures the mean power over the stream for each (motion,
-// algorithm, GOP, level) cell on one device (Section 6.3).
+// algorithm, GOP, level) cell on one device (Section 6.3). Cells fan out
+// on the fixture's worker budget with index-ordered results, like
+// RunDelay.
 func RunPower(f *Fixture, device energy.Profile) ([]PowerResult, error) {
-	var out []PowerResult
-	for _, motion := range []video.MotionLevel{video.MotionLow, video.MotionHigh} {
+	motions := []video.MotionLevel{video.MotionLow, video.MotionHigh}
+	gops := []int{30, 50}
+	if err := f.PrefetchWorkloads(motions, gops); err != nil {
+		return nil, err
+	}
+	type cellSpec struct {
+		motion video.MotionLevel
+		alg    vcrypt.Algorithm
+		gop    int
+		level  vcrypt.Mode
+	}
+	var specs []cellSpec
+	for _, motion := range motions {
 		for _, alg := range delayAlgorithms {
-			for _, gop := range []int{30, 50} {
-				w, err := f.Workload(motion, gop)
-				if err != nil {
-					return nil, err
-				}
+			for _, gop := range gops {
 				for _, level := range levelOrder {
-					pol := vcrypt.Policy{Mode: level, Alg: alg}
-					cell, err := f.runCell(w, pol, device, false, true)
-					if err != nil {
-						return nil, err
-					}
-					out = append(out, PowerResult{
-						Alg: alg, GOP: gop, Motion: motion, Level: level, Power: cell.Power,
-					})
+					specs = append(specs, cellSpec{motion, alg, gop, level})
 				}
 			}
 		}
+	}
+	out := make([]PowerResult, len(specs))
+	err := parallelFor(f.workers(), len(specs), func(i int) error {
+		sp := specs[i]
+		w, err := f.Workload(sp.motion, sp.gop)
+		if err != nil {
+			return err
+		}
+		pol := vcrypt.Policy{Mode: sp.level, Alg: sp.alg}
+		cell, err := f.runCell(w, pol, device, false, true)
+		if err != nil {
+			return err
+		}
+		out[i] = PowerResult{
+			Alg: sp.alg, GOP: sp.gop, Motion: sp.motion, Level: sp.level, Power: cell.Power,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

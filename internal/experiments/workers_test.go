@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/vcrypt"
+	"repro/internal/video"
+)
+
+func workersFixture(t *testing.T, workers int) *Fixture {
+	t.Helper()
+	f, err := NewFixture(Options{
+		Width: 96, Height: 96, Frames: 150, Repetitions: 2,
+		Seed: 1, Stations: 3, Workers: workers,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// TestWorkersEquivalence is the end-to-end determinism guarantee of the
+// parallel runner: a serial fixture and a Workers=4 fixture must produce
+// bit-identical encoded workloads, exactly equal cell statistics on both
+// the UDP and HTTP transports, and byte-identical CSV for a full table.
+func TestWorkersEquivalence(t *testing.T) {
+	serial := workersFixture(t, 1)
+	par := workersFixture(t, 4)
+
+	ws, err := serial.Workload(video.MotionHigh, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wp, err := par.Workload(video.MotionHigh, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws.Encoded) != len(wp.Encoded) {
+		t.Fatalf("workload frame count %d vs %d", len(ws.Encoded), len(wp.Encoded))
+	}
+	for i := range ws.Encoded {
+		a, b := ws.Encoded[i], wp.Encoded[i]
+		if a.Type != b.Type || len(a.MBData) != len(b.MBData) {
+			t.Fatalf("frame %d header mismatch between worker counts", i)
+		}
+		for j := range a.MBData {
+			if !bytes.Equal(a.MBData[j], b.MBData[j]) {
+				t.Fatalf("frame %d MB %d: parallel workload bitstream differs", i, j)
+			}
+		}
+	}
+
+	pol := vcrypt.Policy{Mode: vcrypt.ModeIFrames, Alg: vcrypt.AES256}
+	device := SamsungDevice()
+	for _, tcp := range []bool{false, true} {
+		cs, err := serial.runCell(ws, pol, device, tcp, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cp, err := par.runCell(wp, pol, device, tcp, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cs != cp {
+			t.Fatalf("tcp=%v: cell stats differ between worker counts:\nserial:   %+v\nparallel: %+v", tcp, cs, cp)
+		}
+	}
+
+	ts, err := Table2(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp, err := Table2(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bs, bp bytes.Buffer
+	if err := ts.WriteCSV(&bs); err != nil {
+		t.Fatal(err)
+	}
+	if err := tp.WriteCSV(&bp); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bs.Bytes(), bp.Bytes()) {
+		t.Fatalf("Table2 CSV differs between worker counts:\nserial:\n%s\nparallel:\n%s", bs.String(), bp.String())
+	}
+}

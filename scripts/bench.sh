@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# bench.sh — run the PR's headline benchmarks and write BENCH_PR1.json.
+#
+# Captures ns/op and allocs/op for the codec micro-benchmarks
+# (internal/codec) and the end-to-end codec + figure benchmarks at the
+# repo root, and compares them against the recorded seed baseline
+# (commit 0ad010c, same reduced geometry, measured on this class of
+# machine). The figure benchmarks run one iteration each — they already
+# regenerate a full table per iteration.
+#
+# Usage: scripts/bench.sh [output.json]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+out=${1:-BENCH_PR1.json}
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+
+echo "running codec micro-benchmarks..." >&2
+go test -run '^$' -bench 'BenchmarkFDCT8$|BenchmarkIDCT8$|BenchmarkMotionSearch$|BenchmarkEncodeFrameParallel$' \
+	-benchmem -timeout 600s ./internal/codec | tee -a "$tmp" >&2
+
+echo "running end-to-end codec and figure benchmarks..." >&2
+go test -run '^$' -bench 'BenchmarkCodecEncode$|BenchmarkCodecDecode$|BenchmarkFig7DelaySamsung$|BenchmarkFig9FractionalP$' \
+	-benchmem -timeout 1200s . | tee -a "$tmp" >&2
+
+awk -v out="$out" '
+BEGIN {
+	# Seed baseline (commit 0ad010c): ns/op and allocs/op where recorded.
+	base_ns["BenchmarkCodecEncode"] = 78300000;     base_allocs["BenchmarkCodecEncode"] = 13273
+	base_ns["BenchmarkCodecDecode"] = 12300000;     base_allocs["BenchmarkCodecDecode"] = 121
+	base_ns["BenchmarkFig7DelaySamsung"] = 4411000000; base_allocs["BenchmarkFig7DelaySamsung"] = 476584
+	base_ns["BenchmarkFig9FractionalP"] = 2620000000;  base_allocs["BenchmarkFig9FractionalP"] = -1
+	n = 0
+}
+/^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	ns = ""; allocs = ""
+	for (i = 2; i <= NF; i++) {
+		if ($i == "ns/op") ns = $(i-1)
+		if ($i == "allocs/op") allocs = $(i-1)
+	}
+	if (ns == "") next
+	names[n] = name; nsv[n] = ns; av[n] = allocs; n++
+}
+END {
+	printf "{\n" > out
+	printf "  \"pr\": \"PR1: parallel encode/simulate pipeline (row workers, AAN DCT, pooled scratch, concurrent runner)\",\n" >> out
+	printf "  \"cpu\": \"%s\",\n", cpu >> out
+	printf "  \"baseline_commit\": \"0ad010c\",\n" >> out
+	printf "  \"benchmarks\": [\n" >> out
+	for (i = 0; i < n; i++) {
+		printf "    {\"name\": \"%s\", \"ns_per_op\": %s", names[i], nsv[i] >> out
+		if (av[i] != "") printf ", \"allocs_per_op\": %s", av[i] >> out
+		if (names[i] in base_ns) {
+			printf ", \"baseline_ns_per_op\": %.0f", base_ns[names[i]] >> out
+			if (base_allocs[names[i]] >= 0)
+				printf ", \"baseline_allocs_per_op\": %.0f", base_allocs[names[i]] >> out
+			printf ", \"speedup\": %.2f", base_ns[names[i]] / nsv[i] >> out
+		}
+		printf "}%s\n", (i < n-1 ? "," : "") >> out
+	}
+	printf "  ]\n}\n" >> out
+}
+' "$tmp"
+
+echo "wrote $out" >&2
