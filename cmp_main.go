@@ -1,0 +1,28 @@
+package main
+
+import (
+	"crypto/sha256"
+	"fmt"
+
+	"repro/internal/codec"
+	"repro/internal/video"
+)
+
+func main() {
+	clip := video.Generate(video.SceneConfig{W: 96, H: 96, Frames: 12, Motion: video.MotionHigh, Seed: 7})
+	cfg := codec.DefaultConfig(5)
+	cfg.Width, cfg.Height = 96, 96
+	enc, err := codec.EncodeSequence(clip, cfg)
+	if err != nil {
+		panic(err)
+	}
+	h := sha256.New()
+	total := 0
+	for _, f := range enc {
+		for _, mb := range f.MBData {
+			h.Write(mb)
+			total += len(mb)
+		}
+	}
+	fmt.Printf("bytes=%d sha=%x\n", total, h.Sum(nil))
+}
