@@ -11,15 +11,18 @@
 //	thriftyvid analyze  -in clip.tvid
 //	thriftyvid plan     -in clip.tvid -device samsung -target 20
 //	thriftyvid simulate -in clip.tvid -policy I -alg aes256 -device samsung
-//	thriftyvid recv     -addr 127.0.0.1:5004 -in clip.tvid -key secret
+//	thriftyvid recv     -addr 127.0.0.1:5004 -in clip.tvid -key secret -nack 20ms
 //	thriftyvid eavesdrop -addr 127.0.0.1:5005 -in clip.tvid
-//	thriftyvid send     -in clip.tvid -rx 127.0.0.1:5004 -ev 127.0.0.1:5005 -policy I -alg aes256 -key secret
+//	thriftyvid send     -in clip.tvid -rx 127.0.0.1:5004 -ev 127.0.0.1:5005 -policy I -alg aes256 -key secret -reliable
+//	thriftyvid serve    -addr 127.0.0.1:8080 -in clip.tvid -key secret
+//	thriftyvid upload   -in clip.tvid -url http://127.0.0.1:8080/upload -key secret -deadline 30s -degrade
 package main
 
 import (
 	"crypto/sha256"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"runtime"
 	"strings"
@@ -29,6 +32,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/energy"
 	"repro/internal/evalvid"
+	"repro/internal/netem"
 	"repro/internal/stats"
 	"repro/internal/transport"
 	"repro/internal/vcrypt"
@@ -60,6 +64,10 @@ func main() {
 		err = cmdRecv(args, true)
 	case "eavesdrop":
 		err = cmdRecv(args, false)
+	case "serve":
+		err = cmdServe(args)
+	case "upload":
+		err = cmdUpload(args)
 	default:
 		usage()
 		os.Exit(2)
@@ -71,7 +79,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: thriftyvid <generate|encode|analyze|plan|simulate|send|recv|eavesdrop> [flags]
+	fmt.Fprintln(os.Stderr, `usage: thriftyvid <generate|encode|analyze|plan|simulate|send|recv|eavesdrop|serve|upload> [flags]
 run "thriftyvid <command> -h" for command flags`)
 }
 
@@ -463,6 +471,8 @@ func cmdSend(args []string) error {
 	key := fs.String("key", "open-sesame", "shared passphrase")
 	pace := fs.Bool("pace", true, "pace packets at the frame rate")
 	fps := fs.Float64("fps", 30, "frame rate")
+	reliable := fs.Bool("reliable", false, "listen for receiver NACKs and retransmit dropped I-frame packets")
+	drain := fs.Duration("drain", 500*time.Millisecond, "with -reliable, how long to linger for late NACKs after the last packet")
 	fs.Parse(args)
 	cfg, encoded, err := loadContainer(*in)
 	if err != nil {
@@ -480,13 +490,21 @@ func cmdSend(args []string) error {
 		Config: cfg, Encoded: encoded, FPS: *fps, MTU: 1400,
 		Policy: pol, Key: deriveKey(*key, a), Device: energy.SamsungGalaxySII(),
 	}
-	rep, err := transport.LiveUDPSend(s, *rx, *ev, *pace)
+	var rep transport.LiveSendReport
+	if *reliable {
+		rep, err = transport.LiveUDPSendReliable(s, *rx, *ev, *pace, transport.ReliableUDPOptions{Drain: *drain})
+	} else {
+		rep, err = transport.LiveUDPSend(s, *rx, *ev, *pace)
+	}
 	if err != nil {
 		return err
 	}
 	fmt.Printf("sent %d packets (%d encrypted, %d bytes) in %v; crypto time %v\n",
 		rep.Packets, rep.Encrypted, rep.Bytes, rep.Elapsed.Round(time.Millisecond),
 		rep.CryptoTime.Round(time.Microsecond))
+	if *reliable {
+		fmt.Printf("reliability: %d retransmits\n", rep.Retransmits)
+	}
 	return nil
 }
 
@@ -503,6 +521,10 @@ func cmdRecv(args []string, withKey bool) error {
 	out := fs.String("out", "", "write reconstructed YUV here (optional)")
 	wait := fs.Duration("wait", 10*time.Second, "how long to listen")
 	loss := fs.Float64("loss", 0, "emulated reception loss probability")
+	var nack *time.Duration
+	if withKey {
+		nack = fs.Duration("nack", 0, "NACK gaps back to the sender at this interval (0 = off; pair with send -reliable)")
+	}
 	fs.Parse(args)
 	cfg, encoded, err := loadContainer(*in)
 	if err != nil {
@@ -521,6 +543,9 @@ func cmdRecv(args []string, withKey bool) error {
 		return err
 	}
 	defer rxr.Close()
+	if nack != nil && *nack > 0 {
+		rxr.EnableNACK(*nack)
+	}
 	fmt.Printf("%s listening on %s for %v...\n", name, rxr.Addr(), *wait)
 	time.Sleep(*wait)
 	captured, usable := rxr.Stats()
@@ -552,5 +577,119 @@ func cmdRecv(args []string, withKey bool) error {
 		}
 		fmt.Printf("wrote reconstruction to %s\n", *out)
 	}
+	return nil
+}
+
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
+	in := fs.String("in", "clip.tvid", "original container (for config and PSNR reference)")
+	alg := fs.String("alg", "aes256", "algorithm")
+	key := fs.String("key", "open-sesame", "shared passphrase")
+	wait := fs.Duration("wait", 60*time.Second, "how long to accept uploads")
+	headerOnly := fs.Int("headeronly", 0, "sender's header-only span (must match upload)")
+	fs.Parse(args)
+	cfg, encoded, err := loadContainer(*in)
+	if err != nil {
+		return err
+	}
+	a, err := parseAlg(*alg)
+	if err != nil {
+		return err
+	}
+	srv, err := transport.NewHTTPUploadServer(cfg, a, deriveKey(*key, a))
+	if err != nil {
+		return err
+	}
+	srv.HeaderOnlyBytes = *headerOnly
+	hs := &http.Server{Addr: *addr, Handler: srv}
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.ListenAndServe() }()
+	fmt.Printf("upload server on http://%s/ for %v (resume header: %s)\n", *addr, *wait, transport.NextSeqHeader)
+	select {
+	case err := <-errCh:
+		return err
+	case <-time.After(*wait):
+	}
+	hs.Close()
+	fmt.Printf("received %d segments (%d duplicates), next seq %d\n",
+		srv.Segments(), srv.DuplicateSegments(), srv.NextSeq())
+	frames := srv.Frames(len(encoded))
+	decoded, err := codec.DecodeSequence(frames, cfg)
+	if err != nil {
+		return err
+	}
+	orig, err := codec.DecodeSequence(encoded, cfg)
+	if err != nil {
+		return err
+	}
+	q, err := evalvid.Evaluate(orig, decoded)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("reconstruction: PSNR %.2f dB, MOS %.2f\n", q.PSNR, q.MOS)
+	return nil
+}
+
+func cmdUpload(args []string) error {
+	fs := flag.NewFlagSet("upload", flag.ExitOnError)
+	in := fs.String("in", "clip.tvid", "input container")
+	url := fs.String("url", "http://127.0.0.1:8080/upload", "upload endpoint")
+	alg := fs.String("alg", "aes256", "algorithm")
+	policy := fs.String("policy", "I", "policy")
+	frac := fs.Float64("frac", 0.2, "P fraction for I+P")
+	key := fs.String("key", "open-sesame", "shared passphrase")
+	rate := fs.Float64("rate", 0, "pace the body at this many bytes/s (0 = unpaced)")
+	attempts := fs.Int("attempts", 5, "consecutive fruitless attempts before degrading/aborting")
+	backoffBase := fs.Duration("backoff", 100*time.Millisecond, "first retry gap (doubles up to -max-backoff)")
+	backoffMax := fs.Duration("max-backoff", 5*time.Second, "retry gap cap")
+	timeout := fs.Duration("timeout", 10*time.Second, "per-attempt timeout")
+	deadline := fs.Duration("deadline", 0, "transfer deadline; on expiry degrade instead of failing (0 = none)")
+	seed := fs.Uint64("seed", 1, "backoff jitter seed")
+	degrade := fs.Bool("degrade", false, "on exhaustion, downgrade encryption then re-encode at lower quality instead of failing")
+	fs.Parse(args)
+	cfg, encoded, err := loadContainer(*in)
+	if err != nil {
+		return err
+	}
+	a, err := parseAlg(*alg)
+	if err != nil {
+		return err
+	}
+	pol, err := parsePolicy(*policy, *frac, a)
+	if err != nil {
+		return err
+	}
+	s := transport.Session{
+		Config: cfg, Encoded: encoded, FPS: 30, MTU: 1400,
+		Policy: pol, Key: deriveKey(*key, a), Device: energy.SamsungGalaxySII(),
+	}
+	var pacer *netem.Pacer
+	if *rate > 0 {
+		if pacer, err = netem.NewPacer(*rate); err != nil {
+			return err
+		}
+	}
+	rp := transport.RetryPolicy{
+		MaxAttempts: *attempts, BaseBackoff: *backoffBase, MaxBackoff: *backoffMax,
+		AttemptTimeout: *timeout, Deadline: *deadline, Seed: *seed,
+	}
+	var deg transport.Degrader
+	if *degrade {
+		raw, derr := codec.DecodeSequence(encoded, cfg)
+		if derr != nil {
+			return derr
+		}
+		deg = &transport.PolicyDegrader{Raw: raw}
+	}
+	rep, err := transport.ResumableHTTPUpload(s, *url, pacer, rp, deg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("uploaded %d segments (%d encrypted, %d bytes) in %v\n",
+		rep.Segments, rep.Encrypted, rep.Bytes, rep.Elapsed.Round(time.Millisecond))
+	fmt.Printf("robustness: %d attempts, %d resumed, %d policy downgrades, %d re-encode restarts, %v backing off\n",
+		rep.Attempts, rep.Resumes, rep.Downgrades, rep.Restarts, rep.BackoffTotal.Round(time.Millisecond))
+	fmt.Printf("final policy: %s\n", rep.FinalPolicy.Name())
 	return nil
 }

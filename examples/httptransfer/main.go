@@ -1,9 +1,13 @@
 // Httptransfer demonstrates the HTTP/TCP mode of Section 6.4 over real
-// sockets: the clip is uploaded to a local HTTP server as one POST of
-// marker-tagged segments, a wire tap (standing in for tcpdump on the open
-// WiFi network) captures every segment, and the tap's reconstruction shows
-// that the encrypted segments are useless to an observer even though TCP
-// delivers every byte to the legitimate server.
+// sockets — on a link that fails mid-upload. The clip is uploaded as
+// marker-tagged segments through a flaky loopback proxy that severs the
+// connection halfway through and then goes dark for a blackout window;
+// the resumable uploader retries with capped backoff, asks the server
+// where it stopped, and finishes without re-sending a single
+// acknowledged segment. A wire tap (standing in for tcpdump on the open
+// WiFi network) captures every segment that crossed and shows the
+// encrypted ones are useless to an observer even though TCP delivers
+// every byte to the legitimate server.
 package main
 
 import (
@@ -11,6 +15,7 @@ import (
 	"log"
 	"net/http"
 	"sync"
+	"time"
 
 	"repro/internal/codec"
 	"repro/internal/energy"
@@ -68,9 +73,26 @@ func main() {
 		log.Fatal(err)
 	}
 	go http.Serve(listener, mux)
-	url := fmt.Sprintf("http://%s/upload", listener.Addr())
 
-	// Pace the upload through a WiFi-like bottleneck.
+	// The flaky link: a loopback proxy standing in for an open WiFi
+	// association that drops mid-transfer. It severs the TCP connection
+	// after half the clip's bytes have crossed and refuses reconnects for
+	// a 300ms blackout.
+	totalBytes := 0
+	for _, ef := range encoded {
+		totalBytes += ef.Size()
+	}
+	proxy, err := netem.NewFlakyProxy(listener.Addr().String(), nil, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer proxy.Close()
+	proxy.SetBlackout(300 * time.Millisecond)
+	proxy.SetCutAfter(int64(totalBytes / 2))
+	url := fmt.Sprintf("http://%s/upload", proxy.Addr())
+
+	// Pace the upload through a WiFi-like bottleneck so the cut lands
+	// mid-flight, and retry with capped exponential backoff.
 	pacer, err := netem.NewPacer(2e6) // ~16 Mb/s effective
 	if err != nil {
 		log.Fatal(err)
@@ -79,15 +101,23 @@ func main() {
 		Config: cfg, Encoded: encoded, FPS: 30, MTU: 1400,
 		Policy: pol, Key: key, Device: energy.SamsungGalaxySII(),
 	}
-	rep, err := transport.LiveHTTPUpload(session, url, pacer)
+	rp := transport.RetryPolicy{
+		MaxAttempts: 8, BaseBackoff: 50 * time.Millisecond,
+		MaxBackoff: time.Second, AttemptTimeout: 5 * time.Second, Seed: 7,
+	}
+	rep, err := transport.ResumableHTTPUpload(session, url, pacer, rp, nil)
 	if err != nil {
 		log.Fatal(err)
 	}
+	refused, severed := proxy.Stats()
 	fmt.Printf("uploaded %d segments (%d encrypted, %d bytes) in %v under policy %s\n",
 		rep.Segments, rep.Encrypted, rep.Bytes, rep.Elapsed.Round(1e6), pol.Name())
+	fmt.Printf("flaky link: %d connection(s) severed, %d refused during blackout\n", severed, refused)
+	fmt.Printf("recovery: %d attempts, %d resumed mid-clip, %v backing off, %d duplicate segments re-sent\n",
+		rep.Attempts, rep.Resumes, rep.BackoffTotal.Round(time.Millisecond), server.DuplicateSegments())
 
-	// Server-side reconstruction: TCP delivered everything, the server
-	// decrypts the marked segments.
+	// Server-side reconstruction: resume delivered everything exactly
+	// once; the server decrypts the marked segments.
 	rx, err := codec.DecodeSequence(server.Frames(len(encoded)), cfg)
 	if err != nil {
 		log.Fatal(err)

@@ -46,14 +46,14 @@ func init() {
 
 // AAN butterfly constants.
 const (
-	aanC4  = 0.7071067811865476  // cos(4*pi/16) = sqrt(1/2)
-	aanC6  = 0.3826834323650898  // cos(6*pi/16)
-	aanQ   = 0.5411961001461969  // cos(6*pi/16) * sqrt(2)
-	aanR   = 1.3065629648763766  // cos(2*pi/16) * sqrt(2)
-	aanI2  = 1.4142135623730951  // sqrt(2)
-	aanI5  = 1.8477590650225735  // 2*cos(2*pi/16)
-	aanI10 = 1.0823922002923938  // 2*cos(6*pi/16)
-	aanI12 = -2.613125929752753  // -(2*cos(2*pi/16) + 2*cos(6*pi/16) - ... ) AAN odd-part constant
+	aanC4  = 0.7071067811865476 // cos(4*pi/16) = sqrt(1/2)
+	aanC6  = 0.3826834323650898 // cos(6*pi/16)
+	aanQ   = 0.5411961001461969 // cos(6*pi/16) * sqrt(2)
+	aanR   = 1.3065629648763766 // cos(2*pi/16) * sqrt(2)
+	aanI2  = 1.4142135623730951 // sqrt(2)
+	aanI5  = 1.8477590650225735 // 2*cos(2*pi/16)
+	aanI10 = 1.0823922002923938 // 2*cos(6*pi/16)
+	aanI12 = -2.613125929752753 // -(2*cos(2*pi/16) + 2*cos(6*pi/16) - ... ) AAN odd-part constant
 )
 
 // fdct8 computes the 2-D orthonormal DCT-II of an 8x8 block (row-major

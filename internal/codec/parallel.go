@@ -42,7 +42,7 @@ type mbScratch struct {
 
 var scratchPool = sync.Pool{New: func() interface{} { return new(mbScratch) }}
 
-func getScratch() *mbScratch  { return scratchPool.Get().(*mbScratch) }
+func getScratch() *mbScratch   { return scratchPool.Get().(*mbScratch) }
 func putScratch(sc *mbScratch) { scratchPool.Put(sc) }
 
 // framePool recycles reconstruction frames (encoder references and the

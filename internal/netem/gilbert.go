@@ -1,0 +1,183 @@
+package netem
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/stats"
+)
+
+// Dropper generalises the loss decision so receivers can plug in any loss
+// model: i.i.d. Bernoulli (Filter), bursty two-state (GilbertElliott), or
+// a targeted one-shot burst (SeqBurst). seq is the extended 64-bit packet
+// sequence, which lets sequence-addressed models hit an exact packet run
+// (e.g. "the second I-frame") regardless of arrival timing.
+type Dropper interface {
+	DropSeq(seq uint64) bool
+}
+
+// DropSeq lets the Bernoulli Filter serve as a Dropper; i.i.d. loss is
+// indifferent to the sequence number.
+func (f *Filter) DropSeq(uint64) bool { return f.Drop() }
+
+// GilbertElliott is the classic two-state bursty-loss channel: a Good
+// state with loss probability lossG and a Bad state with loss probability
+// lossB, with per-packet transition probabilities pGB (Good→Bad) and pBG
+// (Bad→Good). Real WiFi loss is bursty — collisions and fades wipe out
+// runs of consecutive packets — which is the regime where losing an
+// I-frame burst matters most, unlike the i.i.d. Filter. The stationary
+// loss rate is πB·lossB + (1-πB)·lossG with πB = pGB/(pGB+pBG), and with
+// lossB=1, lossG=0 the drop-burst length is geometric with mean 1/pBG.
+// Safe for concurrent use; deterministic for a fixed seed.
+type GilbertElliott struct {
+	mu           sync.Mutex
+	pGB, pBG     float64
+	lossG, lossB float64
+	bad          bool
+	rng          *stats.RNG
+
+	dropped, passed int
+	run             int // length of the in-progress drop burst
+	bursts          int // completed drop bursts
+	burstTotal      int // packets in completed drop bursts
+}
+
+// NewGilbertElliott builds the general four-parameter model. All
+// probabilities must lie in [0,1] and the transition probabilities must
+// be positive so both states are reachable and left.
+func NewGilbertElliott(pGB, pBG, lossG, lossB float64, seed uint64) (*GilbertElliott, error) {
+	for _, p := range []float64{pGB, pBG, lossG, lossB} {
+		if p < 0 || p > 1 {
+			return nil, fmt.Errorf("netem: Gilbert-Elliott probability %g out of [0,1]", p)
+		}
+	}
+	if pGB <= 0 || pBG <= 0 {
+		return nil, fmt.Errorf("netem: Gilbert-Elliott transitions (%g,%g) must be positive", pGB, pBG)
+	}
+	return &GilbertElliott{pGB: pGB, pBG: pBG, lossG: lossG, lossB: lossB, rng: stats.NewRNG(seed)}, nil
+}
+
+// NewBurstyLoss builds the two-parameter Gilbert channel (lossG=0,
+// lossB=1) from the quantities an experimenter actually measures: the
+// long-run loss rate meanLoss in [0,1) and the mean drop-burst length
+// meanBurst ≥ 1 packets.
+func NewBurstyLoss(meanLoss, meanBurst float64, seed uint64) (*GilbertElliott, error) {
+	if meanLoss < 0 || meanLoss >= 1 {
+		return nil, fmt.Errorf("netem: mean loss %g out of [0,1)", meanLoss)
+	}
+	if meanBurst < 1 {
+		return nil, fmt.Errorf("netem: mean burst %g below one packet", meanBurst)
+	}
+	pBG := 1 / meanBurst
+	pGB := pBG * meanLoss / (1 - meanLoss)
+	if pGB > 1 {
+		return nil, fmt.Errorf("netem: loss %g with burst %g needs pGB > 1", meanLoss, meanBurst)
+	}
+	if meanLoss == 0 {
+		// Degenerate lossless channel: keep pGB positive but the Bad
+		// state harmless so the constructor invariants hold.
+		return NewGilbertElliott(1e-12, pBG, 0, 0, seed)
+	}
+	return NewGilbertElliott(pGB, pBG, 0, 1, seed)
+}
+
+// Drop advances the channel one packet and reports whether it is lost.
+func (g *GilbertElliott) Drop() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	// Transition first, then sample in the new state: with lossB=1 the
+	// dwell time in Bad — and hence the drop-burst length — is geometric
+	// with mean 1/pBG.
+	if g.bad {
+		if g.rng.Bool(g.pBG) {
+			g.bad = false
+		}
+	} else if g.rng.Bool(g.pGB) {
+		g.bad = true
+	}
+	loss := g.lossG
+	if g.bad {
+		loss = g.lossB
+	}
+	if g.rng.Bool(loss) {
+		g.dropped++
+		g.run++
+		return true
+	}
+	g.passed++
+	if g.run > 0 {
+		g.bursts++
+		g.burstTotal += g.run
+		g.run = 0
+	}
+	return false
+}
+
+// DropSeq implements Dropper; the channel state does not depend on seq.
+func (g *GilbertElliott) DropSeq(uint64) bool { return g.Drop() }
+
+// Counts returns how many packets were dropped and passed so far.
+func (g *GilbertElliott) Counts() (dropped, passed int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.dropped, g.passed
+}
+
+// LossRate returns the empirical loss fraction so far.
+func (g *GilbertElliott) LossRate() float64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.dropped+g.passed == 0 {
+		return 0
+	}
+	return float64(g.dropped) / float64(g.dropped+g.passed)
+}
+
+// MeanBurstLength returns the mean length of completed drop bursts.
+func (g *GilbertElliott) MeanBurstLength() float64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.bursts == 0 {
+		return 0
+	}
+	return float64(g.burstTotal) / float64(g.bursts)
+}
+
+// SeqBurst drops every sequence number in [from, from+count) exactly
+// once, letting a test burst-drop a precise packet run (say, one
+// I-frame's packets) while retransmissions of those packets pass. Safe
+// for concurrent use.
+type SeqBurst struct {
+	mu       sync.Mutex
+	from, to uint64
+	seen     map[uint64]bool
+}
+
+// NewSeqBurst targets the count packets starting at sequence from.
+func NewSeqBurst(from uint64, count int) *SeqBurst {
+	if count < 0 {
+		count = 0
+	}
+	return &SeqBurst{from: from, to: from + uint64(count), seen: make(map[uint64]bool)}
+}
+
+// DropSeq implements Dropper.
+func (b *SeqBurst) DropSeq(seq uint64) bool {
+	if seq < b.from || seq >= b.to {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.seen[seq] {
+		return false
+	}
+	b.seen[seq] = true
+	return true
+}
+
+// Dropped returns how many distinct targeted sequences have been dropped.
+func (b *SeqBurst) Dropped() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.seen)
+}

@@ -1,0 +1,148 @@
+package netem
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// Window is one link-outage interval, expressed as offsets from the
+// schedule's epoch so a plan is deterministic and clock-independent.
+type Window struct {
+	Start, End time.Duration
+}
+
+// OutageSchedule models planned 100%-loss windows — the AP reboots, the
+// phone walks through a dead spot — against which retry logic is tested.
+// Offsets are evaluated against an epoch armed with Start (or the first
+// Active call), while ActiveAt stays a pure function of elapsed time for
+// deterministic tests.
+type OutageSchedule struct {
+	mu      sync.Mutex
+	windows []Window
+	epoch   time.Time
+}
+
+// NewOutageSchedule validates and stores the windows.
+func NewOutageSchedule(windows ...Window) (*OutageSchedule, error) {
+	for _, w := range windows {
+		if w.Start < 0 || w.End <= w.Start {
+			return nil, fmt.Errorf("netem: bad outage window [%v,%v)", w.Start, w.End)
+		}
+	}
+	return &OutageSchedule{windows: append([]Window(nil), windows...)}, nil
+}
+
+// Start arms the schedule: window offsets count from t. Calling Start
+// again re-arms it.
+func (o *OutageSchedule) Start(t time.Time) {
+	o.mu.Lock()
+	o.epoch = t
+	o.mu.Unlock()
+}
+
+// ActiveAt reports whether the link is down at the given elapsed time
+// since the epoch. Pure and deterministic.
+func (o *OutageSchedule) ActiveAt(elapsed time.Duration) bool {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	for _, w := range o.windows {
+		if elapsed >= w.Start && elapsed < w.End {
+			return true
+		}
+	}
+	return false
+}
+
+// Active reports whether the link is down now, arming the epoch on first
+// use if Start was never called.
+func (o *OutageSchedule) Active() bool {
+	o.mu.Lock()
+	if o.epoch.IsZero() {
+		o.epoch = time.Now()
+	}
+	elapsed := time.Since(o.epoch)
+	o.mu.Unlock()
+	return o.ActiveAt(elapsed)
+}
+
+// ConditionerConfig parameterises link impairments beyond loss.
+type ConditionerConfig struct {
+	// DelayMean and DelayJitter add a per-packet delay drawn from
+	// N(DelayMean, DelayJitter) truncated at zero. Varying delay is what
+	// reorders datagrams in flight.
+	DelayMean, DelayJitter time.Duration
+	// DupProb duplicates a packet with this probability, as WiFi
+	// link-layer retransmissions do when an ACK (not the data) was lost.
+	DupProb float64
+	// Loss, when non-nil, is consulted first; dropped packets are neither
+	// delayed nor duplicated.
+	Loss Dropper
+	// Seed fixes the jitter/duplication randomness.
+	Seed uint64
+}
+
+// Impairment is the conditioner's verdict for one packet.
+type Impairment struct {
+	Drop       bool
+	Delay      time.Duration
+	Duplicates int // extra copies to send beyond the original
+}
+
+// Conditioner draws deterministic per-packet impairments (loss, jitter,
+// duplication) for a sender-side link emulation. Safe for concurrent use.
+type Conditioner struct {
+	mu   sync.Mutex
+	cfg  ConditionerConfig
+	rng  *stats.RNG
+	drop int
+	dup  int
+}
+
+// NewConditioner validates the config.
+func NewConditioner(cfg ConditionerConfig) (*Conditioner, error) {
+	if cfg.DupProb < 0 || cfg.DupProb >= 1 {
+		return nil, fmt.Errorf("netem: duplication probability %g out of [0,1)", cfg.DupProb)
+	}
+	if cfg.DelayMean < 0 || cfg.DelayJitter < 0 {
+		return nil, fmt.Errorf("netem: negative delay parameters")
+	}
+	return &Conditioner{cfg: cfg, rng: stats.NewRNG(cfg.Seed)}, nil
+}
+
+// Next returns the impairment for the packet with the given sequence.
+func (c *Conditioner) Next(seq uint64) Impairment {
+	var imp Impairment
+	if c.cfg.Loss != nil && c.cfg.Loss.DropSeq(seq) {
+		c.mu.Lock()
+		c.drop++
+		c.mu.Unlock()
+		imp.Drop = true
+		return imp
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.cfg.DelayMean > 0 || c.cfg.DelayJitter > 0 {
+		d := c.rng.Norm(float64(c.cfg.DelayMean), float64(c.cfg.DelayJitter))
+		if d > 0 {
+			imp.Delay = time.Duration(d)
+		}
+	}
+	for c.cfg.DupProb > 0 && c.rng.Bool(c.cfg.DupProb) {
+		imp.Duplicates++
+		c.dup++
+		if imp.Duplicates >= 3 { // WiFi retry chains are short
+			break
+		}
+	}
+	return imp
+}
+
+// Stats returns how many packets were dropped and duplicated so far.
+func (c *Conditioner) Stats() (dropped, duplicated int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.drop, c.dup
+}

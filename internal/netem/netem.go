@@ -67,12 +67,36 @@ func NewPacer(bytesPerSecond float64) (*Pacer, error) {
 	return &Pacer{rate: bytesPerSecond, sleepFn: time.Sleep}, nil
 }
 
+// SetRate changes the rate at runtime (bandwidth churn on a flapping
+// link); already-granted send times are unaffected. A zero rate means
+// unlimited.
+func (p *Pacer) SetRate(bytesPerSecond float64) error {
+	if bytesPerSecond < 0 {
+		return fmt.Errorf("netem: negative rate")
+	}
+	p.mu.Lock()
+	p.rate = bytesPerSecond
+	p.mu.Unlock()
+	return nil
+}
+
+// Rate returns the current rate in bytes/second.
+func (p *Pacer) Rate() float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.rate
+}
+
 // Wait blocks until n more bytes may be sent.
 func (p *Pacer) Wait(n int) {
-	if p.rate == 0 || n <= 0 {
+	if n <= 0 {
 		return
 	}
 	p.mu.Lock()
+	if p.rate == 0 {
+		p.mu.Unlock()
+		return
+	}
 	now := time.Now()
 	if p.nextOK.Before(now) {
 		p.nextOK = now

@@ -1,0 +1,221 @@
+package netem
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// FlakyProxy is a loopback TCP relay that stands between an HTTP client
+// and its upload server and misbehaves like an open WiFi uplink: it
+// paces bytes through a (runtime-variable) token bucket, severs
+// connections after a configured number of upstream bytes ("the link
+// died mid-upload"), refuses and kills connections during outage windows,
+// and can enter a blackout the moment a cut fires — a deterministic
+// 100%-loss window for chaos tests. All faults surface to the client as
+// ordinary connection errors, exactly what retry logic must absorb.
+type FlakyProxy struct {
+	ln      net.Listener
+	backend string
+	pacer   *Pacer
+	sched   *OutageSchedule
+
+	mu        sync.Mutex
+	cutAfter  int64 // upstream bytes until severing; 0 = disarmed
+	blackout  time.Duration
+	downUntil time.Time
+	conns     map[net.Conn]bool
+	refused   int
+	severed   int
+	closed    bool
+
+	wg sync.WaitGroup
+}
+
+// NewFlakyProxy starts a relay on an ephemeral loopback port forwarding
+// to backend ("host:port"). pacer and sched may be nil.
+func NewFlakyProxy(backend string, pacer *Pacer, sched *OutageSchedule) (*FlakyProxy, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("netem: proxy listen: %w", err)
+	}
+	p := &FlakyProxy{ln: ln, backend: backend, pacer: pacer, sched: sched, conns: make(map[net.Conn]bool)}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr returns the address clients should dial.
+func (p *FlakyProxy) Addr() string { return p.ln.Addr().String() }
+
+// SetCutAfter arms the relay to sever the active connection after n more
+// upstream (client→server) bytes have been forwarded. The cut disarms
+// itself, so retry attempts pass; if SetBlackout configured a duration,
+// the cut also starts a blackout.
+func (p *FlakyProxy) SetCutAfter(n int64) {
+	p.mu.Lock()
+	p.cutAfter = n
+	p.mu.Unlock()
+}
+
+// SetBlackout makes every future cut open a 100%-loss window of duration
+// d: new connections are refused and active ones severed until it ends.
+func (p *FlakyProxy) SetBlackout(d time.Duration) {
+	p.mu.Lock()
+	p.blackout = d
+	p.mu.Unlock()
+}
+
+// KillActive severs every in-flight connection immediately.
+func (p *FlakyProxy) KillActive() {
+	p.mu.Lock()
+	for c := range p.conns {
+		c.Close()
+	}
+	p.severed += len(p.conns)
+	p.mu.Unlock()
+}
+
+// Stats returns how many connections were refused at accept and how many
+// were severed mid-flight.
+func (p *FlakyProxy) Stats() (refused, severed int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.refused, p.severed
+}
+
+// Close stops the relay and tears down every connection.
+func (p *FlakyProxy) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	for c := range p.conns {
+		c.Close()
+	}
+	p.mu.Unlock()
+	err := p.ln.Close()
+	p.wg.Wait()
+	return err
+}
+
+// down reports whether the link is currently in a 100%-loss condition.
+func (p *FlakyProxy) down() bool {
+	p.mu.Lock()
+	blackout := time.Now().Before(p.downUntil)
+	p.mu.Unlock()
+	return blackout || (p.sched != nil && p.sched.Active())
+}
+
+// takeBudget consumes up to n bytes of the cut budget. It returns how
+// many bytes may still be forwarded and whether the link must be severed
+// after them (also starting the blackout, if one is configured).
+func (p *FlakyProxy) takeBudget(n int) (allowed int, sever bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.cutAfter <= 0 {
+		return n, false
+	}
+	if int64(n) < p.cutAfter {
+		p.cutAfter -= int64(n)
+		return n, false
+	}
+	allowed = int(p.cutAfter)
+	p.cutAfter = 0
+	if p.blackout > 0 {
+		p.downUntil = time.Now().Add(p.blackout)
+	}
+	return allowed, true
+}
+
+func (p *FlakyProxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		client, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		if p.down() {
+			p.mu.Lock()
+			p.refused++
+			p.mu.Unlock()
+			client.Close()
+			continue
+		}
+		p.wg.Add(1)
+		go p.relay(client)
+	}
+}
+
+func (p *FlakyProxy) relay(client net.Conn) {
+	defer p.wg.Done()
+	server, err := net.Dial("tcp", p.backend)
+	if err != nil {
+		client.Close()
+		return
+	}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		client.Close()
+		server.Close()
+		return
+	}
+	p.conns[client] = true
+	p.conns[server] = true
+	p.mu.Unlock()
+
+	kill := func(counted bool) {
+		p.mu.Lock()
+		delete(p.conns, client)
+		delete(p.conns, server)
+		if counted {
+			p.severed++
+		}
+		p.mu.Unlock()
+		client.Close()
+		server.Close()
+	}
+
+	// Downstream (server→client): responses are small; relay verbatim.
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		io.Copy(client, server) //nolint:errcheck // a severed relay is the point
+		client.Close()
+	}()
+
+	// Upstream (client→server): the faulty direction.
+	buf := make([]byte, 4096)
+	for {
+		n, err := client.Read(buf)
+		if n > 0 {
+			if p.down() {
+				kill(true)
+				return
+			}
+			allowed, sever := p.takeBudget(n)
+			if p.pacer != nil && allowed > 0 {
+				p.pacer.Wait(allowed)
+			}
+			if allowed > 0 {
+				if _, werr := server.Write(buf[:allowed]); werr != nil {
+					kill(true)
+					return
+				}
+			}
+			if sever {
+				kill(true)
+				return
+			}
+		}
+		if err != nil {
+			kill(false)
+			return
+		}
+	}
+}

@@ -1,0 +1,325 @@
+package netem
+
+import (
+	"io"
+	"math"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBurstyLossMatchesParameters(t *testing.T) {
+	for _, tc := range []struct {
+		loss, burst float64
+		seed        uint64
+	}{
+		{0.05, 3, 1},
+		{0.15, 5, 2},
+		{0.30, 8, 3},
+	} {
+		g, err := NewBurstyLoss(tc.loss, tc.burst, tc.seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 300000
+		for i := 0; i < n; i++ {
+			g.Drop()
+		}
+		if got := g.LossRate(); math.Abs(got-tc.loss) > 0.12*tc.loss+0.005 {
+			t.Errorf("loss=%g burst=%g: empirical loss %g", tc.loss, tc.burst, got)
+		}
+		if got := g.MeanBurstLength(); math.Abs(got-tc.burst) > 0.12*tc.burst {
+			t.Errorf("loss=%g burst=%g: empirical burst %g", tc.loss, tc.burst, got)
+		}
+		d, p := g.Counts()
+		if d+p != n {
+			t.Errorf("counts %d+%d != %d", d, p, n)
+		}
+	}
+}
+
+func TestBurstyLossIsBurstier(t *testing.T) {
+	// Same loss rate, but bursts of 6 must yield far longer drop runs
+	// than i.i.d. loss (mean run 1/(1-p) ≈ 1.1 at 10% loss).
+	g, err := NewBurstyLoss(0.1, 6, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200000; i++ {
+		g.Drop()
+	}
+	if got := g.MeanBurstLength(); got < 3 {
+		t.Fatalf("bursty channel mean run %g, want clearly above i.i.d.'s ~1.1", got)
+	}
+}
+
+func TestBurstyLossDeterministic(t *testing.T) {
+	a, _ := NewBurstyLoss(0.2, 4, 42)
+	b, _ := NewBurstyLoss(0.2, 4, 42)
+	for i := 0; i < 10000; i++ {
+		if a.Drop() != b.Drop() {
+			t.Fatalf("seeded channels diverged at packet %d", i)
+		}
+	}
+}
+
+func TestBurstyLossRejectsBadParams(t *testing.T) {
+	if _, err := NewBurstyLoss(1, 3, 1); err == nil {
+		t.Fatal("loss=1 should fail")
+	}
+	if _, err := NewBurstyLoss(0.1, 0.5, 1); err == nil {
+		t.Fatal("burst<1 should fail")
+	}
+	if _, err := NewGilbertElliott(0, 0.5, 0, 1, 1); err == nil {
+		t.Fatal("pGB=0 should fail")
+	}
+}
+
+func TestGilbertElliottConcurrentSafe(t *testing.T) {
+	g, err := NewBurstyLoss(0.2, 4, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				g.DropSeq(uint64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if d, p := g.Counts(); d+p != 8000 {
+		t.Fatalf("lost updates: %d", d+p)
+	}
+}
+
+func TestSeqBurstDropsTargetsOnce(t *testing.T) {
+	b := NewSeqBurst(10, 5)
+	for seq := uint64(0); seq < 20; seq++ {
+		want := seq >= 10 && seq < 15
+		if got := b.DropSeq(seq); got != want {
+			t.Fatalf("seq %d dropped=%v want %v", seq, got, want)
+		}
+	}
+	// Retransmissions of the burst pass.
+	for seq := uint64(10); seq < 15; seq++ {
+		if b.DropSeq(seq) {
+			t.Fatalf("retransmitted seq %d dropped again", seq)
+		}
+	}
+	if b.Dropped() != 5 {
+		t.Fatalf("dropped %d targets, want 5", b.Dropped())
+	}
+}
+
+func TestOutageScheduleWindows(t *testing.T) {
+	o, err := NewOutageSchedule(
+		Window{Start: 100 * time.Millisecond, End: 200 * time.Millisecond},
+		Window{Start: 500 * time.Millisecond, End: 600 * time.Millisecond},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 100% inside, 0% outside: sample the whole timeline at 1 ms steps.
+	for ms := 0; ms < 700; ms++ {
+		el := time.Duration(ms) * time.Millisecond
+		inside := (ms >= 100 && ms < 200) || (ms >= 500 && ms < 600)
+		if got := o.ActiveAt(el); got != inside {
+			t.Fatalf("at %v active=%v want %v", el, got, inside)
+		}
+	}
+}
+
+func TestOutageScheduleRejectsBadWindow(t *testing.T) {
+	if _, err := NewOutageSchedule(Window{Start: 5, End: 5}); err == nil {
+		t.Fatal("empty window should fail")
+	}
+	if _, err := NewOutageSchedule(Window{Start: -1, End: 5}); err == nil {
+		t.Fatal("negative start should fail")
+	}
+}
+
+func TestConditionerDeterministicCounts(t *testing.T) {
+	mk := func() *Conditioner {
+		c, err := NewConditioner(ConditionerConfig{
+			DelayMean:   time.Millisecond,
+			DelayJitter: time.Millisecond,
+			DupProb:     0.1,
+			Seed:        5,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	a, b := mk(), mk()
+	var dupsA int
+	for seq := uint64(0); seq < 5000; seq++ {
+		ia, ib := a.Next(seq), b.Next(seq)
+		if ia != ib {
+			t.Fatalf("seeded conditioners diverged at %d: %+v vs %+v", seq, ia, ib)
+		}
+		if ia.Delay < 0 {
+			t.Fatalf("negative delay %v", ia.Delay)
+		}
+		dupsA += ia.Duplicates
+	}
+	if frac := float64(dupsA) / 5000; math.Abs(frac-0.11) > 0.03 { // ~p/(1-p) with the chain cap
+		t.Fatalf("duplication fraction %g", frac)
+	}
+	if d, dup := a.Stats(); d != 0 || dup != dupsA {
+		t.Fatalf("stats (%d,%d) want (0,%d)", d, dup, dupsA)
+	}
+}
+
+func TestConditionerAppliesLoss(t *testing.T) {
+	f, _ := NewFilter(0.5, 3)
+	c, err := NewConditioner(ConditionerConfig{Loss: f, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	drops := 0
+	for seq := uint64(0); seq < 2000; seq++ {
+		if c.Next(seq).Drop {
+			drops++
+		}
+	}
+	if drops < 800 || drops > 1200 {
+		t.Fatalf("drops %d with 50%% loss", drops)
+	}
+}
+
+func TestPacerSetRate(t *testing.T) {
+	p, err := NewPacer(1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.SetRate(-1); err == nil {
+		t.Fatal("negative rate should fail")
+	}
+	if err := p.SetRate(100e3); err != nil {
+		t.Fatal(err)
+	}
+	if p.Rate() != 100e3 {
+		t.Fatalf("rate %g", p.Rate())
+	}
+	start := time.Now()
+	for i := 0; i < 10; i++ {
+		p.Wait(1000)
+	}
+	if el := time.Since(start); el < 60*time.Millisecond {
+		t.Fatalf("churned pacer too fast: %v", el)
+	}
+	// Back to unlimited: no further sleeping.
+	if err := p.SetRate(0); err != nil {
+		t.Fatal(err)
+	}
+	start = time.Now()
+	for i := 0; i < 100; i++ {
+		p.Wait(1 << 20)
+	}
+	if el := time.Since(start); el > 50*time.Millisecond {
+		t.Fatalf("unlimited pacer slept: %v", el)
+	}
+}
+
+func TestFlakyProxyRelaysAndCuts(t *testing.T) {
+	// Backend echoes one line then closes.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				io.Copy(c, c) //nolint:errcheck // echo until peer closes
+			}(c)
+		}
+	}()
+
+	p, err := NewFlakyProxy(ln.Addr().String(), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	// Clean relay round trip.
+	c, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("hello through the proxy")
+	if _, err := c.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(c, got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(msg) {
+		t.Fatalf("echoed %q", got)
+	}
+	c.Close()
+
+	// Cut after 10 bytes: the connection dies mid-transfer and a
+	// blackout refuses the next attempt.
+	p.SetBlackout(150 * time.Millisecond)
+	p.SetCutAfter(10)
+	c2, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	c2.Write(make([]byte, 64)) //nolint:errcheck // may already be severed
+	c2.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 64)
+	n := 0
+	for n < 64 {
+		m, err := c2.Read(buf[n:])
+		n += m
+		if err != nil {
+			break
+		}
+	}
+	if n > 10 {
+		t.Fatalf("cut connection relayed %d bytes, want <= 10", n)
+	}
+
+	// During the blackout new connections are refused or die unreplied.
+	c3, err := net.Dial("tcp", p.Addr())
+	if err == nil {
+		c3.SetReadDeadline(time.Now().Add(time.Second))
+		c3.Write([]byte("x")) //nolint:errcheck // probing a dead link
+		if _, err := c3.Read(buf); err == nil {
+			t.Fatal("blackout relay answered")
+		}
+		c3.Close()
+	}
+
+	// After the blackout the link heals.
+	time.Sleep(180 * time.Millisecond)
+	c4, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c4.Close()
+	if _, err := c4.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.ReadFull(c4, got); err != nil {
+		t.Fatalf("healed link still broken: %v", err)
+	}
+	if _, severed := p.Stats(); severed == 0 {
+		t.Fatal("no severed connection recorded")
+	}
+}

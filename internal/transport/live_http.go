@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
@@ -28,6 +29,17 @@ import (
 const segmentHeaderSize = 1 + 8 + 4
 
 const flagEncrypted = 0x01
+
+// NextSeqHeader carries the server's next-needed (highest contiguous)
+// sequence number on every response, so an interrupted client can resume
+// from exactly where the server stopped instead of re-sending the clip.
+const NextSeqHeader = "X-Thrifty-Next-Seq"
+
+// RestartHeader announces a fresh sequence epoch on a POST: the client
+// abandoned the previous stream (e.g. after a reduced-quality re-encode)
+// and restarts at the given base sequence. The epoch jump keeps per-seq
+// cipher IVs unique across the old and new clip bytes.
+const RestartHeader = "X-Thrifty-Restart"
 
 // WriteSegment frames one payload.
 func WriteSegment(w io.Writer, seq uint64, encrypted bool, payload []byte) error {
@@ -77,6 +89,8 @@ type HTTPUploadServer struct {
 	mu       sync.Mutex
 	asm      *codec.Reassembler
 	segments int
+	next     uint64 // next-needed sequence (all below arrived contiguously)
+	dups     int    // already-acknowledged segments received again
 
 	// Tap, when non-nil, sees every segment exactly as it crossed the
 	// wire (still encrypted), emulating a radio capture of the TCP
@@ -97,11 +111,34 @@ func NewHTTPUploadServer(cfg codec.Config, alg vcrypt.Algorithm, key []byte) (*H
 	return &HTTPUploadServer{cfg: cfg, cipher: cipher, asm: asm}, nil
 }
 
-// ServeHTTP implements http.Handler for POST /upload.
+// ServeHTTP implements http.Handler: POST uploads marker-tagged
+// segments; GET/HEAD report the resume point in NextSeqHeader so a
+// client whose connection died mid-upload continues from the first
+// unacknowledged segment.
 func (s *HTTPUploadServer) ServeHTTP(w http.ResponseWriter, req *http.Request) {
-	if req.Method != http.MethodPost {
-		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+	switch req.Method {
+	case http.MethodGet, http.MethodHead:
+		w.Header().Set(NextSeqHeader, strconv.FormatUint(s.NextSeq(), 10))
+		w.WriteHeader(http.StatusOK)
+		if req.Method == http.MethodGet {
+			fmt.Fprintf(w, "next %d\n", s.NextSeq())
+		}
 		return
+	case http.MethodPost:
+	default:
+		http.Error(w, "POST or GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	if h := req.Header.Get(RestartHeader); h != "" {
+		base, err := strconv.ParseUint(h, 10, 64)
+		if err != nil {
+			http.Error(w, "bad restart base", http.StatusBadRequest)
+			return
+		}
+		if err := s.restart(base); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
 	}
 	br := bufio.NewReader(req.Body)
 	count := 0
@@ -111,12 +148,31 @@ func (s *HTTPUploadServer) ServeHTTP(w http.ResponseWriter, req *http.Request) {
 			break
 		}
 		if err != nil {
+			// The link died mid-segment: keep everything already
+			// reassembled so the client can resume from NextSeq.
+			w.Header().Set(NextSeqHeader, strconv.FormatUint(s.NextSeq(), 10))
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
 		if s.Tap != nil {
 			tapCopy := append([]byte(nil), payload...)
 			s.Tap(seq, encrypted, tapCopy)
+		}
+		s.mu.Lock()
+		if seq < s.next {
+			// Duplicate of acknowledged data (a resume overshot): count
+			// and drop — re-adding would double-decrypt the payload.
+			s.dups++
+			s.segments++
+			s.mu.Unlock()
+			continue
+		}
+		if seq > s.next {
+			next := s.next
+			s.mu.Unlock()
+			w.Header().Set(NextSeqHeader, strconv.FormatUint(next, 10))
+			http.Error(w, fmt.Sprintf("gap: got seq %d, need %d", seq, next), http.StatusConflict)
+			return
 		}
 		if encrypted {
 			span := len(payload)
@@ -125,15 +181,46 @@ func (s *HTTPUploadServer) ServeHTTP(w http.ResponseWriter, req *http.Request) {
 			}
 			s.cipher.DecryptPacket(seq, payload[:span])
 		}
-		s.mu.Lock()
 		if err := s.asm.Add(payload); err == nil {
 			count++
 		}
 		s.segments++
+		s.next++
 		s.mu.Unlock()
 	}
+	w.Header().Set(NextSeqHeader, strconv.FormatUint(s.NextSeq(), 10))
 	w.WriteHeader(http.StatusOK)
-	fmt.Fprintf(w, "ok %d\n", count)
+	fmt.Fprintf(w, "ok %d next %d\n", count, s.NextSeq())
+}
+
+// restart abandons the current reassembly and expects the stream to begin
+// again at the given base sequence.
+func (s *HTTPUploadServer) restart(base uint64) error {
+	asm, err := codec.NewReassembler(s.cfg)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.asm = asm
+	s.next = base
+	s.mu.Unlock()
+	return nil
+}
+
+// NextSeq returns the next sequence number the server needs — everything
+// below it arrived contiguously and is acknowledged.
+func (s *HTTPUploadServer) NextSeq() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.next
+}
+
+// DuplicateSegments returns how many already-acknowledged segments were
+// received again (zero when resumes never overshoot).
+func (s *HTTPUploadServer) DuplicateSegments() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dups
 }
 
 // Frames returns the reassembled clip.

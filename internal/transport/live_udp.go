@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"net"
@@ -22,11 +23,14 @@ import (
 
 // LiveSendReport summarises a live transmission.
 type LiveSendReport struct {
-	Packets    int
-	Encrypted  int
-	Bytes      int
-	Elapsed    time.Duration
-	CryptoTime time.Duration // wall time spent inside the cipher
+	Packets     int
+	Encrypted   int
+	Bytes       int
+	Elapsed     time.Duration
+	CryptoTime  time.Duration // wall time spent inside the cipher
+	Retransmits int           // NACK-driven I-frame retransmissions (reliable mode)
+	Dropped     int           // packets the sender-side conditioner discarded
+	Duplicated  int           // extra copies the conditioner injected
 }
 
 // LiveUDPSend streams the session's packets to the receiver and
@@ -111,16 +115,26 @@ func LiveUDPSend(s Session, rxAddr, evAddr string, pace bool) (LiveSendReport, e
 // eavesdropper), and reassembles frames.
 type LiveReceiver struct {
 	conn   *net.UDPConn
-	filter *netem.Filter
 	cipher *vcrypt.Cipher // nil for the eavesdropper
 
 	mu       sync.Mutex
+	cond     *sync.Cond // signalled on every state change and on shutdown
+	dropper  netem.Dropper
 	asm      *codec.Reassembler
 	received int
 	captured int
 	closed   bool
+	dead     bool // loop exited (socket closed)
 	done     chan struct{}
 	hdrOnly  int
+
+	// Selective-retransmit state (EnableNACK). seen doubles as the
+	// dedup set so retransmitted packets are counted and decoded once.
+	seen     map[uint64]bool
+	maxSeq   uint64
+	haveSeq  bool
+	nackTry  map[uint64]int
+	nackFrom *net.UDPAddr // sender address learned from arrivals
 }
 
 // SetHeaderOnlyBytes tells the receiver the sender uses a header-only
@@ -158,7 +172,8 @@ func NewLiveReceiver(cfg codec.Config, alg vcrypt.Algorithm, key []byte, addr st
 	if err != nil {
 		return nil, err
 	}
-	r := &LiveReceiver{conn: conn, filter: filter, cipher: cipher, asm: asm, done: make(chan struct{})}
+	r := &LiveReceiver{conn: conn, dropper: filter, cipher: cipher, asm: asm, done: make(chan struct{})}
+	r.cond = sync.NewCond(&r.mu)
 	go r.loop()
 	return r, nil
 }
@@ -166,8 +181,78 @@ func NewLiveReceiver(cfg codec.Config, alg vcrypt.Algorithm, key []byte, addr st
 // Addr returns the bound address to hand to the sender.
 func (r *LiveReceiver) Addr() string { return r.conn.LocalAddr().String() }
 
+// SetDropper replaces the receiver's loss model (the constructor installs
+// a Bernoulli filter) with any netem.Dropper — a Gilbert–Elliott bursty
+// channel, a targeted SeqBurst, etc. Call before packets arrive.
+func (r *LiveReceiver) SetDropper(d netem.Dropper) {
+	r.mu.Lock()
+	r.dropper = d
+	r.mu.Unlock()
+}
+
+// EnableNACK turns on gap detection and selective retransmit requests:
+// every interval the receiver NACKs the sequences it has not seen below
+// the highest received one, addressed to the packet source. The sender
+// honours NACKs only for I-frame packets (the frames whose loss wrecks a
+// whole GOP), so requests for unbuffered P packets age out after a few
+// tries. Arrivals are deduplicated by extended sequence so retransmitted
+// packets are counted and decoded exactly once. Call before sending
+// starts.
+func (r *LiveReceiver) EnableNACK(interval time.Duration) {
+	if interval <= 0 {
+		interval = 20 * time.Millisecond
+	}
+	r.mu.Lock()
+	if r.seen == nil {
+		r.seen = make(map[uint64]bool)
+		r.nackTry = make(map[uint64]int)
+	}
+	r.mu.Unlock()
+	go r.nackLoop(interval)
+}
+
+// maxNackTries bounds how often one missing sequence is requested; P
+// packets are never retransmitted, so the receiver must stop asking.
+const maxNackTries = 8
+
+// maxNackBatch bounds the sequences carried in one NACK datagram.
+const maxNackBatch = 256
+
+func (r *LiveReceiver) nackLoop(interval time.Duration) {
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-r.done:
+			return
+		case <-ticker.C:
+		}
+		r.mu.Lock()
+		peer := r.nackFrom
+		var missing []uint64
+		if r.haveSeq && peer != nil {
+			for seq := uint64(0); seq < r.maxSeq && len(missing) < maxNackBatch; seq++ {
+				if !r.seen[seq] && r.nackTry[seq] < maxNackTries {
+					r.nackTry[seq]++
+					missing = append(missing, seq)
+				}
+			}
+		}
+		r.mu.Unlock()
+		if len(missing) > 0 {
+			r.conn.WriteToUDP(marshalNACK(missing), peer) //nolint:errcheck // best effort, like the medium
+		}
+	}
+}
+
 func (r *LiveReceiver) loop() {
-	defer close(r.done)
+	defer func() {
+		r.mu.Lock()
+		r.dead = true
+		r.cond.Broadcast()
+		r.mu.Unlock()
+		close(r.done)
+	}()
 	buf := make([]byte, 65536)
 	// rtpSeq tracks the RTP 16-bit sequence with epoch extension so the
 	// cipher IV matches the sender's 64-bit counter.
@@ -175,7 +260,7 @@ func (r *LiveReceiver) loop() {
 	var lastSeq uint16
 	first := true
 	for {
-		n, _, err := r.conn.ReadFromUDP(buf)
+		n, from, err := r.conn.ReadFromUDP(buf)
 		if err != nil {
 			return
 		}
@@ -183,20 +268,42 @@ func (r *LiveReceiver) loop() {
 		if err != nil {
 			continue
 		}
-		if r.filter.Drop() {
-			continue
-		}
+		// Sequence extension happens before the loss decision so
+		// sequence-addressed droppers (burst over one I-frame) see every
+		// arrival, like the channel would.
 		if !first && pkt.Sequence < lastSeq && lastSeq-pkt.Sequence > 32768 {
 			epoch += 1 << 16
 		}
 		lastSeq = pkt.Sequence
 		first = false
 		seq64 := epoch | uint64(pkt.Sequence)
+		r.mu.Lock()
+		dropper := r.dropper
+		r.mu.Unlock()
+		if dropper != nil && dropper.DropSeq(seq64) {
+			continue
+		}
 		payload := append([]byte(nil), pkt.Payload...)
 		r.mu.Lock()
+		r.nackFrom = from
+		if r.seen != nil {
+			if r.seen[seq64] {
+				// Duplicate delivery (retransmit raced the original, or
+				// link-layer duplication): ignore.
+				r.cond.Broadcast()
+				r.mu.Unlock()
+				continue
+			}
+			r.seen[seq64] = true
+			if seq64 >= r.maxSeq {
+				r.maxSeq = seq64 + 1
+			}
+			r.haveSeq = true
+		}
 		r.captured++
 		if pkt.Encrypted() {
 			if r.cipher == nil {
+				r.cond.Broadcast()
 				r.mu.Unlock()
 				continue // eavesdropper: erasure
 			}
@@ -209,24 +316,36 @@ func (r *LiveReceiver) loop() {
 		if err := r.asm.Add(payload); err == nil {
 			r.received++
 		}
+		r.cond.Broadcast()
 		r.mu.Unlock()
 	}
 }
 
 // WaitForPackets blocks until the receiver has captured at least n
-// packets or the timeout elapses.
+// packets, the timeout elapses, or the receiver is closed. Waiters are
+// woken by arrival signalling (no polling).
 func (r *LiveReceiver) WaitForPackets(n int, timeout time.Duration) error {
 	deadline := time.Now().Add(timeout)
-	for time.Now().Before(deadline) {
+	timer := time.AfterFunc(timeout, func() {
+		// Broadcast under the lock so a waiter between its deadline
+		// check and cond.Wait cannot miss the wakeup.
 		r.mu.Lock()
-		got := r.captured
+		r.cond.Broadcast()
 		r.mu.Unlock()
-		if got >= n {
-			return nil
+	})
+	defer timer.Stop()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for r.captured < n {
+		if r.dead {
+			return errors.New("transport: receiver closed while waiting for packets")
 		}
-		time.Sleep(2 * time.Millisecond)
+		if !time.Now().Before(deadline) {
+			return errors.New("transport: timed out waiting for packets")
+		}
+		r.cond.Wait()
 	}
-	return errors.New("transport: timed out waiting for packets")
+	return nil
 }
 
 // Frames returns the reassembled (possibly partial) encoded frames.
@@ -241,6 +360,217 @@ func (r *LiveReceiver) Stats() (captured, usable int) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.captured, r.received
+}
+
+// NACK datagrams travel receiver→sender on the same socket pair:
+//
+//	"TVNK" (4) | count (2, big endian) | count × seq (8, big endian)
+//
+// The magic cannot begin a valid RTP packet (version bits would be 1),
+// so senders and receivers cheaply tell the two apart.
+var nackMagic = [4]byte{'T', 'V', 'N', 'K'}
+
+func marshalNACK(seqs []uint64) []byte {
+	if len(seqs) > maxNackBatch {
+		seqs = seqs[:maxNackBatch]
+	}
+	out := make([]byte, 6+8*len(seqs))
+	copy(out[:4], nackMagic[:])
+	binary.BigEndian.PutUint16(out[4:6], uint16(len(seqs)))
+	for i, s := range seqs {
+		binary.BigEndian.PutUint64(out[6+8*i:], s)
+	}
+	return out
+}
+
+func parseNACK(data []byte) ([]uint64, bool) {
+	if len(data) < 6 || [4]byte(data[:4]) != nackMagic {
+		return nil, false
+	}
+	n := int(binary.BigEndian.Uint16(data[4:6]))
+	if len(data) < 6+8*n {
+		return nil, false
+	}
+	seqs := make([]uint64, n)
+	for i := range seqs {
+		seqs[i] = binary.BigEndian.Uint64(data[6+8*i:])
+	}
+	return seqs, true
+}
+
+// ReliableUDPOptions tunes LiveUDPSendReliable.
+type ReliableUDPOptions struct {
+	// Drain is how long the sender keeps servicing NACKs after the last
+	// packet (default 500ms).
+	Drain time.Duration
+	// Conditioner, when non-nil, impairs the sender-side link: packets
+	// may be dropped before the socket (lost on the air), delayed
+	// (jitter/reordering), or duplicated. Dropped I-frame packets still
+	// enter the retransmit buffer, so NACKs recover them.
+	Conditioner *netem.Conditioner
+}
+
+// LiveUDPSendReliable streams like LiveUDPSend but adds a NACK-driven
+// selective-retransmit loop for I-frame packets: every transmitted
+// I-frame packet is buffered, a reader goroutine services the receiver's
+// NACKs during the transfer and for a drain period after it, and each
+// retransmission reuses the original RTP bytes so the receiver's
+// per-sequence decrypt and dedup stay correct. P packets are never
+// retransmitted — losing one costs a few macroblocks, while losing an
+// I-frame burst wrecks the whole GOP (the asymmetry the paper's policies
+// are built on). The receiver must have EnableNACK active.
+func LiveUDPSendReliable(s Session, rxAddr, evAddr string, pace bool, opts ReliableUDPOptions) (LiveSendReport, error) {
+	var rep LiveSendReport
+	if err := s.Validate(); err != nil {
+		return rep, err
+	}
+	cipher, err := vcrypt.NewCipher(s.Policy.Alg, s.Key)
+	if err != nil {
+		return rep, err
+	}
+	selector, err := vcrypt.NewSelector(s.Policy)
+	if err != nil {
+		return rep, err
+	}
+	raddr, err := net.ResolveUDPAddr("udp", rxAddr)
+	if err != nil {
+		return rep, fmt.Errorf("transport: resolve receiver: %w", err)
+	}
+	rxConn, err := net.DialUDP("udp", nil, raddr)
+	if err != nil {
+		return rep, fmt.Errorf("transport: dial receiver: %w", err)
+	}
+	defer rxConn.Close()
+	var evConn net.Conn
+	if evAddr != "" {
+		evConn, err = net.Dial("udp", evAddr)
+		if err != nil {
+			return rep, fmt.Errorf("transport: dial eavesdropper: %w", err)
+		}
+		defer evConn.Close()
+	}
+	drain := opts.Drain
+	if drain <= 0 {
+		drain = 500 * time.Millisecond
+	}
+
+	// Retransmit buffer: extended seq → original marshaled RTP bytes.
+	var (
+		bufMu       sync.Mutex
+		iBuf        = make(map[uint64][]byte)
+		retransmits int
+	)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		buf := make([]byte, 65536)
+		for {
+			rxConn.SetReadDeadline(time.Now().Add(50 * time.Millisecond)) //nolint:errcheck // UDP deadline set cannot fail
+			n, err := rxConn.Read(buf)
+			if err != nil {
+				select {
+				case <-stop:
+					return
+				default:
+					continue // deadline tick; keep listening
+				}
+			}
+			seqs, ok := parseNACK(buf[:n])
+			if !ok {
+				continue
+			}
+			bufMu.Lock()
+			for _, seq := range seqs {
+				if out, have := iBuf[seq]; have {
+					rxConn.Write(out) //nolint:errcheck // best effort, like the medium
+					retransmits++
+				}
+			}
+			bufMu.Unlock()
+		}
+	}()
+
+	seqr := rtp.NewSequencer(0x7561) // same arbitrary SSRC as LiveUDPSend
+	start := time.Now()
+	seq := 0
+	for fi, ef := range s.Encoded {
+		if pace {
+			due := start.Add(time.Duration(float64(fi) / s.FPS * float64(time.Second)))
+			if d := time.Until(due); d > 0 {
+				time.Sleep(d)
+			}
+		}
+		pkts, err := codec.Packetize(ef, s.MTU)
+		if err != nil {
+			close(stop)
+			wg.Wait()
+			return rep, err
+		}
+		for _, pkt := range pkts {
+			payload := append([]byte(nil), pkt.Payload...)
+			if s.PadToMTU && len(payload) < s.MTU {
+				payload = append(payload, make([]byte, s.MTU-len(payload))...)
+			}
+			encrypted := selector.ShouldEncrypt(pkt.IsIFrame())
+			if encrypted {
+				t0 := time.Now()
+				cipher.EncryptPacket(uint64(seq), payload[:s.Policy.EncryptSpan(len(payload))])
+				rep.CryptoTime += time.Since(t0)
+				rep.Encrypted++
+			}
+			out := seqr.Next(payload, float64(fi)/s.FPS, encrypted).Marshal()
+			if pkt.IsIFrame() {
+				bufMu.Lock()
+				iBuf[uint64(seq)] = out
+				bufMu.Unlock()
+			}
+			send := true
+			if opts.Conditioner != nil {
+				imp := opts.Conditioner.Next(uint64(seq))
+				switch {
+				case imp.Drop:
+					send = false
+					rep.Dropped++
+				default:
+					if imp.Delay > 0 {
+						time.Sleep(imp.Delay)
+					}
+					for i := 0; i < imp.Duplicates; i++ {
+						rxConn.Write(out) //nolint:errcheck // duplicates are opportunistic
+						rep.Duplicated++
+					}
+				}
+			}
+			if send {
+				if _, err := rxConn.Write(out); err != nil {
+					close(stop)
+					wg.Wait()
+					return rep, fmt.Errorf("transport: send to receiver: %w", err)
+				}
+			}
+			if evConn != nil {
+				if _, err := evConn.Write(out); err != nil {
+					close(stop)
+					wg.Wait()
+					return rep, fmt.Errorf("transport: send to eavesdropper: %w", err)
+				}
+			}
+			rep.Packets++
+			rep.Bytes += len(out)
+			seq++
+		}
+	}
+	// Keep answering NACKs while the receiver notices its gaps.
+	time.Sleep(drain)
+	close(stop)
+	wg.Wait()
+	bufMu.Lock()
+	rep.Retransmits = retransmits
+	bufMu.Unlock()
+	rep.Elapsed = time.Since(start)
+	return rep, nil
 }
 
 // Close shuts the socket down.

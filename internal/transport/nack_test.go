@@ -1,0 +1,210 @@
+package transport
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/codec"
+	"repro/internal/netem"
+	"repro/internal/vcrypt"
+	"repro/internal/video"
+)
+
+func TestNACKRoundTrip(t *testing.T) {
+	seqs := []uint64{3, 17, 1<<40 + 5}
+	got, ok := parseNACK(marshalNACK(seqs))
+	if !ok {
+		t.Fatal("marshal/parse failed")
+	}
+	if len(got) != len(seqs) {
+		t.Fatalf("got %d seqs", len(got))
+	}
+	for i := range seqs {
+		if got[i] != seqs[i] {
+			t.Fatalf("seq %d: %d != %d", i, got[i], seqs[i])
+		}
+	}
+	if _, ok := parseNACK([]byte("RTPX")); ok {
+		t.Fatal("bad magic accepted")
+	}
+	if _, ok := parseNACK(marshalNACK(seqs)[:10]); ok {
+		t.Fatal("truncated NACK accepted")
+	}
+}
+
+// iFrameSeqRange returns the global packet-sequence range [from, from+n)
+// of the idx-th I-frame of the clip.
+func iFrameSeqRange(t *testing.T, s Session, idx int) (from uint64, n int) {
+	t.Helper()
+	seq := uint64(0)
+	seen := 0
+	for _, ef := range s.Encoded {
+		pkts, err := codec.Packetize(ef, s.MTU)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ef.Type == codec.IFrame {
+			if seen == idx {
+				return seq, len(pkts)
+			}
+			seen++
+		}
+		seq += uint64(len(pkts))
+	}
+	t.Fatalf("clip has no I-frame #%d", idx)
+	return 0, 0
+}
+
+// TestNACKRecoversIFrameBurst burst-drops exactly the packets of the
+// second I-frame — the worst case for an IPP stream — and checks the
+// NACK/retransmit loop recovers every one of them: the reassembled clip
+// must decode bit-identically to the sender's encoding.
+func TestNACKRecoversIFrameBurst(t *testing.T) {
+	pol := vcrypt.Policy{Mode: vcrypt.ModeIFrames, Alg: vcrypt.AES256}
+	s, _ := testSession(t, video.MotionLow, pol)
+
+	from, n := iFrameSeqRange(t, s, 1) // second I-frame (frame 12 of the GOP-12 clip)
+	if n == 0 {
+		t.Fatal("empty I-frame")
+	}
+	burst := netem.NewSeqBurst(from, n)
+
+	rx, err := NewLiveReceiver(s.Config, pol.Alg, s.Key, "127.0.0.1:0", 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rx.Close()
+	rx.SetDropper(burst)
+	rx.EnableNACK(15 * time.Millisecond)
+
+	rep, err := LiveUDPSendReliable(s, rx.Addr(), "", false, ReliableUDPOptions{Drain: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Retransmits < n {
+		t.Fatalf("retransmitted %d packets, burst dropped %d", rep.Retransmits, n)
+	}
+	if burst.Dropped() != n {
+		t.Fatalf("burst hit %d of %d targets", burst.Dropped(), n)
+	}
+	if err := rx.WaitForPackets(rep.Packets, 5*time.Second); err != nil {
+		t.Fatalf("receiver incomplete after retransmits: %v", err)
+	}
+	captured, usable := rx.Stats()
+	if captured != rep.Packets || usable != rep.Packets {
+		t.Fatalf("captured/usable %d/%d of %d", captured, usable, rep.Packets)
+	}
+	// Bit-identical recovery: every macroblock of every frame matches the
+	// sender's encoding.
+	got := rx.Frames(len(s.Encoded))
+	for i, ef := range s.Encoded {
+		if got[i] == nil {
+			t.Fatalf("frame %d missing", i)
+		}
+		if len(got[i].MBData) != len(ef.MBData) {
+			t.Fatalf("frame %d has %d MBs, want %d", i, len(got[i].MBData), len(ef.MBData))
+		}
+		for mb := range ef.MBData {
+			if !bytes.Equal(got[i].MBData[mb], ef.MBData[mb]) {
+				t.Fatalf("frame %d MB %d differs after recovery", i, mb)
+			}
+		}
+	}
+}
+
+// TestNACKWithJitterAndDuplication runs the reliable path through a
+// conditioner that drops (bursty), delays, and duplicates packets on the
+// sender side; dedup plus retransmit must still deliver every I-frame
+// packet exactly once.
+func TestNACKWithJitterAndDuplication(t *testing.T) {
+	pol := vcrypt.Policy{Mode: vcrypt.ModeIFrames, Alg: vcrypt.AES128}
+	s, _ := testSession(t, video.MotionLow, pol)
+
+	// Burst over the mid-clip I-frame: the P-frames behind it keep
+	// arriving, which is what exposes the gap to the NACK loop (a burst
+	// over the very last packets is invisible tail loss).
+	from, n := iFrameSeqRange(t, s, 1)
+	cond, err := netem.NewConditioner(netem.ConditionerConfig{
+		DelayJitter: 500 * time.Microsecond,
+		DupProb:     0.2,
+		Loss:        netem.NewSeqBurst(from, n),
+		Seed:        11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rx, err := NewLiveReceiver(s.Config, pol.Alg, s.Key, "127.0.0.1:0", 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rx.Close()
+	rx.EnableNACK(15 * time.Millisecond)
+
+	rep, err := LiveUDPSendReliable(s, rx.Addr(), "", false, ReliableUDPOptions{
+		Drain:       2 * time.Second,
+		Conditioner: cond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Dropped != n {
+		t.Fatalf("conditioner dropped %d, want the %d-packet burst", rep.Dropped, n)
+	}
+	if rep.Duplicated == 0 {
+		t.Fatal("conditioner never duplicated")
+	}
+	if rep.Retransmits < n {
+		t.Fatalf("retransmits %d < burst %d", rep.Retransmits, n)
+	}
+	if err := rx.WaitForPackets(rep.Packets, 5*time.Second); err != nil {
+		t.Fatalf("receiver incomplete: %v", err)
+	}
+	// Dedup: duplicates must not inflate the capture count.
+	captured, usable := rx.Stats()
+	if captured != rep.Packets || usable != rep.Packets {
+		t.Fatalf("captured/usable %d/%d of %d", captured, usable, rep.Packets)
+	}
+	got := rx.Frames(len(s.Encoded))
+	for i, ef := range s.Encoded {
+		if got[i] == nil {
+			t.Fatalf("frame %d missing", i)
+		}
+		for mb := range ef.MBData {
+			if !bytes.Equal(got[i].MBData[mb], ef.MBData[mb]) {
+				t.Fatalf("frame %d MB %d differs", i, mb)
+			}
+		}
+	}
+}
+
+// TestWaitForPacketsWakesImmediately checks the Cond-based wait returns
+// as soon as the packets are in rather than on a poll tick, and that the
+// timeout path still fires.
+func TestWaitForPacketsWakesImmediately(t *testing.T) {
+	pol := vcrypt.Policy{Mode: vcrypt.ModeNone, Alg: vcrypt.AES128}
+	s, _ := testSession(t, video.MotionLow, pol)
+	s.Encoded = s.Encoded[:2]
+	rx, err := NewLiveReceiver(s.Config, pol.Alg, s.Key, "127.0.0.1:0", 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rx.Close()
+	rep, err := LiveUDPSend(s, rx.Addr(), "", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rx.WaitForPackets(rep.Packets, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Timeout path: asking for more packets than will ever arrive must
+	// come back in about the timeout, not hang.
+	start := time.Now()
+	if err := rx.WaitForPackets(rep.Packets+1, 50*time.Millisecond); err == nil {
+		t.Fatal("wait for impossible count succeeded")
+	}
+	if el := time.Since(start); el > time.Second {
+		t.Fatalf("timeout wait took %v", el)
+	}
+}

@@ -1,0 +1,161 @@
+package transport
+
+import (
+	"time"
+
+	"repro/internal/codec"
+	"repro/internal/stats"
+	"repro/internal/vcrypt"
+	"repro/internal/video"
+)
+
+// RetryPolicy configures how a live transfer survives a faulty link:
+// per-attempt timeouts, capped exponential backoff with deterministic
+// jitter, and an overall deadline after which the sender degrades (via a
+// Degrader) instead of failing.
+type RetryPolicy struct {
+	// MaxAttempts is how many consecutive attempts may fail without the
+	// server acknowledging new data before the transfer degrades or
+	// aborts. Attempts that make progress reset the count. Default 5.
+	MaxAttempts int
+	// BaseBackoff is the first retry gap; each further consecutive
+	// failure multiplies it by Multiplier up to MaxBackoff. Defaults:
+	// 100ms base, 5s cap, multiplier 2.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	Multiplier  float64
+	// JitterFrac spreads each gap uniformly over ±JitterFrac of its
+	// nominal value, decorrelating retry storms. Drawn from a seeded RNG
+	// so schedules are reproducible. Default 0.2; negative disables.
+	JitterFrac float64
+	// AttemptTimeout bounds one attempt (including the resume-point
+	// query). Default 10s.
+	AttemptTimeout time.Duration
+	// Deadline bounds the whole transfer; when exceeded the sender
+	// consults its Degrader. Zero means no deadline. A degradation
+	// grants the cheaper session a fresh deadline.
+	Deadline time.Duration
+	// Seed fixes the jitter sequence.
+	Seed uint64
+	// Sleep is a test hook; nil means time.Sleep.
+	Sleep func(time.Duration)
+}
+
+func (rp RetryPolicy) withDefaults() RetryPolicy {
+	if rp.MaxAttempts <= 0 {
+		rp.MaxAttempts = 5
+	}
+	if rp.BaseBackoff <= 0 {
+		rp.BaseBackoff = 100 * time.Millisecond
+	}
+	if rp.MaxBackoff <= 0 {
+		rp.MaxBackoff = 5 * time.Second
+	}
+	if rp.Multiplier <= 1 {
+		rp.Multiplier = 2
+	}
+	if rp.JitterFrac == 0 {
+		rp.JitterFrac = 0.2
+	}
+	if rp.JitterFrac < 0 {
+		rp.JitterFrac = 0
+	}
+	if rp.AttemptTimeout <= 0 {
+		rp.AttemptTimeout = 10 * time.Second
+	}
+	if rp.Sleep == nil {
+		rp.Sleep = time.Sleep
+	}
+	return rp
+}
+
+// Backoff yields the deterministic capped-exponential-with-jitter gap
+// sequence of a RetryPolicy. Not safe for concurrent use.
+type Backoff struct {
+	rp  RetryPolicy
+	rng *stats.RNG
+	n   int
+}
+
+// NewBackoff builds the schedule generator (defaults applied).
+func NewBackoff(rp RetryPolicy) *Backoff {
+	rp = rp.withDefaults()
+	return &Backoff{rp: rp, rng: stats.NewRNG(rp.Seed)}
+}
+
+// Next returns the gap to sleep before the next retry.
+func (b *Backoff) Next() time.Duration {
+	d := float64(b.rp.BaseBackoff)
+	for i := 0; i < b.n && d < float64(b.rp.MaxBackoff); i++ {
+		d *= b.rp.Multiplier
+	}
+	if d > float64(b.rp.MaxBackoff) {
+		d = float64(b.rp.MaxBackoff)
+	}
+	b.n++
+	if j := b.rp.JitterFrac; j > 0 {
+		d *= 1 - j + 2*j*b.rng.Float64()
+	}
+	return time.Duration(d)
+}
+
+// Reset restarts the exponential growth (after an attempt that made
+// progress); the jitter stream keeps advancing.
+func (b *Backoff) Reset() { b.n = 0 }
+
+// Degrader is consulted when the retry budget or the transfer deadline is
+// exhausted: rather than fail, the sender ships a cheaper version of the
+// remaining work. Degrade returns the replacement session, whether the
+// clip itself changed (restart — the upload must begin again from a fresh
+// sequence epoch), and false when no further degradation exists.
+type Degrader interface {
+	Degrade(s Session) (next Session, restart bool, ok bool)
+}
+
+// PolicyDegrader is the standard ladder: first walk the vcrypt policy
+// downgrades (cheaper encryption for the remaining packets, no restart
+// needed because the plaintext payload stream is unchanged), then — when
+// the raw clip is available — re-encode it with coarsened quantisers so
+// the whole transfer shrinks. The paper's planner picks the cheapest
+// policy meeting a privacy floor; under deadline pressure the floor
+// yields in the same order the planner ranks costs.
+type PolicyDegrader struct {
+	// Raw is the original clip; nil disables the re-encode rung.
+	Raw []*video.Frame
+	// QuantScale multiplies QI/QP per re-encode (default 1.6).
+	QuantScale float64
+	// MaxReencodes bounds successive re-encodes (default 1).
+	MaxReencodes int
+
+	reencodes int
+}
+
+// Degrade implements Degrader.
+func (d *PolicyDegrader) Degrade(s Session) (Session, bool, bool) {
+	if q, ok := vcrypt.Downgrade(s.Policy); ok {
+		s.Policy = q
+		return s, false, true
+	}
+	maxRe := d.MaxReencodes
+	if maxRe <= 0 {
+		maxRe = 1
+	}
+	if d.Raw == nil || d.reencodes >= maxRe {
+		return s, false, false
+	}
+	scale := d.QuantScale
+	if scale <= 1 {
+		scale = 1.6
+	}
+	cfg := s.Config
+	cfg.QI *= scale
+	cfg.QP *= scale
+	encoded, err := codec.EncodeSequence(d.Raw, cfg)
+	if err != nil {
+		return s, false, false
+	}
+	d.reencodes++
+	s.Config = cfg
+	s.Encoded = encoded
+	return s, true, true
+}

@@ -1,0 +1,65 @@
+package vcrypt
+
+import "testing"
+
+func TestDowngradeLadderAll(t *testing.T) {
+	ladder := DowngradeLadder(Policy{Mode: ModeAll, Alg: AES256})
+	want := []Mode{ModeAll, ModeIPlusFracP, ModeIFrames}
+	if len(ladder) != len(want) {
+		t.Fatalf("ladder length %d, want %d: %v", len(ladder), len(want), ladder)
+	}
+	for i, p := range ladder {
+		if p.Mode != want[i] {
+			t.Fatalf("rung %d is %v, want %v", i, p.Mode, want[i])
+		}
+		if p.Alg != AES256 {
+			t.Fatalf("rung %d changed algorithm to %v", i, p.Alg)
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("rung %d invalid: %v", i, err)
+		}
+	}
+}
+
+func TestDowngradeCostMonotone(t *testing.T) {
+	// Each rung must select strictly fewer packets (weighted by class)
+	// than the one above it.
+	cost := func(p Policy) float64 {
+		encI, encP := p.ClassProbabilities()
+		return encI + 4*encP // P packets dominate a clip's packet count
+	}
+	for _, start := range []Policy{
+		{Mode: ModeAll, Alg: AES128},
+		{Mode: ModePFrames, Alg: TripleDES},
+		{Mode: ModeIPlusFracP, FracP: 0.5, Alg: AES256},
+	} {
+		ladder := DowngradeLadder(start)
+		for i := 1; i < len(ladder); i++ {
+			if cost(ladder[i]) >= cost(ladder[i-1]) {
+				t.Fatalf("rung %d of %v not cheaper: %v -> %v", i, start, ladder[i-1], ladder[i])
+			}
+		}
+	}
+}
+
+func TestDowngradeTerminates(t *testing.T) {
+	for _, m := range []Mode{ModeNone, ModeIFrames, ModeHalfI} {
+		if _, ok := Downgrade(Policy{Mode: m, Alg: AES128}); ok {
+			t.Fatalf("mode %v should be a ladder floor", m)
+		}
+	}
+}
+
+func TestDowngradePreservesHeaderOnly(t *testing.T) {
+	p := Policy{Mode: ModeAll, Alg: AES256, HeaderOnlyBytes: MinHeaderOnlyBytes}
+	for {
+		q, ok := Downgrade(p)
+		if !ok {
+			break
+		}
+		if q.HeaderOnlyBytes != MinHeaderOnlyBytes {
+			t.Fatalf("downgrade dropped HeaderOnlyBytes: %v", q)
+		}
+		p = q
+	}
+}

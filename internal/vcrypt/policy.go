@@ -172,6 +172,43 @@ func (s *Selector) step(acc *float64, frac float64) bool {
 	return false
 }
 
+// Downgrade returns the next-cheaper policy on the graceful-degradation
+// ladder a sender walks when a transfer deadline or retry budget is
+// exhausted: shed crypto cost (and the airtime it buys under header-only
+// policies) before giving up on the transfer. The ladder follows the
+// paper's cost ordering — all → I+frac(P) → I-only — and never drops
+// below I-frame encryption, since that is the cheapest policy the paper
+// still considers private (half-I was examined and rejected in Section
+// 6.2). Alg and HeaderOnlyBytes are preserved so the receiver's decrypt
+// configuration stays valid mid-stream. The second return is false when
+// no cheaper policy exists; the sender's next resort is a
+// reduced-quality re-encode (transport.PolicyDegrader).
+func Downgrade(p Policy) (Policy, bool) {
+	q := p
+	switch p.Mode {
+	case ModeAll:
+		q.Mode, q.FracP = ModeIPlusFracP, 0.2
+	case ModePFrames, ModeIPlusFracP:
+		q.Mode, q.FracP = ModeIFrames, 0
+	default:
+		return p, false
+	}
+	return q, true
+}
+
+// DowngradeLadder returns p followed by every successive downgrade until
+// the ladder is exhausted.
+func DowngradeLadder(p Policy) []Policy {
+	out := []Policy{p}
+	for {
+		q, ok := Downgrade(out[len(out)-1])
+		if !ok {
+			return out
+		}
+		out = append(out, q)
+	}
+}
+
 // StandardPolicies returns the twelve policies of Section 6.1 (three
 // algorithms x four modes) in a stable order.
 func StandardPolicies() []Policy {
