@@ -14,7 +14,7 @@
 //	thriftyvid recv     -addr 127.0.0.1:5004 -in clip.tvid -key secret -nack 20ms
 //	thriftyvid eavesdrop -addr 127.0.0.1:5005 -in clip.tvid
 //	thriftyvid send     -in clip.tvid -rx 127.0.0.1:5004 -ev 127.0.0.1:5005 -policy I -alg aes256 -key secret -reliable
-//	thriftyvid serve    -addr 127.0.0.1:8080 -in clip.tvid -key secret
+//	thriftyvid serve    -addr 127.0.0.1:8080 -in clip.tvid -key secret -metrics 127.0.0.1:9090
 //	thriftyvid upload   -in clip.tvid -url http://127.0.0.1:8080/upload -key secret -deadline 30s -degrade
 package main
 
@@ -33,6 +33,7 @@ import (
 	"repro/internal/energy"
 	"repro/internal/evalvid"
 	"repro/internal/netem"
+	"repro/internal/obs"
 	"repro/internal/stats"
 	"repro/internal/transport"
 	"repro/internal/vcrypt"
@@ -205,7 +206,13 @@ func cmdEncode(args []string) error {
 	height := fs.Int("height", video.CIFHeight, "frame height")
 	gop := fs.Int("gop", 30, "GOP size")
 	workers := workersFlag(fs)
+	metrics := metricsFlag(fs)
 	fs.Parse(args)
+	stopMetrics, err := startMetrics(*metrics)
+	if err != nil {
+		return err
+	}
+	defer stopMetrics()
 	clip, err := readYUVClip(*in, *width, *height)
 	if err != nil {
 		return err
@@ -248,6 +255,27 @@ func resolveWorkers(n int) int {
 		return runtime.NumCPU()
 	}
 	return n
+}
+
+// metricsFlag registers the shared -metrics flag: an address for the
+// observability side listener (empty = metrics stay disabled, the
+// default, so hot paths pay only an atomic load).
+func metricsFlag(fs *flag.FlagSet) *string {
+	return fs.String("metrics", "", "serve /metrics, /debug/vars, /debug/pprof/ and /debug/trace on this address (e.g. 127.0.0.1:9090; empty = off)")
+}
+
+// startMetrics enables recording and starts the debug listener when
+// addr is non-empty; the returned func shuts it down.
+func startMetrics(addr string) (func(), error) {
+	if addr == "" {
+		return func() {}, nil
+	}
+	bound, shutdown, err := obs.ServeDebug(addr)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Printf("metrics on http://%s/metrics (also /debug/vars, /debug/pprof/, /debug/trace)\n", bound)
+	return shutdown, nil
 }
 
 func loadContainer(path string) (codec.Config, []*codec.EncodedFrame, error) {
@@ -385,7 +413,13 @@ func cmdSimulate(args []string) error {
 	headerOnly := fs.Int("headeronly", 0, "encrypt only the first N bytes of each selected packet (0 = whole payload)")
 	unpaced := fs.Bool("unpaced", false, "upload back to back instead of streaming at the frame rate")
 	workers := workersFlag(fs)
+	metrics := metricsFlag(fs)
 	fs.Parse(args)
+	stopMetrics, err := startMetrics(*metrics)
+	if err != nil {
+		return err
+	}
+	defer stopMetrics()
 	cfg, encoded, err := loadContainer(*in)
 	if err != nil {
 		return err
@@ -473,7 +507,13 @@ func cmdSend(args []string) error {
 	fps := fs.Float64("fps", 30, "frame rate")
 	reliable := fs.Bool("reliable", false, "listen for receiver NACKs and retransmit dropped I-frame packets")
 	drain := fs.Duration("drain", 500*time.Millisecond, "with -reliable, how long to linger for late NACKs after the last packet")
+	metrics := metricsFlag(fs)
 	fs.Parse(args)
+	stopMetrics, err := startMetrics(*metrics)
+	if err != nil {
+		return err
+	}
+	defer stopMetrics()
 	cfg, encoded, err := loadContainer(*in)
 	if err != nil {
 		return err
@@ -525,7 +565,13 @@ func cmdRecv(args []string, withKey bool) error {
 	if withKey {
 		nack = fs.Duration("nack", 0, "NACK gaps back to the sender at this interval (0 = off; pair with send -reliable)")
 	}
+	metrics := metricsFlag(fs)
 	fs.Parse(args)
+	stopMetrics, err := startMetrics(*metrics)
+	if err != nil {
+		return err
+	}
+	defer stopMetrics()
 	cfg, encoded, err := loadContainer(*in)
 	if err != nil {
 		return err
@@ -549,7 +595,7 @@ func cmdRecv(args []string, withKey bool) error {
 	fmt.Printf("%s listening on %s for %v...\n", name, rxr.Addr(), *wait)
 	time.Sleep(*wait)
 	captured, usable := rxr.Stats()
-	fmt.Printf("captured %d packets, %d usable\n", captured, usable)
+	fmt.Printf("captured %d packets, %d usable, %d duplicates discarded\n", captured, usable, rxr.Duplicates())
 	frames := rxr.Frames(len(encoded))
 	decoded, err := codec.DecodeSequence(frames, cfg)
 	if err != nil {
@@ -588,7 +634,13 @@ func cmdServe(args []string) error {
 	key := fs.String("key", "open-sesame", "shared passphrase")
 	wait := fs.Duration("wait", 60*time.Second, "how long to accept uploads")
 	headerOnly := fs.Int("headeronly", 0, "sender's header-only span (must match upload)")
+	metrics := metricsFlag(fs)
 	fs.Parse(args)
+	stopMetrics, err := startMetrics(*metrics)
+	if err != nil {
+		return err
+	}
+	defer stopMetrics()
 	cfg, encoded, err := loadContainer(*in)
 	if err != nil {
 		return err
@@ -647,7 +699,13 @@ func cmdUpload(args []string) error {
 	deadline := fs.Duration("deadline", 0, "transfer deadline; on expiry degrade instead of failing (0 = none)")
 	seed := fs.Uint64("seed", 1, "backoff jitter seed")
 	degrade := fs.Bool("degrade", false, "on exhaustion, downgrade encryption then re-encode at lower quality instead of failing")
+	metrics := metricsFlag(fs)
 	fs.Parse(args)
+	stopMetrics, err := startMetrics(*metrics)
+	if err != nil {
+		return err
+	}
+	defer stopMetrics()
 	cfg, encoded, err := loadContainer(*in)
 	if err != nil {
 		return err

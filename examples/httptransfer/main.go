@@ -11,6 +11,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"net/http"
@@ -21,12 +22,23 @@ import (
 	"repro/internal/energy"
 	"repro/internal/evalvid"
 	"repro/internal/netem"
+	"repro/internal/obs"
 	"repro/internal/transport"
 	"repro/internal/vcrypt"
 	"repro/internal/video"
 )
 
 func main() {
+	metricsAddr := flag.String("metrics", "", "serve /metrics and /debug endpoints on this address while the transfer runs (e.g. 127.0.0.1:9090)")
+	flag.Parse()
+	if *metricsAddr != "" {
+		bound, stop, err := obs.ServeDebug(*metricsAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer stop()
+		fmt.Printf("metrics on http://%s/metrics — curl it while the upload fights the flaky link\n", bound)
+	}
 	clip := video.Generate(video.SceneConfig{W: 176, H: 144, Frames: 60, Motion: video.MotionMedium, Seed: 5})
 	cfg := codec.DefaultConfig(30)
 	cfg.Width, cfg.Height = 176, 144

@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"testing"
 
+	"repro/internal/obs"
 	"repro/internal/video"
 )
 
@@ -56,6 +57,36 @@ func BenchmarkMotionSearch(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		mb := i % (cols * rows)
 		motionSearch(src, ref, (mb%cols)*mbSize, (mb/cols)*mbSize, cfg, starts)
+	}
+}
+
+// BenchmarkEncodeMetricsOff/On measure the instrumentation tax on the
+// hottest path (P-frame encode). Off is the shipping default — the only
+// cost is one atomic load per row batch; On adds the row/frame counter
+// and histogram updates. scripts/bench.sh compares the two and fails
+// the PR gate if On costs more than a couple of percent.
+func BenchmarkEncodeMetricsOff(b *testing.B) { benchEncodeMetrics(b, false) }
+func BenchmarkEncodeMetricsOn(b *testing.B)  { benchEncodeMetrics(b, true) }
+
+func benchEncodeMetrics(b *testing.B, enabled bool) {
+	clip := benchFrames(b, 2)
+	cfg := DefaultConfig(30)
+	cfg.Workers = 1 // serial: the per-row accounting dominates least here, making the tax easiest to see
+	enc, err := NewEncoder(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := enc.Encode(clip[0]); err != nil {
+		b.Fatal(err)
+	}
+	obs.SetEnabled(enabled)
+	defer obs.SetEnabled(false)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := enc.encodeAs(clip[1], PFrame); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

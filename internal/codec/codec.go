@@ -3,7 +3,9 @@ package codec
 import (
 	"errors"
 	"fmt"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/video"
 )
 
@@ -182,7 +184,15 @@ func (e *Encoder) encodeAs(f *video.Frame, ft FrameType) (*EncodedFrame, error) 
 	cols, rows := e.cfg.MBCols(), e.cfg.MBRows()
 	out := &EncodedFrame{Number: e.count, Type: ft, MBData: make([][]byte, cols*rows)}
 	mvs := make([][2]int, cols*rows)
+	var t0 time.Time
+	if obs.Enabled() {
+		t0 = time.Now()
+	}
 	e.encodeRows(f, recon, out, mvs, ft)
+	if obs.Enabled() {
+		mEncodeFrameSeconds.Observe(time.Since(t0).Seconds())
+		countEncodedFrame(out)
+	}
 	if ft == PFrame {
 		e.prevMVs = mvs
 	} else {
@@ -226,6 +236,7 @@ func NewDecoder(cfg Config) (*Decoder, error) {
 // are concealed per macroblock. Decode never fails on damaged input; the
 // damage shows up as distortion, as in the testbed.
 func (d *Decoder) Decode(ef *EncodedFrame) *video.Frame {
+	mFramesDecoded.Inc()
 	out := video.NewFrame(d.cfg.Width, d.cfg.Height)
 	cols, rows := d.cfg.MBCols(), d.cfg.MBRows()
 	if ef == nil {

@@ -1,0 +1,55 @@
+package codec
+
+import (
+	"repro/internal/obs"
+)
+
+// Observability wiring (PR3). Recording is gated inside obs — with
+// metrics disabled every call below is a single atomic load — and the
+// macroblock hot path is touched only at row granularity (one atomic
+// add per row, batched over the row's macroblocks), so the wavefront
+// and the PR1 speedups are unaffected. None of these calls influence
+// the bitstream: encoder output is bit-identical with metrics on or
+// off (covered by TestMetricsDoNotChangeBitstream).
+var (
+	mFramesEncodedI = obs.NewCounter(`codec_frames_encoded_total{type="I"}`,
+		"Frames encoded, by frame type.")
+	mFramesEncodedP = obs.NewCounter(`codec_frames_encoded_total{type="P"}`,
+		"Frames encoded, by frame type.")
+	mFramesEncodedB = obs.NewCounter(`codec_frames_encoded_total{type="B"}`,
+		"Frames encoded, by frame type.")
+	mFrameBytesI = obs.NewCounter(`codec_frame_bytes_total{type="I"}`,
+		"Compressed bytes produced, by frame type.")
+	mFrameBytesP = obs.NewCounter(`codec_frame_bytes_total{type="P"}`,
+		"Compressed bytes produced, by frame type.")
+	mFrameBytesB = obs.NewCounter(`codec_frame_bytes_total{type="B"}`,
+		"Compressed bytes produced, by frame type.")
+	mRowsEncoded = obs.NewCounter("codec_mb_rows_encoded_total",
+		"Macroblock rows encoded (row-worker task count).")
+	mMBsEncoded = obs.NewCounter("codec_macroblocks_encoded_total",
+		"Macroblocks encoded.")
+	mFramesDecoded = obs.NewCounter("codec_frames_decoded_total",
+		"Frames decoded (including concealed ones).")
+	mEncodeFrameSeconds = obs.NewHistogram("codec_encode_frame_seconds",
+		"Wall time to encode one frame.", nil)
+	mRowEncodeSeconds = obs.NewHistogram("codec_row_encode_seconds",
+		"Busy time per encoded macroblock row; sum ÷ (frame seconds × workers) is worker utilisation.", nil)
+	mRowWorkers = obs.NewGauge("codec_row_workers",
+		"Row workers used by the most recent parallel encode.")
+)
+
+// countEncodedFrame feeds the per-frame counters; called only when
+// metrics are enabled (the Size scan walks MBData).
+func countEncodedFrame(out *EncodedFrame) {
+	switch out.Type {
+	case IFrame:
+		mFramesEncodedI.Inc()
+		mFrameBytesI.Add(int64(out.Size()))
+	case PFrame:
+		mFramesEncodedP.Inc()
+		mFrameBytesP.Add(int64(out.Size()))
+	default:
+		mFramesEncodedB.Inc()
+		mFrameBytesB.Add(int64(out.Size()))
+	}
+}

@@ -1,0 +1,50 @@
+package codec
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/video"
+)
+
+// TestMetricsDoNotChangeBitstream pins the instrumentation contract:
+// the encoder's output is byte-identical whether metrics are recording
+// or not, serial and parallel alike. Observability must never leak into
+// the bitstream.
+func TestMetricsDoNotChangeBitstream(t *testing.T) {
+	clip := video.Generate(video.SceneConfig{
+		W: video.CIFWidth, H: video.CIFHeight, Frames: 12,
+		Motion: video.MotionMedium, Seed: 21,
+	})
+	for _, workers := range []int{1, 4} {
+		cfg := DefaultConfig(6)
+		cfg.Workers = workers
+
+		obs.SetEnabled(false)
+		off, err := EncodeSequence(clip, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		obs.SetEnabled(true)
+		on, err := EncodeSequence(clip, cfg)
+		obs.SetEnabled(false)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		if len(on) != len(off) {
+			t.Fatalf("workers=%d: %d frames with metrics on, %d off", workers, len(on), len(off))
+		}
+		for i := range off {
+			if on[i].Type != off[i].Type || len(on[i].MBData) != len(off[i].MBData) {
+				t.Fatalf("workers=%d frame %d: structure differs with metrics on", workers, i)
+			}
+			for mb := range off[i].MBData {
+				if !bytes.Equal(on[i].MBData[mb], off[i].MBData[mb]) {
+					t.Fatalf("workers=%d frame %d MB %d: bitstream differs with metrics on", workers, i, mb)
+				}
+			}
+		}
+	}
+}

@@ -3,7 +3,9 @@ package codec
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/video"
 )
 
@@ -159,6 +161,10 @@ func (e *Encoder) encodeRow(src, recon *video.Frame, out *EncodedFrame, mvs [][2
 			rowDone[my] <- struct{}{}
 		}
 	}
+	// Row-granular accounting: two atomic adds per row, never per
+	// macroblock, so the hot path stays allocation- and contention-free.
+	mRowsEncoded.Inc()
+	mMBsEncoded.Add(int64(cols))
 }
 
 // encodeRows codes every macroblock row of a frame, serially or on the
@@ -166,10 +172,21 @@ func (e *Encoder) encodeRow(src, recon *video.Frame, out *EncodedFrame, mvs [][2
 func (e *Encoder) encodeRows(src, recon *video.Frame, out *EncodedFrame, mvs [][2]int, ft FrameType) {
 	rows := e.cfg.MBRows()
 	workers := e.cfg.rowWorkers(rows)
+	timed := obs.Enabled()
+	if timed {
+		mRowWorkers.Set(int64(workers))
+	}
 	if workers <= 1 {
 		sc := getScratch()
 		for my := 0; my < rows; my++ {
+			var t0 time.Time
+			if timed {
+				t0 = time.Now()
+			}
 			e.encodeRow(src, recon, out, mvs, ft, my, sc, nil)
+			if timed {
+				mRowEncodeSeconds.Observe(time.Since(t0).Seconds())
+			}
 		}
 		putScratch(sc)
 		return
@@ -184,7 +201,14 @@ func (e *Encoder) encodeRows(src, recon *video.Frame, out *EncodedFrame, mvs [][
 	}
 	parallelRows(workers, rows, func(my int) {
 		sc := getScratch()
+		var t0 time.Time
+		if timed {
+			t0 = time.Now()
+		}
 		e.encodeRow(src, recon, out, mvs, ft, my, sc, rowDone)
+		if timed {
+			mRowEncodeSeconds.Observe(time.Since(t0).Seconds())
+		}
 		putScratch(sc)
 	})
 }

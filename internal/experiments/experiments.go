@@ -14,10 +14,12 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/codec"
 	"repro/internal/core"
 	"repro/internal/energy"
+	"repro/internal/obs"
 	"repro/internal/stats"
 	"repro/internal/transport"
 	"repro/internal/vcrypt"
@@ -186,25 +188,26 @@ type Workload struct {
 	Dist    core.DistortionCalibration
 }
 
-// workloadEntry is one slot of the workload cache: the sync.Once
-// guarantees a workload is built exactly once even when many figure cells
-// request it concurrently, while other keys build in parallel.
+// workloadEntry is one slot of the workload cache. The entry mutex
+// serialises builders of the same key (concurrent requesters block only
+// on the key they need, distinct keys build in parallel) and only a
+// successful build is stored: a failed build leaves the slot empty so
+// the next request retries instead of replaying the stale error
+// forever, which is what a sync.Once here used to do.
 type workloadEntry struct {
-	once sync.Once
-	w    *Workload
-	err  error
+	mu sync.Mutex
+	w  *Workload
 }
 
 // calEntry is the analogous slot of the calibration cache.
 type calEntry struct {
-	once sync.Once
-	cal  *core.Calibration
-	err  error
+	mu  sync.Mutex
+	cal *core.Calibration
 }
 
 // Fixture caches workloads and channel state across figures. The caches
 // are safe for concurrent use: the map itself is mutex-guarded and each
-// entry builds under its own sync.Once.
+// entry builds under its own mutex, caching successes only.
 type Fixture struct {
 	opts      Options
 	mu        sync.Mutex
@@ -213,6 +216,11 @@ type Fixture struct {
 	dcfParams wifi.DCFParams
 	dcf       wifi.DCFResult
 	backoff   float64
+
+	// Build seams, defaulted to the real builders by NewFixture; tests
+	// swap them to exercise the cache's failure paths.
+	buildWorkloadFn func(video.MotionLevel, int) (*Workload, error)
+	calibrateFn     func(*Workload, energy.Profile) (*core.Calibration, error)
 }
 
 // NewFixture prepares a fixture.
@@ -223,14 +231,17 @@ func NewFixture(opts Options) (*Fixture, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Fixture{
+	f := &Fixture{
 		opts:      opts,
 		workloads: make(map[string]*workloadEntry),
 		cals:      make(map[string]*calEntry),
 		dcfParams: params,
 		dcf:       dcf,
 		backoff:   wifi.BackoffRate(params, dcf, wifi.PHY80211g().SlotTime),
-	}, nil
+	}
+	f.buildWorkloadFn = f.buildWorkload
+	f.calibrateFn = f.calibrate
+	return f, nil
 }
 
 // Options returns the fixture's (filled) options.
@@ -241,7 +252,8 @@ func (f *Fixture) workers() int { return f.opts.Workers }
 
 // Workload encodes (and caches) a clip for a motion class and GOP size.
 // Concurrent callers block only on the key they need; distinct workloads
-// encode in parallel.
+// encode in parallel. Only successful builds are cached: a build error
+// is returned to the caller and the next request retries.
 func (f *Fixture) Workload(motion video.MotionLevel, gop int) (*Workload, error) {
 	key := fmt.Sprintf("%v/%d", motion, gop)
 	f.mu.Lock()
@@ -251,8 +263,19 @@ func (f *Fixture) Workload(motion video.MotionLevel, gop int) (*Workload, error)
 		f.workloads[key] = e
 	}
 	f.mu.Unlock()
-	e.once.Do(func() { e.w, e.err = f.buildWorkload(motion, gop) })
-	return e.w, e.err
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.w != nil {
+		mWorkloadCacheHits.Inc()
+		return e.w, nil
+	}
+	mWorkloadCacheMisses.Inc()
+	w, err := f.buildWorkloadFn(motion, gop)
+	if err != nil {
+		return nil, err
+	}
+	e.w = w
+	return w, nil
 }
 
 // PrefetchWorkloads builds the given (motion, gop) workloads concurrently
@@ -327,18 +350,29 @@ func (f *Fixture) Calibrate(w *Workload, device energy.Profile) (*core.Calibrati
 		f.cals[key] = e
 	}
 	f.mu.Unlock()
-	e.once.Do(func() {
-		net := core.Network{
-			Stations: f.opts.Stations, Rate: wifi.Rate54,
-			ReceiverError: 0.01, EavesdropperError: 0.03,
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.cal == nil {
+		mCalCacheMisses.Inc()
+		cal, err := f.calibrateFn(w, device)
+		if err != nil {
+			return nil, err
 		}
-		e.cal, e.err = core.Calibrate(w.Encoded, w.Cfg, FPS, MTU, device, net, w.Dist)
-	})
-	if e.err != nil {
-		return nil, e.err
+		e.cal = cal
+	} else {
+		mCalCacheHits.Inc()
 	}
 	c := *e.cal
 	return &c, nil
+}
+
+// calibrate is the real calibration builder behind the cache.
+func (f *Fixture) calibrate(w *Workload, device energy.Profile) (*core.Calibration, error) {
+	net := core.Network{
+		Stations: f.opts.Stations, Rate: wifi.Rate54,
+		ReceiverError: 0.01, EavesdropperError: 0.03,
+	}
+	return core.Calibrate(w.Encoded, w.Cfg, FPS, MTU, device, net, w.Dist)
 }
 
 // Session assembles a transport session.
@@ -374,6 +408,14 @@ type runStats struct {
 // upload mode (used by the power figures, matching the paper's
 // methodology) instead of 30 fps streaming.
 func (f *Fixture) runCell(w *Workload, policy vcrypt.Policy, device energy.Profile, tcp, unpaced bool) (runStats, error) {
+	if obs.Enabled() {
+		sp := obs.StartSpan("experiments.cell").Annotate("%s mode=%d dev=%s", w.Name, policy.Mode, device.Name)
+		t0 := time.Now()
+		defer func() {
+			mCellSeconds.Observe(time.Since(t0).Seconds())
+			sp.End()
+		}()
+	}
 	n := f.opts.Repetitions
 	delays := make([]float64, n)
 	waits := make([]float64, n)

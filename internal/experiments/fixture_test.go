@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/energy"
+	"repro/internal/video"
+)
+
+// tinyOptions keeps fixture builds fast for the cache tests.
+func tinyOptions() Options {
+	return Options{Width: 64, Height: 48, Frames: 16, Repetitions: 1, Seed: 1, Stations: 3, Workers: 1}
+}
+
+// TestWorkloadCacheRetriesAfterError is the regression test for the
+// error-poisoning bug: a transient build failure used to be captured by
+// a sync.Once, so every later request for the same key replayed the
+// stale error forever. Only successes may be cached.
+func TestWorkloadCacheRetriesAfterError(t *testing.T) {
+	f, err := NewFixture(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	real := f.buildWorkloadFn
+	calls := 0
+	f.buildWorkloadFn = func(m video.MotionLevel, gop int) (*Workload, error) {
+		calls++
+		if calls == 1 {
+			return nil, errors.New("transient build failure")
+		}
+		return real(m, gop)
+	}
+	if _, err := f.Workload(video.MotionLow, 4); err == nil {
+		t.Fatal("first build should have failed")
+	}
+	w, err := f.Workload(video.MotionLow, 4)
+	if err != nil {
+		t.Fatalf("second request replayed the stale error: %v", err)
+	}
+	if w == nil {
+		t.Fatal("second request returned no workload")
+	}
+	// The success is cached: a third request must not rebuild.
+	w2, err := f.Workload(video.MotionLow, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w2 != w {
+		t.Fatal("cached workload not reused")
+	}
+	if calls != 2 {
+		t.Fatalf("builder ran %d times, want 2 (one failure, one success)", calls)
+	}
+}
+
+// TestCalibrationCacheRetriesAfterError is the same regression for the
+// calibration cache.
+func TestCalibrationCacheRetriesAfterError(t *testing.T) {
+	f, err := NewFixture(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := f.Workload(video.MotionLow, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The stub stands in for core.Calibrate (the tiny clip is too short
+	// for the real MMPP fit); the cache must not tell the difference.
+	calls := 0
+	f.calibrateFn = func(w *Workload, device energy.Profile) (*core.Calibration, error) {
+		calls++
+		if calls == 1 {
+			return nil, errors.New("transient calibration failure")
+		}
+		return &core.Calibration{}, nil
+	}
+	device := SamsungDevice()
+	if _, err := f.Calibrate(w, device); err == nil {
+		t.Fatal("first calibration should have failed")
+	}
+	cal, err := f.Calibrate(w, device)
+	if err != nil {
+		t.Fatalf("second request replayed the stale error: %v", err)
+	}
+	if cal == nil {
+		t.Fatal("second request returned no calibration")
+	}
+	if _, err := f.Calibrate(w, device); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 2 {
+		t.Fatalf("calibrator ran %d times, want 2 (one failure, one success)", calls)
+	}
+}
+
+// TestWorkloadCacheConcurrentSingleBuild confirms the mutex-per-entry
+// scheme still builds each key exactly once under concurrency.
+func TestWorkloadCacheConcurrentSingleBuild(t *testing.T) {
+	f, err := NewFixture(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	calls := 0
+	real := f.buildWorkloadFn
+	f.buildWorkloadFn = func(m video.MotionLevel, gop int) (*Workload, error) {
+		mu.Lock()
+		calls++
+		mu.Unlock()
+		return real(m, gop)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = f.Workload(video.MotionLow, 4)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("goroutine %d: %v", i, err)
+		}
+	}
+	if calls != 1 {
+		t.Fatalf("builder ran %d times for one key, want 1", calls)
+	}
+	// A distinct key builds separately.
+	if _, err := f.Workload(video.MotionLow, 2); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 2 {
+		t.Fatalf("builder ran %d times for two keys, want 2", calls)
+	}
+}

@@ -1,0 +1,21 @@
+package experiments
+
+import (
+	"repro/internal/obs"
+)
+
+// Observability wiring (PR3): cache effectiveness of the fixture and
+// per-cell wall time of the experiment runner. Gated inside obs on one
+// atomic load when disabled.
+var (
+	mWorkloadCacheHits = obs.NewCounter(`experiments_workload_cache_total{result="hit"}`,
+		"Workload cache lookups, by outcome.")
+	mWorkloadCacheMisses = obs.NewCounter(`experiments_workload_cache_total{result="miss"}`,
+		"Workload cache lookups, by outcome.")
+	mCalCacheHits = obs.NewCounter(`experiments_calibration_cache_total{result="hit"}`,
+		"Calibration cache lookups, by outcome.")
+	mCalCacheMisses = obs.NewCounter(`experiments_calibration_cache_total{result="miss"}`,
+		"Calibration cache lookups, by outcome.")
+	mCellSeconds = obs.NewHistogram("experiments_cell_seconds",
+		"Wall time of one experiment cell (all repetitions).", nil)
+)

@@ -102,12 +102,14 @@ func (g *GilbertElliott) Drop() bool {
 	if g.rng.Bool(loss) {
 		g.dropped++
 		g.run++
+		mDropsGilbert.Inc()
 		return true
 	}
 	g.passed++
 	if g.run > 0 {
 		g.bursts++
 		g.burstTotal += g.run
+		mBurstLength.Observe(float64(g.run))
 		g.run = 0
 	}
 	return false
@@ -172,6 +174,7 @@ func (b *SeqBurst) DropSeq(seq uint64) bool {
 		return false
 	}
 	b.seen[seq] = true
+	mDropsSeqBurst.Inc()
 	return true
 }
 

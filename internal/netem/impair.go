@@ -65,7 +65,13 @@ func (o *OutageSchedule) Active() bool {
 	}
 	elapsed := time.Since(o.epoch)
 	o.mu.Unlock()
-	return o.ActiveAt(elapsed)
+	active := o.ActiveAt(elapsed)
+	if active {
+		mOutageActive.Set(1)
+	} else {
+		mOutageActive.Set(0)
+	}
+	return active
 }
 
 // ConditionerConfig parameterises link impairments beyond loss.
@@ -119,6 +125,7 @@ func (c *Conditioner) Next(seq uint64) Impairment {
 		c.mu.Lock()
 		c.drop++
 		c.mu.Unlock()
+		mCondDrops.Inc()
 		imp.Drop = true
 		return imp
 	}
@@ -133,6 +140,7 @@ func (c *Conditioner) Next(seq uint64) Impairment {
 	for c.cfg.DupProb > 0 && c.rng.Bool(c.cfg.DupProb) {
 		imp.Duplicates++
 		c.dup++
+		mCondDups.Inc()
 		if imp.Duplicates >= 3 { // WiFi retry chains are short
 			break
 		}

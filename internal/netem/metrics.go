@@ -1,0 +1,34 @@
+package netem
+
+import (
+	"repro/internal/obs"
+)
+
+// Observability wiring (PR3). Loss models label their drop counters by
+// model so a chaos run's /metrics shows which impairment did the
+// damage; every call is gated inside obs on one atomic load.
+var (
+	mDropsFilter = obs.NewCounter(`netem_drops_total{model="filter"}`,
+		"Packets dropped, by loss model.")
+	mDropsGilbert = obs.NewCounter(`netem_drops_total{model="gilbert"}`,
+		"Packets dropped, by loss model.")
+	mDropsSeqBurst = obs.NewCounter(`netem_drops_total{model="seqburst"}`,
+		"Packets dropped, by loss model.")
+	mBurstLength = obs.NewHistogram("netem_gilbert_burst_packets",
+		"Length in packets of completed Gilbert-Elliott drop bursts.",
+		obs.ExpBuckets(1, 2, 12))
+	mOutageActive = obs.NewGauge("netem_outage_active",
+		"1 while an outage window is in force, else 0.")
+	mCondDrops = obs.NewCounter("netem_conditioner_drops_total",
+		"Packets the sender-side conditioner discarded.")
+	mCondDups = obs.NewCounter("netem_conditioner_duplicates_total",
+		"Extra packet copies the sender-side conditioner injected.")
+	mProxyRefused = obs.NewCounter("netem_proxy_refused_total",
+		"Connections the flaky proxy refused at accept.")
+	mProxySevered = obs.NewCounter("netem_proxy_severed_total",
+		"Connections the flaky proxy severed mid-flight.")
+	mPacerSleepSeconds = obs.NewFloatCounter("netem_pacer_sleep_seconds_total",
+		"Time spent sleeping in pacer token waits.")
+	mPacerRate = obs.NewGauge("netem_pacer_rate_bytes",
+		"Most recently configured pacer rate in bytes/second (0 = unlimited).")
+)

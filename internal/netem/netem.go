@@ -37,6 +37,7 @@ func (f *Filter) Drop() bool {
 	defer f.mu.Unlock()
 	if f.rng.Bool(f.loss) {
 		f.dropped++
+		mDropsFilter.Inc()
 		return true
 	}
 	f.passed++
@@ -68,7 +69,10 @@ func NewPacer(bytesPerSecond float64) (*Pacer, error) {
 }
 
 // SetRate changes the rate at runtime (bandwidth churn on a flapping
-// link); already-granted send times are unaffected. A zero rate means
+// link). Already-granted send times are unaffected, but a Wait in
+// progress grants at most paceChunk bytes per ledger step, so the new
+// rate takes effect within one MTU-sized chunk rather than after the
+// whole in-flight sleep finishes at the old rate. A zero rate means
 // unlimited.
 func (p *Pacer) SetRate(bytesPerSecond float64) error {
 	if bytesPerSecond < 0 {
@@ -77,6 +81,7 @@ func (p *Pacer) SetRate(bytesPerSecond float64) error {
 	p.mu.Lock()
 	p.rate = bytesPerSecond
 	p.mu.Unlock()
+	mPacerRate.Set(int64(bytesPerSecond))
 	return nil
 }
 
@@ -87,15 +92,36 @@ func (p *Pacer) Rate() float64 {
 	return p.rate
 }
 
-// Wait blocks until n more bytes may be sent.
+// paceChunk bounds the bytes granted per ledger step, roughly one
+// Ethernet MTU. Waits larger than this are split so the current rate is
+// re-read between chunks: without the split, a large Wait at a slow
+// rate computes its whole sleep up front and a concurrent SetRate (the
+// flapping-link scenario) would not take effect until that sleep ends.
+const paceChunk = 1500
+
+// Wait blocks until n more bytes may be sent. Long waits are chunked at
+// paceChunk granularity so a concurrent SetRate applies mid-wait.
 func (p *Pacer) Wait(n int) {
-	if n <= 0 {
-		return
+	for n > 0 {
+		c := n
+		if c > paceChunk {
+			c = paceChunk
+		}
+		n -= c
+		if !p.waitChunk(c) {
+			return // unlimited: the remaining chunks cost nothing
+		}
 	}
+}
+
+// waitChunk reserves one ledger slot for n bytes at the current rate
+// and sleeps until it is due. It reports false when the pacer is
+// unlimited so Wait can skip the remaining chunks.
+func (p *Pacer) waitChunk(n int) bool {
 	p.mu.Lock()
 	if p.rate == 0 {
 		p.mu.Unlock()
-		return
+		return false
 	}
 	now := time.Now()
 	if p.nextOK.Before(now) {
@@ -105,6 +131,8 @@ func (p *Pacer) Wait(n int) {
 	p.nextOK = p.nextOK.Add(time.Duration(float64(n) / p.rate * float64(time.Second)))
 	p.mu.Unlock()
 	if d := time.Until(due); d > 0 {
+		mPacerSleepSeconds.Add(d.Seconds())
 		p.sleepFn(d)
 	}
+	return true
 }

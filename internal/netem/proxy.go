@@ -75,6 +75,7 @@ func (p *FlakyProxy) KillActive() {
 		c.Close()
 	}
 	p.severed += len(p.conns)
+	mProxySevered.Add(int64(len(p.conns)))
 	p.mu.Unlock()
 }
 
@@ -143,6 +144,7 @@ func (p *FlakyProxy) acceptLoop() {
 			p.mu.Lock()
 			p.refused++
 			p.mu.Unlock()
+			mProxyRefused.Inc()
 			client.Close()
 			continue
 		}
@@ -177,6 +179,9 @@ func (p *FlakyProxy) relay(client net.Conn) {
 			p.severed++
 		}
 		p.mu.Unlock()
+		if counted {
+			mProxySevered.Inc()
+		}
 		client.Close()
 		server.Close()
 	}

@@ -227,6 +227,36 @@ func TestPacerSetRate(t *testing.T) {
 	}
 }
 
+// TestPacerSetRateAppliesMidWait pins the flapping-link behaviour: a
+// rate change must take effect within one paceChunk of an in-flight
+// Wait, not after the whole pre-computed sleep at the old rate. At
+// 20 kB/s the 100 kB wait below would take ~5 s; raising the rate
+// 100 ms in must let it finish almost immediately.
+func TestPacerSetRateAppliesMidWait(t *testing.T) {
+	p, err := NewPacer(20e3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	done := make(chan struct{})
+	go func() {
+		p.Wait(100_000)
+		close(done)
+	}()
+	time.Sleep(100 * time.Millisecond)
+	if err := p.SetRate(50e6); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Wait kept sleeping at the old rate after SetRate")
+	}
+	if el := time.Since(start); el < 90*time.Millisecond {
+		t.Fatalf("wait finished in %v, faster than the pre-flap rate allows", el)
+	}
+}
+
 func TestFlakyProxyRelaysAndCuts(t *testing.T) {
 	// Backend echoes one line then closes.
 	ln, err := net.Listen("tcp", "127.0.0.1:0")

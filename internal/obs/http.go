@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// Operational surface: one mux carrying
+//
+//	/metrics       Prometheus text exposition of the Default registry
+//	/debug/vars    expvar JSON (includes an "obs" map mirroring /metrics)
+//	/debug/pprof/  the standard pprof handlers
+//	/debug/trace   the span ring buffer as text
+//
+// thriftyvid's -metrics flag and the examples mount this on a side
+// listener so the data path never shares a port with diagnostics.
+
+// Handler serves the Default registry in Prometheus text format.
+func Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		Default.Expose(w)
+	})
+}
+
+// publishExpvar mirrors the registry into expvar exactly once per
+// process (expvar panics on duplicate names).
+var publishExpvar sync.Once
+
+// DebugMux returns a fresh mux with the full diagnostic surface.
+func DebugMux() *http.ServeMux {
+	publishExpvar.Do(func() {
+		expvar.Publish("obs", expvar.Func(func() any {
+			return snapshotValues()
+		}))
+	})
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", Handler())
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		Trace.write(w)
+	})
+	return mux
+}
+
+// snapshotValues flattens scalar metrics for the expvar mirror
+// (histograms contribute their count, sum, and p50/p95/p99).
+func snapshotValues() map[string]any {
+	Default.mu.Lock()
+	ms := append([]metric(nil), Default.metrics...)
+	Default.mu.Unlock()
+	out := make(map[string]any, len(ms))
+	for _, m := range ms {
+		switch v := m.(type) {
+		case *Counter:
+			out[v.name] = v.Value()
+		case *FloatCounter:
+			out[v.name] = v.Value()
+		case *Gauge:
+			out[v.name] = v.Value()
+		case *Histogram:
+			// Quantile returns NaN on an empty histogram, which
+			// encoding/json (hence expvar) cannot marshal.
+			q := func(p float64) float64 {
+				if v.Count() == 0 {
+					return 0
+				}
+				return v.Quantile(p)
+			}
+			out[v.name] = map[string]any{
+				"count": v.Count(),
+				"sum":   v.Sum(),
+				"p50":   q(0.50),
+				"p95":   q(0.95),
+				"p99":   q(0.99),
+			}
+		}
+	}
+	return out
+}
+
+// ServeDebug enables metrics and serves the debug mux on addr in a
+// background goroutine. It returns the bound address (addr may use
+// port 0) and a shutdown func. The listener error, if any, is returned
+// synchronously so callers fail fast on a bad flag value.
+func ServeDebug(addr string) (bound string, shutdown func(), err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("obs: metrics listener: %w", err)
+	}
+	SetEnabled(true)
+	srv := &http.Server{Handler: DebugMux()}
+	go srv.Serve(ln) //nolint:errcheck // reported via the returned shutdown path; Serve always errors on close
+	return ln.Addr().String(), func() { srv.Close() }, nil
+}

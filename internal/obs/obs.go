@@ -1,0 +1,388 @@
+// Package obs is the reproduction's zero-dependency observability
+// substrate: atomic counters and gauges, streaming histograms with
+// quantile estimation, lightweight span tracing into a ring buffer, and
+// Prometheus-style text exposition over HTTP (http.go).
+//
+// Design constraints, in priority order:
+//
+//  1. Off by default. Every Inc/Observe/StartSpan first loads one
+//     atomic bool; while metrics are disabled the hot paths pay exactly
+//     that load and nothing else, so deterministic outputs and the PR1
+//     speedups are untouched.
+//  2. Allocation-free when enabled. Counters and gauges are single
+//     atomic words; a histogram observation is a bounds scan over a
+//     fixed slice plus three atomic adds. Nothing on the
+//     macroblock/packet hot path allocates or takes a lock.
+//  3. Stdlib only.
+//
+// Metrics register themselves into the package-level Default registry at
+// package init time (instrumented packages declare them as vars), so the
+// exposition endpoint sees every metric without wiring. Names follow
+// Prometheus conventions (snake_case, _total for counters, _seconds for
+// durations) and may carry a fixed label set inline:
+// `codec_frames_encoded_total{type="I"}`.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// enabled gates every recording call. Exposition and Value accessors
+// work regardless, so tests can read counters after disabling again.
+var enabled atomic.Bool
+
+// SetEnabled turns recording on or off globally. ServeDebug enables it
+// as a side effect; tests flip it around the code under measurement.
+func SetEnabled(on bool) { enabled.Store(on) }
+
+// Enabled reports whether recording is on.
+func Enabled() bool { return enabled.Load() }
+
+// metric is anything the registry can expose.
+type metric interface {
+	metricName() string
+	expose(w io.Writer)
+}
+
+// Registry holds an ordered set of uniquely named metrics.
+type Registry struct {
+	mu      sync.Mutex
+	metrics []metric
+	names   map[string]bool
+}
+
+// Default is the process-wide registry every New* constructor uses.
+var Default = NewRegistry()
+
+// NewRegistry builds an empty registry (tests use private ones).
+func NewRegistry() *Registry {
+	return &Registry{names: map[string]bool{}}
+}
+
+// register panics on duplicate names: metrics are package vars, so a
+// duplicate is a programming error caught by any test that imports the
+// package.
+func (r *Registry) register(m metric) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.names[m.metricName()] {
+		panic("obs: duplicate metric " + m.metricName())
+	}
+	r.names[m.metricName()] = true
+	r.metrics = append(r.metrics, m)
+}
+
+// Expose renders every registered metric in Prometheus text format,
+// grouped so all series of one family share a single HELP/TYPE header.
+func (r *Registry) Expose(w io.Writer) {
+	r.mu.Lock()
+	ms := append([]metric(nil), r.metrics...)
+	r.mu.Unlock()
+	sort.SliceStable(ms, func(i, j int) bool {
+		return baseName(ms[i].metricName()) < baseName(ms[j].metricName())
+	})
+	lastFamily := ""
+	for _, m := range ms {
+		if fam := baseName(m.metricName()); fam != lastFamily {
+			lastFamily = fam
+			writeHeader(w, m)
+		}
+		m.expose(w)
+	}
+}
+
+// baseName strips the inline label set: `x_total{type="I"}` → `x_total`.
+func baseName(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+func writeHeader(w io.Writer, m metric) {
+	fam := baseName(m.metricName())
+	help, typ := "", "untyped"
+	switch v := m.(type) {
+	case *Counter:
+		help, typ = v.help, "counter"
+	case *FloatCounter:
+		help, typ = v.help, "counter"
+	case *Gauge:
+		help, typ = v.help, "gauge"
+	case *Histogram:
+		help, typ = v.help, "histogram"
+	}
+	if help != "" {
+		fmt.Fprintf(w, "# HELP %s %s\n", fam, help)
+	}
+	fmt.Fprintf(w, "# TYPE %s %s\n", fam, typ)
+}
+
+// Counter is a monotonically increasing integer.
+type Counter struct {
+	v    atomic.Int64
+	name string
+	help string
+}
+
+// NewCounter registers a counter in the Default registry.
+func NewCounter(name, help string) *Counter {
+	c := &Counter{name: name, help: help}
+	Default.register(c)
+	return c
+}
+
+// Inc adds one when metrics are enabled.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n when metrics are enabled.
+func (c *Counter) Add(n int64) {
+	if !enabled.Load() {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+func (c *Counter) metricName() string { return c.name }
+func (c *Counter) expose(w io.Writer) {
+	fmt.Fprintf(w, "%s %d\n", c.name, c.v.Load())
+}
+
+// FloatCounter is a monotonically increasing float (seconds totals).
+type FloatCounter struct {
+	bits atomic.Uint64
+	name string
+	help string
+}
+
+// NewFloatCounter registers a float counter in the Default registry.
+func NewFloatCounter(name, help string) *FloatCounter {
+	c := &FloatCounter{name: name, help: help}
+	Default.register(c)
+	return c
+}
+
+// Add accumulates v (CAS loop on the float bits) when enabled.
+func (c *FloatCounter) Add(v float64) {
+	if !enabled.Load() || v == 0 {
+		return
+	}
+	for {
+		old := c.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if c.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the accumulated total.
+func (c *FloatCounter) Value() float64 { return math.Float64frombits(c.bits.Load()) }
+
+func (c *FloatCounter) metricName() string { return c.name }
+func (c *FloatCounter) expose(w io.Writer) {
+	fmt.Fprintf(w, "%s %g\n", c.name, c.Value())
+}
+
+// Gauge is an instantaneous integer value (queue depth, worker count,
+// current rate). Set works even while metrics are disabled so wiring
+// code can record configuration before enabling.
+type Gauge struct {
+	v    atomic.Int64
+	name string
+	help string
+}
+
+// NewGauge registers a gauge in the Default registry.
+func NewGauge(name, help string) *Gauge {
+	g := &Gauge{name: name, help: help}
+	Default.register(g)
+	return g
+}
+
+// Set stores the value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add moves the gauge by n when metrics are enabled.
+func (g *Gauge) Add(n int64) {
+	if !enabled.Load() {
+		return
+	}
+	g.v.Add(n)
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+func (g *Gauge) metricName() string { return g.name }
+func (g *Gauge) expose(w io.Writer) {
+	fmt.Fprintf(w, "%s %d\n", g.name, g.v.Load())
+}
+
+// Histogram is a fixed-bucket streaming histogram: cumulative counts
+// are derived at exposition time, observations are three atomic adds.
+// Quantiles are estimated by linear interpolation inside the bucket
+// that crosses the requested rank — the standard Prometheus
+// histogram_quantile estimate, computed locally.
+type Histogram struct {
+	name   string
+	help   string
+	bounds []float64 // ascending upper bounds; +Inf bucket is implicit
+	counts []atomic.Int64
+	count  atomic.Int64
+	sum    FloatCounter // reuse the CAS float add; not registered
+}
+
+// ExpBuckets returns n exponentially growing upper bounds starting at
+// start with the given factor, for latency-style histograms.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic("obs: bad ExpBuckets parameters")
+	}
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// TimeBuckets covers 1µs..~67s in powers of two: wide enough for
+// per-packet delays, backoff gaps, and per-cell experiment wall times.
+func TimeBuckets() []float64 { return ExpBuckets(1e-6, 2, 27) }
+
+// NewHistogram registers a histogram with the given bucket upper
+// bounds (nil selects TimeBuckets).
+func NewHistogram(name, help string, bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = TimeBuckets()
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("obs: histogram bounds not ascending: " + name)
+		}
+	}
+	h := &Histogram{
+		name:   name,
+		help:   help,
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Int64, len(bounds)+1),
+	}
+	Default.register(h)
+	return h
+}
+
+// Observe records one value when metrics are enabled.
+func (h *Histogram) Observe(v float64) {
+	if !enabled.Load() {
+		return
+	}
+	// Bounds are few (≈27); a branch-predictable linear scan beats a
+	// binary search for the small-latency common case and allocates
+	// nothing.
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of observations.
+func (h *Histogram) Sum() float64 { return h.sum.Value() }
+
+// Quantile estimates the q-quantile (q in [0,1]) by linear
+// interpolation within the crossing bucket. It returns NaN with no
+// observations. The top (+Inf) bucket clamps to its lower bound.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var cum int64
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		if c == 0 {
+			cum += c
+			continue
+		}
+		if float64(cum+c) >= rank {
+			if i == len(h.bounds) {
+				// +Inf bucket: the best point estimate is its lower edge.
+				return h.bounds[len(h.bounds)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			hi := h.bounds[i]
+			frac := (rank - float64(cum)) / float64(c)
+			if frac < 0 {
+				frac = 0
+			}
+			return lo + (hi-lo)*frac
+		}
+		cum += c
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+func (h *Histogram) metricName() string { return h.name }
+
+// expose writes the cumulative-bucket Prometheus representation.
+func (h *Histogram) expose(w io.Writer) {
+	fam, labels := splitLabels(h.name)
+	var cum int64
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket{%sle=%q} %d\n", fam, labels, formatBound(b), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d\n", fam, labels, cum)
+	if labels == "" {
+		fmt.Fprintf(w, "%s_sum %g\n", fam, h.sum.Value())
+		fmt.Fprintf(w, "%s_count %d\n", fam, h.count.Load())
+	} else {
+		fmt.Fprintf(w, "%s_sum{%s} %g\n", fam, strings.TrimSuffix(labels, ","), h.sum.Value())
+		fmt.Fprintf(w, "%s_count{%s} %d\n", fam, strings.TrimSuffix(labels, ","), h.count.Load())
+	}
+}
+
+// splitLabels splits `name{a="b"}` into ("name", `a="b",`); the
+// trailing comma lets the caller append the le label directly.
+func splitLabels(name string) (fam, labels string) {
+	i := strings.IndexByte(name, '{')
+	if i < 0 {
+		return name, ""
+	}
+	inner := strings.TrimSuffix(name[i+1:], "}")
+	if inner == "" {
+		return name[:i], ""
+	}
+	return name[:i], inner + ","
+}
+
+func formatBound(b float64) string {
+	return fmt.Sprintf("%g", b)
+}

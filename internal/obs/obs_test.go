@@ -1,0 +1,247 @@
+package obs
+
+import (
+	"io"
+	"math"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// withMetrics runs the test body with recording enabled and restores
+// the previous state afterwards.
+func withMetrics(t *testing.T) {
+	t.Helper()
+	prev := Enabled()
+	SetEnabled(true)
+	t.Cleanup(func() { SetEnabled(prev) })
+}
+
+func TestCounterDisabledByDefault(t *testing.T) {
+	if Enabled() {
+		t.Fatal("metrics enabled at process start")
+	}
+	c := NewCounter("test_disabled_total", "disabled counter")
+	c.Inc()
+	c.Add(5)
+	if got := c.Value(); got != 0 {
+		t.Fatalf("disabled counter advanced to %d", got)
+	}
+}
+
+func TestCounterGaugeFloatCounter(t *testing.T) {
+	withMetrics(t)
+	c := NewCounter("test_counter_total", "c")
+	g := NewGauge("test_gauge", "g")
+	f := NewFloatCounter("test_float_seconds_total", "f")
+	c.Inc()
+	c.Add(41)
+	g.Set(7)
+	g.Add(-2)
+	f.Add(0.25)
+	f.Add(0.5)
+	if c.Value() != 42 {
+		t.Fatalf("counter %d", c.Value())
+	}
+	if g.Value() != 5 {
+		t.Fatalf("gauge %d", g.Value())
+	}
+	if math.Abs(f.Value()-0.75) > 1e-12 {
+		t.Fatalf("float counter %g", f.Value())
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	NewCounter("test_dup_total", "first")
+	NewCounter("test_dup_total", "second")
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	withMetrics(t)
+	h := NewHistogram("test_quantiles_seconds", "q", ExpBuckets(0.001, 2, 16))
+	if !math.IsNaN(h.Quantile(0.5)) {
+		t.Fatal("empty histogram quantile not NaN")
+	}
+	// 1000 uniform observations over (0, 1]: p50 ≈ 0.5, p95 ≈ 0.95.
+	for i := 1; i <= 1000; i++ {
+		h.Observe(float64(i) / 1000)
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("count %d", h.Count())
+	}
+	if math.Abs(h.Sum()-500.5) > 1e-9 {
+		t.Fatalf("sum %g", h.Sum())
+	}
+	// Exponential buckets are coarse; accept the bucket-interpolation
+	// error bound (one bucket width).
+	if p50 := h.Quantile(0.5); p50 < 0.35 || p50 > 0.75 {
+		t.Fatalf("p50 %g", p50)
+	}
+	if p99 := h.Quantile(0.99); p99 < 0.9 || p99 > 1.1 {
+		t.Fatalf("p99 %g", p99)
+	}
+	if p0 := h.Quantile(0); p0 < 0 || p0 > 0.01 {
+		t.Fatalf("p0 %g", p0)
+	}
+}
+
+func TestHistogramOverflowBucket(t *testing.T) {
+	withMetrics(t)
+	h := NewHistogram("test_overflow_seconds", "o", []float64{1, 2})
+	h.Observe(100)
+	// The +Inf bucket clamps to the highest finite bound.
+	if got := h.Quantile(0.5); got != 2 {
+		t.Fatalf("overflow quantile %g", got)
+	}
+}
+
+func TestExposition(t *testing.T) {
+	withMetrics(t)
+	reg := NewRegistry()
+	c := &Counter{name: `test_exp_total{kind="a"}`, help: "labelled counter"}
+	reg.register(c)
+	h := &Histogram{
+		name: "test_exp_seconds", help: "hist",
+		bounds: []float64{0.1, 1},
+		counts: make([]atomic.Int64, 3),
+	}
+	reg.register(h)
+	c.v.Add(3)
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	var sb strings.Builder
+	reg.Expose(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE test_exp_total counter",
+		`test_exp_total{kind="a"} 3`,
+		"# TYPE test_exp_seconds histogram",
+		`test_exp_seconds_bucket{le="0.1"} 1`,
+		`test_exp_seconds_bucket{le="1"} 2`,
+		`test_exp_seconds_bucket{le="+Inf"} 3`,
+		"test_exp_seconds_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRingOverwritesOldest(t *testing.T) {
+	r := NewRing(4)
+	for i := 0; i < 6; i++ {
+		r.add(Event{Name: string(rune('a' + i))})
+	}
+	if r.Len() != 4 || r.Total() != 6 {
+		t.Fatalf("len %d total %d", r.Len(), r.Total())
+	}
+	got := r.Snapshot()
+	want := []string{"c", "d", "e", "f"}
+	for i, e := range got {
+		if e.Name != want[i] {
+			t.Fatalf("snapshot[%d] = %q, want %q", i, e.Name, want[i])
+		}
+	}
+}
+
+func TestSpanRecordsIntoTrace(t *testing.T) {
+	withMetrics(t)
+	before := Trace.Total()
+	sp := StartSpan("test_span").Annotate("cell %d", 7)
+	time.Sleep(time.Millisecond)
+	sp.End()
+	if Trace.Total() != before+1 {
+		t.Fatalf("trace total %d, want %d", Trace.Total(), before+1)
+	}
+	events := Trace.Snapshot()
+	last := events[len(events)-1]
+	if last.Name != "test_span" || last.Note != "cell 7" {
+		t.Fatalf("last event %+v", last)
+	}
+	if last.Dur <= 0 {
+		t.Fatalf("span duration %v", last.Dur)
+	}
+}
+
+func TestSpanNoopWhenDisabled(t *testing.T) {
+	SetEnabled(false)
+	before := Trace.Total()
+	sp := StartSpan("test_disabled_span")
+	sp.End()
+	if Trace.Total() != before {
+		t.Fatal("disabled span recorded")
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	withMetrics(t)
+	c := NewCounter("test_concurrent_total", "c")
+	h := NewHistogram("test_concurrent_seconds", "h", nil)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				h.Observe(float64(i%100) * 1e-4)
+				StartSpan("test_concurrent").End()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Fatalf("lost counter updates: %d", c.Value())
+	}
+	if h.Count() != 8000 {
+		t.Fatalf("lost observations: %d", h.Count())
+	}
+}
+
+func TestDebugMuxEndpoints(t *testing.T) {
+	withMetrics(t)
+	NewCounter("test_mux_total", "m").Add(9)
+	addr, shutdown, err := ServeDebug("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown()
+	get := func(path string) string {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("read %s: %v", path, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %s", path, resp.Status)
+		}
+		return string(body)
+	}
+	if out := get("/metrics"); !strings.Contains(out, "test_mux_total 9") {
+		t.Fatalf("/metrics missing counter:\n%s", out)
+	}
+	if out := get("/debug/vars"); !strings.Contains(out, `"test_mux_total":9`) {
+		t.Fatalf("/debug/vars missing obs mirror:\n%s", out)
+	}
+	if out := get("/debug/pprof/cmdline"); out == "" {
+		t.Fatal("/debug/pprof/cmdline empty")
+	}
+	StartSpan("test_mux_span").End()
+	if out := get("/debug/trace"); !strings.Contains(out, "test_mux_span") {
+		t.Fatalf("/debug/trace missing span:\n%s", out)
+	}
+}

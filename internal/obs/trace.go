@@ -1,0 +1,137 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Span tracing. A span is a named timed region (one upload attempt, one
+// figure cell, one NACK recovery); ending it appends an Event to a
+// fixed-size ring buffer and feeds the span-duration histogram. Spans
+// are small value types: starting one while metrics are disabled costs
+// a single atomic load and records nothing, so hot paths can create
+// them unconditionally.
+
+// Event is one completed span in the ring buffer.
+type Event struct {
+	At   time.Time // end time
+	Name string
+	Dur  time.Duration
+	Note string // optional free-form annotation
+}
+
+// Ring is a fixed-capacity overwrite-oldest event log.
+type Ring struct {
+	mu   sync.Mutex
+	buf  []Event
+	next uint64 // total events ever written
+}
+
+// NewRing builds a ring with the given capacity (minimum 1).
+func NewRing(capacity int) *Ring {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Ring{buf: make([]Event, capacity)}
+}
+
+// Trace is the process-wide span log; sized so a full experiment run's
+// coarse spans fit without churn.
+var Trace = NewRing(1024)
+
+func (r *Ring) add(e Event) {
+	r.mu.Lock()
+	r.buf[r.next%uint64(len(r.buf))] = e
+	r.next++
+	r.mu.Unlock()
+}
+
+// Len returns how many events are currently held (≤ capacity).
+func (r *Ring) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.next < uint64(len(r.buf)) {
+		return int(r.next)
+	}
+	return len(r.buf)
+}
+
+// Total returns how many events were ever recorded.
+func (r *Ring) Total() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.next
+}
+
+// Snapshot returns the held events oldest-first.
+func (r *Ring) Snapshot() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := uint64(len(r.buf))
+	if r.next < n {
+		return append([]Event(nil), r.buf[:r.next]...)
+	}
+	out := make([]Event, 0, n)
+	for i := r.next; i < r.next+n; i++ {
+		out = append(out, r.buf[i%n])
+	}
+	return out
+}
+
+// write renders the snapshot as text for /debug/trace.
+func (r *Ring) write(w io.Writer) {
+	events := r.Snapshot()
+	fmt.Fprintf(w, "# %d span(s) held, %d total\n", len(events), r.Total())
+	for _, e := range events {
+		if e.Note != "" {
+			fmt.Fprintf(w, "%s %-32s %12v %s\n", e.At.Format(time.RFC3339Nano), e.Name, e.Dur, e.Note)
+		} else {
+			fmt.Fprintf(w, "%s %-32s %12v\n", e.At.Format(time.RFC3339Nano), e.Name, e.Dur)
+		}
+	}
+}
+
+// spanSeconds aggregates every span duration; per-name breakdown lives
+// in the ring, which keeps the hot path free of map lookups.
+var spanSeconds = NewHistogram("obs_span_seconds",
+	"Durations of all completed obs spans.", nil)
+
+// Span is an in-flight timed region. The zero Span (returned while
+// metrics are disabled) is inert: End and Annotate are no-ops.
+type Span struct {
+	name  string
+	note  string
+	start time.Time
+}
+
+// StartSpan opens a span when metrics are enabled.
+func StartSpan(name string) Span {
+	if !enabled.Load() {
+		return Span{}
+	}
+	return Span{name: name, start: time.Now()}
+}
+
+// Annotate attaches a note exposed in the ring buffer. It returns the
+// span so call sites can chain it onto StartSpan.
+func (s Span) Annotate(format string, args ...any) Span {
+	if s.start.IsZero() {
+		return s
+	}
+	s.note = fmt.Sprintf(format, args...)
+	return s
+}
+
+// End closes the span, recording its duration into the Trace ring and
+// the obs_span_seconds histogram.
+func (s Span) End() {
+	if s.start.IsZero() {
+		return
+	}
+	now := time.Now()
+	d := now.Sub(s.start)
+	spanSeconds.Observe(d.Seconds())
+	Trace.add(Event{At: now, Name: s.name, Dur: d, Note: s.note})
+}

@@ -165,6 +165,8 @@ func (s *HTTPUploadServer) ServeHTTP(w http.ResponseWriter, req *http.Request) {
 			s.dups++
 			s.segments++
 			s.mu.Unlock()
+			mServerSegments.Inc()
+			mServerDuplicates.Inc()
 			continue
 		}
 		if seq > s.next {
@@ -187,6 +189,7 @@ func (s *HTTPUploadServer) ServeHTTP(w http.ResponseWriter, req *http.Request) {
 		s.segments++
 		s.next++
 		s.mu.Unlock()
+		mServerSegments.Inc()
 	}
 	w.Header().Set(NextSeqHeader, strconv.FormatUint(s.NextSeq(), 10))
 	w.WriteHeader(http.StatusOK)

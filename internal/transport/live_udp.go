@@ -88,6 +88,7 @@ func LiveUDPSend(s Session, rxAddr, evAddr string, pace bool) (LiveSendReport, e
 				cipher.EncryptPacket(uint64(seq), payload[:s.Policy.EncryptSpan(len(payload))])
 				rep.CryptoTime += time.Since(t0)
 				rep.Encrypted++
+				mUDPEncrypted.Inc()
 			}
 			out := seqr.Next(payload, float64(fi)/s.FPS, encrypted).Marshal()
 			if _, err := rxConn.Write(out); err != nil {
@@ -102,6 +103,8 @@ func LiveUDPSend(s Session, rxAddr, evAddr string, pace bool) (LiveSendReport, e
 			}
 			rep.Packets++
 			rep.Bytes += len(out)
+			mUDPPacketsSent.Inc()
+			mUDPBytesSent.Add(int64(len(out)))
 			seq++
 		}
 	}
@@ -123,18 +126,24 @@ type LiveReceiver struct {
 	asm      *codec.Reassembler
 	received int
 	captured int
+	dups     int // arrivals whose sequence was already delivered
 	closed   bool
 	dead     bool // loop exited (socket closed)
 	done     chan struct{}
 	hdrOnly  int
 
-	// Selective-retransmit state (EnableNACK). seen doubles as the
-	// dedup set so retransmitted packets are counted and decoded once.
-	seen     map[uint64]bool
+	// seen is the per-sequence dedup set. It is always active (allocated
+	// by the constructor), not just under NACK: link-layer duplication
+	// and retransmit races must never inflate the captured/usable counts,
+	// only the dups counter.
+	seen map[uint64]bool
+
+	// Selective-retransmit state (EnableNACK).
 	maxSeq   uint64
 	haveSeq  bool
 	nackTry  map[uint64]int
-	nackFrom *net.UDPAddr // sender address learned from arrivals
+	nackAt   map[uint64]time.Time // first-NACK time per missing sequence
+	nackFrom *net.UDPAddr         // sender address learned from arrivals
 }
 
 // SetHeaderOnlyBytes tells the receiver the sender uses a header-only
@@ -172,7 +181,7 @@ func NewLiveReceiver(cfg codec.Config, alg vcrypt.Algorithm, key []byte, addr st
 	if err != nil {
 		return nil, err
 	}
-	r := &LiveReceiver{conn: conn, dropper: filter, cipher: cipher, asm: asm, done: make(chan struct{})}
+	r := &LiveReceiver{conn: conn, dropper: filter, cipher: cipher, asm: asm, seen: make(map[uint64]bool), done: make(chan struct{})}
 	r.cond = sync.NewCond(&r.mu)
 	go r.loop()
 	return r, nil
@@ -195,17 +204,17 @@ func (r *LiveReceiver) SetDropper(d netem.Dropper) {
 // the highest received one, addressed to the packet source. The sender
 // honours NACKs only for I-frame packets (the frames whose loss wrecks a
 // whole GOP), so requests for unbuffered P packets age out after a few
-// tries. Arrivals are deduplicated by extended sequence so retransmitted
-// packets are counted and decoded exactly once. Call before sending
-// starts.
+// tries. Arrivals are always deduplicated by extended sequence (see
+// Stats), so retransmitted packets are counted and decoded exactly once.
+// Call before sending starts.
 func (r *LiveReceiver) EnableNACK(interval time.Duration) {
 	if interval <= 0 {
 		interval = 20 * time.Millisecond
 	}
 	r.mu.Lock()
-	if r.seen == nil {
-		r.seen = make(map[uint64]bool)
+	if r.nackTry == nil {
 		r.nackTry = make(map[uint64]int)
+		r.nackAt = make(map[uint64]time.Time)
 	}
 	r.mu.Unlock()
 	go r.nackLoop(interval)
@@ -233,6 +242,10 @@ func (r *LiveReceiver) nackLoop(interval time.Duration) {
 		if r.haveSeq && peer != nil {
 			for seq := uint64(0); seq < r.maxSeq && len(missing) < maxNackBatch; seq++ {
 				if !r.seen[seq] && r.nackTry[seq] < maxNackTries {
+					if r.nackTry[seq] == 0 {
+						// First request: anchor the recovery-delay clock.
+						r.nackAt[seq] = time.Now()
+					}
 					r.nackTry[seq]++
 					missing = append(missing, seq)
 				}
@@ -240,6 +253,7 @@ func (r *LiveReceiver) nackLoop(interval time.Duration) {
 		}
 		r.mu.Unlock()
 		if len(missing) > 0 {
+			mNACKsRequested.Add(int64(len(missing)))
 			r.conn.WriteToUDP(marshalNACK(missing), peer) //nolint:errcheck // best effort, like the medium
 		}
 	}
@@ -286,21 +300,29 @@ func (r *LiveReceiver) loop() {
 		payload := append([]byte(nil), pkt.Payload...)
 		r.mu.Lock()
 		r.nackFrom = from
-		if r.seen != nil {
-			if r.seen[seq64] {
-				// Duplicate delivery (retransmit raced the original, or
-				// link-layer duplication): ignore.
-				r.cond.Broadcast()
-				r.mu.Unlock()
-				continue
+		if r.seen[seq64] {
+			// Duplicate delivery (retransmit raced the original, or
+			// link-layer duplication): count it separately and ignore it
+			// so captured/usable reflect first deliveries only.
+			r.dups++
+			mRxDuplicates.Inc()
+			r.cond.Broadcast()
+			r.mu.Unlock()
+			continue
+		}
+		r.seen[seq64] = true
+		if seq64 >= r.maxSeq {
+			r.maxSeq = seq64 + 1
+		}
+		r.haveSeq = true
+		if r.nackAt != nil {
+			if t0, ok := r.nackAt[seq64]; ok {
+				mNACKRecoverySeconds.Observe(time.Since(t0).Seconds())
+				delete(r.nackAt, seq64)
 			}
-			r.seen[seq64] = true
-			if seq64 >= r.maxSeq {
-				r.maxSeq = seq64 + 1
-			}
-			r.haveSeq = true
 		}
 		r.captured++
+		mRxCaptured.Inc()
 		if pkt.Encrypted() {
 			if r.cipher == nil {
 				r.cond.Broadcast()
@@ -315,6 +337,7 @@ func (r *LiveReceiver) loop() {
 		}
 		if err := r.asm.Add(payload); err == nil {
 			r.received++
+			mRxUsable.Inc()
 		}
 		r.cond.Broadcast()
 		r.mu.Unlock()
@@ -355,11 +378,22 @@ func (r *LiveReceiver) Frames(total int) []*codec.EncodedFrame {
 	return r.asm.Frames(total)
 }
 
-// Stats returns (captured, usable) packet counts.
+// Stats returns (captured, usable) packet counts. Both count first
+// deliveries only: an arrival whose sequence was already delivered
+// (link-layer duplication, a retransmit racing the original) is
+// tracked by Duplicates instead of inflating either count.
 func (r *LiveReceiver) Stats() (captured, usable int) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.captured, r.received
+}
+
+// Duplicates returns how many arrivals repeated an already-delivered
+// sequence.
+func (r *LiveReceiver) Duplicates() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dups
 }
 
 // NACK datagrams travel receiver→sender on the same socket pair:
@@ -486,6 +520,7 @@ func LiveUDPSendReliable(s Session, rxAddr, evAddr string, pace bool, opts Relia
 				if out, have := iBuf[seq]; have {
 					rxConn.Write(out) //nolint:errcheck // best effort, like the medium
 					retransmits++
+					mNACKRetransmits.Inc()
 				}
 			}
 			bufMu.Unlock()
@@ -519,6 +554,7 @@ func LiveUDPSendReliable(s Session, rxAddr, evAddr string, pace bool, opts Relia
 				cipher.EncryptPacket(uint64(seq), payload[:s.Policy.EncryptSpan(len(payload))])
 				rep.CryptoTime += time.Since(t0)
 				rep.Encrypted++
+				mUDPEncrypted.Inc()
 			}
 			out := seqr.Next(payload, float64(fi)/s.FPS, encrypted).Marshal()
 			if pkt.IsIFrame() {
@@ -559,6 +595,8 @@ func LiveUDPSendReliable(s Session, rxAddr, evAddr string, pace bool, opts Relia
 			}
 			rep.Packets++
 			rep.Bytes += len(out)
+			mUDPPacketsSent.Inc()
+			mUDPBytesSent.Add(int64(len(out)))
 			seq++
 		}
 	}

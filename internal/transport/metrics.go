@@ -1,0 +1,61 @@
+package transport
+
+import (
+	"repro/internal/obs"
+)
+
+// Observability wiring (PR3). Every call is gated inside obs on one
+// atomic load, so the per-packet and per-segment paths pay nothing
+// measurable while metrics are disabled and only atomic adds while
+// they are enabled. The counters deliberately mirror the fields of
+// ResumeReport / LiveSendReport / LiveReceiver.Stats so chaos tests
+// can cross-check the exported values against local bookkeeping.
+var (
+	// Resumable HTTP upload (resume.go).
+	mUploadAttempts = obs.NewCounter("transport_upload_attempts_total",
+		"Upload POST attempts issued (including the first).")
+	mUploadResumes = obs.NewCounter("transport_upload_resumes_total",
+		"Attempts that resumed from a non-zero server offset.")
+	mUploadDowngrades = obs.NewCounter(`transport_upload_degradations_total{kind="policy"}`,
+		"Deadline-driven degradations, by rung of the ladder.")
+	mUploadRestarts = obs.NewCounter(`transport_upload_degradations_total{kind="reencode"}`,
+		"Deadline-driven degradations, by rung of the ladder.")
+	mUploadBackoffSeconds = obs.NewFloatCounter("transport_upload_backoff_seconds_total",
+		"Time spent sleeping between upload attempts.")
+	mUploadAttemptSeconds = obs.NewHistogram("transport_upload_attempt_seconds",
+		"Wall time of one upload attempt (stream start to verdict).", nil)
+	mSegmentsSent = obs.NewCounter("transport_segments_sent_total",
+		"Framed segments that entered the transport (retransmits included).")
+	mSegmentBytesSent = obs.NewCounter("transport_segment_bytes_sent_total",
+		"Bytes of framed segments that entered the transport.")
+	mSegmentsEncrypted = obs.NewCounter("transport_segments_encrypted_total",
+		"Sent segments whose payload was (partly) encrypted.")
+
+	// Upload server (live_http.go).
+	mServerSegments = obs.NewCounter("transport_server_segments_total",
+		"Segments received by the upload server (duplicates included).")
+	mServerDuplicates = obs.NewCounter("transport_server_duplicate_segments_total",
+		"Already-acknowledged segments received again after a resume overshoot.")
+
+	// Live UDP sender (live_udp.go).
+	mUDPPacketsSent = obs.NewCounter("transport_udp_packets_sent_total",
+		"RTP packets handed to the sender socket (first transmissions).")
+	mUDPBytesSent = obs.NewCounter("transport_udp_bytes_sent_total",
+		"RTP bytes handed to the sender socket (first transmissions).")
+	mUDPEncrypted = obs.NewCounter("transport_udp_packets_encrypted_total",
+		"Sent RTP packets whose payload was (partly) encrypted.")
+	mNACKRetransmits = obs.NewCounter("transport_nack_retransmits_total",
+		"I-frame packets retransmitted in answer to receiver NACKs.")
+
+	// Live UDP receiver (live_udp.go).
+	mRxCaptured = obs.NewCounter("transport_rx_packets_captured_total",
+		"Packets captured after the loss filter, first deliveries only.")
+	mRxUsable = obs.NewCounter("transport_rx_packets_usable_total",
+		"Captured packets that decrypted and reassembled cleanly.")
+	mRxDuplicates = obs.NewCounter("transport_rx_duplicate_packets_total",
+		"Arrivals discarded because their sequence was already delivered.")
+	mNACKsRequested = obs.NewCounter("transport_nacks_requested_total",
+		"Missing sequences requested across all NACK datagrams.")
+	mNACKRecoverySeconds = obs.NewHistogram("transport_nack_recovery_seconds",
+		"Delay from a sequence's first NACK to its eventual arrival.", nil)
+)

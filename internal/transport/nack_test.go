@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/codec"
 	"repro/internal/netem"
+	"repro/internal/obs"
 	"repro/internal/vcrypt"
 	"repro/internal/video"
 )
@@ -121,6 +122,14 @@ func TestNACKWithJitterAndDuplication(t *testing.T) {
 	pol := vcrypt.Policy{Mode: vcrypt.ModeIFrames, Alg: vcrypt.AES128}
 	s, _ := testSession(t, video.MotionLow, pol)
 
+	// Cross-check the obs counters against the test's own bookkeeping.
+	obs.SetEnabled(true)
+	defer obs.SetEnabled(false)
+	dups0 := mRxDuplicates.Value()
+	usable0 := mRxUsable.Value()
+	retx0 := mNACKRetransmits.Value()
+	recov0 := mNACKRecoverySeconds.Count()
+
 	// Burst over the mid-clip I-frame: the P-frames behind it keep
 	// arriving, which is what exposes the gap to the NACK loop (a burst
 	// over the very last packets is invisible tail loss).
@@ -176,6 +185,65 @@ func TestNACKWithJitterAndDuplication(t *testing.T) {
 				t.Fatalf("frame %d MB %d differs", i, mb)
 			}
 		}
+	}
+	// Every discarded duplicate the receiver counted must also be in the
+	// obs counter, and vice versa; same for usable packets and sender-side
+	// retransmits.
+	if d := mRxDuplicates.Value() - dups0; d != int64(rx.Duplicates()) {
+		t.Fatalf("obs counted %d duplicates, receiver %d", d, rx.Duplicates())
+	}
+	if u := mRxUsable.Value() - usable0; u != int64(usable) {
+		t.Fatalf("obs counted %d usable, receiver %d", u, usable)
+	}
+	if r := mNACKRetransmits.Value() - retx0; r != int64(rep.Retransmits) {
+		t.Fatalf("obs counted %d retransmits, sender %d", r, rep.Retransmits)
+	}
+	if mNACKRecoverySeconds.Count() == recov0 {
+		t.Fatal("no NACK->arrival recovery latency observed despite retransmits")
+	}
+}
+
+// TestDuplicatesDiscardedWithoutNACK is the regression test for the
+// duplicate-inflation bug: dedup used to exist only when NACK was
+// enabled, so on a plain (NACK-less) receiver a duplicating link
+// inflated captured/usable and re-fed packets to the reassembler. Now
+// arrivals are always deduplicated; duplicates land in a separate
+// counter and never in Stats.
+func TestDuplicatesDiscardedWithoutNACK(t *testing.T) {
+	pol := vcrypt.Policy{Mode: vcrypt.ModeIFrames, Alg: vcrypt.AES128}
+	s, _ := testSession(t, video.MotionLow, pol)
+
+	cond, err := netem.NewConditioner(netem.ConditionerConfig{DupProb: 0.3, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rx, err := NewLiveReceiver(s.Config, pol.Alg, s.Key, "127.0.0.1:0", 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rx.Close()
+	// Deliberately no EnableNACK: dedup must not depend on it.
+	rep, err := LiveUDPSendReliable(s, rx.Addr(), "", false, ReliableUDPOptions{
+		Drain:       200 * time.Millisecond,
+		Conditioner: cond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Duplicated == 0 {
+		t.Fatal("conditioner never duplicated")
+	}
+	if err := rx.WaitForPackets(rep.Packets, 5*time.Second); err != nil {
+		t.Fatalf("receiver incomplete: %v", err)
+	}
+	// Give stray duplicates time to land, then check they were discarded.
+	time.Sleep(100 * time.Millisecond)
+	captured, usable := rx.Stats()
+	if captured != rep.Packets || usable != rep.Packets {
+		t.Fatalf("duplicates inflated stats: captured/usable %d/%d, sent %d", captured, usable, rep.Packets)
+	}
+	if rx.Duplicates() != rep.Duplicated {
+		t.Fatalf("receiver discarded %d duplicates, conditioner injected %d", rx.Duplicates(), rep.Duplicated)
 	}
 }
 

@@ -206,13 +206,20 @@ func ResumableHTTPUpload(s Session, url string, pacer *netem.Pacer, rp RetryPoli
 			}
 		}
 		rep.Attempts++
+		mUploadAttempts.Inc()
 		if idx > 0 {
 			rep.Resumes++
+			mUploadResumes.Inc()
 		}
+		attemptStart := time.Now()
 		sent, bytes, enc, next, err := postSegments(client, url, segs[idx:], restartHdr, pacer, rp.AttemptTimeout)
+		mUploadAttemptSeconds.Observe(time.Since(attemptStart).Seconds())
 		rep.Segments += sent
 		rep.Bytes += bytes
 		rep.Encrypted += enc
+		mSegmentsSent.Add(int64(sent))
+		mSegmentBytesSent.Add(int64(bytes))
+		mSegmentsEncrypted.Add(int64(enc))
 		if err == nil {
 			if want := base + uint64(len(segs)); next != want {
 				err = fmt.Errorf("transport: server acknowledged %d, want %d", next, want)
@@ -258,8 +265,10 @@ func ResumableHTTPUpload(s Session, url string, pacer *netem.Pacer, rp RetryPoli
 			if restart {
 				base = nextEpoch(base + uint64(len(segs)))
 				rep.Restarts++
+				mUploadRestarts.Inc()
 			} else {
 				rep.Downgrades++
+				mUploadDowngrades.Inc()
 			}
 			if segs, err = buildSegments(s, base); err != nil {
 				rep.Elapsed = time.Since(start)
@@ -275,6 +284,7 @@ func ResumableHTTPUpload(s Session, url string, pacer *netem.Pacer, rp RetryPoli
 			}
 		}
 		rep.BackoffTotal += gap
+		mUploadBackoffSeconds.Add(gap.Seconds())
 		rp.Sleep(gap)
 	}
 }

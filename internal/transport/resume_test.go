@@ -10,6 +10,7 @@ import (
 	"repro/internal/codec"
 	"repro/internal/evalvid"
 	"repro/internal/netem"
+	"repro/internal/obs"
 	"repro/internal/vcrypt"
 	"repro/internal/video"
 )
@@ -43,8 +44,39 @@ func TestBackoffDeterministicAndCapped(t *testing.T) {
 	}
 }
 
+// TestBackoffExplicitZeroJitter pins the Jitter(0) semantics: an
+// explicit zero fraction disables jitter entirely (it must not be
+// silently replaced by the 0.2 default), so the gap sequence is exactly
+// the nominal capped-exponential one.
+func TestBackoffExplicitZeroJitter(t *testing.T) {
+	rp := RetryPolicy{BaseBackoff: 10 * time.Millisecond, MaxBackoff: 80 * time.Millisecond, JitterFrac: Jitter(0), Seed: 99}
+	b := NewBackoff(rp)
+	want := []time.Duration{
+		10 * time.Millisecond,
+		20 * time.Millisecond,
+		40 * time.Millisecond,
+		80 * time.Millisecond,
+		80 * time.Millisecond,
+	}
+	for i, w := range want {
+		if got := b.Next(); got != w {
+			t.Fatalf("gap %d = %v, want exactly %v (explicit zero jitter must stay zero)", i, got, w)
+		}
+	}
+	// The caller's value must not be rewritten by withDefaults.
+	if *rp.JitterFrac != 0 {
+		t.Fatalf("caller's JitterFrac mutated to %g", *rp.JitterFrac)
+	}
+	// nil still selects the default: the first gap is jittered away from
+	// the nominal base for almost every seed (7 is one of them).
+	d := NewBackoff(RetryPolicy{BaseBackoff: 10 * time.Millisecond, MaxBackoff: 80 * time.Millisecond, Seed: 7})
+	if got := d.Next(); got == 10*time.Millisecond {
+		t.Fatalf("nil JitterFrac produced an unjittered gap %v", got)
+	}
+}
+
 func TestBackoffResetRestartsGrowth(t *testing.T) {
-	rp := RetryPolicy{BaseBackoff: 10 * time.Millisecond, MaxBackoff: time.Second, JitterFrac: -1, Seed: 1}
+	rp := RetryPolicy{BaseBackoff: 10 * time.Millisecond, MaxBackoff: time.Second, JitterFrac: Jitter(0), Seed: 1}
 	b := NewBackoff(rp)
 	b.Next()
 	second := b.Next()
@@ -172,6 +204,15 @@ func TestChaosOutageMidUploadResumes(t *testing.T) {
 	proxy.SetBlackout(200 * time.Millisecond)
 	proxy.SetCutAfter(int64(totalBytes / 2))
 
+	// Cross-check the obs counters against the uploader's own report
+	// (snapshots taken after the clean reference upload above).
+	obs.SetEnabled(true)
+	defer obs.SetEnabled(false)
+	attempts0 := mUploadAttempts.Value()
+	resumes0 := mUploadResumes.Value()
+	backoff0 := mUploadBackoffSeconds.Value()
+	srvDups0 := mServerDuplicates.Value()
+
 	rp := RetryPolicy{
 		MaxAttempts:    10,
 		BaseBackoff:    25 * time.Millisecond,
@@ -182,6 +223,18 @@ func TestChaosOutageMidUploadResumes(t *testing.T) {
 	rep, err := ResumableHTTPUpload(s, "http://"+proxy.Addr(), nil, rp, nil)
 	if err != nil {
 		t.Fatalf("upload did not survive the outage: %v (report %+v)", err, rep)
+	}
+	if a := mUploadAttempts.Value() - attempts0; a != int64(rep.Attempts) {
+		t.Fatalf("obs counted %d attempts, report %d", a, rep.Attempts)
+	}
+	if r := mUploadResumes.Value() - resumes0; r != int64(rep.Resumes) {
+		t.Fatalf("obs counted %d resumes, report %d", r, rep.Resumes)
+	}
+	if b := mUploadBackoffSeconds.Value() - backoff0; b <= 0 || b > rep.BackoffTotal.Seconds()+1e-9 {
+		t.Fatalf("obs backoff %.3fs vs report %v", b, rep.BackoffTotal)
+	}
+	if d := mServerDuplicates.Value() - srvDups0; d != 0 {
+		t.Fatalf("obs counted %d server duplicates on a resume-only run", d)
 	}
 	if rep.Attempts < 2 {
 		t.Fatalf("no retry recorded: %+v", rep)

@@ -24,10 +24,12 @@ type RetryPolicy struct {
 	BaseBackoff time.Duration
 	MaxBackoff  time.Duration
 	Multiplier  float64
-	// JitterFrac spreads each gap uniformly over ±JitterFrac of its
+	// JitterFrac spreads each gap uniformly over ±*JitterFrac of its
 	// nominal value, decorrelating retry storms. Drawn from a seeded RNG
-	// so schedules are reproducible. Default 0.2; negative disables.
-	JitterFrac float64
+	// so schedules are reproducible. nil selects the default 0.2;
+	// Jitter(0) (or any non-positive fraction) disables jitter so the
+	// backoff sequence is exactly the nominal one.
+	JitterFrac *float64
 	// AttemptTimeout bounds one attempt (including the resume-point
 	// query). Default 10s.
 	AttemptTimeout time.Duration
@@ -54,11 +56,11 @@ func (rp RetryPolicy) withDefaults() RetryPolicy {
 	if rp.Multiplier <= 1 {
 		rp.Multiplier = 2
 	}
-	if rp.JitterFrac == 0 {
-		rp.JitterFrac = 0.2
-	}
-	if rp.JitterFrac < 0 {
-		rp.JitterFrac = 0
+	if rp.JitterFrac == nil {
+		rp.JitterFrac = Jitter(0.2)
+	} else if *rp.JitterFrac < 0 {
+		// Normalise without writing through the caller's pointer.
+		rp.JitterFrac = Jitter(0)
 	}
 	if rp.AttemptTimeout <= 0 {
 		rp.AttemptTimeout = 10 * time.Second
@@ -93,11 +95,15 @@ func (b *Backoff) Next() time.Duration {
 		d = float64(b.rp.MaxBackoff)
 	}
 	b.n++
-	if j := b.rp.JitterFrac; j > 0 {
+	if j := *b.rp.JitterFrac; j > 0 {
 		d *= 1 - j + 2*j*b.rng.Float64()
 	}
 	return time.Duration(d)
 }
+
+// Jitter returns a pointer to frac for RetryPolicy.JitterFrac, so an
+// explicit zero ("no jitter") is distinguishable from the unset field.
+func Jitter(frac float64) *float64 { return &frac }
 
 // Reset restarts the exponential growth (after an attempt that made
 // progress); the jitter stream keeps advancing.

@@ -8,12 +8,17 @@
 # machine). The figure benchmarks run one iteration each — they already
 # regenerate a full table per iteration.
 #
+# Also runs the observability-tax pair (BenchmarkEncodeMetricsOff/On)
+# and writes BENCH_PR3.json with the measured overhead of leaving the
+# metrics layer compiled in (off = shipping default) and recording (on).
+#
 # Usage: scripts/bench.sh [output.json]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 out=${1:-BENCH_PR1.json}
 tmp=$(mktemp)
-trap 'rm -f "$tmp"' EXIT
+obs_tmp=$(mktemp)
+trap 'rm -f "$tmp" "$obs_tmp"' EXIT
 
 echo "running codec micro-benchmarks..." >&2
 go test -run '^$' -bench 'BenchmarkFDCT8$|BenchmarkIDCT8$|BenchmarkMotionSearch$|BenchmarkEncodeFrameParallel$' \
@@ -66,3 +71,43 @@ END {
 ' "$tmp"
 
 echo "wrote $out" >&2
+
+echo "running observability-tax benchmarks..." >&2
+go test -run '^$' -bench 'BenchmarkEncodeMetricsOff$|BenchmarkEncodeMetricsOn$' \
+	-benchmem -count 5 -timeout 600s ./internal/codec | tee "$obs_tmp" >&2
+
+awk -v out=BENCH_PR3.json '
+/^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
+/^BenchmarkEncodeMetrics/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	ns = ""; allocs = ""
+	for (i = 2; i <= NF; i++) {
+		if ($i == "ns/op") ns = $(i-1)
+		if ($i == "allocs/op") allocs = $(i-1)
+	}
+	if (ns == "") next
+	# Best-of-N: the minimum is the least noisy estimate of the true cost.
+	if (!(name in best) || ns + 0 < best[name] + 0) { best[name] = ns; al[name] = allocs }
+}
+END {
+	off = best["BenchmarkEncodeMetricsOff"]
+	on = best["BenchmarkEncodeMetricsOn"]
+	overhead = (on / off - 1) * 100
+	printf "{\n" > out
+	printf "  \"pr\": \"PR3: zero-dependency observability layer\",\n" >> out
+	printf "  \"cpu\": \"%s\",\n", cpu >> out
+	printf "  \"benchmarks\": [\n" >> out
+	printf "    {\"name\": \"BenchmarkEncodeMetricsOff\", \"ns_per_op\": %s, \"allocs_per_op\": %s},\n", off, al["BenchmarkEncodeMetricsOff"] >> out
+	printf "    {\"name\": \"BenchmarkEncodeMetricsOn\", \"ns_per_op\": %s, \"allocs_per_op\": %s}\n", on, al["BenchmarkEncodeMetricsOn"] >> out
+	printf "  ],\n" >> out
+	printf "  \"metrics_on_overhead_percent\": %.2f\n", overhead >> out
+	printf "}\n" >> out
+	if (overhead > 2) {
+		printf "FAIL: metrics-on encode overhead %.2f%% exceeds the 2%% budget\n", overhead > "/dev/stderr"
+		exit 1
+	}
+}
+' "$obs_tmp"
+
+echo "wrote BENCH_PR3.json" >&2
