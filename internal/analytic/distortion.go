@@ -188,7 +188,7 @@ func (m DistortionModel) ExpectedDistortion(numGOPs int) (float64, error) {
 		var gopD float64
 		next := make([]float64, noRef+1)
 		for k, pk := range dist {
-			if pk == 0 {
+			if pk == 0 { //lint:allow floateq exact zero-mass skip; an epsilon would drop real probability mass
 				continue
 			}
 			// I-frame decodes: intra distortion, distance resets.

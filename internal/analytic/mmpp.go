@@ -21,7 +21,7 @@ func (m MMPP2) Validate() error {
 	if m.P1 <= 0 || m.P2 <= 0 {
 		return fmt.Errorf("analytic: MMPP switch rates must be positive (p1=%g p2=%g)", m.P1, m.P2)
 	}
-	if m.Lambda1 < 0 || m.Lambda2 < 0 || m.Lambda1+m.Lambda2 == 0 {
+	if m.Lambda1 < 0 || m.Lambda2 < 0 || stats.NearZero(m.Lambda1+m.Lambda2) {
 		return fmt.Errorf("analytic: MMPP arrival rates invalid (l1=%g l2=%g)", m.Lambda1, m.Lambda2)
 	}
 	return nil
@@ -64,7 +64,7 @@ func (m MMPP2) IFramePacketFraction() float64 {
 	pi := m.Stationary()
 	num := pi[0] * m.Lambda1
 	den := num + pi[1]*m.Lambda2
-	if den == 0 {
+	if stats.NearZero(den) {
 		return 0
 	}
 	return num / den

@@ -136,7 +136,7 @@ func PHFit2Moment(mean, variance float64, maxOrder int) PH {
 	cv2 := variance / (mean * mean)
 	switch {
 	case cv2 >= 1:
-		if cv2 == 1 {
+		if stats.ApproxEqual(cv2, 1, 1e-9) {
 			return PHExponential(1 / mean)
 		}
 		// Balanced-means H2: p1/mu1 = p2/mu2.

@@ -285,7 +285,7 @@ func spectralRadius(m *stats.Matrix) float64 {
 			norm += x * x
 		}
 		norm = math.Sqrt(norm)
-		if norm == 0 {
+		if stats.NearZero(norm) {
 			return 0
 		}
 		for i := range w {

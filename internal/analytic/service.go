@@ -3,6 +3,8 @@ package analytic
 import (
 	"fmt"
 	"math"
+
+	"repro/internal/stats"
 )
 
 // ServiceParams describes the per-packet service time of Eq. (3),
@@ -175,7 +177,7 @@ func (sp ServiceParams) PH() PH {
 	wP := (1 - sp.PI) * sp.EncP
 	var enc PH
 	switch {
-	case wI == 0 && wP == 0:
+	case stats.NearZero(wI) && stats.NearZero(wP):
 		enc = PHZero()
 	case sp.EncMeanI <= 0 && sp.EncMeanP <= 0:
 		enc = PHZero()

@@ -113,6 +113,14 @@ func ReadContainer(r io.Reader) (Config, []*EncodedFrame, error) {
 	if err != nil {
 		return Config{}, nil, err
 	}
+	// Cap the dimensions before trusting them: Validate only checks
+	// positivity and alignment, and a hostile header with plausible-but-
+	// huge dimensions would otherwise drive the per-frame macroblock
+	// allocation below into the terabytes.
+	const maxContainerDim = 1 << 14
+	if w > maxContainerDim || h > maxContainerDim {
+		return Config{}, nil, fmt.Errorf("codec: container dimensions %dx%d exceed %d", w, h, maxContainerDim)
+	}
 	cfg = Config{
 		Width: int(w), Height: int(h), GOPSize: int(gop),
 		QI: float64(qi) / 1000, QP: float64(qp) / 1000, SearchRange: int(sr),

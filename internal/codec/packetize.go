@@ -146,6 +146,12 @@ func SliceMBs(payload []byte) (mbStart int, chunks [][]byte, err error) {
 	if err != nil {
 		return 0, nil, err
 	}
+	if ms > 1<<20 {
+		// Also keeps int(ms) from wrapping negative on a hostile varint,
+		// which would slip past the reassembler's upper-bound check and
+		// index out of range.
+		return 0, nil, fmt.Errorf("codec: implausible slice start %d", ms)
+	}
 	mc, err := get()
 	if err != nil {
 		return 0, nil, err
@@ -197,7 +203,7 @@ func (r *Reassembler) Add(payload []byte) error {
 		return err
 	}
 	total := r.cfg.MBCols() * r.cfg.MBRows()
-	if mbStart+len(chunks) > total {
+	if mbStart < 0 || len(chunks) > total || mbStart > total-len(chunks) {
 		return fmt.Errorf("codec: slice range [%d,%d) exceeds %d macroblocks", mbStart, mbStart+len(chunks), total)
 	}
 	f := r.frames[p.FrameNumber]

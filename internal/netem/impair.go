@@ -61,9 +61,9 @@ func (o *OutageSchedule) ActiveAt(elapsed time.Duration) bool {
 func (o *OutageSchedule) Active() bool {
 	o.mu.Lock()
 	if o.epoch.IsZero() {
-		o.epoch = time.Now()
+		o.epoch = time.Now() //lint:allow walltime real-socket feature: outage epoch is wall-clock by design; ActiveAt is the deterministic form
 	}
-	elapsed := time.Since(o.epoch)
+	elapsed := time.Since(o.epoch) //lint:allow walltime real-socket feature: outage epoch is wall-clock by design; ActiveAt is the deterministic form
 	o.mu.Unlock()
 	active := o.ActiveAt(elapsed)
 	if active {

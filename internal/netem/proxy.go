@@ -68,11 +68,18 @@ func (p *FlakyProxy) SetBlackout(d time.Duration) {
 	p.mu.Unlock()
 }
 
+// closeQuiet tears down one side of a relay. Severing links
+// mid-transfer is the proxy's purpose, so teardown is best-effort and
+// a close error carries no signal worth propagating.
+func closeQuiet(c io.Closer) {
+	c.Close() //lint:allow bitioerr chaos teardown is best-effort by design
+}
+
 // KillActive severs every in-flight connection immediately.
 func (p *FlakyProxy) KillActive() {
 	p.mu.Lock()
 	for c := range p.conns {
-		c.Close()
+		closeQuiet(c)
 	}
 	p.severed += len(p.conns)
 	mProxySevered.Add(int64(len(p.conns)))
@@ -96,7 +103,7 @@ func (p *FlakyProxy) Close() error {
 	}
 	p.closed = true
 	for c := range p.conns {
-		c.Close()
+		closeQuiet(c)
 	}
 	p.mu.Unlock()
 	err := p.ln.Close()
@@ -107,7 +114,7 @@ func (p *FlakyProxy) Close() error {
 // down reports whether the link is currently in a 100%-loss condition.
 func (p *FlakyProxy) down() bool {
 	p.mu.Lock()
-	blackout := time.Now().Before(p.downUntil)
+	blackout := time.Now().Before(p.downUntil) //lint:allow walltime real-socket feature: blackout windows on live TCP relays are wall-clock by design
 	p.mu.Unlock()
 	return blackout || (p.sched != nil && p.sched.Active())
 }
@@ -128,7 +135,7 @@ func (p *FlakyProxy) takeBudget(n int) (allowed int, sever bool) {
 	allowed = int(p.cutAfter)
 	p.cutAfter = 0
 	if p.blackout > 0 {
-		p.downUntil = time.Now().Add(p.blackout)
+		p.downUntil = time.Now().Add(p.blackout) //lint:allow walltime real-socket feature: blackout windows on live TCP relays are wall-clock by design
 	}
 	return allowed, true
 }
@@ -145,7 +152,7 @@ func (p *FlakyProxy) acceptLoop() {
 			p.refused++
 			p.mu.Unlock()
 			mProxyRefused.Inc()
-			client.Close()
+			closeQuiet(client)
 			continue
 		}
 		p.wg.Add(1)
@@ -157,14 +164,14 @@ func (p *FlakyProxy) relay(client net.Conn) {
 	defer p.wg.Done()
 	server, err := net.Dial("tcp", p.backend)
 	if err != nil {
-		client.Close()
+		closeQuiet(client)
 		return
 	}
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
-		client.Close()
-		server.Close()
+		closeQuiet(client)
+		closeQuiet(server)
 		return
 	}
 	p.conns[client] = true
@@ -182,8 +189,8 @@ func (p *FlakyProxy) relay(client net.Conn) {
 		if counted {
 			mProxySevered.Inc()
 		}
-		client.Close()
-		server.Close()
+		closeQuiet(client)
+		closeQuiet(server)
 	}
 
 	// Downstream (server→client): responses are small; relay verbatim.
@@ -191,7 +198,7 @@ func (p *FlakyProxy) relay(client net.Conn) {
 	go func() {
 		defer p.wg.Done()
 		io.Copy(client, server) //nolint:errcheck // a severed relay is the point
-		client.Close()
+		closeQuiet(client)
 	}()
 
 	// Upstream (client→server): the faulty direction.

@@ -1,0 +1,39 @@
+package rtp
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzParse feeds arbitrary datagrams to the RTP header parser.
+// Anything accepted must survive a Marshal/Parse round trip unchanged —
+// the property the sender/receiver pair depends on.
+func FuzzParse(f *testing.F) {
+	seed := Packet{
+		PayloadType: PayloadTypeVideo,
+		Marker:      true,
+		Sequence:    512,
+		Timestamp:   90000,
+		SSRC:        0xDECAFBAD,
+		Payload:     []byte("slice bytes"),
+	}
+	f.Add(seed.Marshal())
+	f.Add(seed.Marshal()[:HeaderSize])   // header only
+	f.Add(seed.Marshal()[:HeaderSize-1]) // one byte short
+	f.Add([]byte{0xFF, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := Parse(data)
+		if err != nil {
+			return
+		}
+		q, err := Parse(p.Marshal())
+		if err != nil {
+			t.Fatalf("re-parse of accepted packet failed: %v", err)
+		}
+		if q.PayloadType != p.PayloadType || q.Marker != p.Marker ||
+			q.Sequence != p.Sequence || q.Timestamp != p.Timestamp ||
+			q.SSRC != p.SSRC || !bytes.Equal(q.Payload, p.Payload) {
+			t.Fatalf("round trip changed the packet: %+v != %+v", q, p)
+		}
+	})
+}

@@ -62,6 +62,11 @@ func Parse(data []byte) (Packet, error) {
 	if data[0]&0x20 != 0 {
 		return Packet{}, fmt.Errorf("rtp: padding not supported")
 	}
+	if data[0]&0x10 != 0 {
+		// An extension header would shift the payload start; accepting
+		// the bit would mis-frame the slice bytes that follow.
+		return Packet{}, fmt.Errorf("rtp: header extensions not supported")
+	}
 	if cc := data[0] & 0x0F; cc != 0 {
 		return Packet{}, fmt.Errorf("rtp: CSRC entries not supported (%d)", cc)
 	}

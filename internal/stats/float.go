@@ -1,0 +1,29 @@
+package stats
+
+import "math"
+
+// Tolerance helpers for floating-point comparison. The numerical
+// packages (stats, analytic) are forbidden by thriftylint's floateq
+// pass from comparing floats with == or != directly: convergence and
+// degeneracy checks written with exact equality either never fire
+// after arithmetic or fire one iteration late, and the resulting model
+// drift is invisible until reproduced curves diverge. These helpers
+// are the sanctioned comparison primitives; code that genuinely needs
+// exact equality (sparsity fast paths, guards on exact draws) carries
+// a //lint:allow floateq marker instead.
+
+// DefaultEpsilon is the absolute tolerance used by NearZero. The
+// models here work in O(1) probabilities, rates and seconds, so a
+// fixed absolute epsilon is appropriate.
+const DefaultEpsilon = 1e-12
+
+// ApproxEqual reports whether a and b differ by at most tol. NaN
+// compares unequal to everything, as with ==.
+func ApproxEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+// NearZero reports whether x is within DefaultEpsilon of zero.
+func NearZero(x float64) bool {
+	return math.Abs(x) <= DefaultEpsilon
+}

@@ -108,7 +108,7 @@ func (m *Matrix) Mul(other *Matrix) *Matrix {
 		mi := m.Data[i*m.Cols : (i+1)*m.Cols]
 		oi := out.Data[i*out.Cols : (i+1)*out.Cols]
 		for k, mik := range mi {
-			if mik == 0 {
+			if mik == 0 { //lint:allow floateq exact sparsity fast path; skipped terms contribute exactly zero
 				continue
 			}
 			ok := other.Data[k*other.Cols : (k+1)*other.Cols]
@@ -144,7 +144,7 @@ func (m *Matrix) VecMul(v []float64) []float64 {
 	}
 	out := make([]float64, m.Cols)
 	for i, vi := range v {
-		if vi == 0 {
+		if vi == 0 { //lint:allow floateq exact sparsity fast path; skipped terms contribute exactly zero
 			continue
 		}
 		row := m.Data[i*m.Cols : (i+1)*m.Cols]
@@ -219,7 +219,7 @@ func (m *Matrix) Solve(b []float64) ([]float64, error) {
 		inv := 1 / a.At(col, col)
 		for r := col + 1; r < n; r++ {
 			f := a.At(r, col) * inv
-			if f == 0 {
+			if f == 0 { //lint:allow floateq exact zero-row skip in elimination; an epsilon would skip real work
 				continue
 			}
 			a.Set(r, col, 0)
@@ -271,7 +271,7 @@ func (m *Matrix) Inverse() (*Matrix, error) {
 				continue
 			}
 			f := a.At(r, col)
-			if f == 0 {
+			if f == 0 { //lint:allow floateq exact zero-row skip in elimination; an epsilon would skip real work
 				continue
 			}
 			for c := 0; c < n; c++ {

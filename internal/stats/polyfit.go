@@ -91,8 +91,8 @@ func RSquared(p Polynomial, xs, ys []float64) float64 {
 		t := ys[i] - mean
 		ssTot += t * t
 	}
-	if ssTot == 0 {
-		if ssRes == 0 {
+	if NearZero(ssTot) {
+		if NearZero(ssRes) {
 			return 1
 		}
 		return math.Inf(-1)

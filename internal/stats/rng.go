@@ -53,7 +53,7 @@ func (r *RNG) Exp(rate float64) float64 {
 		panic("stats: Exp with non-positive rate")
 	}
 	u := r.Float64()
-	for u == 0 {
+	for u == 0 { //lint:allow floateq exact rejection of the measure-zero draw; an epsilon would bias the distribution
 		u = r.Float64()
 	}
 	return -math.Log(u) / rate
@@ -89,11 +89,11 @@ func (r *RNG) Geometric(p float64) int {
 	if p <= 0 || p > 1 {
 		panic("stats: Geometric needs p in (0,1]")
 	}
-	if p == 1 {
+	if p == 1 { //lint:allow floateq exact boundary: callers pass the literal 1.0 for a sure success
 		return 0
 	}
 	u := r.Float64()
-	for u == 0 {
+	for u == 0 { //lint:allow floateq exact rejection of the measure-zero draw; an epsilon would bias the distribution
 		u = r.Float64()
 	}
 	return int(math.Floor(math.Log(u) / math.Log(1-p)))

@@ -1,0 +1,43 @@
+package transport
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzParseNACK feeds arbitrary datagrams to the NACK decoder that
+// shares the data socket. It must cleanly reject anything that is not a
+// complete NACK, and everything it accepts must round-trip through
+// marshalNACK.
+func FuzzParseNACK(f *testing.F) {
+	f.Add(marshalNACK([]uint64{1, 2, 3}))
+	f.Add(marshalNACK(nil))
+	f.Add(marshalNACK([]uint64{0xFFFFFFFFFFFFFFFF}))
+	short := marshalNACK([]uint64{7, 8})
+	f.Add(short[:len(short)-4]) // truncated seq list
+	f.Add([]byte("TVNK"))       // magic without a count
+	huge := make([]byte, 6)
+	copy(huge, "TVNK")
+	binary.BigEndian.PutUint16(huge[4:6], 0xFFFF) // count with no body
+	f.Add(huge)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		seqs, ok := parseNACK(data)
+		if !ok {
+			return
+		}
+		if len(seqs) > maxNackBatch {
+			// marshalNACK truncates at the batch cap, so only the capped
+			// prefix round-trips.
+			seqs = seqs[:maxNackBatch]
+		}
+		out, ok2 := parseNACK(marshalNACK(seqs))
+		if !ok2 || len(out) != len(seqs) {
+			t.Fatalf("re-marshal of accepted NACK failed (ok=%v, %d != %d)", ok2, len(out), len(seqs))
+		}
+		for i := range out {
+			if out[i] != seqs[i] {
+				t.Fatalf("seq %d changed in round trip: %d != %d", i, out[i], seqs[i])
+			}
+		}
+	})
+}

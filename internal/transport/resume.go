@@ -105,7 +105,7 @@ func postSegments(client *http.Client, url string, segs []wireSegment, restartBa
 				pacer.Wait(segmentHeaderSize + len(seg.payload))
 			}
 			if werr := WriteSegment(pw, seg.seq, seg.encrypted, seg.payload); werr != nil {
-				pw.CloseWithError(werr)
+				pw.CloseWithError(werr) //lint:allow bitioerr pipe CloseWithError is documented to always return nil
 				return
 			}
 			sent++
@@ -114,10 +114,10 @@ func postSegments(client *http.Client, url string, segs []wireSegment, restartBa
 				sentEnc++
 			}
 		}
-		pw.Close()
+		pw.Close() //lint:allow bitioerr pipe Close is documented to always return nil
 	}()
 	collect := func() {
-		pr.Close() // unblock the writer if the request died early
+		pr.Close() //lint:allow bitioerr pipe Close always returns nil; this only unblocks a dead writer
 		<-done
 	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, pr)

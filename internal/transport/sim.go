@@ -244,7 +244,7 @@ func runSim(s Session, seed uint64, tcp bool) (*Result, error) {
 			if it.isAudio {
 				evAudio[it.frameNum].Data = append([]byte(nil), it.payload...)
 			} else {
-				_ = evAsm.Add(append([]byte(nil), it.payload...))
+				_ = evAsm.Add(append([]byte(nil), it.payload...)) //lint:allow bitioerr eavesdropper feeds ciphertext; parse failures are the expected outcome
 			}
 		}
 	}

@@ -1,0 +1,36 @@
+#!/bin/sh
+# lint.sh reproduces the CI lint gate locally: formatting, vet, the
+# zero-dependency check on the root module, the analyzer module's own
+# tests, and the thriftylint invariant suite over the whole tree.
+# Run from anywhere inside the repository.
+set -eu
+
+root=$(cd "$(dirname "$0")/.." && pwd)
+cd "$root"
+
+echo "==> gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "==> go vet (root module)"
+go vet ./...
+
+echo "==> zero-dependency check (root module)"
+deps=$(go list -m all)
+if [ "$deps" != "repro" ]; then
+    echo "root module grew dependencies:" >&2
+    echo "$deps" >&2
+    exit 1
+fi
+
+echo "==> go vet + go test (tools/analyzers)"
+(cd tools/analyzers && go vet ./... && go test ./...)
+
+echo "==> thriftylint"
+(cd tools/analyzers && go run ./cmd/thriftylint -C "$root" ./...)
+
+echo "lint OK"

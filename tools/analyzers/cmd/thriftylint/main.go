@@ -1,0 +1,70 @@
+// Command thriftylint runs the repository's invariant analyzers over a
+// Go module and exits non-zero on any finding. It is the machine-
+// checked form of the rules DESIGN.md states in prose: seeded
+// determinism, crypto hygiene in vcrypt, no wall clocks in model code,
+// no silently dropped bitstream/socket errors, and no exact float
+// comparisons in the numerical packages.
+//
+// Usage:
+//
+//	thriftylint [-C moduleDir] [-list] [packages...]
+//
+// packages default to ./... inside the target module. The standard vet
+// suite is not re-implemented here — CI and scripts/lint.sh run
+// `go vet ./...` alongside this binary, which together form the gate.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/tools/analyzers/lintkit"
+	"repro/tools/analyzers/passes/bitioerr"
+	"repro/tools/analyzers/passes/cryptorand"
+	"repro/tools/analyzers/passes/floateq"
+	"repro/tools/analyzers/passes/seededrand"
+	"repro/tools/analyzers/passes/walltime"
+)
+
+// analyzers is the thriftylint suite. Order is presentation-only;
+// findings are sorted by position.
+var analyzers = []*lintkit.Analyzer{
+	bitioerr.Analyzer,
+	cryptorand.Analyzer,
+	floateq.Analyzer,
+	seededrand.Analyzer,
+	walltime.Analyzer,
+}
+
+func main() {
+	dir := flag.String("C", ".", "directory of the module to lint")
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Parse()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+			if len(a.Packages) > 0 {
+				fmt.Printf("%-12s   scope: %v\n", "", a.Packages)
+			}
+		}
+		return
+	}
+	pkgs, err := lintkit.LoadDir(*dir, flag.Args()...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "thriftylint:", err)
+		os.Exit(2)
+	}
+	diags, err := lintkit.RunAnalyzers(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "thriftylint:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "thriftylint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

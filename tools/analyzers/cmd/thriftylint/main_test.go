@@ -1,0 +1,110 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/tools/analyzers/lintkit"
+)
+
+// writeModule lays a throwaway Go module out under a temp dir so the
+// tests can prove the gate end to end: LoadDir really shells out to
+// `go list`, really type-checks, and the suite really fails a module
+// with a seeded violation.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, src := range files {
+		path := filepath.Join(dir, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+const gateGoMod = "module gatecheck\n\ngo 1.22\n"
+
+func TestSeededViolationFailsTheGate(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": gateGoMod,
+		"internal/analytic/model.go": `package analytic
+
+import "time"
+
+// Epoch leaks the wall clock into model code — the exact regression
+// the walltime gate exists to catch.
+func Epoch() int64 { return time.Now().UnixNano() }
+`,
+	})
+	pkgs, err := lintkit.LoadDir(dir, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := lintkit.RunAnalyzers(pkgs, analyzers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want exactly 1: %v", len(diags), diags)
+	}
+	d := diags[0]
+	if d.Analyzer != "walltime" || !strings.Contains(d.Message, "wall-clock time.Now") {
+		t.Errorf("unexpected diagnostic: %s", d)
+	}
+}
+
+func TestCleanModulePassesTheGate(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": gateGoMod,
+		"internal/analytic/model.go": `package analytic
+
+// Epoch derives its value from configuration, as model code must.
+func Epoch(seed int64) int64 { return seed * 1e9 }
+`,
+	})
+	pkgs, err := lintkit.LoadDir(dir, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := lintkit.RunAnalyzers(pkgs, analyzers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("unexpected diagnostic: %s", d)
+	}
+}
+
+// TestRepositoryIsClean runs the full suite over the enclosing root
+// module — the same invocation CI gates on. It keeps the tree honest
+// between CI runs: a finding here means either fix the code or justify
+// it with //lint:allow.
+func TestRepositoryIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-tree lint skipped in -short mode")
+	}
+	root, err := filepath.Abs(filepath.Join("..", "..", "..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
+		t.Skipf("root module not found at %s", root)
+	}
+	pkgs, err := lintkit.LoadDir(root, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := lintkit.RunAnalyzers(pkgs, analyzers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("finding: %s", d)
+	}
+}

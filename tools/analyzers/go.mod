@@ -1,0 +1,11 @@
+module repro/tools/analyzers
+
+go 1.22
+
+// Intentionally dependency-free. The canonical implementation of a vet
+// suite would build on golang.org/x/tools/go/analysis; this module
+// instead ships a small stdlib-only framework (lintkit) with the same
+// shape so that the whole repository — root module and tooling alike —
+// builds offline with nothing but the Go toolchain. If x/tools ever
+// becomes an acceptable dependency, the analyzers port mechanically:
+// lintkit.Analyzer/Pass mirror analysis.Analyzer/Pass on purpose.

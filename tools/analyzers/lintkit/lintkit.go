@@ -1,0 +1,216 @@
+// Package lintkit is a small, dependency-free analysis framework with
+// the same shape as golang.org/x/tools/go/analysis: an Analyzer owns a
+// Run function that inspects one type-checked package through a Pass
+// and reports diagnostics. It exists because this repository builds
+// offline with the standard library only; see the module go.mod for the
+// porting story.
+//
+// Suppression: a finding is dropped when the offending line, or the
+// line directly above it, carries a comment of the form
+//
+//	//lint:allow <name>[,<name>...] [reason]
+//
+// naming the analyzer (or one of its aliases). The legacy
+// //nolint:errcheck marker is honoured as an alias where an analyzer
+// declares it. Allowlist comments are the escape hatch for legitimate
+// measurement seams; the reason text is for the human reviewer.
+package lintkit
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one invariant checker.
+type Analyzer struct {
+	// Name is the identifier used in diagnostics and //lint:allow
+	// markers.
+	Name string
+	// Aliases are additional marker names that suppress this analyzer
+	// (e.g. "errcheck" for pre-existing //nolint:errcheck comments).
+	Aliases []string
+	// Doc is a one-paragraph description of the guarded invariant.
+	Doc string
+	// Packages restricts the analyzer to packages whose import path
+	// ends with one of these suffixes ("internal/vcrypt" matches
+	// "repro/internal/vcrypt"). Empty means every package.
+	Packages []string
+	// Run inspects one package.
+	Run func(*Pass) error
+}
+
+// AppliesTo reports whether the analyzer is configured to inspect the
+// package with the given import path.
+func (a *Analyzer) AppliesTo(importPath string) bool {
+	if len(a.Packages) == 0 {
+		return true
+	}
+	for _, pat := range a.Packages {
+		if importPath == pat || strings.HasSuffix(importPath, "/"+pat) {
+			return true
+		}
+	}
+	return false
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Pass carries one type-checked package through an analyzer run.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	allow allowIndex
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos unless an allow marker suppresses
+// it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.allow.allows(position.Filename, position.Line, p.Analyzer) {
+		return
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      position,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// allowIndex maps filename -> line -> marker names present on that
+// line.
+type allowIndex map[string]map[int][]string
+
+func (ai allowIndex) allows(filename string, line int, a *Analyzer) bool {
+	lines := ai[filename]
+	if lines == nil {
+		return false
+	}
+	names := append(append([]string(nil), lines[line]...), lines[line-1]...)
+	for _, n := range names {
+		if n == a.Name {
+			return true
+		}
+		for _, alias := range a.Aliases {
+			if n == alias {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// buildAllowIndex scans every comment of the files for suppression
+// markers. Both //lint:allow and //nolint: spellings contribute names.
+func buildAllowIndex(fset *token.FileSet, files []*ast.File) allowIndex {
+	ai := make(allowIndex)
+	add := func(pos token.Pos, names string) {
+		position := fset.Position(pos)
+		lines := ai[position.Filename]
+		if lines == nil {
+			lines = make(map[int][]string)
+			ai[position.Filename] = lines
+		}
+		for _, n := range strings.Split(names, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				lines[position.Line] = append(lines[position.Line], n)
+			}
+		}
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				for _, prefix := range []string{"lint:allow ", "nolint:"} {
+					if rest, ok := strings.CutPrefix(text, prefix); ok {
+						// Marker names end at the first space; the
+						// remainder is the human-readable reason.
+						names, _, _ := strings.Cut(rest, " ")
+						add(c.Pos(), names)
+					}
+				}
+			}
+		}
+	}
+	return ai
+}
+
+// RunAnalyzers applies every configured analyzer to every loaded
+// package and returns the combined findings sorted by position.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			if !a.AppliesTo(pkg.ImportPath) {
+				continue
+			}
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+				allow:     pkg.allow,
+				diags:     &diags,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s on %s: %w", a.Name, pkg.ImportPath, err)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+// FuncForCall resolves the *types.Func a call expression invokes, or
+// nil for calls through function values, conversions and built-ins.
+func FuncForCall(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// IsPkgFunc reports whether fn is the package-level function
+// pkgPath.name (methods never match).
+func IsPkgFunc(fn *types.Func, pkgPath, name string) bool {
+	if fn == nil || fn.Pkg() == nil || fn.Name() != name || fn.Pkg().Path() != pkgPath {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}

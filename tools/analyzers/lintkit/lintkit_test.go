@@ -1,0 +1,76 @@
+package lintkit
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+func TestAppliesTo(t *testing.T) {
+	unscoped := &Analyzer{Name: "any"}
+	scoped := &Analyzer{Name: "scoped", Packages: []string{"internal/vcrypt"}}
+	cases := []struct {
+		a    *Analyzer
+		path string
+		want bool
+	}{
+		{unscoped, "whatever/pkg", true},
+		{scoped, "internal/vcrypt", true},       // exact match
+		{scoped, "repro/internal/vcrypt", true}, // suffix at a path boundary
+		{scoped, "repro/internal/vcrypt/sub", false},
+		{scoped, "repro/notinternal/vcrypt", false}, // no mid-segment matches
+		{scoped, "internal/vcryptx", false},
+	}
+	for _, c := range cases {
+		if got := c.a.AppliesTo(c.path); got != c.want {
+			t.Errorf("AppliesTo(%q) on %s = %v, want %v", c.path, c.a.Name, got, c.want)
+		}
+	}
+}
+
+const allowSrc = `package demo
+
+func f() {
+	_ = 1 //lint:allow alpha first marker
+
+	_ = 2 //lint:allow alpha,beta comma-separated names share one marker
+
+	_ = 3 //nolint:errcheck // legacy spelling
+
+	//lint:allow alpha the marker may sit on the line above
+	_ = 4
+	_ = 5
+}
+`
+
+func TestAllowIndex(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "demo.go", allowSrc, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ai := buildAllowIndex(fset, []*ast.File{f})
+	alpha := &Analyzer{Name: "alpha"}
+	beta := &Analyzer{Name: "beta"}
+	aliased := &Analyzer{Name: "other", Aliases: []string{"errcheck"}}
+	cases := []struct {
+		line int
+		a    *Analyzer
+		want bool
+	}{
+		{4, alpha, true},
+		{4, beta, false},
+		{6, alpha, true},
+		{6, beta, true},
+		{8, aliased, true},
+		{8, alpha, false},
+		{11, alpha, true},  // marker on line 10 covers line 11
+		{12, alpha, false}, // but not line 12
+	}
+	for _, c := range cases {
+		if got := ai.allows("demo.go", c.line, c.a); got != c.want {
+			t.Errorf("allows(line %d, %s) = %v, want %v", c.line, c.a.Name, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,178 @@
+package lintkit
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// RunTest applies the analyzer to the single package formed by the .go
+// files in dir, pretending the package lives at importPath (so the
+// analyzer's Packages filter is exercised exactly as in production),
+// and checks the findings against `// want "regexp"` comments in the
+// analysistest convention: every want must be matched by a diagnostic
+// on its line, and every diagnostic must be matched by a want.
+func RunTest(t *testing.T, a *Analyzer, dir, importPath string) {
+	t.Helper()
+	diags, err := runOnDir(a, dir, importPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants, err := parseWants(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	matched := make([]bool, len(diags))
+	for _, w := range wants {
+		ok := false
+		for i, d := range diags {
+			if matched[i] || filepath.Base(d.Pos.Filename) != w.file || d.Pos.Line != w.line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				matched[i] = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.re)
+		}
+	}
+	for i, d := range diags {
+		if !matched[i] {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+}
+
+// RunTestNone asserts the analyzer reports nothing for dir when the
+// package is placed at importPath — used to prove package filters and
+// allowlist markers suppress as designed.
+func RunTestNone(t *testing.T, a *Analyzer, dir, importPath string) {
+	t.Helper()
+	diags, err := runOnDir(a, dir, importPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("unexpected diagnostic for %s: %s", importPath, d)
+	}
+}
+
+func runOnDir(a *Analyzer, dir, importPath string) ([]Diagnostic, error) {
+	pkg, err := checkDir(dir, importPath)
+	if err != nil {
+		return nil, err
+	}
+	return RunAnalyzers([]*Package{pkg}, []*Analyzer{a})
+}
+
+// checkDir parses and type-checks the files of dir as one package,
+// resolving imports from the standard library only (testdata imports
+// nothing else).
+func checkDir(dir, importPath string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no .go files in %s", dir)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: importer.ForCompiler(token.NewFileSet(), "source", nil)}
+	tpkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-check %s: %w", dir, err)
+	}
+	return &Package{
+		ImportPath: importPath,
+		Dir:        dir,
+		Fset:       fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+		allow:      buildAllowIndex(fset, files),
+	}, nil
+}
+
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+}
+
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+var wantArgRe = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+
+func parseWants(dir string) ([]want, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var wants []want
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantRe.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			for _, arg := range wantArgRe.FindAllStringSubmatch(m[1], -1) {
+				pat := arg[1]
+				if pat == "" && arg[2] != "" {
+					unq, err := strconv.Unquote(`"` + arg[2] + `"`)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want string: %v", e.Name(), i+1, err)
+					}
+					pat = unq
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: bad want regexp: %v", e.Name(), i+1, err)
+				}
+				wants = append(wants, want{file: e.Name(), line: i + 1, re: re})
+			}
+		}
+	}
+	sort.Slice(wants, func(i, j int) bool {
+		if wants[i].file != wants[j].file {
+			return wants[i].file < wants[j].file
+		}
+		return wants[i].line < wants[j].line
+	})
+	return wants, nil
+}

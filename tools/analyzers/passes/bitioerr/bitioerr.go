@@ -1,0 +1,136 @@
+// Package bitioerr flags discarded error returns in the bitstream and
+// packet I/O packages. A dropped error from a container/stream writer
+// truncates or corrupts a bitstream with no failing test to show for
+// it, and a dropped transport error turns a broken socket into silent
+// packet loss the experiment then misattributes to the channel. The
+// pass is an errcheck scoped to the packages where a lost error means a
+// corrupt artifact: every call whose result set includes an error must
+// consume it, assign it, or carry an explicit //lint:allow bitioerr
+// (or legacy //nolint:errcheck) marker stating why best-effort is
+// correct there.
+//
+// Deliberately out of scope: deferred calls (the `defer f.Close()`
+// idiom on read paths) and `go` statements, which cannot use their
+// return values anyway; and hash.Hash.Write, whose API contract
+// ("it never returns an error") makes the bare-call idiom in the
+// HMAC/HKDF code correct.
+package bitioerr
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/tools/analyzers/lintkit"
+)
+
+// DefaultPackages are the packages that produce or move bitstreams.
+var DefaultPackages = []string{
+	"internal/codec",
+	"internal/rtp",
+	"internal/transport",
+	"internal/vcrypt",
+	"internal/netem",
+}
+
+// Analyzer is the bitioerr pass.
+var Analyzer = &lintkit.Analyzer{
+	Name:     "bitioerr",
+	Aliases:  []string{"errcheck"},
+	Doc:      "flag discarded error returns in bitstream/packet I/O packages; silent write failures corrupt bitstreams",
+	Packages: DefaultPackages,
+	Run:      run,
+}
+
+func run(pass *lintkit.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					report(pass, call)
+				}
+			case *ast.AssignStmt:
+				// `_ = f()` and `_, _ = f()` discard explicitly; they
+				// get flagged too so the justification lives in an
+				// allow marker a reviewer can audit, not in a blank
+				// identifier.
+				if len(n.Rhs) != 1 {
+					return true
+				}
+				call, ok := n.Rhs[0].(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				for _, lhs := range n.Lhs {
+					if id, ok := lhs.(*ast.Ident); !ok || id.Name != "_" {
+						return true
+					}
+				}
+				report(pass, call)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// report flags call if its result set includes an error.
+func report(pass *lintkit.Pass, call *ast.CallExpr) {
+	tv, ok := pass.TypesInfo.Types[call]
+	if !ok {
+		return
+	}
+	if !resultsIncludeError(tv.Type) {
+		return
+	}
+	if isHashWrite(pass, call) {
+		return
+	}
+	name := calleeName(pass, call)
+	pass.Reportf(call.Pos(), "error result of %s discarded; a silent I/O failure corrupts the bitstream — handle it or annotate with //lint:allow bitioerr", name)
+}
+
+func resultsIncludeError(t types.Type) bool {
+	switch t := t.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErrorType(t.At(i).Type()) {
+				return true
+			}
+		}
+	default:
+		return isErrorType(t)
+	}
+	return false
+}
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// isHashWrite reports whether call is hash.Hash.Write (statically
+// typed as the hash.Hash interface), which is documented to never
+// return an error.
+func isHashWrite(pass *lintkit.Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Write" {
+		return false
+	}
+	selection, ok := pass.TypesInfo.Selections[sel]
+	if !ok {
+		return false
+	}
+	named, ok := selection.Recv().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Hash" && obj.Pkg() != nil && obj.Pkg().Path() == "hash"
+}
+
+func calleeName(pass *lintkit.Pass, call *ast.CallExpr) string {
+	if fn := lintkit.FuncForCall(pass.TypesInfo, call); fn != nil {
+		return fn.Name()
+	}
+	return "call"
+}

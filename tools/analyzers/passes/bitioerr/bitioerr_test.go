@@ -1,0 +1,22 @@
+package bitioerr_test
+
+import (
+	"testing"
+
+	"repro/tools/analyzers/lintkit"
+	"repro/tools/analyzers/passes/bitioerr"
+)
+
+func TestFlagged(t *testing.T) {
+	lintkit.RunTest(t, bitioerr.Analyzer, "testdata/flagged", "repro/internal/codec")
+}
+
+func TestAllowMarkers(t *testing.T) {
+	lintkit.RunTestNone(t, bitioerr.Analyzer, "testdata/allowed", "repro/internal/rtp")
+}
+
+func TestPackageFilter(t *testing.T) {
+	// Packages that neither produce nor move bitstreams are out of
+	// scope.
+	lintkit.RunTestNone(t, bitioerr.Analyzer, "testdata/flagged", "repro/internal/wifi")
+}

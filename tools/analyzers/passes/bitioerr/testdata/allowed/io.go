@@ -1,0 +1,22 @@
+// Testdata for the bitioerr pass: both marker spellings suppress, on
+// the offending line or the line directly above.
+package iodemo
+
+import "errors"
+
+type bitWriter struct{ n int }
+
+func (w *bitWriter) WriteBits(v uint64, width int) error {
+	if width < 0 {
+		return errors.New("iodemo: negative width")
+	}
+	w.n += width
+	return nil
+}
+
+func annotated(w *bitWriter) {
+	w.WriteBits(1, 2) //lint:allow bitioerr teardown is best-effort in this demo
+	w.WriteBits(3, 4) //nolint:errcheck // the legacy marker spelling is honoured as an alias
+	//lint:allow bitioerr the marker may sit on the line above
+	w.WriteBits(5, 6)
+}

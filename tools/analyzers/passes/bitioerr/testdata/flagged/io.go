@@ -1,0 +1,45 @@
+// Testdata for the bitioerr pass: discarded error results are flagged
+// whether dropped bare or through blank assignments; deferred calls,
+// handled errors and hash.Hash.Write are out of scope.
+package iodemo
+
+import (
+	"crypto/sha256"
+	"errors"
+)
+
+type bitWriter struct{ n int }
+
+func (w *bitWriter) WriteBits(v uint64, width int) error {
+	if width < 0 {
+		return errors.New("iodemo: negative width")
+	}
+	w.n += width
+	return nil
+}
+
+func (w *bitWriter) Flush() (int, error) { return w.n, nil }
+
+func (w *bitWriter) Reset() { w.n = 0 }
+
+func discards(w *bitWriter) {
+	w.WriteBits(1, 2)     // want `error result of WriteBits discarded`
+	_ = w.WriteBits(3, 4) // want `error result of WriteBits discarded`
+	_, _ = w.Flush()      // want `error result of Flush discarded`
+}
+
+func handled(w *bitWriter) error {
+	w.Reset() // no error in the result set
+	if err := w.WriteBits(1, 2); err != nil {
+		return err
+	}
+	n, err := w.Flush()
+	_ = n
+	return err
+}
+
+func outOfScope(w *bitWriter, data []byte) {
+	defer w.WriteBits(9, 9) // deferred: the error cannot be consumed anyway
+	h := sha256.New()
+	h.Write(data) // hash.Hash.Write is documented to never return an error
+}

@@ -1,0 +1,64 @@
+// Package cryptorand guards the selective-encryption layer's key
+// hygiene: inside internal/vcrypt, key, nonce and IV material must come
+// from crypto/rand. The whole point of the paper's eavesdropper model
+// is that marked payloads are computationally unreadable; a session key
+// drawn from math/rand (seeded or not) is recoverable from a handful of
+// outputs, which silently voids every confidentiality claim. The
+// analyzer therefore bans math/rand from the package outright — any
+// legitimate deterministic randomness vcrypt ever needs (there is none
+// today) would have to be injected by a caller and justified with an
+// explicit //lint:allow cryptorand marker on the import line.
+package cryptorand
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+
+	"repro/tools/analyzers/lintkit"
+)
+
+// DefaultPackages restricts the ban to the crypto layer.
+var DefaultPackages = []string{"internal/vcrypt"}
+
+// Analyzer is the cryptorand pass.
+var Analyzer = &lintkit.Analyzer{
+	Name:     "cryptorand",
+	Doc:      "key/nonce/IV material must come from crypto/rand; math/rand is banned in the crypto layer",
+	Packages: DefaultPackages,
+	Run:      run,
+}
+
+var mathRandPaths = map[string]bool{"math/rand": true, "math/rand/v2": true}
+
+func run(pass *lintkit.Pass) error {
+	for _, file := range pass.Files {
+		for _, imp := range file.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if mathRandPaths[path] {
+				pass.Reportf(imp.Pos(), "import of %s in the crypto layer: key material must come from crypto/rand", path)
+			}
+		}
+		// Defence in depth against dot-imports or aliased escape: flag
+		// any resolved use of a math/rand object, not just the import.
+		ast.Inspect(file, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[id]
+			if obj == nil || obj.Pkg() == nil || !mathRandPaths[obj.Pkg().Path()] {
+				return true
+			}
+			if _, isPkgName := obj.(*types.PkgName); isPkgName {
+				return true // the import spec case above already reported it
+			}
+			pass.Reportf(id.Pos(), "use of math/rand.%s in the crypto layer: key material must come from crypto/rand", obj.Name())
+			return true
+		})
+	}
+	return nil
+}

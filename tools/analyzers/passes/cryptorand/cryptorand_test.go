@@ -1,0 +1,22 @@
+package cryptorand_test
+
+import (
+	"testing"
+
+	"repro/tools/analyzers/lintkit"
+	"repro/tools/analyzers/passes/cryptorand"
+)
+
+func TestFlagged(t *testing.T) {
+	lintkit.RunTest(t, cryptorand.Analyzer, "testdata/flagged", "repro/internal/vcrypt")
+}
+
+func TestAllowMarker(t *testing.T) {
+	lintkit.RunTestNone(t, cryptorand.Analyzer, "testdata/allowed", "repro/internal/vcrypt")
+}
+
+func TestPackageFilter(t *testing.T) {
+	// Outside the crypto layer the same source is the seededrand pass's
+	// business, not this one's.
+	lintkit.RunTestNone(t, cryptorand.Analyzer, "testdata/flagged", "repro/internal/codec")
+}

@@ -1,0 +1,5 @@
+// Testdata for the cryptorand pass: the only sanctioned escape is an
+// explicitly justified marker on the import line itself.
+package vcryptdemo
+
+import _ "math/rand" //lint:allow cryptorand contrived blank import; no key material involved

@@ -1,0 +1,23 @@
+// Testdata for the cryptorand pass: math/rand is banned from the
+// crypto layer at the import and at every resolved use; crypto/rand is
+// the sanctioned source.
+package vcryptdemo
+
+import (
+	crand "crypto/rand"
+	"math/rand" // want `import of math/rand in the crypto layer`
+)
+
+func badKey() []byte {
+	k := make([]byte, 16)
+	for i := range k {
+		k[i] = byte(rand.Intn(256)) // want `use of math/rand\.Intn in the crypto layer`
+	}
+	return k
+}
+
+func goodKey() ([]byte, error) {
+	k := make([]byte, 16)
+	_, err := crand.Read(k)
+	return k, err
+}

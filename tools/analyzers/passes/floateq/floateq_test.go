@@ -1,0 +1,22 @@
+package floateq_test
+
+import (
+	"testing"
+
+	"repro/tools/analyzers/lintkit"
+	"repro/tools/analyzers/passes/floateq"
+)
+
+func TestFlagged(t *testing.T) {
+	lintkit.RunTest(t, floateq.Analyzer, "testdata/flagged", "repro/internal/analytic")
+}
+
+func TestAllowMarker(t *testing.T) {
+	lintkit.RunTestNone(t, floateq.Analyzer, "testdata/allowed", "repro/internal/stats")
+}
+
+func TestPackageFilter(t *testing.T) {
+	// Non-numerical packages may compare floats exactly (sequence
+	// numbers cast for jitter math and the like are their own problem).
+	lintkit.RunTestNone(t, floateq.Analyzer, "testdata/flagged", "repro/internal/transport")
+}

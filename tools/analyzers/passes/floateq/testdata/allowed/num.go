@@ -1,0 +1,14 @@
+// Testdata for the floateq pass: a justified marker keeps an exact
+// comparison where exactness is the point.
+package numdemo
+
+func zeroMassSkip(weights []float64) float64 {
+	var sum float64
+	for _, w := range weights {
+		if w == 0 { //lint:allow floateq exact zero-mass skip; an epsilon would drop real probability mass
+			continue
+		}
+		sum += 1 / w
+	}
+	return sum
+}

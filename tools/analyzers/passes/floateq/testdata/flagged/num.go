@@ -1,0 +1,46 @@
+// Testdata for the floateq pass: exact float (and complex) equality is
+// flagged outside the tolerance helpers; constant folds, integer
+// comparisons and the NaN-test idiom are not.
+package numdemo
+
+func converged(prev, cur float64) bool {
+	return prev == cur // want `floating-point == comparison`
+}
+
+func drifted(a, b float64) bool {
+	return a != b // want `floating-point != comparison`
+}
+
+func unitGain(g complex128) bool {
+	return g == 1 // want `floating-point == comparison`
+}
+
+func intsAreFine(a, b int) bool { return a == b }
+
+func constantFold() bool {
+	// Both operands are compile-time constants; the comparison is folded
+	// before any float arithmetic runs.
+	return 0.1+0.2 == 0.30000000000000004
+}
+
+func isNaN(x float64) bool {
+	return x != x // the self-comparison NaN test
+}
+
+// ApproxEqual mirrors the production tolerance helper: exact compares
+// inside its body are the primitive everything else should call.
+func ApproxEqual(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= tol
+}
+
+// NearZero is the second sanctioned helper name.
+func NearZero(x float64) bool {
+	return x == 0
+}

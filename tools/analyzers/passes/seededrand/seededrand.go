@@ -1,0 +1,100 @@
+// Package seededrand forbids the global math/rand entry points in the
+// repository's deterministic model and simulation packages. Every
+// headline result (bit-identical parallel encode, reproducible netem
+// chaos runs, the Figure-9 curves) depends on randomness flowing
+// through an explicitly seeded generator — a *math/rand.Rand or the
+// repo's stats.RNG — handed down the call path. The package-level
+// convenience functions (rand.Intn, rand.Float64, ...) share hidden
+// global state and, since Go 1.20, are runtime-seeded, so one stray
+// call silently breaks reproducibility. Time-seeded sources
+// (rand.NewSource(time.Now().UnixNano())) are rejected for the same
+// reason even though they construct a local generator.
+package seededrand
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/tools/analyzers/lintkit"
+)
+
+// DefaultPackages are the deterministic packages of the root module.
+var DefaultPackages = []string{
+	"internal/codec",
+	"internal/netem",
+	"internal/analytic",
+	"internal/experiments",
+	"internal/queuesim",
+	"internal/traffic",
+	"internal/stats",
+}
+
+// Analyzer is the seededrand pass.
+var Analyzer = &lintkit.Analyzer{
+	Name:     "seededrand",
+	Doc:      "forbid global math/rand functions and time-seeded sources in deterministic code; thread a seeded *rand.Rand or stats.RNG instead",
+	Packages: DefaultPackages,
+	Run:      run,
+}
+
+// mathRandPaths covers both generations of the package.
+var mathRandPaths = map[string]bool{"math/rand": true, "math/rand/v2": true}
+
+// constructors build local generators and are fine by themselves (the
+// seed they receive is checked separately for wall-clock taint).
+var constructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true, // math/rand/v2
+}
+
+func run(pass *lintkit.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				fn, ok := pass.TypesInfo.Uses[n.Sel].(*types.Func)
+				if !ok || fn.Pkg() == nil || !mathRandPaths[fn.Pkg().Path()] {
+					return true
+				}
+				if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+					return true // methods on *rand.Rand are explicit-generator use
+				}
+				if constructors[fn.Name()] {
+					return true
+				}
+				pass.Reportf(n.Pos(), "use of global math/rand.%s shares hidden runtime-seeded state; thread a seeded *rand.Rand or stats.RNG through the call path", fn.Name())
+			case *ast.CallExpr:
+				fn := lintkit.FuncForCall(pass.TypesInfo, n)
+				if fn == nil || fn.Pkg() == nil || !mathRandPaths[fn.Pkg().Path()] || !constructors[fn.Name()] {
+					return true
+				}
+				for _, arg := range n.Args {
+					if pos, found := findWallClock(pass, arg); found {
+						pass.Reportf(pos, "math/rand.%s seeded from the wall clock is unreproducible; derive the seed from the experiment configuration", fn.Name())
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// findWallClock reports the position of a time.Now/time.Since call
+// anywhere inside expr.
+func findWallClock(pass *lintkit.Pass, expr ast.Expr) (pos token.Pos, found bool) {
+	ast.Inspect(expr, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+		if ok && (lintkit.IsPkgFunc(fn, "time", "Now") || lintkit.IsPkgFunc(fn, "time", "Since")) {
+			pos, found = sel.Pos(), true
+			return false
+		}
+		return true
+	})
+	return pos, found
+}

@@ -1,0 +1,22 @@
+package seededrand_test
+
+import (
+	"testing"
+
+	"repro/tools/analyzers/lintkit"
+	"repro/tools/analyzers/passes/seededrand"
+)
+
+func TestFlagged(t *testing.T) {
+	lintkit.RunTest(t, seededrand.Analyzer, "testdata/flagged", "repro/internal/netem")
+}
+
+func TestAllowMarker(t *testing.T) {
+	lintkit.RunTestNone(t, seededrand.Analyzer, "testdata/allowed", "repro/internal/stats")
+}
+
+func TestPackageFilter(t *testing.T) {
+	// The same flagged source is silent outside the deterministic
+	// packages.
+	lintkit.RunTestNone(t, seededrand.Analyzer, "testdata/flagged", "repro/cmd/seedtool")
+}

@@ -1,0 +1,9 @@
+// Testdata for the seededrand pass: an explicit marker suppresses the
+// finding on its line.
+package rngdemo
+
+import "math/rand"
+
+func legacyGlobal() int {
+	return rand.Intn(10) //lint:allow seededrand contrived demo; the harness reseeds the global source
+}

@@ -1,0 +1,25 @@
+// Testdata for the seededrand pass: global math/rand entry points and
+// wall-clock seeds are flagged; explicit seeded generators are not.
+package rngdemo
+
+import (
+	"math/rand"
+	"time"
+)
+
+func globals() int {
+	rand.Shuffle(3, func(i, j int) {}) // want `use of global math/rand\.Shuffle shares hidden runtime-seeded state`
+	return rand.Intn(10)               // want `use of global math/rand\.Intn shares hidden runtime-seeded state`
+}
+
+func timeSeeded() *rand.Rand {
+	// Both the New and the NewSource constructor see the tainted seed.
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want `math/rand\.New seeded from the wall clock` `math/rand\.NewSource seeded from the wall clock`
+}
+
+func seeded(seed int64) float64 {
+	// A configuration-derived seed and methods on the local generator
+	// are exactly the sanctioned idiom.
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Float64()
+}

@@ -1,0 +1,12 @@
+// Testdata for the walltime pass: measurement seams carry a marker on
+// the offending line or on the line directly above it.
+package clockdemo
+
+import "time"
+
+func measure(work func()) time.Duration {
+	t0 := time.Now() //lint:allow walltime observability seam: times the work, never feeds the model
+	work()
+	//lint:allow walltime observability seam: the marker may sit on the line above
+	return time.Since(t0)
+}

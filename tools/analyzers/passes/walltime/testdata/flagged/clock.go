@@ -1,0 +1,21 @@
+// Testdata for the walltime pass: every wall-clock read is flagged;
+// duration arithmetic and explicit time values are fine.
+package clockdemo
+
+import "time"
+
+func stamp() time.Time {
+	return time.Now() // want `wall-clock time\.Now in deterministic model code`
+}
+
+func age(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `wall-clock time\.Since in deterministic model code`
+}
+
+func remaining(deadline time.Time) time.Duration {
+	return time.Until(deadline) // want `wall-clock time\.Until in deterministic model code`
+}
+
+func simulated(step time.Duration, n int) time.Duration {
+	return step * time.Duration(n)
+}

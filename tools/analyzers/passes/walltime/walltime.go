@@ -1,0 +1,66 @@
+// Package walltime forbids reading the wall clock (time.Now,
+// time.Since, time.Until) in the deterministic model and simulation
+// packages. Model code must be a pure function of its inputs and seeds:
+// one stray time.Now() in a simulated path desynchronises repeated runs
+// and silently breaks the reproducibility of the Figure-9 curves. The
+// legitimate exceptions — observability measurement seams that time a
+// computation without feeding the result back into the model, and the
+// real-socket pacing/outage features of netem — carry an explicit
+// //lint:allow walltime marker with a reason, so every wall-clock read
+// in a deterministic package is individually justified.
+package walltime
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/tools/analyzers/lintkit"
+)
+
+// DefaultPackages are the packages whose outputs must be reproducible
+// from seeds. netem is included deliberately: its simulated impairments
+// (Gilbert–Elliott, SeqBurst, Conditioner) are sequence-driven and
+// deterministic, and its handful of real-time features (Pacer, outage
+// epochs, proxy blackouts) are exactly the seams the allowlist is for.
+var DefaultPackages = []string{
+	"internal/codec",
+	"internal/netem",
+	"internal/analytic",
+	"internal/experiments",
+	"internal/queuesim",
+	"internal/traffic",
+	"internal/stats",
+	"internal/wifi",
+	"internal/core",
+	"internal/energy",
+	"internal/evalvid",
+	"internal/video",
+}
+
+// Analyzer is the walltime pass.
+var Analyzer = &lintkit.Analyzer{
+	Name:     "walltime",
+	Doc:      "forbid wall-clock reads in deterministic model/simulation code; annotate measurement seams with //lint:allow walltime",
+	Packages: DefaultPackages,
+	Run:      run,
+}
+
+var wallFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+func run(pass *lintkit.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || !wallFuncs[fn.Name()] || !lintkit.IsPkgFunc(fn, "time", fn.Name()) {
+				return true
+			}
+			pass.Reportf(sel.Pos(), "wall-clock time.%s in deterministic model code; derive timing from the simulation clock, or annotate a measurement seam with //lint:allow walltime", fn.Name())
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,22 @@
+package walltime_test
+
+import (
+	"testing"
+
+	"repro/tools/analyzers/lintkit"
+	"repro/tools/analyzers/passes/walltime"
+)
+
+func TestFlagged(t *testing.T) {
+	lintkit.RunTest(t, walltime.Analyzer, "testdata/flagged", "repro/internal/queuesim")
+}
+
+func TestAllowMarkers(t *testing.T) {
+	lintkit.RunTestNone(t, walltime.Analyzer, "testdata/allowed", "repro/internal/codec")
+}
+
+func TestPackageFilter(t *testing.T) {
+	// Live transport code may read the clock; the pass only guards the
+	// deterministic packages.
+	lintkit.RunTestNone(t, walltime.Analyzer, "testdata/flagged", "repro/internal/transport")
+}
