@@ -121,6 +121,11 @@ func PowerSavings(res []PowerResult, motion video.MotionLevel, alg vcrypt.Algori
 		case vcrypt.ModeAll:
 			all = r.Power.Mean
 			found++
+		default:
+			// The headline comparison of Sections 1/6.3 is none vs
+			// I-only vs full; intermediate policies (P-frames,
+			// I+fraction-of-P, half-I) are deliberately outside this
+			// figure and are skipped, not an accident of a new Mode.
 		}
 	}
 	if found < 3 || none == 0 {

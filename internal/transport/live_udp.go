@@ -515,15 +515,23 @@ func LiveUDPSendReliable(s Session, rxAddr, evAddr string, pace bool, opts Relia
 			if !ok {
 				continue
 			}
+			// Snapshot the buffered packets under the lock, write after
+			// releasing it: the send loop stores fresh I-frame packets
+			// under the same mutex, and a UDP write stalled by the OS
+			// would otherwise stall the encode path with it.
+			var resend [][]byte
 			bufMu.Lock()
 			for _, seq := range seqs {
 				if out, have := iBuf[seq]; have {
-					rxConn.Write(out) //nolint:errcheck // best effort, like the medium
+					resend = append(resend, out)
 					retransmits++
 					mNACKRetransmits.Inc()
 				}
 			}
 			bufMu.Unlock()
+			for _, out := range resend {
+				rxConn.Write(out) //nolint:errcheck // best effort, like the medium
+			}
 		}
 	}()
 

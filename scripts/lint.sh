@@ -27,10 +27,21 @@ if [ "$deps" != "repro" ]; then
     exit 1
 fi
 
+echo "==> zero-dependency check (tools/analyzers)"
+adeps=$(cd tools/analyzers && go list -m all)
+if [ "$adeps" != "repro/tools/analyzers" ]; then
+    echo "analyzer module grew dependencies:" >&2
+    echo "$adeps" >&2
+    exit 1
+fi
+
 echo "==> go vet + go test (tools/analyzers)"
 (cd tools/analyzers && go vet ./... && go test ./...)
 
 echo "==> thriftylint"
 (cd tools/analyzers && go run ./cmd/thriftylint -C "$root" ./...)
+
+echo "==> lintmut (quick mutation subset; CI runs the full set)"
+(cd tools/analyzers && go run ./cmd/lintmut -root "$root" -quick)
 
 echo "lint OK"

@@ -1,0 +1,445 @@
+// Command lintmut is the mutation-testing gate for the thriftylint
+// analyzers: it seeds known violations — the exact bug classes the
+// paper's invariants forbid, such as an I-frame leaving on a UDP socket
+// without encryption or a mutex held across a pacing sleep — into a
+// scratch copy of the root module and requires every one of them to be
+// caught. A static-analysis suite that no longer fires on the bugs it
+// was written for is worse than none (it certifies a broken tree as
+// clean), so CI treats a surviving mutant as a build failure.
+//
+// Usage:
+//
+//	lintmut [-root moduleDir] [-quick] [-list] [-v]
+//
+// -quick runs the deterministic fast subset (one mutant per analyzer
+// family) used by scripts/lint.sh; CI runs the full set. The root
+// module is never modified: mutants are applied to a copy under the
+// system temp directory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/tools/analyzers/lintkit"
+	"repro/tools/analyzers/passes/bitioerr"
+	"repro/tools/analyzers/passes/cryptorand"
+	"repro/tools/analyzers/passes/exhaustenum"
+	"repro/tools/analyzers/passes/floateq"
+	"repro/tools/analyzers/passes/lockheld"
+	"repro/tools/analyzers/passes/plainleak"
+	"repro/tools/analyzers/passes/seededrand"
+	"repro/tools/analyzers/passes/walltime"
+)
+
+// patch is one textual substitution inside a mutant's file.
+type patch struct {
+	Old string
+	New string
+	// Occ selects the 1-based occurrence of Old when the file contains
+	// it more than once; 0 requires the match to be unique.
+	Occ int
+}
+
+// mutant is one seeded violation: the file edit plus the analyzer that
+// must catch it. Every mutant keeps the module compiling — the gate
+// tests the analyzers, not the compiler.
+type mutant struct {
+	ID       string
+	Analyzer *lintkit.Analyzer
+	File     string // path relative to the module root
+	Patches  []patch
+	Desc     string
+	Quick    bool
+}
+
+const (
+	udpEncryptCall  = "cipher.EncryptPacket(uint64(seq), payload[:s.Policy.EncryptSpan(len(payload))])"
+	httpEncryptCall = "cipher.EncryptPacket(seq, payload[:s.Policy.EncryptSpan(len(payload))])"
+)
+
+var mutants = []mutant{
+	// --- plainleak: the selective-encryption invariant ---
+	{
+		ID: "udp-iframe-plain", Analyzer: plainleak.Analyzer,
+		File:    "internal/transport/live_udp.go",
+		Patches: []patch{{Old: udpEncryptCall, New: "_ = cipher", Occ: 2}},
+		Desc:    "LiveUDPSendReliable sends I-frame packets over UDP without encrypting them",
+		Quick:   true,
+	},
+	{
+		ID: "udp-plain", Analyzer: plainleak.Analyzer,
+		File:    "internal/transport/live_udp.go",
+		Patches: []patch{{Old: udpEncryptCall, New: "_ = cipher", Occ: 1}},
+		Desc:    "LiveUDPSend drops the EncryptPacket call on the selected path",
+	},
+	{
+		ID: "http-plain", Analyzer: plainleak.Analyzer,
+		File:    "internal/transport/live_http.go",
+		Patches: []patch{{Old: httpEncryptCall, New: "_ = cipher"}},
+		Desc:    "the HTTP segment streamer pipes plaintext payloads into the upload body",
+	},
+	{
+		ID: "resume-plain", Analyzer: plainleak.Analyzer,
+		File:    "internal/transport/resume.go",
+		Patches: []patch{{Old: httpEncryptCall, New: "_ = cipher"}},
+		Desc:    "resumable uploads re-segment without re-encrypting after a restart",
+	},
+	{
+		ID: "udp-guard-bypass", Analyzer: plainleak.Analyzer,
+		File: "internal/transport/live_udp.go",
+		Patches: []patch{{
+			Old: "encrypted := selector.ShouldEncrypt(pkt.IsIFrame())",
+			New: "_ = selector\n\t\t\tencrypted := pkt.IsIFrame()",
+			Occ: 1,
+		}},
+		Desc: "the encryption decision no longer comes from the policy selector, so plaintext sends are unsanctioned",
+	},
+	{
+		ID: "http-guard-bypass", Analyzer: plainleak.Analyzer,
+		File: "internal/transport/live_http.go",
+		Patches: []patch{{
+			Old: "encrypted := selector.ShouldEncrypt(pkt.IsIFrame())",
+			New: "_ = selector\n\t\t\t\tencrypted := pkt.IsIFrame()",
+		}},
+		Desc: "the HTTP streamer guesses the policy instead of asking the selector",
+	},
+
+	// --- lockheld: no parking with a mutex held ---
+	{
+		ID: "nack-under-lock", Analyzer: lockheld.Analyzer,
+		File: "internal/transport/live_udp.go",
+		Patches: []patch{{
+			Old: "\t\t\tbufMu.Unlock()\n\t\t\tfor _, out := range resend {",
+			New: "\t\t\tfor _, out := range resend {",
+		}},
+		Desc:  "NACK retransmits go back to writing UDP datagrams while holding the I-frame buffer lock",
+		Quick: true,
+	},
+	{
+		ID: "pacer-under-lock", Analyzer: lockheld.Analyzer,
+		File: "internal/netem/proxy.go",
+		Patches: []patch{{
+			Old: "\tp.mu.Lock()\n\tdefer p.mu.Unlock()\n\tif p.cutAfter <= 0 {\n\t\treturn n, false\n\t}",
+			New: "\tp.mu.Lock()\n\tdefer p.mu.Unlock()\n\tif p.pacer != nil {\n\t\tp.pacer.Wait(n)\n\t}\n\tif p.cutAfter <= 0 {\n\t\treturn n, false\n\t}",
+		}},
+		Desc:  "the proxy budget accountant parks on Pacer.Wait with its mutex held",
+		Quick: true,
+	},
+	{
+		ID: "ibuf-defer-lock", Analyzer: lockheld.Analyzer,
+		File: "internal/transport/live_udp.go",
+		Patches: []patch{{
+			Old: "\t\t\t\tbufMu.Lock()\n\t\t\t\tiBuf[uint64(seq)] = out\n\t\t\t\tbufMu.Unlock()",
+			New: "\t\t\t\tbufMu.Lock()\n\t\t\t\tiBuf[uint64(seq)] = out\n\t\t\t\tdefer bufMu.Unlock()",
+		}},
+		Desc: "the I-frame buffer lock is held until function return, across every subsequent send",
+	},
+	{
+		ID: "nextseq-sleep", Analyzer: lockheld.Analyzer,
+		File: "internal/transport/live_http.go",
+		Patches: []patch{{
+			Old: "\ts.mu.Lock()\n\tdefer s.mu.Unlock()\n\treturn s.next",
+			New: "\ts.mu.Lock()\n\tdefer s.mu.Unlock()\n\ttime.Sleep(time.Millisecond)\n\treturn s.next",
+		}},
+		Desc: "the upload server's ack accessor sleeps inside its critical section",
+	},
+	{
+		ID: "cond-wait-nolock", Analyzer: lockheld.Analyzer,
+		File: "internal/transport/live_udp.go",
+		Patches: []patch{{
+			Old: "\tr.mu.Lock()\n\tdefer r.mu.Unlock()\n\tfor r.captured < n {",
+			New: "\tfor r.captured < n {",
+		}},
+		Desc: "the receiver waiter calls cond.Wait without holding the mutex Wait is documented to require",
+	},
+
+	// --- exhaustenum: no silent fallthrough on enum growth ---
+	{
+		ID: "power-default-removed", Analyzer: exhaustenum.Analyzer,
+		File: "internal/experiments/power.go",
+		Patches: []patch{{
+			Old: "\t\tdefault:\n\t\t\t// The headline comparison of Sections 1/6.3 is none vs\n\t\t\t// I-only vs full; intermediate policies (P-frames,\n\t\t\t// I+fraction-of-P, half-I) are deliberately outside this\n\t\t\t// figure and are skipped, not an accident of a new Mode.\n\t\t}",
+			New: "\t\t}",
+		}},
+		Desc:  "the power-savings dispatch loses its reasoned default and silently skips future modes",
+		Quick: true,
+	},
+	{
+		ID: "metrics-default-removed", Analyzer: exhaustenum.Analyzer,
+		File: "internal/codec/metrics.go",
+		Patches: []patch{{
+			Old: "\tdefault:\n\t\tmFramesEncodedB.Inc()\n\t\tmFrameBytesB.Add(int64(out.Size()))\n\t}",
+			New: "\t}",
+		}},
+		Desc: "the per-frame counters stop counting B-frames without covering the member",
+	},
+
+	// --- walltime / floateq / bitioerr: stripping a justified
+	// suppression must re-trigger the underlying finding, proving both
+	// the pass and the allow plumbing still work ---
+	{
+		ID: "walltime-pacer", Analyzer: walltime.Analyzer,
+		File: "internal/netem/netem.go",
+		Patches: []patch{{
+			Old: "now := time.Now() //lint:allow walltime real-socket feature: the pacer shapes live connections on the wall clock",
+			New: "now := time.Now()",
+		}},
+		Desc:  "the pacer's wall-clock read loses its justification",
+		Quick: true,
+	},
+	{
+		ID: "walltime-proxy", Analyzer: walltime.Analyzer,
+		File: "internal/netem/proxy.go",
+		Patches: []patch{{
+			Old: "blackout := time.Now().Before(p.downUntil) //lint:allow walltime real-socket feature: blackout windows on live TCP relays are wall-clock by design",
+			New: "blackout := time.Now().Before(p.downUntil)",
+		}},
+		Desc: "the proxy blackout check loses its justification",
+	},
+	{
+		ID: "floateq-boundary", Analyzer: floateq.Analyzer,
+		File: "internal/stats/rng.go",
+		Patches: []patch{{
+			Old: "if p == 1 { //lint:allow floateq exact boundary: callers pass the literal 1.0 for a sure success",
+			New: "if p == 1 {",
+		}},
+		Desc: "an exact float comparison loses its justification",
+	},
+	{
+		ID: "bitioerr-status", Analyzer: bitioerr.Analyzer,
+		File: "internal/transport/live_http.go",
+		Patches: []patch{{
+			Old: "fmt.Fprintf(w, \"ok %d next %d\\n\", count, s.NextSeq()) //lint:allow bitioerr best-effort status body; the header already carried the answer",
+			New: "fmt.Fprintf(w, \"ok %d next %d\\n\", count, s.NextSeq())",
+		}},
+		Desc: "a dropped write error loses its justification",
+	},
+
+	// --- cryptorand / seededrand: randomness hygiene ---
+	{
+		ID: "cryptorand-mathrand", Analyzer: cryptorand.Analyzer,
+		File: "internal/vcrypt/handshake.go",
+		Patches: []patch{
+			{Old: "\t\"crypto/rand\"", New: "\trand \"math/rand\""},
+			{Old: "\t\trng = rand.Reader", New: "\t\trng = rand.New(rand.NewSource(1))"},
+		},
+		Desc:  "handshake key material falls back to math/rand",
+		Quick: true,
+	},
+	{
+		ID: "seededrand-global", Analyzer: seededrand.Analyzer,
+		File: "internal/stats/rng.go",
+		Patches: []patch{
+			{Old: "import \"math\"", New: "import (\n\t\"math\"\n\t\"math/rand\"\n)"},
+			{Old: "\tu := r.Float64()", New: "\tu := rand.Float64()", Occ: 1},
+		},
+		Desc: "an exponential deviate silently switches to the unseeded global generator",
+	},
+}
+
+// gateAnalyzers is the union of analyzers the mutants target: the
+// pristine copy must be clean under all of them before mutation starts.
+func gateAnalyzers() []*lintkit.Analyzer {
+	seen := map[*lintkit.Analyzer]bool{}
+	var out []*lintkit.Analyzer
+	for _, m := range mutants {
+		if !seen[m.Analyzer] {
+			seen[m.Analyzer] = true
+			out = append(out, m.Analyzer)
+		}
+	}
+	return out
+}
+
+func main() {
+	root := flag.String("root", ".", "directory of the module to mutate")
+	quick := flag.Bool("quick", false, "run only the fast per-family subset")
+	list := flag.Bool("list", false, "list the mutants and exit")
+	verbose := flag.Bool("v", false, "print per-mutant findings")
+	flag.Parse()
+	if *list {
+		for _, m := range mutants {
+			q := " "
+			if m.Quick {
+				q = "q"
+			}
+			fmt.Printf("%s %-24s %-12s %s\n", q, m.ID, m.Analyzer.Name, m.Desc)
+		}
+		return
+	}
+	if err := run(*root, *quick, *verbose, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "lintmut:", err)
+		os.Exit(1)
+	}
+}
+
+// run copies the module, verifies the pristine copy is clean, applies
+// each selected mutant in turn and requires its analyzer to fire.
+func run(root string, quick, verbose bool, out io.Writer) error {
+	selected := mutants
+	if quick {
+		selected = nil
+		for _, m := range mutants {
+			if m.Quick {
+				selected = append(selected, m)
+			}
+		}
+	}
+	scratch, err := copyModule(root)
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(scratch)
+
+	pristine, err := analyze(scratch, gateAnalyzers())
+	if err != nil {
+		return err
+	}
+	if len(pristine) > 0 {
+		for _, d := range pristine {
+			fmt.Fprintln(out, d)
+		}
+		return fmt.Errorf("pristine module has %d finding(s); fix the tree before mutation testing", len(pristine))
+	}
+
+	survived := 0
+	for _, m := range selected {
+		path := filepath.Join(scratch, filepath.FromSlash(m.File))
+		orig, err := os.ReadFile(path)
+		if err != nil {
+			return fmt.Errorf("%s: %w", m.ID, err)
+		}
+		mutated, err := applyPatches(string(orig), m.Patches)
+		if err != nil {
+			return fmt.Errorf("%s: %s: %w", m.ID, m.File, err)
+		}
+		if err := os.WriteFile(path, []byte(mutated), 0o644); err != nil {
+			return fmt.Errorf("%s: %w", m.ID, err)
+		}
+		diags, err := analyze(scratch, []*lintkit.Analyzer{m.Analyzer})
+		if restoreErr := os.WriteFile(path, orig, 0o644); restoreErr != nil {
+			return fmt.Errorf("%s: restore: %w", m.ID, restoreErr)
+		}
+		if err != nil {
+			return fmt.Errorf("%s: mutated module no longer analyzes (mutant must keep the tree type-checking): %w", m.ID, err)
+		}
+		if len(diags) == 0 {
+			fmt.Fprintf(out, "SURVIVED %-24s %-12s %s\n", m.ID, m.Analyzer.Name, m.Desc)
+			survived++
+			continue
+		}
+		fmt.Fprintf(out, "killed   %-24s %-12s %d finding(s)\n", m.ID, m.Analyzer.Name, len(diags))
+		if verbose {
+			for _, d := range diags {
+				fmt.Fprintln(out, "  ", d)
+			}
+		}
+	}
+	fmt.Fprintf(out, "lintmut: %d/%d mutants killed\n", len(selected)-survived, len(selected))
+	if survived > 0 {
+		return fmt.Errorf("%d mutant(s) survived: the analyzers no longer catch the bug classes they gate", survived)
+	}
+	return nil
+}
+
+// analyze loads the module at dir and runs the given analyzers.
+func analyze(dir string, analyzers []*lintkit.Analyzer) ([]lintkit.Diagnostic, error) {
+	pkgs, err := lintkit.LoadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	return lintkit.RunAnalyzers(pkgs, analyzers)
+}
+
+// applyPatches performs each substitution, enforcing the occurrence
+// contract so a refactor that duplicates the anchor text fails loudly
+// instead of mutating the wrong site.
+func applyPatches(src string, patches []patch) (string, error) {
+	for _, p := range patches {
+		n := strings.Count(src, p.Old)
+		switch {
+		case n == 0:
+			return "", fmt.Errorf("anchor %q not found (the code moved; update the mutant)", firstLine(p.Old))
+		case p.Occ == 0 && n > 1:
+			return "", fmt.Errorf("anchor %q matches %d times; set Occ", firstLine(p.Old), n)
+		case p.Occ > n:
+			return "", fmt.Errorf("anchor %q matches %d times, want occurrence %d", firstLine(p.Old), n, p.Occ)
+		}
+		occ := p.Occ
+		if occ == 0 {
+			occ = 1
+		}
+		idx := -1
+		for i := 0; i < occ; i++ {
+			next := strings.Index(src[idx+1:], p.Old)
+			if next < 0 {
+				return "", fmt.Errorf("anchor %q vanished mid-apply", firstLine(p.Old))
+			}
+			idx += 1 + next
+		}
+		src = src[:idx] + p.New + src[idx+len(p.Old):]
+	}
+	return src, nil
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i] + "..."
+	}
+	return s
+}
+
+// copyModule copies the root module's sources into a scratch directory:
+// go.mod/go.sum plus every .go file outside .git and the separate
+// tools module.
+func copyModule(root string) (string, error) {
+	absRoot, err := filepath.Abs(root)
+	if err != nil {
+		return "", err
+	}
+	if _, err := os.Stat(filepath.Join(absRoot, "go.mod")); err != nil {
+		return "", fmt.Errorf("%s is not a module root: %w", absRoot, err)
+	}
+	scratch, err := os.MkdirTemp("", "lintmut-")
+	if err != nil {
+		return "", err
+	}
+	err = filepath.WalkDir(absRoot, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(absRoot, p)
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if d.Name() == ".git" || rel == "tools" || d.Name() == "testdata" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		base := d.Name()
+		if !strings.HasSuffix(base, ".go") && base != "go.mod" && base != "go.sum" {
+			return nil
+		}
+		data, err := os.ReadFile(p)
+		if err != nil {
+			return err
+		}
+		dst := filepath.Join(scratch, rel)
+		if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+			return err
+		}
+		return os.WriteFile(dst, data, 0o644)
+	})
+	if err != nil {
+		os.RemoveAll(scratch)
+		return "", err
+	}
+	return scratch, nil
+}

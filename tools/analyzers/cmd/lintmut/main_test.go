@@ -1,0 +1,55 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// moduleRoot is the root module relative to this package's directory.
+const moduleRoot = "../../../.."
+
+// TestMutantsApplyCleanly pins every mutant's anchor text to the
+// current tree: a refactor that moves or duplicates an anchor fails
+// here (cheaply) instead of inside the CI gate.
+func TestMutantsApplyCleanly(t *testing.T) {
+	ids := map[string]bool{}
+	for _, m := range mutants {
+		if ids[m.ID] {
+			t.Errorf("duplicate mutant id %s", m.ID)
+		}
+		ids[m.ID] = true
+		data, err := os.ReadFile(filepath.Join(moduleRoot, filepath.FromSlash(m.File)))
+		if err != nil {
+			t.Errorf("%s: %v", m.ID, err)
+			continue
+		}
+		mutated, err := applyPatches(string(data), m.Patches)
+		if err != nil {
+			t.Errorf("%s: %v", m.ID, err)
+			continue
+		}
+		if mutated == string(data) {
+			t.Errorf("%s: patches are a no-op", m.ID)
+		}
+	}
+	// The gate's two contractual mutants: an unencrypted I-frame UDP
+	// send and a lock held across Pacer.Wait.
+	for _, required := range []string{"udp-iframe-plain", "pacer-under-lock"} {
+		if !ids[required] {
+			t.Errorf("required mutant %s is missing", required)
+		}
+	}
+}
+
+// TestQuickGate runs the fast mutant subset end to end: the pristine
+// tree must be clean and every quick mutant must be killed.
+func TestQuickGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mutation gate type-checks the root module repeatedly")
+	}
+	if err := run(moduleRoot, true, false, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+}

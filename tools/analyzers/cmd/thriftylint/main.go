@@ -22,7 +22,10 @@ import (
 	"repro/tools/analyzers/lintkit"
 	"repro/tools/analyzers/passes/bitioerr"
 	"repro/tools/analyzers/passes/cryptorand"
+	"repro/tools/analyzers/passes/exhaustenum"
 	"repro/tools/analyzers/passes/floateq"
+	"repro/tools/analyzers/passes/lockheld"
+	"repro/tools/analyzers/passes/plainleak"
 	"repro/tools/analyzers/passes/seededrand"
 	"repro/tools/analyzers/passes/walltime"
 )
@@ -32,7 +35,10 @@ import (
 var analyzers = []*lintkit.Analyzer{
 	bitioerr.Analyzer,
 	cryptorand.Analyzer,
+	exhaustenum.Analyzer,
 	floateq.Analyzer,
+	lockheld.Analyzer,
+	plainleak.Analyzer,
 	seededrand.Analyzer,
 	walltime.Analyzer,
 }

@@ -1,0 +1,176 @@
+package lintkit
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Program is the whole set of packages loaded for one analyzer run. It
+// gives interprocedural analyses (the taint engine, blocking-call
+// summaries) access to the bodies of module-local functions across
+// package boundaries, plus a shared cache so summaries are computed
+// once per run, not once per analyzed package.
+type Program struct {
+	Packages []*Package
+
+	decls  map[*types.Func]*FuncSource
+	caches map[any]any
+}
+
+// FuncSource locates the declaration of a module-local function.
+type FuncSource struct {
+	Decl *ast.FuncDecl
+	Pkg  *Package
+}
+
+// NewProgram indexes the declared functions and methods of pkgs.
+func NewProgram(pkgs []*Package) *Program {
+	p := &Program{
+		Packages: pkgs,
+		decls:    make(map[*types.Func]*FuncSource),
+		caches:   make(map[any]any),
+	}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					p.decls[fn] = &FuncSource{Decl: fd, Pkg: pkg}
+				}
+			}
+		}
+	}
+	return p
+}
+
+// Source returns the declaration of fn when its package was loaded in
+// this run, or nil for out-of-module (including standard library)
+// functions.
+func (p *Program) Source(fn *types.Func) *FuncSource {
+	if p == nil {
+		return nil
+	}
+	return p.decls[fn]
+}
+
+// Cache memoizes an analysis-wide value under key, building it on first
+// use. Analyzers key by a private type to avoid collisions.
+func (p *Program) Cache(key any, build func() any) any {
+	if v, ok := p.caches[key]; ok {
+		return v
+	}
+	v := build()
+	p.caches[key] = v
+	return v
+}
+
+// Funcs returns every indexed function in a deterministic order
+// (file/position order within each package, packages in load order).
+func (p *Program) Funcs() []*types.Func {
+	var out []*types.Func
+	for _, pkg := range p.Packages {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					out = append(out, fn)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// CallGraph is the static, module-local call graph: edges exist only
+// for direct calls whose callee resolves to a declared function of the
+// program. Calls through function values and interface methods have no
+// edge — interprocedural clients must treat those conservatively.
+type CallGraph struct {
+	prog  *Program
+	calls map[*types.Func][]*types.Func
+}
+
+// BuildCallGraph walks every indexed function body once.
+func BuildCallGraph(p *Program) *CallGraph {
+	cg := &CallGraph{prog: p, calls: make(map[*types.Func][]*types.Func)}
+	for fn, src := range p.decls {
+		seen := make(map[*types.Func]bool)
+		ast.Inspect(src.Decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := FuncForCall(src.Pkg.Info, call)
+			if callee == nil || p.decls[callee] == nil || seen[callee] {
+				return true
+			}
+			seen[callee] = true
+			cg.calls[fn] = append(cg.calls[fn], callee)
+			return true
+		})
+	}
+	return cg
+}
+
+// Callees returns the static callees of fn.
+func (cg *CallGraph) Callees(fn *types.Func) []*types.Func { return cg.calls[fn] }
+
+// BottomUp returns the strongly connected components of the call graph
+// in bottom-up (callees before callers) order. A summary-based analysis
+// processes components in this order, iterating inside each component
+// until its summaries reach a fixpoint (mutual recursion).
+func (cg *CallGraph) BottomUp() [][]*types.Func {
+	// Tarjan's algorithm, iterative enough for analyzer-sized graphs.
+	index := make(map[*types.Func]int)
+	low := make(map[*types.Func]int)
+	onStack := make(map[*types.Func]bool)
+	var stack []*types.Func
+	var sccs [][]*types.Func
+	next := 0
+
+	var strongconnect func(v *types.Func)
+	strongconnect = func(v *types.Func) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range cg.calls[v] {
+			if _, seen := index[w]; !seen {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var scc []*types.Func
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				scc = append(scc, w)
+				if w == v {
+					break
+				}
+			}
+			sccs = append(sccs, scc)
+		}
+	}
+	for _, fn := range cg.prog.Funcs() {
+		if _, seen := index[fn]; !seen {
+			strongconnect(fn)
+		}
+	}
+	// Tarjan emits components in reverse topological order of the
+	// condensation, which is exactly callees-first.
+	return sccs
+}

@@ -1,0 +1,357 @@
+package lintkit
+
+import (
+	"go/ast"
+)
+
+// This file builds function-level control-flow graphs over go/ast. The
+// CFG is the substrate of the flow-sensitive passes (plainleak,
+// lockheld): blocks hold straight-line statements in evaluation order,
+// edges carry the branch condition they are guarded by, so a dataflow
+// client can refine facts along the true and false arms of a test
+// (TransferEdge). Deferred calls are appended to the exit block in
+// LIFO order — every return path reaches them, which is exactly the
+// semantics a lock- or taint-tracking client wants.
+
+// Block is one straight-line run of statements.
+type Block struct {
+	// Index is the block's position in CFG.Blocks (stable, dense).
+	Index int
+	// Nodes are the statements and clause headers executed in order.
+	// Besides plain statements this includes *ast.RangeStmt (once per
+	// iteration, binding the key/value variables), *ast.CaseClause /
+	// *ast.CommClause headers, and — in the exit block — the deferred
+	// call expressions in LIFO order.
+	Nodes []ast.Node
+	// Succs are the outgoing edges.
+	Succs []*Edge
+}
+
+// Edge is one control-flow edge, optionally guarded by a condition.
+type Edge struct {
+	To *Block
+	// Cond is the branch condition evaluated at the end of the source
+	// block; nil for unconditional edges. The edge is taken when Cond
+	// evaluates to !Negated.
+	Cond    ast.Expr
+	Negated bool
+}
+
+// CFG is the control-flow graph of one function body.
+type CFG struct {
+	Entry  *Block
+	Exit   *Block
+	Blocks []*Block
+	// Defers lists the deferred calls in declaration order (they run
+	// reversed; the exit block already holds them reversed).
+	Defers []*ast.DeferStmt
+}
+
+type loopCtx struct {
+	label            string
+	breakTo, contTo  *Block
+	isSwitchOrSelect bool
+}
+
+type cfgBuilder struct {
+	cfg    *CFG
+	cur    *Block // nil while the current point is unreachable
+	loops  []loopCtx
+	labels map[string]*Block // goto targets
+	gotos  []pendingGoto
+}
+
+type pendingGoto struct {
+	from  *Block
+	label string
+}
+
+// BuildCFG constructs the CFG of a function body. It handles the full
+// statement grammar the repository uses: if/for/range/switch/
+// type-switch/select, labeled break and continue, goto, fallthrough,
+// defer and return. Panics and runtime exits are not modeled (a fact
+// holding at a call site is assumed to flow past it).
+func BuildCFG(body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{
+		cfg:    &CFG{},
+		labels: make(map[string]*Block),
+	}
+	b.cfg.Exit = b.newBlock() // allocate early so returns can target it
+	b.cfg.Entry = b.newBlock()
+	b.cur = b.cfg.Entry
+	b.stmtList(body.List)
+	b.jump(b.cfg.Exit)
+	for _, g := range b.gotos {
+		if target, ok := b.labels[g.label]; ok {
+			g.from.Succs = append(g.from.Succs, &Edge{To: target})
+		}
+	}
+	// Deferred calls run on every exit path, last registered first.
+	for i := len(b.cfg.Defers) - 1; i >= 0; i-- {
+		b.cfg.Exit.Nodes = append(b.cfg.Exit.Nodes, b.cfg.Defers[i].Call)
+	}
+	return b.cfg
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{Index: len(b.cfg.Blocks)}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+// jump ends the current block with an unconditional edge to target.
+func (b *cfgBuilder) jump(target *Block) {
+	if b.cur != nil {
+		b.cur.Succs = append(b.cur.Succs, &Edge{To: target})
+	}
+	b.cur = nil
+}
+
+// branch ends the current block with a conditional two-way split.
+func (b *cfgBuilder) branch(cond ast.Expr, t, f *Block) {
+	if b.cur != nil {
+		b.cur.Succs = append(b.cur.Succs,
+			&Edge{To: t, Cond: cond},
+			&Edge{To: f, Cond: cond, Negated: true})
+	}
+	b.cur = nil
+}
+
+// startBlock makes target the current block (creating the fall-through
+// edge when the previous block is still open).
+func (b *cfgBuilder) startBlock(target *Block) {
+	if b.cur != nil {
+		b.cur.Succs = append(b.cur.Succs, &Edge{To: target})
+	}
+	b.cur = target
+}
+
+func (b *cfgBuilder) add(n ast.Node) {
+	if b.cur == nil {
+		b.cur = b.newBlock() // unreachable code still gets a block
+	}
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s, "")
+	}
+}
+
+func (b *cfgBuilder) findLoop(label string, wantBreak bool) *loopCtx {
+	for i := len(b.loops) - 1; i >= 0; i-- {
+		l := &b.loops[i]
+		if label != "" && l.label != label {
+			continue
+		}
+		if !wantBreak && l.isSwitchOrSelect {
+			continue // continue never targets a switch
+		}
+		return l
+	}
+	return nil
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt, label string) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+	case *ast.LabeledStmt:
+		target := b.newBlock()
+		b.startBlock(target)
+		b.labels[s.Label.Name] = target
+		b.stmt(s.Stmt, s.Label.Name)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		then := b.newBlock()
+		after := b.newBlock()
+		elseB := after
+		if s.Else != nil {
+			elseB = b.newBlock()
+		}
+		b.branch(s.Cond, then, elseB)
+		b.cur = then
+		b.stmtList(s.Body.List)
+		b.jump(after)
+		if s.Else != nil {
+			b.cur = elseB
+			b.stmt(s.Else, "")
+			b.jump(after)
+		}
+		b.cur = after
+	case *ast.ForStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		head := b.newBlock()
+		body := b.newBlock()
+		after := b.newBlock()
+		post := head
+		if s.Post != nil {
+			post = b.newBlock()
+		}
+		b.startBlock(head)
+		if s.Cond != nil {
+			b.branch(s.Cond, body, after)
+		} else {
+			b.cur.Succs = append(b.cur.Succs, &Edge{To: body})
+			b.cur = nil
+		}
+		b.loops = append(b.loops, loopCtx{label: label, breakTo: after, contTo: post})
+		b.cur = body
+		b.stmtList(s.Body.List)
+		b.loops = b.loops[:len(b.loops)-1]
+		b.jump(post)
+		if s.Post != nil {
+			b.cur = post
+			b.add(s.Post)
+			b.jump(head)
+		}
+		b.cur = after
+	case *ast.RangeStmt:
+		head := b.newBlock()
+		body := b.newBlock()
+		after := b.newBlock()
+		b.startBlock(head)
+		// The range statement itself is the per-iteration header: a
+		// transfer function sees it once per loop entry and binds the
+		// key/value variables from the ranged expression.
+		b.cur.Nodes = append(b.cur.Nodes, s)
+		b.cur.Succs = append(b.cur.Succs, &Edge{To: body}, &Edge{To: after})
+		b.cur = nil
+		b.loops = append(b.loops, loopCtx{label: label, breakTo: after, contTo: head})
+		b.cur = body
+		b.stmtList(s.Body.List)
+		b.loops = b.loops[:len(b.loops)-1]
+		b.jump(head)
+		b.cur = after
+	case *ast.SwitchStmt:
+		b.switchStmt(s.Init, s.Tag, nil, s.Body, label)
+	case *ast.TypeSwitchStmt:
+		b.switchStmt(s.Init, nil, s.Assign, s.Body, label)
+	case *ast.SelectStmt:
+		// The statement itself lands in the header block so a blocking-
+		// call client can see "select with no default parks here";
+		// clients must not descend into its clause bodies (those are in
+		// the clause blocks).
+		b.add(s)
+		after := b.newBlock()
+		b.loops = append(b.loops, loopCtx{label: label, breakTo: after, isSwitchOrSelect: true})
+		src := b.cur
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			clause := b.newBlock()
+			src.Succs = append(src.Succs, &Edge{To: clause})
+			b.cur = clause
+			if cc.Comm != nil {
+				b.add(cc.Comm)
+			}
+			b.stmtList(cc.Body)
+			b.jump(after)
+		}
+		b.loops = b.loops[:len(b.loops)-1]
+		b.cur = after
+	case *ast.BranchStmt:
+		b.branchStmt(s)
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.jump(b.cfg.Exit)
+	case *ast.DeferStmt:
+		b.add(s)
+		b.cfg.Defers = append(b.cfg.Defers, s)
+	case *ast.EmptyStmt:
+	default:
+		// Straight-line statements: assignments, declarations,
+		// expression statements, go, send, inc/dec.
+		b.add(s)
+	}
+}
+
+// switchStmt lowers value and type switches: the tag is evaluated once,
+// every clause is a successor of the header, and a missing default adds
+// a skip edge past the whole switch. Fallthrough chains clause bodies.
+func (b *cfgBuilder) switchStmt(init ast.Stmt, tag ast.Expr, assign ast.Stmt, body *ast.BlockStmt, label string) {
+	if init != nil {
+		b.add(init)
+	}
+	if tag != nil {
+		b.add(&ast.ExprStmt{X: tag})
+	}
+	if assign != nil {
+		b.add(assign)
+	}
+	after := b.newBlock()
+	src := b.cur
+	if src == nil {
+		src = b.newBlock()
+		b.cur = src
+	}
+	b.loops = append(b.loops, loopCtx{label: label, breakTo: after, isSwitchOrSelect: true})
+	var clauses []*ast.CaseClause
+	var blocks []*Block
+	hasDefault := false
+	for _, c := range body.List {
+		cc := c.(*ast.CaseClause)
+		clause := b.newBlock()
+		src.Succs = append(src.Succs, &Edge{To: clause})
+		clauses = append(clauses, cc)
+		blocks = append(blocks, clause)
+		if cc.List == nil {
+			hasDefault = true
+		}
+	}
+	if !hasDefault {
+		src.Succs = append(src.Succs, &Edge{To: after})
+	}
+	for i, cc := range clauses {
+		b.cur = blocks[i]
+		b.cur.Nodes = append(b.cur.Nodes, cc)
+		fallsThrough := false
+		for _, st := range cc.Body {
+			if br, ok := st.(*ast.BranchStmt); ok && br.Tok.String() == "fallthrough" {
+				fallsThrough = true
+				continue
+			}
+			b.stmt(st, "")
+		}
+		if fallsThrough && i+1 < len(blocks) {
+			b.jump(blocks[i+1])
+		} else {
+			b.jump(after)
+		}
+	}
+	b.loops = b.loops[:len(b.loops)-1]
+	b.cur = after
+}
+
+func (b *cfgBuilder) branchStmt(s *ast.BranchStmt) {
+	label := ""
+	if s.Label != nil {
+		label = s.Label.Name
+	}
+	switch s.Tok.String() {
+	case "break":
+		if l := b.findLoop(label, true); l != nil {
+			b.jump(l.breakTo)
+		} else {
+			b.jump(b.cfg.Exit)
+		}
+	case "continue":
+		if l := b.findLoop(label, false); l != nil {
+			b.jump(l.contTo)
+		} else {
+			b.jump(b.cfg.Exit)
+		}
+	case "goto":
+		if b.cur == nil {
+			b.cur = b.newBlock()
+		}
+		b.gotos = append(b.gotos, pendingGoto{from: b.cur, label: label})
+		b.cur = nil
+	case "fallthrough":
+		// handled by switchStmt; a stray one is ignored
+	}
+}

@@ -1,0 +1,268 @@
+package lintkit
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// parseBody parses `src` as the body of a function and returns its CFG.
+func parseBody(t *testing.T, body string) *CFG {
+	t.Helper()
+	src := "package p\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "f.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	fd := file.Decls[0].(*ast.FuncDecl)
+	return BuildCFG(fd.Body)
+}
+
+// render prints a node compactly for block-content assertions.
+func render(n ast.Node) string {
+	var sb strings.Builder
+	printer.Fprint(&sb, token.NewFileSet(), n)
+	return sb.String()
+}
+
+// blockWith finds the unique block containing a node whose rendering
+// contains want.
+func blockWith(t *testing.T, c *CFG, want string) *Block {
+	t.Helper()
+	var found *Block
+	for _, b := range c.Blocks {
+		for _, n := range b.Nodes {
+			if strings.Contains(render(n), want) {
+				if found != nil && found != b {
+					t.Fatalf("%q appears in more than one block", want)
+				}
+				found = b
+			}
+		}
+	}
+	if found == nil {
+		t.Fatalf("no block contains %q", want)
+	}
+	return found
+}
+
+func preds(c *CFG, b *Block) []*Block {
+	var ps []*Block
+	for _, cand := range c.Blocks {
+		for _, e := range cand.Succs {
+			if e.To == b {
+				ps = append(ps, cand)
+				break
+			}
+		}
+	}
+	return ps
+}
+
+func TestCFGBranchAndJoin(t *testing.T) {
+	c := parseBody(t, `
+	x := 0
+	if x > 0 {
+		x = 1
+	} else {
+		x = 2
+	}
+	x = 3
+`)
+	entry := blockWith(t, c, "x := 0")
+	thenB := blockWith(t, c, "x = 1")
+	elseB := blockWith(t, c, "x = 2")
+	join := blockWith(t, c, "x = 3")
+
+	// The branch block carries a true edge and a negated edge with the
+	// same condition.
+	if len(entry.Succs) != 2 {
+		t.Fatalf("branch block has %d successors, want 2", len(entry.Succs))
+	}
+	var sawTrue, sawFalse bool
+	for _, e := range entry.Succs {
+		if e.Cond == nil || render(e.Cond) != "x > 0" {
+			t.Errorf("branch edge condition = %v, want x > 0", e.Cond)
+		}
+		if e.Negated {
+			sawFalse = true
+			if e.To != elseB {
+				t.Errorf("negated edge does not reach the else block")
+			}
+		} else {
+			sawTrue = true
+			if e.To != thenB {
+				t.Errorf("true edge does not reach the then block")
+			}
+		}
+	}
+	if !sawTrue || !sawFalse {
+		t.Error("branch is missing a polarity")
+	}
+	// Both arms join before x = 3.
+	ps := preds(c, join)
+	if len(ps) != 2 {
+		t.Fatalf("join block has %d predecessors, want 2 (then + else)", len(ps))
+	}
+}
+
+func TestCFGLoopBackEdge(t *testing.T) {
+	c := parseBody(t, `
+	s := 0
+	for i := 0; i < 10; i++ {
+		s += i
+	}
+	_ = s
+`)
+	// The condition lives on edges, not in block nodes: the head is the
+	// block whose successors carry it.
+	var headBlock *Block
+	for _, b := range c.Blocks {
+		for _, e := range b.Succs {
+			if e.Cond != nil && render(e.Cond) == "i < 10" {
+				headBlock = b
+			}
+		}
+	}
+	if headBlock == nil {
+		t.Fatal("no block branches on the loop condition")
+	}
+	// Entry fall-in plus the back edge through the post statement.
+	if got := len(preds(c, headBlock)); got != 2 {
+		t.Fatalf("loop head has %d predecessors, want 2 (entry + back edge)", got)
+	}
+}
+
+func TestCFGRangeHeaderAndBreak(t *testing.T) {
+	c := parseBody(t, `
+	var xs []int
+	for _, x := range xs {
+		if x < 0 {
+			break
+		}
+	}
+	xs = nil
+`)
+	head := blockWith(t, c, "range xs")
+	if len(head.Succs) != 2 {
+		t.Fatalf("range head has %d successors, want 2 (body + after)", len(head.Succs))
+	}
+	after := blockWith(t, c, "xs = nil")
+	// after is reached from the head (loop done) and from the break.
+	if got := len(preds(c, after)); got != 2 {
+		t.Fatalf("after-loop block has %d predecessors, want 2 (head + break)", got)
+	}
+}
+
+func TestCFGDeferRunsAtExitLIFO(t *testing.T) {
+	c := parseBody(t, `
+	defer first()
+	defer second()
+	if cond() {
+		return
+	}
+	work()
+`)
+	if len(c.Defers) != 2 {
+		t.Fatalf("recorded %d defers, want 2", len(c.Defers))
+	}
+	// Exit block holds the deferred calls in LIFO order, after any
+	// other exit content.
+	var calls []string
+	for _, n := range c.Exit.Nodes {
+		if call, ok := n.(*ast.CallExpr); ok {
+			calls = append(calls, render(call))
+		}
+	}
+	if len(calls) != 2 || calls[0] != "second()" || calls[1] != "first()" {
+		t.Fatalf("exit block defers = %v, want [second() first()]", calls)
+	}
+	// Both the return and the fallthrough path reach the exit.
+	if got := len(preds(c, c.Exit)); got < 2 {
+		t.Fatalf("exit block has %d predecessors, want >= 2", got)
+	}
+}
+
+func TestCFGSwitchWithoutDefaultHasSkipEdge(t *testing.T) {
+	c := parseBody(t, `
+	x := 1
+	switch x {
+	case 1:
+		a()
+	case 2:
+		b()
+	}
+	done()
+`)
+	after := blockWith(t, c, "done()")
+	// case 1 exit, case 2 exit, and the no-match skip edge.
+	if got := len(preds(c, after)); got != 3 {
+		t.Fatalf("after-switch block has %d predecessors, want 3 (two clauses + skip)", got)
+	}
+}
+
+func TestCFGSwitchWithDefaultHasNoSkipEdge(t *testing.T) {
+	c := parseBody(t, `
+	x := 1
+	switch x {
+	case 1:
+		a()
+	default:
+		b()
+	}
+	done()
+`)
+	after := blockWith(t, c, "done()")
+	if got := len(preds(c, after)); got != 2 {
+		t.Fatalf("after-switch block has %d predecessors, want 2 (clause + default)", got)
+	}
+}
+
+func TestCFGSelectHeaderNode(t *testing.T) {
+	c := parseBody(t, `
+	ch := make(chan int)
+	select {
+	case v := <-ch:
+		use(v)
+	case ch <- 1:
+	}
+	done()
+`)
+	head := blockWith(t, c, "select {")
+	// Two clause edges out of the header block.
+	if len(head.Succs) != 2 {
+		t.Fatalf("select header has %d successors, want 2", len(head.Succs))
+	}
+}
+
+func TestCFGGotoResolves(t *testing.T) {
+	c := parseBody(t, `
+	i := 0
+loop:
+	i++
+	if i < 3 {
+		goto loop
+	}
+	done()
+`)
+	target := blockWith(t, c, "i++")
+	found := false
+	for _, p := range preds(c, target) {
+		for _, e := range p.Succs {
+			if e.To == target && e.Cond == nil {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("goto edge to the labeled block not found")
+	}
+	// The labeled block is reached at least twice: fall-in and goto.
+	if got := len(preds(c, target)); got < 2 {
+		t.Fatalf("labeled block has %d predecessors, want >= 2", got)
+	}
+}

@@ -1,0 +1,125 @@
+package lintkit
+
+import (
+	"go/ast"
+)
+
+// Forward dataflow over the CFG of one function. The framework is
+// lattice-agnostic: a FlowProblem supplies the entry fact, the join,
+// and the transfer functions; Solve iterates a worklist in reverse
+// post-order to a fixpoint. Facts must be treated as immutable by the
+// solver's clients — Transfer and TransferEdge receive a private clone
+// they may mutate and return.
+
+// Fact is an opaque dataflow fact. The concrete representation belongs
+// to the FlowProblem.
+type Fact any
+
+// FlowProblem defines one forward dataflow analysis.
+type FlowProblem interface {
+	// EntryFact is the fact holding at function entry.
+	EntryFact() Fact
+	// Transfer applies one node of a block to the fact (mutating and
+	// returning it). The node set is documented on Block.Nodes.
+	Transfer(n ast.Node, f Fact) Fact
+	// TransferEdge refines the block-exit fact along one outgoing edge
+	// (branch-condition refinement). It may mutate and return f.
+	TransferEdge(e *Edge, f Fact) Fact
+	// Join combines facts at a control-flow merge (mutating a or
+	// returning a fresh fact).
+	Join(a, b Fact) Fact
+	// Equal reports lattice equality (fixpoint detection).
+	Equal(a, b Fact) bool
+	// Clone deep-copies a fact.
+	Clone(f Fact) Fact
+}
+
+// Solve runs the analysis to a fixpoint and returns the fact holding at
+// the entry of every reachable block. Unreachable blocks are absent.
+func Solve(c *CFG, p FlowProblem) map[*Block]Fact {
+	in := make(map[*Block]Fact, len(c.Blocks))
+	in[c.Entry] = p.EntryFact()
+
+	order := postorder(c)
+	// Reverse post-order: predecessors before successors where possible.
+	rpo := make([]*Block, 0, len(order))
+	for i := len(order) - 1; i >= 0; i-- {
+		rpo = append(rpo, order[i])
+	}
+	onList := make(map[*Block]bool, len(rpo))
+	work := make([]*Block, 0, len(rpo))
+	push := func(b *Block) {
+		if !onList[b] {
+			onList[b] = true
+			work = append(work, b)
+		}
+	}
+	for _, b := range rpo {
+		push(b)
+	}
+	for iter := 0; len(work) > 0; iter++ {
+		if iter > 1000*len(c.Blocks)+10000 {
+			break // non-monotone client; bail rather than spin
+		}
+		b := work[0]
+		work = work[1:]
+		onList[b] = false
+		f, ok := in[b]
+		if !ok {
+			continue // unreachable so far
+		}
+		out := transferBlock(p, b, p.Clone(f))
+		for _, e := range b.Succs {
+			ef := p.TransferEdge(e, p.Clone(out))
+			old, ok := in[e.To]
+			if !ok {
+				in[e.To] = ef
+				push(e.To)
+				continue
+			}
+			joined := p.Join(p.Clone(old), ef)
+			if !p.Equal(joined, old) {
+				in[e.To] = joined
+				push(e.To)
+			}
+		}
+	}
+	return in
+}
+
+func transferBlock(p FlowProblem, b *Block, f Fact) Fact {
+	for _, n := range b.Nodes {
+		f = p.Transfer(n, f)
+	}
+	return f
+}
+
+// BlockExitFacts derives the fact at the end of each reachable block
+// from the solved entry facts — convenient for clients that report
+// during a final visit.
+func BlockExitFacts(c *CFG, p FlowProblem, in map[*Block]Fact) map[*Block]Fact {
+	out := make(map[*Block]Fact, len(in))
+	for b, f := range in {
+		out[b] = transferBlock(p, b, p.Clone(f))
+	}
+	return out
+}
+
+// postorder returns the blocks reachable from Entry in DFS postorder.
+func postorder(c *CFG) []*Block {
+	seen := make(map[*Block]bool, len(c.Blocks))
+	var order []*Block
+	var visit func(b *Block)
+	visit = func(b *Block) {
+		if seen[b] {
+			return
+		}
+		seen[b] = true
+		for _, e := range b.Succs {
+			visit(e.To)
+		}
+		order = append(order, b)
+	}
+	visit(c.Entry)
+	return order
+}

@@ -1,0 +1,175 @@
+package lintkit
+
+import (
+	"go/ast"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// assignedVars is a toy may-analysis: the fact is the set of variable
+// names assigned on some path. It exercises joins, loop fixpoints and
+// edge transfers without needing type information.
+type assignedVars struct {
+	// condsSeen records which branch conditions the solver pushed
+	// through TransferEdge, by polarity.
+	condsSeen map[string]bool
+}
+
+type varSet map[string]bool
+
+func (p *assignedVars) EntryFact() Fact { return varSet{} }
+
+func (p *assignedVars) Clone(f Fact) Fact {
+	n := varSet{}
+	for k := range f.(varSet) {
+		n[k] = true
+	}
+	return n
+}
+
+func (p *assignedVars) Join(a, b Fact) Fact {
+	x := a.(varSet)
+	for k := range b.(varSet) {
+		x[k] = true
+	}
+	return x
+}
+
+func (p *assignedVars) Equal(a, b Fact) bool {
+	x, y := a.(varSet), b.(varSet)
+	if len(x) != len(y) {
+		return false
+	}
+	for k := range x {
+		if !y[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func (p *assignedVars) TransferEdge(e *Edge, f Fact) Fact {
+	if e.Cond != nil && p.condsSeen != nil {
+		key := render(e.Cond)
+		if e.Negated {
+			key = "!" + key
+		}
+		p.condsSeen[key] = true
+	}
+	return f
+}
+
+func (p *assignedVars) Transfer(n ast.Node, f Fact) Fact {
+	s := f.(varSet)
+	if as, ok := n.(*ast.AssignStmt); ok {
+		for _, l := range as.Lhs {
+			if id, ok := l.(*ast.Ident); ok && id.Name != "_" {
+				s[id.Name] = true
+			}
+		}
+	}
+	return s
+}
+
+func names(s varSet) string {
+	var out []string
+	for k := range s {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return strings.Join(out, ",")
+}
+
+func exitFact(t *testing.T, c *CFG, p FlowProblem) varSet {
+	t.Helper()
+	in := Solve(c, p)
+	f, ok := in[c.Exit]
+	if !ok {
+		t.Fatal("exit block unreachable")
+	}
+	return transferBlock(p, c.Exit, p.Clone(f)).(varSet)
+}
+
+func TestSolveJoinsBranches(t *testing.T) {
+	c := parseBody(t, `
+	if cond() {
+		a := 1
+		_ = a
+	} else {
+		b := 2
+		_ = b
+	}
+	c := 3
+	_ = c
+`)
+	got := exitFact(t, c, &assignedVars{})
+	if names(got) != "a,b,c" {
+		t.Fatalf("exit fact = %s, want a,b,c (union of both arms)", names(got))
+	}
+}
+
+func TestSolveLoopFixpoint(t *testing.T) {
+	c := parseBody(t, `
+	for i := 0; i < 3; i++ {
+		x := 1
+		_ = x
+	}
+	y := 2
+	_ = y
+`)
+	got := exitFact(t, c, &assignedVars{})
+	// i from the loop init, x on the taken-path, y always.
+	if names(got) != "i,x,y" {
+		t.Fatalf("exit fact = %s, want i,x,y", names(got))
+	}
+}
+
+func TestSolvePushesEdgeConditions(t *testing.T) {
+	p := &assignedVars{condsSeen: map[string]bool{}}
+	c := parseBody(t, `
+	if enc() {
+		a := 1
+		_ = a
+	}
+	b := 2
+	_ = b
+`)
+	exitFact(t, c, p)
+	if !p.condsSeen["enc()"] || !p.condsSeen["!enc()"] {
+		t.Fatalf("edge conditions seen = %v, want both polarities of enc()", p.condsSeen)
+	}
+}
+
+func TestSolveSkipsUnreachable(t *testing.T) {
+	c := parseBody(t, `
+	return
+	x := 1
+	_ = x
+`)
+	in := Solve(c, &assignedVars{})
+	for b, f := range in {
+		for _, n := range b.Nodes {
+			if strings.Contains(render(n), "x := 1") {
+				t.Fatalf("unreachable block solved with fact %v", f)
+			}
+		}
+	}
+}
+
+func TestBlockExitFacts(t *testing.T) {
+	c := parseBody(t, `
+	a := 1
+	_ = a
+`)
+	p := &assignedVars{}
+	in := Solve(c, p)
+	out := BlockExitFacts(c, p, in)
+	entryOut, ok := out[c.Entry]
+	if !ok {
+		t.Fatal("entry block missing from exit facts")
+	}
+	if !entryOut.(varSet)["a"] {
+		t.Fatal("entry block exit fact should contain a")
+	}
+}

@@ -75,6 +75,10 @@ type Pass struct {
 	Files     []*ast.File
 	Pkg       *types.Package
 	TypesInfo *types.Info
+	// Prog is the whole loaded program, shared across packages of one
+	// run: interprocedural analyzers reach cross-package function bodies
+	// and memoize their summaries through it.
+	Prog *Program
 
 	allow allowIndex
 	diags *[]Diagnostic
@@ -157,6 +161,7 @@ func buildAllowIndex(fset *token.FileSet, files []*ast.File) allowIndex {
 // package and returns the combined findings sorted by position.
 func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	var diags []Diagnostic
+	prog := NewProgram(pkgs)
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
 			if !a.AppliesTo(pkg.ImportPath) {
@@ -168,6 +173,7 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) 
 				Files:     pkg.Files,
 				Pkg:       pkg.Types,
 				TypesInfo: pkg.Info,
+				Prog:      prog,
 				allow:     pkg.allow,
 				diags:     &diags,
 			}

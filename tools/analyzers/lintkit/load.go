@@ -120,6 +120,22 @@ func (l *loader) check(meta *listPkg) (*checked, error) {
 	return c, nil
 }
 
+// stdImporter is shared across every LoadDir call of a process: the
+// source importer re-type-checks each standard-library package from
+// source on first import, which dominates load time. It owns a private
+// FileSet, so sharing it between runs is safe — analyzers never report
+// positions inside the standard library. The mutation harness, which
+// loads the module dozens of times, depends on this cache to stay
+// inside its CI time budget.
+var stdImporter types.Importer
+
+func sharedStdImporter() types.Importer {
+	if stdImporter == nil {
+		stdImporter = importer.ForCompiler(token.NewFileSet(), "source", nil)
+	}
+	return stdImporter
+}
+
 // LoadDir loads and type-checks the packages matched by patterns
 // (default ./...) inside the module rooted at dir. Only non-test Go
 // files are parsed: the invariants guarded here are about shipped
@@ -137,7 +153,7 @@ func LoadDir(dir string, patterns ...string) ([]*Package, error) {
 	}
 	l := &loader{
 		fset:     token.NewFileSet(),
-		std:      importer.ForCompiler(token.NewFileSet(), "source", nil),
+		std:      sharedStdImporter(),
 		metas:    make(map[string]*listPkg),
 		done:     make(map[string]*checked),
 		checking: make(map[string]bool),

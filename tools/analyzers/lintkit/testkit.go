@@ -176,3 +176,224 @@ func parseWants(dir string) ([]want, error) {
 	})
 	return wants, nil
 }
+
+// RunTestModule applies the analyzer to a testdata tree laid out as a
+// miniature module: every directory below root that contains .go files
+// is one package whose import path is its slash-separated path relative
+// to root (testdata/flagged/repro/internal/transport becomes
+// "repro/internal/transport", exercising the analyzer's Packages filter
+// exactly as in production). Imports between these packages resolve
+// inside the tree; everything else comes from the standard library.
+// Findings are checked against `// want` comments across the whole
+// tree, same convention as RunTest.
+func RunTestModule(t *testing.T, a *Analyzer, root string) {
+	t.Helper()
+	pkgs, err := loadTestModule(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := RunAnalyzers(pkgs, []*Analyzer{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants, err := parseWantsTree(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	matched := make([]bool, len(diags))
+	for _, w := range wants {
+		ok := false
+		for i, d := range diags {
+			if matched[i] || !strings.HasSuffix(filepath.ToSlash(d.Pos.Filename), w.file) || d.Pos.Line != w.line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				matched[i] = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.re)
+		}
+	}
+	for i, d := range diags {
+		if !matched[i] {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+}
+
+// testModuleImporter resolves the packages of one testdata tree.
+type testModuleImporter struct {
+	fset     *token.FileSet
+	dirs     map[string]string // import path -> directory
+	done     map[string]*Package
+	checking map[string]bool
+	std      types.Importer
+}
+
+func (m *testModuleImporter) Import(path string) (*types.Package, error) {
+	if _, ok := m.dirs[path]; ok {
+		pkg, err := m.check(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return m.std.Import(path)
+}
+
+func (m *testModuleImporter) check(path string) (*Package, error) {
+	if pkg, ok := m.done[path]; ok {
+		return pkg, nil
+	}
+	if m.checking[path] {
+		return nil, fmt.Errorf("import cycle through %s", path)
+	}
+	m.checking[path] = true
+	defer delete(m.checking, path)
+	dir := m.dirs[path]
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(m.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: m}
+	tpkg, err := conf.Check(path, m.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-check %s: %w", dir, err)
+	}
+	pkg := &Package{
+		ImportPath: path,
+		Dir:        dir,
+		Fset:       m.fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+		allow:      buildAllowIndex(m.fset, files),
+	}
+	m.done[path] = pkg
+	return pkg, nil
+}
+
+func loadTestModule(root string) ([]*Package, error) {
+	m := &testModuleImporter{
+		fset:     token.NewFileSet(),
+		dirs:     make(map[string]string),
+		done:     make(map[string]*Package),
+		checking: make(map[string]bool),
+		std:      sharedStdImporter(),
+	}
+	var paths []string
+	err := filepath.WalkDir(root, func(p string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(d.Name(), ".go") {
+			return err
+		}
+		dir := filepath.Dir(p)
+		rel, err := filepath.Rel(root, dir)
+		if err != nil {
+			return err
+		}
+		ip := filepath.ToSlash(rel)
+		if _, ok := m.dirs[ip]; !ok {
+			m.dirs[ip] = dir
+			paths = append(paths, ip)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("no .go files under %s", root)
+	}
+	sort.Strings(paths)
+	var out []*Package
+	for _, p := range paths {
+		pkg, err := m.check(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// parseWantsTree collects // want comments from every .go file below
+// root; the want's file key is the slash path relative to root.
+func parseWantsTree(root string) ([]want, error) {
+	var wants []want
+	err := filepath.WalkDir(root, func(p string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(d.Name(), ".go") {
+			return err
+		}
+		rel, err := filepath.Rel(root, p)
+		if err != nil {
+			return err
+		}
+		ws, err := parseWantsFile(p, filepath.ToSlash(rel))
+		if err != nil {
+			return err
+		}
+		wants = append(wants, ws...)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(wants, func(i, j int) bool {
+		if wants[i].file != wants[j].file {
+			return wants[i].file < wants[j].file
+		}
+		return wants[i].line < wants[j].line
+	})
+	return wants, nil
+}
+
+// parseWantsFile extracts the want comments of one file, keyed as name.
+func parseWantsFile(path, name string) ([]want, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var wants []want
+	for i, line := range strings.Split(string(data), "\n") {
+		m := wantRe.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		for _, arg := range wantArgRe.FindAllStringSubmatch(m[1], -1) {
+			pat := arg[1]
+			if pat == "" && arg[2] != "" {
+				unq, err := strconv.Unquote(`"` + arg[2] + `"`)
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: bad want string: %v", name, i+1, err)
+				}
+				pat = unq
+			}
+			re, err := regexp.Compile(pat)
+			if err != nil {
+				return nil, fmt.Errorf("%s:%d: bad want regexp: %v", name, i+1, err)
+			}
+			wants = append(wants, want{file: name, line: i + 1, re: re})
+		}
+	}
+	return wants, nil
+}

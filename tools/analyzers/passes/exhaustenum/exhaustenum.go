@@ -1,0 +1,131 @@
+// Package exhaustenum keeps switches over the module's enum-like types
+// honest. The codec's FrameType, the vcrypt policy modes and the cipher
+// algorithms are closed sets today but are designed to grow (a B-frame
+// class, a new degradation rung); a switch that silently falls through
+// for the new member is exactly the kind of bug that ships. The pass
+// requires every switch whose tag is a module-local constant set to
+// either cover all members or carry an explicit default clause — the
+// default documents that falling through was a decision, not an
+// accident.
+//
+// A type counts as an enum when it is a named, module-local type with
+// at least two package-scope constants of exactly that type. Case arms
+// are compared by constant value, so aliases (two names for one value)
+// count as covering each other. Tag-less switches and type switches are
+// out of scope.
+package exhaustenum
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"sort"
+	"strings"
+
+	"repro/tools/analyzers/lintkit"
+)
+
+// modulePrefix gates the check to types the repository owns; standard
+// library "enums" (reflect.Kind and friends) follow their own evolution
+// rules.
+const modulePrefix = "repro"
+
+// Analyzer is the exhaustenum pass.
+var Analyzer = &lintkit.Analyzer{
+	Name: "exhaustenum",
+	Doc: "Requires switches over module-local enum types (codec.FrameType, " +
+		"vcrypt.Mode, vcrypt.Algorithm, ...) to either cover every declared " +
+		"member or state a default clause, so new members cannot silently " +
+		"fall through existing dispatch sites.",
+	Run: run,
+}
+
+func run(pass *lintkit.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			checkSwitch(pass, sw)
+			return true
+		})
+	}
+	return nil
+}
+
+func checkSwitch(pass *lintkit.Pass, sw *ast.SwitchStmt) {
+	tv, ok := pass.TypesInfo.Types[sw.Tag]
+	if !ok {
+		return
+	}
+	named, members := enumMembers(tv.Type)
+	if named == nil || len(members) < 2 {
+		return
+	}
+	covered := make(map[string]bool)
+	for _, c := range sw.Body.List {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			return // explicit default: the author decided
+		}
+		for _, e := range cc.List {
+			v := pass.TypesInfo.Types[e].Value
+			if v == nil {
+				return // non-constant case arm: cannot reason statically
+			}
+			covered[v.ExactString()] = true
+		}
+	}
+	var missing []string
+	for _, m := range members {
+		if !covered[m.val.ExactString()] {
+			missing = append(missing, m.name)
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	sort.Strings(missing)
+	pass.Reportf(sw.Pos(),
+		"switch over %s.%s is not exhaustive: missing %s (add the cases or an explicit default stating why falling through is safe)",
+		named.Obj().Pkg().Name(), named.Obj().Name(), strings.Join(missing, ", "))
+}
+
+type member struct {
+	name string
+	val  constant.Value
+}
+
+// enumMembers returns the named type and its package-scope constant
+// members when t is a module-local enum, or (nil, nil).
+func enumMembers(t types.Type) (*types.Named, []member) {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil, nil
+	}
+	pkg := named.Obj().Pkg()
+	if pkg == nil {
+		return nil, nil
+	}
+	if path := pkg.Path(); path != modulePrefix && !strings.HasPrefix(path, modulePrefix+"/") {
+		return nil, nil
+	}
+	basic, ok := named.Underlying().(*types.Basic)
+	if !ok || basic.Info()&(types.IsInteger|types.IsString) == 0 {
+		return nil, nil
+	}
+	var members []member
+	scope := pkg.Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !types.Identical(c.Type(), named) {
+			continue
+		}
+		members = append(members, member{name: name, val: c.Val()})
+	}
+	return named, members
+}

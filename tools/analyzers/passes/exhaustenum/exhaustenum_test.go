@@ -1,0 +1,21 @@
+package exhaustenum
+
+import (
+	"testing"
+
+	"repro/tools/analyzers/lintkit"
+)
+
+func TestFlagged(t *testing.T) {
+	lintkit.RunTest(t, Analyzer, "testdata/flagged", "repro/internal/enumfix")
+}
+
+func TestAllowed(t *testing.T) {
+	lintkit.RunTestNone(t, Analyzer, "testdata/allowed", "repro/internal/enumfix")
+}
+
+// TestOutsideModule pins the module gate: the same defaultless switch
+// is silent when the enum type lives outside the repro module.
+func TestOutsideModule(t *testing.T) {
+	lintkit.RunTestNone(t, Analyzer, "testdata/flagged", "example.com/vendored/enumfix")
+}

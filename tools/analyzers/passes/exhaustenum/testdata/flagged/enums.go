@@ -1,0 +1,39 @@
+// Flagged shapes: switches over module-local enums that miss members
+// without stating a default.
+package enumfix
+
+// FrameType mirrors the codec's frame classes.
+type FrameType int
+
+const (
+	IFrame FrameType = iota
+	PFrame
+	BFrame
+)
+
+// Mode mirrors the vcrypt encryption ladder.
+type Mode string
+
+const (
+	ModeNone Mode = "none"
+	ModeI    Mode = "i"
+	ModeAll  Mode = "all"
+)
+
+func frameName(t FrameType) string {
+	switch t { // want `switch over enumfix\.FrameType is not exhaustive: missing BFrame`
+	case IFrame:
+		return "I"
+	case PFrame:
+		return "P"
+	}
+	return "?"
+}
+
+func modeCost(m Mode) int {
+	switch m { // want `switch over enumfix\.Mode is not exhaustive: missing ModeAll, ModeI`
+	case ModeNone:
+		return 0
+	}
+	return 1
+}

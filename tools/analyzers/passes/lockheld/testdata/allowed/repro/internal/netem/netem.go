@@ -1,0 +1,8 @@
+// Package netem is the miniature pacing layer of the lockheld fixtures.
+package netem
+
+// Pacer spaces packet departures.
+type Pacer struct{}
+
+// Wait parks until the next departure slot for n bytes.
+func (p *Pacer) Wait(n int) {}

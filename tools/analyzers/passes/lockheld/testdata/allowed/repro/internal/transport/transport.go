@@ -1,0 +1,101 @@
+// Package transport holds the sanctioned shapes: short critical
+// sections with the blocking work outside, the Cond.Wait contract used
+// correctly, and one documented suppression. The pass must stay silent.
+package transport
+
+import (
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/netem"
+)
+
+type sender struct {
+	mu    sync.Mutex
+	pacer *netem.Pacer
+	conn  net.Conn
+	ch    chan []byte
+	buf   [][]byte
+	cond  *sync.Cond
+}
+
+// PaceOutside snapshots under the lock and parks after releasing it —
+// the fix shape for the NACK-retransmit path.
+func (s *sender) PaceOutside(b []byte) {
+	s.mu.Lock()
+	s.buf = append(s.buf, b)
+	n := len(s.buf)
+	s.mu.Unlock()
+	s.pacer.Wait(n)
+}
+
+// WriteOutside copies the staged packets under the lock, writes after.
+func (s *sender) WriteOutside() error {
+	s.mu.Lock()
+	snapshot := make([][]byte, len(s.buf))
+	copy(snapshot, s.buf)
+	s.mu.Unlock()
+	for _, b := range snapshot {
+		if _, err := s.conn.Write(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WaitHeld uses sync.Cond exactly as documented: Wait is called with
+// the lock held and re-acquires it before returning.
+func (s *sender) WaitHeld() []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for len(s.buf) == 0 {
+		s.cond.Wait()
+	}
+	b := s.buf[0]
+	s.buf = s.buf[1:]
+	return b
+}
+
+// PollLocked uses select with a default clause: it never parks, so
+// holding the lock is fine.
+func (s *sender) PollLocked() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case b := <-s.ch:
+		s.buf = append(s.buf, b)
+	default:
+	}
+}
+
+// SpawnWriter starts the blocking work on its own goroutine: the
+// literal body runs outside this critical section.
+func (s *sender) SpawnWriter(b []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.buf = append(s.buf, b)
+	go func() {
+		s.conn.Write(b) //nolint:errcheck // fire-and-forget, like the medium
+	}()
+}
+
+// HandoffLocked releases before the blocking call and re-acquires
+// after: the held set is empty at the park point.
+func (s *sender) HandoffLocked() {
+	s.mu.Lock()
+	s.mu.Unlock()
+	time.Sleep(time.Millisecond)
+	s.mu.Lock()
+	s.buf = nil
+	s.mu.Unlock()
+}
+
+// DrainLocked intentionally serialises the drain under the lock; the
+// suppression documents the trade.
+func (s *sender) DrainLocked() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	//lint:allow lockheld shutdown path: serialising the final drain under the lock is intentional, no concurrent senders remain
+	time.Sleep(time.Millisecond)
+}

@@ -1,0 +1,9 @@
+// Package netem is the miniature pacing layer of the lockheld
+// fixtures: Pacer.Wait is the blocking intrinsic the pass knows.
+package netem
+
+// Pacer spaces packet departures.
+type Pacer struct{}
+
+// Wait parks until the next departure slot for n bytes.
+func (p *Pacer) Wait(n int) {}

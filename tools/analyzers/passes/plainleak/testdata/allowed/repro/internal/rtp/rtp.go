@@ -1,0 +1,12 @@
+// Package rtp is the miniature wire header of the plainleak fixtures:
+// the Marker bit records the encryption decision on the packet itself.
+package rtp
+
+// Packet is an RTP packet with the encrypted-payload flag.
+type Packet struct {
+	Marker  bool
+	Payload []byte
+}
+
+// Encrypted reports whether the payload travels as ciphertext.
+func (p Packet) Encrypted() bool { return p.Marker }

@@ -1,0 +1,122 @@
+// Package transport holds the sanctioned shapes: encryption before the
+// write, explicit policy decisions on every plaintext path, and one
+// documented suppression. The pass must stay silent on all of them.
+package transport
+
+import (
+	"net"
+
+	"repro/internal/codec"
+	"repro/internal/rtp"
+	"repro/internal/vcrypt"
+)
+
+// SendEncrypted is the canonical correct path: every payload passes
+// through the cipher before the socket.
+func SendEncrypted(conn net.Conn, c *vcrypt.Cipher, frame []byte) error {
+	pkts, err := codec.Packetize(frame, 1200)
+	if err != nil {
+		return err
+	}
+	for i, p := range pkts {
+		c.EncryptPacket(uint64(i), p.Payload)
+		if _, err := conn.Write(p.Payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SendSelective is the paper's I-frame-only ladder: the selector
+// blesses the plaintext arm, the cipher covers the other.
+func SendSelective(conn net.Conn, c *vcrypt.Cipher, sel *vcrypt.Selector, frame []byte) error {
+	pkts, err := codec.Packetize(frame, 1200)
+	if err != nil {
+		return err
+	}
+	for i, p := range pkts {
+		if sel.ShouldEncrypt(p.Type == codec.IFrame) {
+			c.EncryptPacket(uint64(i), p.Payload)
+		}
+		if _, err := conn.Write(p.Payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SendDowngraded walks the downgrade ladder correctly: when the policy
+// lands on ModeNone the plaintext send is an explicit decision, every
+// other mode encrypts first.
+func SendDowngraded(conn net.Conn, c *vcrypt.Cipher, pol vcrypt.Policy, frame []byte) error {
+	pkts, err := codec.Packetize(frame, 1200)
+	if err != nil {
+		return err
+	}
+	for i, p := range pkts {
+		if pol.Mode == vcrypt.ModeNone {
+			if _, err := conn.Write(p.Payload); err != nil {
+				return err
+			}
+			continue
+		}
+		c.EncryptPacket(uint64(i), p.Payload)
+		if _, err := conn.Write(p.Payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SendHeaderOnly writes a locally built header in the clear — headers
+// carry no payload bytes — then the encrypted body.
+func SendHeaderOnly(conn net.Conn, c *vcrypt.Cipher, frame []byte) error {
+	pkts, err := codec.Packetize(frame, 1200)
+	if err != nil {
+		return err
+	}
+	for i, p := range pkts {
+		hdr := []byte{0x80, byte(i)}
+		if _, err := conn.Write(hdr); err != nil {
+			return err
+		}
+		c.EncryptPacket(uint64(i), p.Payload)
+		if _, err := conn.Write(p.Payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Forward relays a packet whose header records the encryption
+// decision: the Encrypted guard blesses the plaintext branch, and the
+// ciphertext branch runs the payload through the cipher before the
+// wire.
+func Forward(conn net.Conn, c *vcrypt.Cipher, pkt rtp.Packet, frame []byte) error {
+	pkts, err := codec.Packetize(frame, 1200)
+	if err != nil {
+		return err
+	}
+	pkt.Payload = pkts[0].Payload
+	if !pkt.Encrypted() {
+		// The wire header says this packet travels in the clear: the
+		// policy decision was made upstream and recorded on the packet.
+		_, err := conn.Write(pkt.Payload)
+		return err
+	}
+	c.EncryptPacket(0, pkt.Payload)
+	_, err = conn.Write(pkt.Payload)
+	return err
+}
+
+// Replay retransmits captured plaintext on purpose; the suppression
+// documents why this is not a leak.
+func Replay(conn net.Conn, frame []byte) error {
+	pkts, err := codec.Packetize(frame, 1200)
+	if err != nil {
+		return err
+	}
+	//lint:allow plainleak lab replay tool retransmits captured plaintext by design; no user payload involved
+	_, err = conn.Write(pkts[0].Payload)
+	return err
+}

@@ -1,0 +1,30 @@
+// Package vcrypt is the miniature cipher/policy layer of the plainleak
+// fixtures.
+package vcrypt
+
+// Mode is the encryption level.
+type Mode int
+
+const (
+	ModeNone Mode = iota
+	ModeIFrames
+	ModeAll
+)
+
+// Policy selects a level.
+type Policy struct{ Mode Mode }
+
+// Cipher encrypts packet payloads in place.
+type Cipher struct{}
+
+// EncryptPacket encrypts payload in place under the packet sequence.
+func (c *Cipher) EncryptPacket(seq uint64, payload []byte) {}
+
+// Selector answers per-packet encryption questions for one policy.
+type Selector struct{ mode Mode }
+
+// NewSelector builds a selector.
+func NewSelector(p Policy) *Selector { return &Selector{mode: p.Mode} }
+
+// ShouldEncrypt reports whether the policy encrypts this packet.
+func (s *Selector) ShouldEncrypt(isIFrame bool) bool { return s.mode != ModeNone }

@@ -1,0 +1,12 @@
+// Package buffer is a staging layer one call away from the socket: its
+// network write is invisible at the transport call site except through
+// the taint engine's bottom-up sink summaries.
+package buffer
+
+import "io"
+
+// Flush writes a staged payload to the wire.
+func Flush(w io.Writer, b []byte) error {
+	_, err := w.Write(b)
+	return err
+}

@@ -1,0 +1,81 @@
+// Package transport holds the flagged shapes: every function below
+// leaks a packetized payload to a network write on some path.
+package transport
+
+import (
+	"net"
+
+	"repro/internal/buffer"
+	"repro/internal/codec"
+	"repro/internal/vcrypt"
+)
+
+// SendRaw forgets encryption entirely.
+func SendRaw(conn net.Conn, frame []byte) error {
+	pkts, err := codec.Packetize(frame, 1200)
+	if err != nil {
+		return err
+	}
+	for _, p := range pkts {
+		if _, err := conn.Write(p.Payload); err != nil { // want `plaintext packet payload reaches net\.Conn\.Write`
+			return err
+		}
+	}
+	return nil
+}
+
+// SendDowngraded drops to plaintext when the policy says ModeNone — the
+// blessed arm is fine — but the encrypting arm of the ladder forgets
+// the cipher call, so ciphertext-mode packets leave in the clear.
+func SendDowngraded(conn net.Conn, pol vcrypt.Policy, frame []byte) error {
+	pkts, err := codec.Packetize(frame, 1200)
+	if err != nil {
+		return err
+	}
+	for _, p := range pkts {
+		if pol.Mode == vcrypt.ModeNone {
+			if _, err := conn.Write(p.Payload); err != nil { // policy-sanctioned plaintext
+				return err
+			}
+			continue
+		}
+		if _, err := conn.Write(p.Payload); err != nil { // want `plaintext packet payload reaches net\.Conn\.Write`
+			return err
+		}
+	}
+	return nil
+}
+
+// SendGuarded consults the selector but never encrypts on the encrypt
+// arm: the guard's false edge is blessed, the true edge still carries
+// taint to the write below the merge.
+func SendGuarded(conn net.Conn, sel *vcrypt.Selector, frame []byte) error {
+	pkts, err := codec.Packetize(frame, 1200)
+	if err != nil {
+		return err
+	}
+	for _, p := range pkts {
+		if sel.ShouldEncrypt(p.Type == codec.IFrame) {
+			_ = p // forgot vcrypt.Cipher.EncryptPacket here
+		}
+		if _, err := conn.Write(p.Payload); err != nil { // want `plaintext packet payload reaches net\.Conn\.Write`
+			return err
+		}
+	}
+	return nil
+}
+
+// SendBuffered leaks through a helper in another package: the write is
+// inside buffer.Flush, the finding lands at this call site.
+func SendBuffered(conn net.Conn, frame []byte) error {
+	pkts, err := codec.Packetize(frame, 1200)
+	if err != nil {
+		return err
+	}
+	for _, p := range pkts {
+		if err := buffer.Flush(conn, p.Payload); err != nil { // want `plaintext packet payload reaches a network write inside Flush`
+			return err
+		}
+	}
+	return nil
+}
