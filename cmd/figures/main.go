@@ -78,11 +78,12 @@ func main() {
 		"fig15":      experiments.Fig15,
 		"extensions": experiments.ExtensionsTable,
 		"snrsweep":   experiments.SNRSweepTable,
+		"fastcipher": experiments.FastCipherTable,
 	}
 	order := []string{
 		"table1", "fig2", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
 		"table2", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
-		"extensions", "snrsweep",
+		"extensions", "snrsweep", "fastcipher",
 	}
 
 	requested := flag.Args()

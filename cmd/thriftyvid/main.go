@@ -104,8 +104,12 @@ func parseAlg(s string) (vcrypt.Algorithm, error) {
 		return vcrypt.AES256, nil
 	case "3des", "tripledes", "des3":
 		return vcrypt.TripleDES, nil
+	case "aes128-ctr", "aes128ctr", "ctr128":
+		return vcrypt.AES128CTR, nil
+	case "aes256-ctr", "aes256ctr", "ctr256":
+		return vcrypt.AES256CTR, nil
 	}
-	return 0, fmt.Errorf("unknown algorithm %q (want aes128|aes256|3des)", s)
+	return 0, fmt.Errorf("unknown algorithm %q (want aes128|aes256|3des|aes128-ctr|aes256-ctr)", s)
 }
 
 func parsePolicy(mode string, frac float64, alg vcrypt.Algorithm) (vcrypt.Policy, error) {
@@ -135,8 +139,10 @@ func parseDevice(s string) (energy.Profile, error) {
 		return energy.SamsungGalaxySII(), nil
 	case "htc", "amaze":
 		return energy.HTCAmaze4G(), nil
+	case "modern", "armv8":
+		return energy.ModernARMv8(), nil
 	}
-	return energy.Profile{}, fmt.Errorf("unknown device %q (want samsung|htc)", s)
+	return energy.Profile{}, fmt.Errorf("unknown device %q (want samsung|htc|modern)", s)
 }
 
 // deriveKey stretches a passphrase to the algorithm's key size.
@@ -319,7 +325,7 @@ func cmdPlan(args []string) error {
 	fs := flag.NewFlagSet("plan", flag.ExitOnError)
 	in := fs.String("in", "clip.tvid", "input container")
 	device := fs.String("device", "samsung", "device profile: samsung|htc")
-	alg := fs.String("alg", "aes256", "algorithm: aes128|aes256|3des")
+	alg := fs.String("alg", "aes256", "algorithm: aes128|aes256|3des|aes128-ctr|aes256-ctr")
 	target := fs.Float64("target", 20, "maximum tolerable eavesdropper PSNR (dB)")
 	fps := fs.Float64("fps", 30, "stream frame rate")
 	mtu := fs.Int("mtu", 1400, "network MTU payload")

@@ -10,10 +10,24 @@ package codec
 // (values already centred, e.g. pixel-128 for intra or residuals for
 // inter). It returns the reconstructed (dequantised) samples so the caller
 // can maintain the reference frame.
+//
+// It is split into quantiseBlock (DCT + quantisation) and
+// entropyCodeBlock (bitstream + reconstruction) so the row coder can
+// batch the numeric phase across a whole macroblock row while the
+// per-block math — and therefore the bitstream — stays exactly this.
 func encodeBlock(w *bitWriter, samples *[64]float64, q float64, recon *[64]float64) {
+	var quant [64]int32
+	nonzero := quantiseBlock(samples, q, &quant)
+	entropyCodeBlock(w, &quant, nonzero, q, recon)
+}
+
+// quantiseBlock runs the forward transform and frequency-ramped
+// quantisation of encodeBlock, filling quant in zig-zag order and
+// returning the index of the last nonzero coefficient (-1 for an
+// all-zero block).
+func quantiseBlock(samples *[64]float64, q float64, quant *[64]int32) int {
 	var coeff [64]float64
 	fdct8(samples, &coeff)
-	var quant [64]int32
 	nonzero := -1
 	invQ := 1 / q
 	for zz := 0; zz < 64; zz++ {
@@ -29,6 +43,12 @@ func encodeBlock(w *bitWriter, samples *[64]float64, q float64, recon *[64]float
 			nonzero = zz
 		}
 	}
+	return nonzero
+}
+
+// entropyCodeBlock writes the coded-block flag and (run, level) stream of
+// a quantised block and reconstructs the dequantised samples.
+func entropyCodeBlock(w *bitWriter, quant *[64]int32, nonzero int, q float64, recon *[64]float64) {
 	// Coded-block flag.
 	if nonzero < 0 {
 		w.writeBit(0)

@@ -38,22 +38,8 @@ func Packetize(ef *EncodedFrame, mtu int) ([]Packet, error) {
 	var out []Packet
 	start := 0
 	for start < len(ef.MBData) {
-		headerMax := 4 * binary.MaxVarintLen32
-		size := headerMax
-		end := start
-		for end < len(ef.MBData) {
-			mbLen := len(ef.MBData[end])
-			add := mbLen + binary.MaxVarintLen32
-			if end > start && size+add > mtu {
-				break
-			}
-			size += add
-			end++
-		}
-		if end == start {
-			end = start + 1 // oversized single macroblock
-		}
-		payload := marshalSlice(ef, start, end-start)
+		end := nextSliceEnd(ef, start, mtu)
+		payload := AppendSlice(make([]byte, 0, sliceLen(ef, start, end-start)), ef, start, end-start)
 		out = append(out, Packet{
 			FrameNumber: ef.Number,
 			Type:        ef.Type,
@@ -64,25 +50,6 @@ func Packetize(ef *EncodedFrame, mtu int) ([]Packet, error) {
 		start = end
 	}
 	return out, nil
-}
-
-func marshalSlice(ef *EncodedFrame, mbStart, mbCount int) []byte {
-	var buf []byte
-	var tmp [binary.MaxVarintLen64]byte
-	put := func(v uint64) {
-		n := binary.PutUvarint(tmp[:], v)
-		buf = append(buf, tmp[:n]...)
-	}
-	put(uint64(ef.Number))
-	put(uint64(ef.Type))
-	put(uint64(mbStart))
-	put(uint64(mbCount))
-	for i := mbStart; i < mbStart+mbCount; i++ {
-		mb := ef.MBData[i]
-		put(uint64(len(mb)))
-		buf = append(buf, mb...)
-	}
-	return buf
 }
 
 // ParsePacket decodes a slice payload back into a Packet with the

@@ -1,0 +1,196 @@
+package codec
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+)
+
+// Zero-copy packetization. PacketizeInto forms the same slices as
+// Packetize but marshals each one directly into a pooled buffer with
+// caller-specified headroom in front of the payload, so the transport
+// can encrypt in place, write its protocol header into the headroom, and
+// hand the very same buffer to the socket — no copies and no per-packet
+// allocations in steady state.
+//
+// Buffer ownership: PacketizeInto transfers ownership of each packet's
+// backing buffer to the caller. The caller returns it with BufPool.Put
+// once the bytes are on the wire (or retains it, e.g. for retransmit
+// queues — retained buffers simply never rejoin the pool). Payloads of
+// different packets never share a buffer.
+
+// WirePacket is a Packet whose payload lives inside a reusable wire
+// buffer, preceded by Headroom spare bytes for a protocol header.
+type WirePacket struct {
+	Packet
+	// Headroom is the number of reserved bytes in front of the payload.
+	Headroom int
+	buf      *wireBuf
+}
+
+// Wire returns the buffer region spanning the headroom plus the first n
+// payload bytes — the datagram a transport sends after writing its
+// header into the first Headroom bytes. n may exceed the payload length
+// if the caller extended the payload in place (zero-padding to the MTU);
+// it must not exceed the buffer's capacity beyond the payload, which
+// PacketizeInto sizes to hold at least an MTU of payload.
+func (wp *WirePacket) Wire(n int) []byte {
+	return wp.buf.b[:wp.Headroom+n]
+}
+
+// wireBuf wraps a wire buffer so pooled buffers move without boxing
+// allocations.
+type wireBuf struct {
+	b []byte
+}
+
+// BufPool recycles wire buffers across frames. The zero value is not
+// usable; call NewBufPool.
+type BufPool struct {
+	pool sync.Pool
+}
+
+// NewBufPool returns an empty wire-buffer pool.
+func NewBufPool() *BufPool {
+	p := &BufPool{}
+	p.pool.New = func() interface{} { return &wireBuf{} }
+	return p
+}
+
+func (p *BufPool) get(size int) *wireBuf {
+	wb := p.pool.Get().(*wireBuf)
+	if cap(wb.b) < size {
+		wb.b = make([]byte, 0, size)
+	}
+	wb.b = wb.b[:0]
+	return wb
+}
+
+// Put returns wp's backing buffer to the pool. The packet's payload (and
+// anything derived from Wire) must not be used afterwards.
+func (p *BufPool) Put(wp *WirePacket) {
+	if wp.buf != nil {
+		p.pool.Put(wp.buf)
+		wp.buf = nil
+		wp.Payload = nil
+	}
+}
+
+// uvarintLen returns the encoded size of v as an unsigned varint.
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// sliceLen returns the exact marshaled size of the slice covering
+// mbCount macroblocks from mbStart — what AppendSlice will append.
+func sliceLen(ef *EncodedFrame, mbStart, mbCount int) int {
+	n := uvarintLen(uint64(ef.Number)) +
+		uvarintLen(uint64(ef.Type)) +
+		uvarintLen(uint64(mbStart)) +
+		uvarintLen(uint64(mbCount))
+	for i := mbStart; i < mbStart+mbCount; i++ {
+		l := len(ef.MBData[i])
+		n += uvarintLen(uint64(l)) + l
+	}
+	return n
+}
+
+// AppendSlice appends the wire encoding of the slice covering mbCount
+// macroblocks from mbStart to dst and returns the extended slice. The
+// encoding is exactly the payload Packetize produces; sliceLen gives its
+// size so callers can allocate exactly.
+func AppendSlice(dst []byte, ef *EncodedFrame, mbStart, mbCount int) []byte {
+	dst = appendUvarint(dst, uint64(ef.Number))
+	dst = appendUvarint(dst, uint64(ef.Type))
+	dst = appendUvarint(dst, uint64(mbStart))
+	dst = appendUvarint(dst, uint64(mbCount))
+	for i := mbStart; i < mbStart+mbCount; i++ {
+		mb := ef.MBData[i]
+		dst = appendUvarint(dst, uint64(len(mb)))
+		dst = append(dst, mb...)
+	}
+	return dst
+}
+
+// appendUvarint appends v as an unsigned varint.
+func appendUvarint(dst []byte, v uint64) []byte {
+	for v >= 0x80 {
+		dst = append(dst, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(dst, byte(v))
+}
+
+// PacketizeInto splits an encoded frame into the exact slices Packetize
+// would form (same boundaries, byte-identical payloads), marshaling each
+// into a buffer from pool with headroom spare bytes in front. Buffers
+// are sized to hold at least headroom+mtu bytes so payloads can be
+// zero-padded to the MTU in place. A nil pool allocates fresh buffers
+// (for callers that retain payloads indefinitely). Results are appended
+// to dst and returned.
+func PacketizeInto(ef *EncodedFrame, mtu, headroom int, pool *BufPool, dst []WirePacket) ([]WirePacket, error) {
+	if mtu < 64 {
+		return nil, fmt.Errorf("codec: mtu %d too small", mtu)
+	}
+	if headroom < 0 {
+		return nil, fmt.Errorf("codec: negative headroom %d", headroom)
+	}
+	start := 0
+	for start < len(ef.MBData) {
+		end := nextSliceEnd(ef, start, mtu)
+		exact := sliceLen(ef, start, end-start)
+		need := headroom + exact
+		if min := headroom + mtu; need < min {
+			need = min
+		}
+		var wb *wireBuf
+		if pool != nil {
+			wb = pool.get(need)
+		} else {
+			wb = &wireBuf{b: make([]byte, 0, need)}
+		}
+		wb.b = wb.b[:headroom]
+		wb.b = AppendSlice(wb.b, ef, start, end-start)
+		dst = append(dst, WirePacket{
+			Packet: Packet{
+				FrameNumber: ef.Number,
+				Type:        ef.Type,
+				MBStart:     start,
+				MBCount:     end - start,
+				Payload:     wb.b[headroom:],
+			},
+			Headroom: headroom,
+			buf:      wb,
+		})
+		start = end
+	}
+	return dst, nil
+}
+
+// nextSliceEnd chooses the end of the slice starting at start under the
+// same conservative size estimate Packetize has always used, so slice
+// boundaries (and therefore wire bytes) are unchanged by the zero-copy
+// path.
+func nextSliceEnd(ef *EncodedFrame, start, mtu int) int {
+	headerMax := 4 * binary.MaxVarintLen32
+	size := headerMax
+	end := start
+	for end < len(ef.MBData) {
+		mbLen := len(ef.MBData[end])
+		add := mbLen + binary.MaxVarintLen32
+		if end > start && size+add > mtu {
+			break
+		}
+		size += add
+		end++
+	}
+	if end == start {
+		end = start + 1 // oversized single macroblock
+	}
+	return end
+}

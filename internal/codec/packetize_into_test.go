@@ -1,0 +1,185 @@
+package codec
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/video"
+)
+
+// testFrames returns encoded I, P and B frames for packetizer tests.
+func testFrames(t testing.TB) []*EncodedFrame {
+	t.Helper()
+	clip := video.Generate(video.SceneConfig{W: 96, H: 96, Frames: 6, Motion: video.MotionMedium, Seed: 9})
+	cfg := smallConfig(4)
+	cfg.BFrames = 1
+	enc, err := EncodeSequenceB(clip, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byType := map[FrameType]*EncodedFrame{}
+	for _, ef := range enc {
+		byType[ef.Type] = ef
+	}
+	out := []*EncodedFrame{}
+	for _, ft := range []FrameType{IFrame, PFrame, BFrame} {
+		ef := byType[ft]
+		if ef == nil {
+			t.Fatalf("no %v frame in test clip", ft)
+		}
+		out = append(out, ef)
+	}
+	return out
+}
+
+// TestPacketizeIntoMatchesPacketize is the wire-format golden test: the
+// zero-copy packetizer must produce byte-identical payloads and
+// identical slice boundaries to Packetize for I, P and B frames, across
+// MTUs and headrooms, pooled and pool-less.
+func TestPacketizeIntoMatchesPacketize(t *testing.T) {
+	pool := NewBufPool()
+	for _, ef := range testFrames(t) {
+		for _, mtu := range []int{64, 200, 1400} {
+			for _, headroom := range []int{0, 12, 13} {
+				want, err := Packetize(ef, mtu)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, p := range []*BufPool{nil, pool} {
+					got, err := PacketizeInto(ef, mtu, headroom, p, nil)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if len(got) != len(want) {
+						t.Fatalf("%v mtu=%d: %d packets, want %d", ef.Type, mtu, len(got), len(want))
+					}
+					for i := range got {
+						if got[i].Packet.FrameNumber != want[i].FrameNumber ||
+							got[i].Packet.Type != want[i].Type ||
+							got[i].Packet.MBStart != want[i].MBStart ||
+							got[i].Packet.MBCount != want[i].MBCount {
+							t.Fatalf("%v mtu=%d packet %d: header mismatch", ef.Type, mtu, i)
+						}
+						if !bytes.Equal(got[i].Payload, want[i].Payload) {
+							t.Fatalf("%v mtu=%d packet %d: payload differs", ef.Type, mtu, i)
+						}
+						if got[i].Headroom != headroom {
+							t.Fatalf("packet %d headroom %d, want %d", i, got[i].Headroom, headroom)
+						}
+						wire := got[i].Wire(len(got[i].Payload))
+						if len(wire) != headroom+len(got[i].Payload) {
+							t.Fatalf("packet %d wire length %d", i, len(wire))
+						}
+						if !bytes.Equal(wire[headroom:], want[i].Payload) {
+							t.Fatalf("packet %d: wire payload region differs", i)
+						}
+					}
+					if p != nil {
+						for i := range got {
+							p.Put(&got[i])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPacketizeIntoPadInPlace checks the contract that payloads can be
+// extended to the MTU within the buffer (no reallocation, headroom
+// preserved).
+func TestPacketizeIntoPadInPlace(t *testing.T) {
+	pool := NewBufPool()
+	ef := testFrames(t)[1] // P-frame: small packets, far below MTU
+	const mtu, headroom = 1400, 12
+	wps, err := PacketizeInto(ef, mtu, headroom, pool, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range wps {
+		wp := &wps[i]
+		if cap(wp.Payload) < mtu {
+			t.Fatalf("packet %d payload cap %d < mtu", i, cap(wp.Payload))
+		}
+		grown := wp.Payload[:mtu]
+		if &grown[0] != &wp.Payload[0] {
+			t.Fatalf("packet %d: padding reallocated", i)
+		}
+		wire := wp.Wire(mtu)
+		if len(wire) != headroom+mtu {
+			t.Fatalf("packet %d: wire len %d", i, len(wire))
+		}
+		if !bytes.Equal(wire[headroom:], grown) {
+			t.Fatalf("packet %d: wire and padded payload disagree", i)
+		}
+		pool.Put(wp)
+	}
+}
+
+// TestPacketizeIntoZeroAllocs pins the steady-state packetize path at
+// zero allocations once the pool and destination slice are warm.
+func TestPacketizeIntoZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops items at random under -race; allocation counts are not meaningful")
+	}
+	pool := NewBufPool()
+	ef := testFrames(t)[0]
+	var wps []WirePacket
+	run := func() {
+		var err error
+		wps, err = PacketizeInto(ef, 1400, 12, pool, wps[:0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range wps {
+			pool.Put(&wps[i])
+		}
+	}
+	run() // warm pool and dst capacity
+	if allocs := testing.AllocsPerRun(50, run); allocs != 0 {
+		t.Fatalf("PacketizeInto allocates %.1f times per frame, want 0", allocs)
+	}
+}
+
+// TestUvarintLenMatchesEncoding cross-checks the size function against
+// the encoder on boundary values.
+func TestUvarintLenMatchesEncoding(t *testing.T) {
+	for _, v := range []uint64{0, 1, 0x7f, 0x80, 0x3fff, 0x4000, 1 << 21, 1<<63 - 1, 1 << 63} {
+		got := uvarintLen(v)
+		if want := len(appendUvarint(nil, v)); got != want {
+			t.Fatalf("uvarintLen(%d) = %d, encoded length %d", v, got, want)
+		}
+	}
+}
+
+func BenchmarkPacketizeInto(b *testing.B) {
+	ef := testFrames(b)[0]
+	pool := NewBufPool()
+	var wps []WirePacket
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		wps, err = PacketizeInto(ef, 1400, 12, pool, wps[:0])
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j := range wps {
+			pool.Put(&wps[j])
+		}
+	}
+}
+
+// BenchmarkPacketize measures the allocating packetizer for comparison
+// (exact-size buffers since this PR, but still one allocation per
+// packet).
+func BenchmarkPacketize(b *testing.B) {
+	ef := testFrames(b)[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Packetize(ef, 1400); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

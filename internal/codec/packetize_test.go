@@ -172,7 +172,7 @@ func TestReassemblerRejectsOutOfRange(t *testing.T) {
 	// A slice claiming an out-of-range macroblock index must be rejected.
 	big := &EncodedFrame{Number: 0, Type: IFrame, MBData: make([][]byte, 100000)}
 	big.MBData[99999] = []byte{1}
-	payload := marshalSlice(big, 99999, 1)
+	payload := AppendSlice(nil, big, 99999, 1)
 	if err := re.Add(payload); err == nil {
 		t.Fatal("out-of-range slice should be rejected")
 	}

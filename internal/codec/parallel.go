@@ -125,20 +125,25 @@ func parallelRows(workers, rows int, fn func(my int)) {
 	wg.Wait()
 }
 
-// encodeRow codes macroblock row my of a frame. rowDone is the wavefront
-// token array for P-frames (nil for I-frames and the serial path). The
+// encodeRow codes macroblock row my of a frame in the three batched
+// phases of rowbatch.go. rowDone is the wavefront token array for
+// P-frames (nil for I-frames and the serial path); tokens move entirely
+// within the gather phase, which is the only phase that reads the row
+// above's motion vectors — so a row's transform and emit phases overlap
+// with its neighbours' gathers instead of serialising behind them. The
 // row's chunks are packed into one arena allocation; the arena must be
 // fresh per row because the MBData subslices outlive the call.
 func (e *Encoder) encodeRow(src, recon *video.Frame, out *EncodedFrame, mvs [][2]int, ft FrameType, my int, sc *mbScratch, rowDone []chan struct{}) {
 	cols := e.cfg.MBCols()
-	var arena []byte
+	b := rowBatchPool.Get().(*rowBatch)
+	b.resize(blocksPerMB * cols)
+	// Phase A: motion search and sample gathering, wavefront order.
 	for mx := 0; mx < cols; mx++ {
 		if rowDone != nil && my > 0 {
 			<-rowDone[my-1]
 		}
-		sc.w.reset()
 		if ft == IFrame {
-			encodeIntraMB(sc, src, recon, mx, my, e.cfg.QI)
+			gatherIntraMB(b, src, mx, my)
 		} else {
 			starts := sc.starts[:0]
 			if mx > 0 {
@@ -150,17 +155,38 @@ func (e *Encoder) encodeRow(src, recon *video.Frame, out *EncodedFrame, mvs [][2
 			if e.prevMVs != nil {
 				starts = append(starts, e.prevMVs[my*cols+mx])
 			}
-			dx, dy := encodeInterMB(sc, src, e.ref, recon, mx, my, e.cfg, starts)
+			x0, y0 := mx*mbSize, my*mbSize
+			dx, dy := motionSearch(src, e.ref, x0, y0, e.cfg, starts)
 			mvs[my*cols+mx] = [2]int{dx, dy}
+			gatherInterMB(b, src, e.ref, mx, my, dx, dy)
 		}
-		chunk := sc.w.bytes()
-		start := len(arena)
-		arena = append(arena, chunk...)
-		out.MBData[my*cols+mx] = arena[start:len(arena):len(arena)]
 		if rowDone != nil {
 			rowDone[my] <- struct{}{}
 		}
 	}
+	// Phase B: batched DCT + quantisation over the whole row.
+	qL, qC := e.cfg.QI, e.cfg.QI*1.2
+	if ft != IFrame {
+		qL, qC = e.cfg.QP, e.cfg.QP*1.2
+	}
+	for i := range b.samples {
+		q := qL
+		if i%blocksPerMB >= 4 {
+			q = qC
+		}
+		b.nonzero[i] = quantiseBlock(&b.samples[i], q, &b.quant[i])
+	}
+	// Phase C: entropy coding and reconstruction, per macroblock.
+	var arena []byte
+	for mx := 0; mx < cols; mx++ {
+		sc.w.reset()
+		emitMB(b, sc, src, e.ref, recon, mvs, ft, mx, my, cols, qL, qC)
+		chunk := sc.w.bytes()
+		start := len(arena)
+		arena = append(arena, chunk...)
+		out.MBData[my*cols+mx] = arena[start:len(arena):len(arena)]
+	}
+	rowBatchPool.Put(b)
 	// Row-granular accounting: two atomic adds per row, never per
 	// macroblock, so the hot path stays allocation- and contention-free.
 	mRowsEncoded.Inc()

@@ -50,6 +50,31 @@ func (p Packet) Marshal() []byte {
 	return buf
 }
 
+// MarshalInto serialises the packet into buf, whose first HeaderSize
+// bytes are header space and whose remainder is expected to already hold
+// the payload (the zero-copy path: the packetizer reserved the headroom
+// and the payload was encrypted in place behind it). It returns
+// buf[:HeaderSize+len(p.Payload)]. If the payload does not alias
+// buf[HeaderSize:], it is copied there, so the call is also correct for
+// detached payloads; buf must then have capacity for header plus
+// payload.
+func (p Packet) MarshalInto(buf []byte) []byte {
+	buf = buf[:HeaderSize+len(p.Payload)]
+	buf[0] = Version << 6
+	b1 := p.PayloadType & 0x7F
+	if p.Marker {
+		b1 |= 0x80
+	}
+	buf[1] = b1
+	binary.BigEndian.PutUint16(buf[2:], p.Sequence)
+	binary.BigEndian.PutUint32(buf[4:], p.Timestamp)
+	binary.BigEndian.PutUint32(buf[8:], p.SSRC)
+	if len(p.Payload) > 0 && &buf[HeaderSize] != &p.Payload[0] {
+		copy(buf[HeaderSize:], p.Payload)
+	}
+	return buf
+}
+
 // Parse decodes an RTP packet. The payload aliases data; copy it if the
 // buffer is reused.
 func Parse(data []byte) (Packet, error) {

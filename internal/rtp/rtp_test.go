@@ -100,3 +100,58 @@ func TestMarshalAllocatesExactSize(t *testing.T) {
 		t.Fatal("marshal size wrong")
 	}
 }
+
+// TestMarshalIntoMatchesMarshal pins the zero-copy serialisation
+// byte-identical to Marshal, both when the payload already sits behind
+// the header space (aliasing, no copy) and when it is detached.
+func TestMarshalIntoMatchesMarshal(t *testing.T) {
+	payload := []byte("slice payload bytes")
+	p := Packet{
+		PayloadType: PayloadTypeVideo,
+		Marker:      true,
+		Sequence:    777,
+		Timestamp:   123456,
+		SSRC:        0xDEADBEEF,
+		Payload:     payload,
+	}
+	want := p.Marshal()
+
+	// Detached payload: MarshalInto copies it behind the header.
+	got := p.MarshalInto(make([]byte, 0, HeaderSize+len(payload)))
+	if !bytes.Equal(got, want) {
+		t.Fatalf("detached MarshalInto differs:\n got %x\nwant %x", got, want)
+	}
+
+	// Aliasing payload: the wire bytes come out of the same buffer with
+	// no copying.
+	buf := make([]byte, HeaderSize, HeaderSize+len(payload))
+	buf = append(buf, payload...)
+	q := p
+	q.Payload = buf[HeaderSize:]
+	got = q.MarshalInto(buf)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("aliasing MarshalInto differs:\n got %x\nwant %x", got, want)
+	}
+	if &got[0] != &buf[0] {
+		t.Fatal("aliasing MarshalInto reallocated")
+	}
+	rt, err := Parse(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(rt.Payload, payload) || !rt.Encrypted() || rt.Sequence != 777 {
+		t.Fatal("round trip through MarshalInto/Parse lost fields")
+	}
+}
+
+// TestMarshalIntoZeroAllocs pins the aliasing path at zero allocations.
+func TestMarshalIntoZeroAllocs(t *testing.T) {
+	buf := make([]byte, HeaderSize, HeaderSize+100)
+	buf = append(buf, bytes.Repeat([]byte{7}, 100)...)
+	p := Packet{PayloadType: PayloadTypeVideo, Sequence: 1, Payload: buf[HeaderSize:]}
+	if allocs := testing.AllocsPerRun(100, func() {
+		p.MarshalInto(buf)
+	}); allocs != 0 {
+		t.Fatalf("MarshalInto allocates %.1f times, want 0", allocs)
+	}
+}

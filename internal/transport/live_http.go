@@ -41,14 +41,23 @@ const NextSeqHeader = "X-Thrifty-Next-Seq"
 // cipher IVs unique across the old and new clip bytes.
 const RestartHeader = "X-Thrifty-Restart"
 
-// WriteSegment frames one payload.
-func WriteSegment(w io.Writer, seq uint64, encrypted bool, payload []byte) error {
-	var hdr [segmentHeaderSize]byte
+// putSegmentHeader writes the header of an n-byte segment into hdr's
+// first segmentHeaderSize bytes. The flags byte is stored
+// unconditionally: on the zero-copy path hdr is the headroom of a
+// recycled wire buffer still holding a previous packet's bytes.
+func putSegmentHeader(hdr []byte, seq uint64, encrypted bool, n int) {
+	hdr[0] = 0
 	if encrypted {
 		hdr[0] = flagEncrypted
 	}
 	binary.BigEndian.PutUint64(hdr[1:9], seq)
-	binary.BigEndian.PutUint32(hdr[9:13], uint32(len(payload)))
+	binary.BigEndian.PutUint32(hdr[9:13], uint32(n))
+}
+
+// WriteSegment frames one payload.
+func WriteSegment(w io.Writer, seq uint64, encrypted bool, payload []byte) error {
+	var hdr [segmentHeaderSize]byte
+	putSegmentHeader(hdr[:], seq, encrypted, len(payload))
 	if _, err := w.Write(hdr[:]); err != nil {
 		return err
 	}
@@ -269,30 +278,40 @@ func LiveHTTPUpload(s Session, url string, pacer *netem.Pacer) (HTTPUploadReport
 	errCh := make(chan error, 1)
 	go func() {
 		defer pw.Close()
+		pool := codec.NewBufPool()
+		var wps []codec.WirePacket
 		seq := uint64(0)
 		for _, ef := range s.Encoded {
-			pkts, err := codec.Packetize(ef, s.MTU)
+			var err error
+			wps, err = codec.PacketizeInto(ef, s.MTU, segmentHeaderSize, pool, wps[:0])
 			if err != nil {
 				errCh <- err
 				pw.CloseWithError(err) //lint:allow bitioerr pipe CloseWithError is documented to always return nil
 				return
 			}
-			for _, pkt := range pkts {
-				payload := append([]byte(nil), pkt.Payload...)
+			for i := range wps {
+				pkt := &wps[i]
+				payload := pkt.Payload
 				encrypted := selector.ShouldEncrypt(pkt.IsIFrame())
+				// The segment header lands in the buffer's headroom and
+				// the payload is encrypted where it already lies, so the
+				// whole segment crosses the pipe in one copy-free write.
+				wire := pkt.Wire(len(payload))
+				putSegmentHeader(wire, seq, encrypted, len(payload))
 				if encrypted {
-					cipher.EncryptPacket(seq, payload[:s.Policy.EncryptSpan(len(payload))])
+					cipher.EncryptPacket(seq, wire[segmentHeaderSize:][:s.Policy.EncryptSpan(len(payload))])
 					rep.Encrypted++
 				}
 				if pacer != nil {
-					pacer.Wait(segmentHeaderSize + len(payload))
+					pacer.Wait(len(wire))
 				}
-				if err := WriteSegment(pw, seq, encrypted, payload); err != nil {
+				if _, err := pw.Write(wire); err != nil {
 					errCh <- err
 					return
 				}
+				pool.Put(pkt)
 				rep.Segments++
-				rep.Bytes += segmentHeaderSize + len(payload)
+				rep.Bytes += len(wire)
 				seq++
 			}
 		}

@@ -64,33 +64,44 @@ func LiveUDPSend(s Session, rxAddr, evAddr string, pace bool) (LiveSendReport, e
 		defer evConn.Close()
 	}
 	seqr := rtp.NewSequencer(0x7561) // arbitrary SSRC
+	pool := codec.NewBufPool()
+	var wps []codec.WirePacket
 	start := time.Now()
 	seq := 0
 	for fi, ef := range s.Encoded {
-		if pace {
-			due := start.Add(time.Duration(float64(fi) / s.FPS * float64(time.Second)))
-			if d := time.Until(due); d > 0 {
-				time.Sleep(d)
-			}
-		}
-		pkts, err := codec.Packetize(ef, s.MTU)
+		wps, err = codec.PacketizeInto(ef, s.MTU, rtp.HeaderSize, pool, wps[:0])
 		if err != nil {
 			return rep, err
 		}
-		for _, pkt := range pkts {
-			payload := append([]byte(nil), pkt.Payload...)
+		if pace {
+			due := start.Add(time.Duration(float64(fi) / s.FPS * float64(time.Second)))
+			if d := time.Until(due); d > 0 {
+				// Overlap the pacing wait with keystream precompute, so
+				// by release time EncryptPacket on the hot path is a
+				// single XOR pass over cached keystream.
+				go cipher.Prefetch(uint64(seq), len(wps), s.MTU)
+				time.Sleep(d)
+			}
+		}
+		for i := range wps {
+			pkt := &wps[i]
+			payload := pkt.Payload
 			if s.PadToMTU && len(payload) < s.MTU {
-				payload = append(payload, make([]byte, s.MTU-len(payload))...)
+				payload = zeroPad(payload, s.MTU-len(payload))
 			}
 			encrypted := selector.ShouldEncrypt(pkt.IsIFrame())
+			// Marshal first — the RTP header lands in the buffer's
+			// headroom, the payload already aliases the rest — then
+			// encrypt the payload region in place: same wire bytes as
+			// encrypt-then-marshal, zero copies.
+			out := seqr.Next(payload, float64(fi)/s.FPS, encrypted).MarshalInto(pkt.Wire(len(payload)))
 			if encrypted {
 				t0 := time.Now()
-				cipher.EncryptPacket(uint64(seq), payload[:s.Policy.EncryptSpan(len(payload))])
+				cipher.EncryptPacket(uint64(seq), out[rtp.HeaderSize:][:s.Policy.EncryptSpan(len(payload))])
 				rep.CryptoTime += time.Since(t0)
 				rep.Encrypted++
 				mUDPEncrypted.Inc()
 			}
-			out := seqr.Next(payload, float64(fi)/s.FPS, encrypted).Marshal()
 			if _, err := rxConn.Write(out); err != nil {
 				return rep, fmt.Errorf("transport: send to receiver: %w", err)
 			}
@@ -105,6 +116,7 @@ func LiveUDPSend(s Session, rxAddr, evAddr string, pace bool) (LiveSendReport, e
 			rep.Bytes += len(out)
 			mUDPPacketsSent.Inc()
 			mUDPBytesSent.Add(int64(len(out)))
+			pool.Put(pkt)
 			seq++
 		}
 	}
@@ -536,35 +548,41 @@ func LiveUDPSendReliable(s Session, rxAddr, evAddr string, pace bool, opts Relia
 	}()
 
 	seqr := rtp.NewSequencer(0x7561) // same arbitrary SSRC as LiveUDPSend
+	pool := codec.NewBufPool()
+	var wps []codec.WirePacket
 	start := time.Now()
 	seq := 0
 	for fi, ef := range s.Encoded {
-		if pace {
-			due := start.Add(time.Duration(float64(fi) / s.FPS * float64(time.Second)))
-			if d := time.Until(due); d > 0 {
-				time.Sleep(d)
-			}
-		}
-		pkts, err := codec.Packetize(ef, s.MTU)
+		wps, err = codec.PacketizeInto(ef, s.MTU, rtp.HeaderSize, pool, wps[:0])
 		if err != nil {
 			close(stop)
 			wg.Wait()
 			return rep, err
 		}
-		for _, pkt := range pkts {
-			payload := append([]byte(nil), pkt.Payload...)
+		if pace {
+			due := start.Add(time.Duration(float64(fi) / s.FPS * float64(time.Second)))
+			if d := time.Until(due); d > 0 {
+				// Precompute this frame's keystreams while waiting for
+				// its release time (see LiveUDPSend).
+				go cipher.Prefetch(uint64(seq), len(wps), s.MTU)
+				time.Sleep(d)
+			}
+		}
+		for i := range wps {
+			pkt := &wps[i]
+			payload := pkt.Payload
 			if s.PadToMTU && len(payload) < s.MTU {
-				payload = append(payload, make([]byte, s.MTU-len(payload))...)
+				payload = zeroPad(payload, s.MTU-len(payload))
 			}
 			encrypted := selector.ShouldEncrypt(pkt.IsIFrame())
+			out := seqr.Next(payload, float64(fi)/s.FPS, encrypted).MarshalInto(pkt.Wire(len(payload)))
 			if encrypted {
 				t0 := time.Now()
-				cipher.EncryptPacket(uint64(seq), payload[:s.Policy.EncryptSpan(len(payload))])
+				cipher.EncryptPacket(uint64(seq), out[rtp.HeaderSize:][:s.Policy.EncryptSpan(len(payload))])
 				rep.CryptoTime += time.Since(t0)
 				rep.Encrypted++
 				mUDPEncrypted.Inc()
 			}
-			out := seqr.Next(payload, float64(fi)/s.FPS, encrypted).Marshal()
 			if pkt.IsIFrame() {
 				bufMu.Lock()
 				iBuf[uint64(seq)] = out
@@ -605,6 +623,11 @@ func LiveUDPSendReliable(s Session, rxAddr, evAddr string, pace bool, opts Relia
 			rep.Bytes += len(out)
 			mUDPPacketsSent.Inc()
 			mUDPBytesSent.Add(int64(len(out)))
+			if !pkt.IsIFrame() {
+				// I-frame buffers live on in the retransmit map and
+				// never rejoin the pool; P/B buffers recycle at once.
+				pool.Put(pkt)
+			}
 			seq++
 		}
 	}

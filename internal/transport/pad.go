@@ -1,0 +1,23 @@
+package transport
+
+// zeroBlock is the static source for MTU padding. Appending from it in
+// chunks zero-fills the pad region explicitly, which matters for pooled
+// wire buffers: recycled buffers still hold the previous packet's bytes
+// past the payload, and padding must not leak them onto the wire.
+var zeroBlock [2048]byte
+
+// zeroPad appends n zero bytes to p. When p has capacity for them (wire
+// buffers are sized to hold a full MTU of payload) the extension happens
+// in place with no allocation, replacing the old pad-with-make pattern
+// on every send path.
+func zeroPad(p []byte, n int) []byte {
+	for n > 0 {
+		c := n
+		if c > len(zeroBlock) {
+			c = len(zeroBlock)
+		}
+		p = append(p, zeroBlock[:c]...)
+		n -= c
+	}
+	return p
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package transport
+
+// raceEnabled reports that this test binary was built with -race, under
+// which sync.Pool deliberately drops items at random — allocation-count
+// assertions are meaningless there.
+const raceEnabled = true

@@ -55,7 +55,10 @@ func buildSegments(s Session, base uint64) ([]wireSegment, error) {
 			return nil, err
 		}
 		for _, pkt := range pkts {
-			payload := append([]byte(nil), pkt.Payload...)
+			// Packetize hands each payload its own exact-size buffer, so
+			// the segment owns it outright and encrypts in place — the
+			// old defensive copy bought nothing.
+			payload := pkt.Payload
 			encrypted := selector.ShouldEncrypt(pkt.IsIFrame())
 			if encrypted {
 				cipher.EncryptPacket(seq, payload[:s.Policy.EncryptSpan(len(payload))])

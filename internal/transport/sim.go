@@ -89,9 +89,12 @@ func runSim(s Session, seed uint64, tcp bool) (*Result, error) {
 		}
 		frameTime := float64(fi) / s.FPS
 		for pi, pkt := range pkts {
-			payload := append([]byte(nil), pkt.Payload...)
+			// Packetize allocates each payload exactly once for this work
+			// list; padding grows it in place (or with a single realloc),
+			// replacing the old copy-then-pad-with-make double allocation.
+			payload := pkt.Payload
 			if s.PadToMTU && len(payload) < s.MTU {
-				payload = append(payload, make([]byte, s.MTU-len(payload))...)
+				payload = zeroPad(payload, s.MTU-len(payload))
 			}
 			items = append(items, workItem{
 				arrival:  frameTime + float64(pi)*gap,
@@ -134,6 +137,7 @@ func runSim(s Session, seed uint64, tcp bool) (*Result, error) {
 	var records []PacketRecord
 	var serverFree float64
 	var nEncrypted, nLost int
+	var rxScratch []byte // receive-side decrypt buffer, reused per packet
 	for seq, it := range items {
 		arrival := it.arrival
 		// Audio rides fully encrypted whenever the session encrypts at
@@ -152,7 +156,7 @@ func runSim(s Session, seed uint64, tcp bool) (*Result, error) {
 			start = serverFree
 		}
 		var encTime float64
-		payload := append([]byte(nil), it.payload...)
+		payload := it.payload
 		if encrypt {
 			span := len(payload)
 			if !it.isAudio {
@@ -162,6 +166,9 @@ func runSim(s Session, seed uint64, tcp bool) (*Result, error) {
 			if err != nil {
 				return nil, err
 			}
+			// The work list is consumed exactly once, so the payload is
+			// encrypted in place: the eavesdropper branch below only ever
+			// reads plaintext packets, which this branch never touches.
 			cipher.EncryptPacket(uint64(seq), payload[:span])
 			nEncrypted++
 			meter.AddCrypto(encTime)
@@ -217,22 +224,27 @@ func runSim(s Session, seed uint64, tcp bool) (*Result, error) {
 		}
 		records = append(records, rec)
 
-		// Receiver path: decrypt flagged packets, reassemble.
+		// Receiver path: decrypt flagged packets, reassemble. The
+		// reassembler copies macroblock bytes out of the payload, so one
+		// scratch buffer serves every video packet; audio frames are
+		// retained and keep their own copy.
 		if receiverGot {
-			rx := append([]byte(nil), payload...)
-			if encrypt {
-				span := len(rx)
-				if !it.isAudio {
-					span = s.Policy.EncryptSpan(len(rx))
-				}
-				cipher.DecryptPacket(uint64(seq), rx[:span])
-			}
 			if it.isAudio {
+				rx := append([]byte(nil), payload...)
+				if encrypt {
+					cipher.DecryptPacket(uint64(seq), rx)
+				}
 				rxAudio[it.frameNum].Data = rx
-			} else if err := rxAsm.Add(rx); err != nil {
-				// A receive-side parse failure is data loss, not a
-				// harness error.
-				nLost++
+			} else {
+				rxScratch = append(rxScratch[:0], payload...)
+				if encrypt {
+					cipher.DecryptPacket(uint64(seq), rxScratch[:s.Policy.EncryptSpan(len(rxScratch))])
+				}
+				if err := rxAsm.Add(rxScratch); err != nil {
+					// A receive-side parse failure is data loss, not a
+					// harness error.
+					nLost++
+				}
 			}
 		} else {
 			nLost++
@@ -244,7 +256,9 @@ func runSim(s Session, seed uint64, tcp bool) (*Result, error) {
 			if it.isAudio {
 				evAudio[it.frameNum].Data = append([]byte(nil), it.payload...)
 			} else {
-				_ = evAsm.Add(append([]byte(nil), it.payload...)) //lint:allow bitioerr eavesdropper feeds ciphertext; parse failures are the expected outcome
+				// The reassembler copies the macroblock bytes it keeps,
+				// so the work-list payload can be fed to it directly.
+				_ = evAsm.Add(it.payload) //lint:allow bitioerr eavesdropper feeds ciphertext; parse failures are the expected outcome
 			}
 		}
 	}

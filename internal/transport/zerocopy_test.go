@@ -1,0 +1,332 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/binary"
+	"net"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/codec"
+	"repro/internal/rtp"
+	"repro/internal/vcrypt"
+	"repro/internal/video"
+)
+
+// Golden wire-format equivalence: the zero-copy packetize+encrypt path
+// (PacketizeInto → zeroPad → MarshalInto → encrypt-in-place) must put
+// byte-identical datagrams/segments on the wire as the original
+// allocate-per-packet path (Packetize → copy → pad-with-make → encrypt →
+// Marshal). The legacy construction is replicated inside the tests so the
+// equivalence stays checkable forever.
+
+// goldenSession encodes a small clip with B-frames enabled so the wire
+// format is exercised across all three frame types (I, P and B), and
+// wraps it in a live-backend session (no Medium needed).
+func goldenSession(t *testing.T, policy vcrypt.Policy) Session {
+	t.Helper()
+	clip := video.Generate(video.SceneConfig{W: 96, H: 96, Frames: 12, Motion: video.MotionMedium, Seed: 7})
+	cfg := codec.Config{Width: 96, Height: 96, GOPSize: 12, QI: 8, QP: 10, SearchRange: 16, BFrames: 1}
+	encoded, err := codec.EncodeSequenceB(clip, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	types := map[codec.FrameType]bool{}
+	for _, ef := range encoded {
+		types[ef.Type] = true
+	}
+	for _, ft := range []codec.FrameType{codec.IFrame, codec.PFrame, codec.BFrame} {
+		if !types[ft] {
+			t.Fatalf("golden clip missing frame type %v", ft)
+		}
+	}
+	key := make([]byte, policy.Alg.KeySize())
+	for i := range key {
+		key[i] = byte(i)
+	}
+	return Session{
+		Config:  cfg,
+		Encoded: encoded,
+		FPS:     30,
+		MTU:     600, // small enough that frames split into several slices
+		Policy:  policy,
+		Key:     key,
+	}
+}
+
+// legacyDatagrams rebuilds the RTP datagrams exactly as the pre-zero-copy
+// LiveUDPSend did: fresh payload copy per packet, pad with make, encrypt
+// the copy in place, then Packet.Marshal into yet another allocation.
+func legacyDatagrams(t *testing.T, s Session) [][]byte {
+	t.Helper()
+	cipher, err := vcrypt.NewCipher(s.Policy.Alg, s.Key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	selector, err := vcrypt.NewSelector(s.Policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqr := rtp.NewSequencer(0x7561) // the SSRC the live senders use
+	var out [][]byte
+	seq := 0
+	for fi, ef := range s.Encoded {
+		pkts, err := codec.Packetize(ef, s.MTU)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, pkt := range pkts {
+			payload := append([]byte(nil), pkt.Payload...)
+			if s.PadToMTU && len(payload) < s.MTU {
+				payload = append(payload, make([]byte, s.MTU-len(payload))...)
+			}
+			encrypted := selector.ShouldEncrypt(pkt.IsIFrame())
+			if encrypted {
+				cipher.EncryptPacket(uint64(seq), payload[:s.Policy.EncryptSpan(len(payload))])
+			}
+			out = append(out, seqr.Next(payload, float64(fi)/s.FPS, encrypted).Marshal())
+			seq++
+		}
+	}
+	return out
+}
+
+// captureDatagrams runs send against a raw capture socket and returns the
+// datagrams it put on the wire, indexed by RTP sequence number so UDP
+// reordering cannot produce false mismatches.
+func captureDatagrams(t *testing.T, count int, send func(addr string) error) map[uint16][]byte {
+	t.Helper()
+	conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	done := make(chan map[uint16][]byte, 1)
+	go func() {
+		got := make(map[uint16][]byte, count)
+		buf := make([]byte, 65536)
+		for len(got) < count {
+			conn.SetReadDeadline(time.Now().Add(5 * time.Second)) //nolint:errcheck // UDP deadline set cannot fail
+			n, _, err := conn.ReadFromUDP(buf)
+			if err != nil {
+				break
+			}
+			if n < rtp.HeaderSize {
+				continue
+			}
+			seq := binary.BigEndian.Uint16(buf[2:4])
+			if _, dup := got[seq]; !dup {
+				got[seq] = append([]byte(nil), buf[:n]...)
+			}
+		}
+		done <- got
+	}()
+	if err := send(conn.LocalAddr().String()); err != nil {
+		t.Fatal(err)
+	}
+	return <-done
+}
+
+func compareWire(t *testing.T, want [][]byte, got map[uint16][]byte) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("captured %d datagrams, want %d", len(got), len(want))
+	}
+	for i, w := range want {
+		g, ok := got[uint16(i)]
+		if !ok {
+			t.Fatalf("datagram with sequence %d never captured", i)
+		}
+		if !bytes.Equal(g, w) {
+			t.Fatalf("datagram %d differs from legacy path:\n got %x\nwant %x", i, g, w)
+		}
+	}
+}
+
+// TestLiveUDPSendWireIdentical checks the zero-copy UDP sender against the
+// legacy construction for every cipher algorithm, with a mixed
+// encrypted/plaintext policy so both sides of the selection guard cross
+// the wire.
+func TestLiveUDPSendWireIdentical(t *testing.T) {
+	algs := []vcrypt.Algorithm{vcrypt.AES128, vcrypt.AES256, vcrypt.TripleDES, vcrypt.AES128CTR, vcrypt.AES256CTR}
+	for _, alg := range algs {
+		t.Run(alg.String(), func(t *testing.T) {
+			s := goldenSession(t, vcrypt.Policy{Mode: vcrypt.ModeIFrames, Alg: alg})
+			want := legacyDatagrams(t, s)
+			got := captureDatagrams(t, len(want), func(addr string) error {
+				_, err := LiveUDPSend(s, addr, "", false)
+				return err
+			})
+			compareWire(t, want, got)
+		})
+	}
+}
+
+// TestLiveUDPSendWireIdenticalVariants covers the padded and header-only
+// policy shapes, where the in-place zeroPad and the partial encrypt span
+// could plausibly diverge from the legacy bytes.
+func TestLiveUDPSendWireIdenticalVariants(t *testing.T) {
+	cases := []struct {
+		name   string
+		policy vcrypt.Policy
+		pad    bool
+	}{
+		{"pad-to-mtu", vcrypt.Policy{Mode: vcrypt.ModeAll, Alg: vcrypt.AES128}, true},
+		{"header-only", vcrypt.Policy{Mode: vcrypt.ModeAll, Alg: vcrypt.AES128, HeaderOnlyBytes: vcrypt.MinHeaderOnlyBytes}, false},
+		{"header-only-padded", vcrypt.Policy{Mode: vcrypt.ModeIFrames, Alg: vcrypt.AES256, HeaderOnlyBytes: vcrypt.MinHeaderOnlyBytes}, true},
+		{"plaintext", vcrypt.Policy{Mode: vcrypt.ModeNone, Alg: vcrypt.AES128}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := goldenSession(t, tc.policy)
+			s.PadToMTU = tc.pad
+			want := legacyDatagrams(t, s)
+			got := captureDatagrams(t, len(want), func(addr string) error {
+				_, err := LiveUDPSend(s, addr, "", false)
+				return err
+			})
+			compareWire(t, want, got)
+		})
+	}
+}
+
+// TestLiveUDPSendReliableWireIdentical checks the reliable sender's
+// zero-copy path (whose I-frame datagrams outlive the pool in the
+// retransmit buffer) against the same golden bytes.
+func TestLiveUDPSendReliableWireIdentical(t *testing.T) {
+	s := goldenSession(t, vcrypt.Policy{Mode: vcrypt.ModeIFrames, Alg: vcrypt.AES128})
+	want := legacyDatagrams(t, s)
+	got := captureDatagrams(t, len(want), func(addr string) error {
+		_, err := LiveUDPSendReliable(s, addr, "", false, ReliableUDPOptions{Drain: 20 * time.Millisecond})
+		return err
+	})
+	compareWire(t, want, got)
+}
+
+// TestLiveHTTPUploadWireIdentical checks the zero-copy HTTP segment path
+// against buildSegments (the Packetize-based construction the resumable
+// uploader uses): same sequence numbers, same encrypted flags, same
+// payload bytes as seen by the server's wire tap.
+func TestLiveHTTPUploadWireIdentical(t *testing.T) {
+	pol := vcrypt.Policy{Mode: vcrypt.ModeIFrames, Alg: vcrypt.AES256CTR}
+	s := goldenSession(t, pol)
+	want, err := buildSegments(s, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewHTTPUploadServer(s.Config, pol.Alg, s.Key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type tapped struct {
+		seq       uint64
+		encrypted bool
+		payload   []byte
+	}
+	var got []tapped
+	srv.Tap = func(seq uint64, encrypted bool, payload []byte) {
+		got = append(got, tapped{seq, encrypted, payload})
+	}
+	hs := httptest.NewServer(srv)
+	defer hs.Close()
+	if _, err := LiveHTTPUpload(s, hs.URL, nil); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("tapped %d segments, want %d", len(got), len(want))
+	}
+	for i, w := range want {
+		g := got[i]
+		if g.seq != w.seq || g.encrypted != w.encrypted {
+			t.Fatalf("segment %d header: got (%d, %v), want (%d, %v)", i, g.seq, g.encrypted, w.seq, w.encrypted)
+		}
+		if !bytes.Equal(g.payload, w.payload) {
+			t.Fatalf("segment %d payload differs from buildSegments:\n got %x\nwant %x", i, g.payload, w.payload)
+		}
+	}
+}
+
+// TestSendPathSteadyStateAllocs pins the composed per-packet send path —
+// PacketizeInto, in-place zero-pad, MarshalInto, encrypt, pool return —
+// at zero allocations per steady-state iteration. This is the
+// transport-level half of the zero-copy guarantee; the codec- and
+// cipher-level halves are pinned in their own packages.
+func TestSendPathSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops items at random under -race; allocation counts are meaningless")
+	}
+	s := goldenSession(t, vcrypt.Policy{Mode: vcrypt.ModeAll, Alg: vcrypt.AES128})
+	s.PadToMTU = true
+	cipher, err := vcrypt.NewCipher(s.Policy.Alg, s.Key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	selector, err := vcrypt.NewSelector(s.Policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqr := rtp.NewSequencer(0x7561)
+	pool := codec.NewBufPool()
+	var wps []codec.WirePacket
+	var packets, bytesOut int
+	run := func() {
+		seq := uint64(0)
+		for fi, ef := range s.Encoded {
+			var err error
+			wps, err = codec.PacketizeInto(ef, s.MTU, rtp.HeaderSize, pool, wps[:0])
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range wps {
+				pkt := &wps[i]
+				payload := pkt.Payload
+				if len(payload) < s.MTU {
+					payload = zeroPad(payload, s.MTU-len(payload))
+				}
+				encrypted := selector.ShouldEncrypt(pkt.IsIFrame())
+				out := seqr.Next(payload, float64(fi)/s.FPS, encrypted).MarshalInto(pkt.Wire(len(payload)))
+				if encrypted {
+					cipher.EncryptPacket(seq, out[rtp.HeaderSize:][:s.Policy.EncryptSpan(len(payload))])
+				}
+				packets++
+				bytesOut += len(out)
+				pool.Put(pkt)
+				seq++
+			}
+		}
+	}
+	run() // warm the pool and the packet slice
+	if avg := testing.AllocsPerRun(20, run); avg != 0 {
+		t.Fatalf("send path allocates %.2f times per clip in steady state, want 0", avg)
+	}
+	if packets == 0 || bytesOut == 0 {
+		t.Fatal("send path produced no packets")
+	}
+}
+
+// TestZeroPad checks the shared padding helper against the obvious
+// construction for lengths around the static block size.
+func TestZeroPad(t *testing.T) {
+	for _, n := range []int{0, 1, 7, len(zeroBlock) - 1, len(zeroBlock), len(zeroBlock) + 1, 3*len(zeroBlock) + 5} {
+		seed := []byte{0xAA, 0xBB}
+		got := zeroPad(append([]byte(nil), seed...), n)
+		want := append(append([]byte(nil), seed...), make([]byte, n)...)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("zeroPad(seed, %d) = %d bytes, mismatch", n, len(got))
+		}
+	}
+	// Padding a dirty pooled buffer must yield zeros, not stale bytes.
+	dirty := make([]byte, 0, 64)
+	dirty = dirty[:32]
+	for i := range dirty {
+		dirty[i] = 0xFF
+	}
+	dirty = dirty[:8]
+	padded := zeroPad(dirty, 16)
+	for i := 8; i < 24; i++ {
+		if padded[i] != 0 {
+			t.Fatalf("byte %d after zeroPad is %#x, want 0", i, padded[i])
+		}
+	}
+}

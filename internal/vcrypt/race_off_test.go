@@ -1,0 +1,5 @@
+//go:build !race
+
+package vcrypt
+
+const raceEnabled = false

@@ -58,8 +58,11 @@ type mutant struct {
 }
 
 const (
-	udpEncryptCall  = "cipher.EncryptPacket(uint64(seq), payload[:s.Policy.EncryptSpan(len(payload))])"
-	httpEncryptCall = "cipher.EncryptPacket(seq, payload[:s.Policy.EncryptSpan(len(payload))])"
+	// The zero-copy send paths encrypt the payload region of the marshaled
+	// wire buffer in place; resume.go still encrypts a detached payload.
+	udpEncryptCall    = "cipher.EncryptPacket(uint64(seq), out[rtp.HeaderSize:][:s.Policy.EncryptSpan(len(payload))])"
+	httpEncryptCall   = "cipher.EncryptPacket(seq, wire[segmentHeaderSize:][:s.Policy.EncryptSpan(len(payload))])"
+	resumeEncryptCall = "cipher.EncryptPacket(seq, payload[:s.Policy.EncryptSpan(len(payload))])"
 )
 
 var mutants = []mutant{
@@ -86,7 +89,7 @@ var mutants = []mutant{
 	{
 		ID: "resume-plain", Analyzer: plainleak.Analyzer,
 		File:    "internal/transport/resume.go",
-		Patches: []patch{{Old: httpEncryptCall, New: "_ = cipher"}},
+		Patches: []patch{{Old: resumeEncryptCall, New: "_ = cipher"}},
 		Desc:    "resumable uploads re-segment without re-encrypting after a restart",
 	},
 	{

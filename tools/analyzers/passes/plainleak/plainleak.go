@@ -28,6 +28,7 @@ var DefaultPackages = []string{
 var spec = &lintkit.TaintSpec{
 	Sources: []lintkit.FuncMatch{
 		{Path: "internal/codec", Name: "Packetize"},
+		{Path: "internal/codec", Name: "PacketizeInto"},
 		{Path: "internal/audio", Name: "Encode"},
 	},
 	Sanitizers: []lintkit.SanitizerSpec{
@@ -35,6 +36,10 @@ var spec = &lintkit.TaintSpec{
 		// backing array in place: position 0 is the receiver, 1 the
 		// sequence number, 2 the payload.
 		{Match: lintkit.FuncMatch{Path: "internal/vcrypt", Recv: "Cipher", Name: "EncryptPacket"}, Arg: 2},
+		// cipher.EncryptPackets(baseSeq, payloads) is the batch form:
+		// position 2 is the [][]byte whose members are encrypted in
+		// place.
+		{Match: lintkit.FuncMatch{Path: "internal/vcrypt", Recv: "Cipher", Name: "EncryptPackets"}, Arg: 2},
 	},
 	Sinks: []lintkit.SinkSpec{
 		{Match: lintkit.FuncMatch{Path: "net", Recv: "Conn", Name: "Write"}, Args: []int{1}, What: "net.Conn.Write"},

