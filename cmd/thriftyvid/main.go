@@ -16,6 +16,7 @@
 //	thriftyvid send     -in clip.tvid -rx 127.0.0.1:5004 -ev 127.0.0.1:5005 -policy I -alg aes256 -key secret -reliable
 //	thriftyvid serve    -addr 127.0.0.1:8080 -in clip.tvid -key secret -metrics 127.0.0.1:9090
 //	thriftyvid upload   -in clip.tvid -url http://127.0.0.1:8080/upload -key secret -deadline 30s -degrade
+//	thriftyvid loadgen  -sessions 5000 -loss 0.02 -resume 0.1 -max-sessions 4000
 package main
 
 import (
@@ -69,6 +70,8 @@ func main() {
 		err = cmdServe(args)
 	case "upload":
 		err = cmdUpload(args)
+	case "loadgen":
+		err = cmdLoadgen(args)
 	default:
 		usage()
 		os.Exit(2)
@@ -80,7 +83,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: thriftyvid <generate|encode|analyze|plan|simulate|send|recv|eavesdrop|serve|upload> [flags]
+	fmt.Fprintln(os.Stderr, `usage: thriftyvid <generate|encode|analyze|plan|simulate|send|recv|eavesdrop|serve|upload|loadgen> [flags]
 run "thriftyvid <command> -h" for command flags`)
 }
 
@@ -755,5 +758,88 @@ func cmdUpload(args []string) error {
 	fmt.Printf("robustness: %d attempts, %d resumed, %d policy downgrades, %d re-encode restarts, %v backing off\n",
 		rep.Attempts, rep.Resumes, rep.Downgrades, rep.Restarts, rep.BackoffTotal.Round(time.Millisecond))
 	fmt.Printf("final policy: %s\n", rep.FinalPolicy.Name())
+	return nil
+}
+
+// cmdLoadgen boots a sharded multi-tenant ingest server and storms it
+// with simulated mobile clients, reporting session latency percentiles
+// and server-side goodput. Without -in it generates a small synthetic
+// clip, so a capacity check needs no prior artifacts.
+func cmdLoadgen(args []string) error {
+	fs := flag.NewFlagSet("loadgen", flag.ExitOnError)
+	in := fs.String("in", "", "input container (empty = generate a small synthetic clip)")
+	sessions := fs.Int("sessions", 5000, "concurrent simulated clients")
+	alg := fs.String("alg", "aes256", "algorithm")
+	policy := fs.String("policy", "I", "policy")
+	frac := fs.Float64("frac", 0.2, "P fraction for I+P")
+	key := fs.String("key", "open-sesame", "shared passphrase")
+	loss := fs.Float64("loss", 0.02, "mean uplink loss per client (Gilbert–Elliott)")
+	burst := fs.Float64("burst", 4, "mean loss-burst length")
+	resume := fs.Float64("resume", 0.1, "fraction of clients that cut and resume mid-clip")
+	gap := fs.Duration("gap", 0, "per-client inter-packet gap (0 = blast)")
+	shards := fs.Int("shards", 0, "session-map shards (0 = default)")
+	readers := fs.Int("readers", 0, "socket reader goroutines (0 = default)")
+	maxSessions := fs.Int("max-sessions", 0, "admission cap (0 = unlimited)")
+	retryAfter := fs.Duration("retry-after", 250*time.Millisecond, "retry hint sent with admission rejects")
+	rate := fs.Float64("rate", 0, "per-session token-bucket rate in packets/s (0 = unlimited)")
+	sessionBurst := fs.Int("rate-burst", 64, "per-session token-bucket burst")
+	idle := fs.Duration("idle", 5*time.Second, "idle-session eviction timeout")
+	seed := fs.Uint64("seed", 1, "loss and jitter seed")
+	metrics := metricsFlag(fs)
+	fs.Parse(args)
+	stopMetrics, err := startMetrics(*metrics)
+	if err != nil {
+		return err
+	}
+	defer stopMetrics()
+	var (
+		cfg     codec.Config
+		encoded []*codec.EncodedFrame
+	)
+	if *in != "" {
+		if cfg, encoded, err = loadContainer(*in); err != nil {
+			return err
+		}
+	} else {
+		clip := video.Generate(video.SceneConfig{W: 96, H: 96, Frames: 24, Motion: video.MotionMedium, Seed: 5})
+		cfg = codec.Config{Width: 96, Height: 96, GOPSize: 12, QI: 8, QP: 10, SearchRange: 16}
+		if encoded, err = codec.EncodeSequence(clip, cfg); err != nil {
+			return err
+		}
+	}
+	a, err := parseAlg(*alg)
+	if err != nil {
+		return err
+	}
+	pol, err := parsePolicy(*policy, *frac, a)
+	if err != nil {
+		return err
+	}
+	k := deriveKey(*key, a)
+	s := transport.Session{
+		Config: cfg, Encoded: encoded, FPS: 30, MTU: 1400,
+		Policy: pol, Key: k, Device: energy.SamsungGalaxySII(),
+	}
+	srv, err := transport.NewIngestServer(transport.IngestConfig{
+		Addr: "127.0.0.1:0", Cfg: cfg, Alg: a, Key: k,
+		HeaderOnlyBytes: pol.HeaderOnlyBytes,
+		Shards:          *shards, Readers: *readers,
+		MaxSessions: *maxSessions, RetryAfter: *retryAfter,
+		SessionRate: *rate, SessionBurst: *sessionBurst,
+		IdleTimeout: *idle,
+	})
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	fmt.Printf("ingest server on %s; storming it with %d clients...\n", srv.Addr(), *sessions)
+	rep, err := transport.RunLoadgen(srv, s, transport.LoadgenConfig{
+		Sessions: *sessions, MeanLoss: *loss, MeanBurst: *burst,
+		ResumeFrac: *resume, Gap: *gap, Seed: *seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println(rep)
 	return nil
 }

@@ -1,0 +1,90 @@
+package transport
+
+// seqWindow is a seen-packet dedup set with bounded memory: a contiguous
+// floor below which every sequence counts as delivered, plus a sparse map
+// of delivered sequences at or above it. Marking the floor's sequence
+// compacts it away, so for an in-order stream the map stays empty no
+// matter how long the session runs — the fix for the old unbounded
+// seen map, and what makes per-session state affordable across
+// thousands of ingest tenants.
+//
+// span caps how far the exact state may trail the stream head. When an
+// arrival would stretch the window past span, the floor is forced up and
+// everything below it is forgotten: a straggler older than span is then
+// indistinguishable from a replay and treated as a duplicate, the same
+// tradeoff an SRTP replay window makes. span 0 disables the cap.
+//
+// Not concurrency-safe; callers hold their own locks.
+type seqWindow struct {
+	floor uint64
+	above map[uint64]bool
+	span  uint64
+}
+
+// defaultSeqSpan keeps exact dedup state for one full 16-bit epoch behind
+// the head — far wider than any NACK recovery reaches, and a hard ~64k
+// bound on entries per session.
+const defaultSeqSpan = 1 << 16
+
+func newSeqWindow(span uint64) *seqWindow {
+	return &seqWindow{above: make(map[uint64]bool), span: span}
+}
+
+// Seen reports whether seq already counts as delivered. Sequences below
+// the floor are implicitly seen: the floor only advances over delivered
+// sequences, or over sequences abandoned by the span cap.
+func (w *seqWindow) Seen(seq uint64) bool {
+	return seq < w.floor || w.above[seq]
+}
+
+// Mark records seq as delivered and reports whether it already was.
+func (w *seqWindow) Mark(seq uint64) bool {
+	if w.Seen(seq) {
+		return true
+	}
+	w.above[seq] = true
+	w.compact()
+	if w.span > 0 && seq >= w.span && seq-w.span+1 > w.floor {
+		w.advance(seq - w.span + 1)
+	}
+	return false
+}
+
+// compact slides the floor over every contiguously delivered sequence,
+// dropping the exact entries it absorbs.
+func (w *seqWindow) compact() {
+	for w.above[w.floor] {
+		delete(w.above, w.floor)
+		w.floor++
+	}
+}
+
+// advance force-moves the floor to lo, forgetting exact state below it.
+// The cheaper of walking the gap or walking the map is used, so a huge
+// sequence jump cannot turn one arrival into a billion-step sweep.
+func (w *seqWindow) advance(lo uint64) {
+	if lo <= w.floor {
+		return
+	}
+	if lo-w.floor <= uint64(len(w.above)) {
+		for s := w.floor; s < lo; s++ {
+			delete(w.above, s)
+		}
+	} else {
+		for s := range w.above {
+			if s < lo {
+				delete(w.above, s)
+			}
+		}
+	}
+	w.floor = lo
+	w.compact()
+}
+
+// Floor returns the contiguous floor: every sequence below it counts as
+// delivered.
+func (w *seqWindow) Floor() uint64 { return w.floor }
+
+// Pending returns how many sequences are tracked exactly above the floor
+// — the window's only non-constant memory.
+func (w *seqWindow) Pending() int { return len(w.above) }

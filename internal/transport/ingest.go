@@ -1,0 +1,477 @@
+package transport
+
+import (
+	"encoding/binary"
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/codec"
+	"repro/internal/rtp"
+	"repro/internal/vcrypt"
+)
+
+// Multi-tenant UDP ingest (ROADMAP item 1): one relay socket carrying
+// thousands of concurrent mobile uploads. Each RTP SSRC is a session;
+// per-session state (sequence extension, dedup window, reassembler,
+// token bucket) lives in sharded maps so admission and the packet path
+// never contend on one lock, and a pool of reader goroutines drains the
+// socket so a slow decrypt on one core cannot back the kernel buffer up.
+//
+// Two control datagrams ride on the same socket, distinguished from RTP
+// the same way NACKs are (the magic's version bits are invalid):
+//
+//	"TVRJ" (4) | retry-after millis (4, big endian)   server → client
+//	"TVFN" (4) | ssrc (4, big endian)                 client → server
+//
+// TVRJ answers an arrival refused by admission control — backpressure
+// with an explicit retry hint instead of a silent drop. TVFN lets a
+// client end its session eagerly instead of waiting for idle eviction.
+
+var (
+	rejectMagic = [4]byte{'T', 'V', 'R', 'J'}
+	finMagic    = [4]byte{'T', 'V', 'F', 'N'}
+)
+
+func marshalReject(retryAfter time.Duration) []byte {
+	out := make([]byte, 8)
+	copy(out[:4], rejectMagic[:])
+	binary.BigEndian.PutUint32(out[4:], uint32(retryAfter.Milliseconds()))
+	return out
+}
+
+func parseReject(data []byte) (retryAfter time.Duration, ok bool) {
+	if len(data) < 8 || [4]byte(data[:4]) != rejectMagic {
+		return 0, false
+	}
+	return time.Duration(binary.BigEndian.Uint32(data[4:8])) * time.Millisecond, true
+}
+
+func marshalFIN(ssrc uint32) []byte {
+	out := make([]byte, 8)
+	copy(out[:4], finMagic[:])
+	binary.BigEndian.PutUint32(out[4:], ssrc)
+	return out
+}
+
+func parseFIN(data []byte) (ssrc uint32, ok bool) {
+	if len(data) < 8 || [4]byte(data[:4]) != finMagic {
+		return 0, false
+	}
+	return binary.BigEndian.Uint32(data[4:8]), true
+}
+
+// IngestConfig tunes the ingest server. The zero value of every knob
+// picks a sensible default; Cfg, Alg and Key describe the streams the
+// tenants send (all sessions share one clip format and key in this
+// emulation — a deployment would key sessions individually).
+type IngestConfig struct {
+	Addr string       // listen address, e.g. "127.0.0.1:0"
+	Cfg  codec.Config // codec configuration sessions reassemble under
+	Alg  vcrypt.Algorithm
+	Key  []byte // nil = no key: marked payloads become erasures
+
+	// HeaderOnlyBytes mirrors the senders' Policy.HeaderOnlyBytes.
+	HeaderOnlyBytes int
+
+	Shards  int // session-map shards (default 16)
+	Readers int // socket reader goroutines (default NumCPU, capped at 8)
+
+	// MaxSessions caps resident sessions; past it new SSRCs are refused
+	// with a reject datagram carrying RetryAfter (default 250ms).
+	// 0 = unlimited.
+	MaxSessions int
+	RetryAfter  time.Duration
+
+	// SessionRate/SessionBurst shape each session's token bucket in
+	// packets/second. Rate 0 = unlimited.
+	SessionRate  float64
+	SessionBurst int
+
+	// IdleTimeout evicts sessions with no arrivals for this long
+	// (default 30s).
+	IdleTimeout time.Duration
+}
+
+// IngestSessionStats is one session's bookkeeping snapshot.
+type IngestSessionStats struct {
+	Received   int   // first-delivery packets accepted
+	Usable     int   // accepted packets that decrypted and reassembled cleanly
+	Duplicates int   // arrivals whose sequence was already delivered
+	Throttled  int   // arrivals discarded by the token bucket
+	Bytes      int64 // payload bytes of first deliveries
+}
+
+// IngestTotals aggregates the server's lifetime counters (live sessions
+// included). The fields mirror the obs metrics one-for-one so tests can
+// cross-check exported values against this exact bookkeeping.
+type IngestTotals struct {
+	Packets          int64
+	Usable           int64
+	Duplicates       int64
+	Throttled        int64
+	Rejected         int64
+	BadPackets       int64
+	Bytes            int64
+	SessionsStarted  int64
+	SessionsFinished int64
+	SessionsEvicted  int64
+}
+
+type ingestSession struct {
+	mu      sync.Mutex
+	ext     seqExtender
+	window  *seqWindow
+	asm     *codec.Reassembler
+	limiter *TokenBucket // nil when SessionRate is 0
+	stats   IngestSessionStats
+	firstAt time.Time
+	lastAt  time.Time
+}
+
+type ingestShard struct {
+	mu       sync.Mutex
+	sessions map[uint32]*ingestSession
+}
+
+// IngestServer is the sharded multi-tenant UDP ingest daemon.
+type IngestServer struct {
+	cfg    IngestConfig
+	conn   *net.UDPConn
+	cipher *vcrypt.Cipher // nil without a key; concurrency-safe, shared by all sessions
+	shards []*ingestShard
+	active atomic.Int64 // resident sessions, for admission control
+
+	// rejects bounds the reject-datagram chatter: under a reject storm
+	// (thousands of refused clients hammering the cap) the server answers
+	// a sample, not every arrival.
+	rejects *TokenBucket
+
+	done      chan struct{}
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+
+	totals struct {
+		packets, usable, dups, throttled, rejected, bad, bytes atomic.Int64
+		started, finished, evicted                             atomic.Int64
+	}
+}
+
+// NewIngestServer opens the socket and starts the reader pool and the
+// idle-eviction sweeper.
+func NewIngestServer(cfg IngestConfig) (*IngestServer, error) {
+	// Validate the codec config once up front so per-session reassembler
+	// construction cannot fail later.
+	if _, err := codec.NewReassembler(cfg.Cfg); err != nil {
+		return nil, err
+	}
+	var cipher *vcrypt.Cipher
+	if cfg.Key != nil {
+		var err error
+		cipher, err = vcrypt.NewCipher(cfg.Alg, cfg.Key)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 16
+	}
+	if cfg.Readers <= 0 {
+		cfg.Readers = runtime.NumCPU()
+		if cfg.Readers > 8 {
+			cfg.Readers = 8
+		}
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = 250 * time.Millisecond
+	}
+	if cfg.SessionBurst <= 0 {
+		cfg.SessionBurst = 64
+	}
+	if cfg.IdleTimeout <= 0 {
+		cfg.IdleTimeout = 30 * time.Second
+	}
+	udpAddr, err := net.ResolveUDPAddr("udp", cfg.Addr)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := net.ListenUDP("udp", udpAddr)
+	if err != nil {
+		return nil, err
+	}
+	conn.SetReadBuffer(8 << 20) //nolint:errcheck // best effort; the default buffer only costs more drops
+	s := &IngestServer{
+		cfg:     cfg,
+		conn:    conn,
+		cipher:  cipher,
+		shards:  make([]*ingestShard, cfg.Shards),
+		rejects: NewTokenBucket(2000, 200),
+		done:    make(chan struct{}),
+	}
+	for i := range s.shards {
+		s.shards[i] = &ingestShard{sessions: make(map[uint32]*ingestSession)}
+	}
+	for i := 0; i < cfg.Readers; i++ {
+		s.wg.Add(1)
+		go s.readLoop()
+	}
+	s.wg.Add(1)
+	go s.sweepLoop()
+	return s, nil
+}
+
+// Addr returns the bound address to hand to clients.
+func (s *IngestServer) Addr() string { return s.conn.LocalAddr().String() }
+
+// shard maps an SSRC to its shard with a multiplicative hash, so both
+// sequential and clustered SSRC allocations spread evenly.
+func (s *IngestServer) shard(ssrc uint32) *ingestShard {
+	h := ssrc * 2654435761 // Knuth's multiplicative constant
+	return s.shards[int(h)%len(s.shards)]
+}
+
+// readLoop is one worker of the bounded reader pool: it drains datagrams
+// from the shared socket into a persistent buffer and runs the packet
+// path inline. Reassembler.Add copies what it keeps and decrypt works in
+// place, so the buffer is reusable as soon as handle returns — the
+// receive path allocates only when a session retains frame data.
+func (s *IngestServer) readLoop() {
+	defer s.wg.Done()
+	buf := make([]byte, 65536)
+	for {
+		n, from, err := s.conn.ReadFromUDP(buf)
+		if err != nil {
+			return // socket closed
+		}
+		s.handle(buf[:n], from)
+	}
+}
+
+func (s *IngestServer) handle(data []byte, from *net.UDPAddr) {
+	if ssrc, ok := parseFIN(data); ok {
+		s.finish(ssrc, false)
+		return
+	}
+	pkt, err := rtp.Parse(data)
+	if err != nil {
+		s.totals.bad.Add(1)
+		mIngestBadPackets.Inc()
+		return
+	}
+	sess := s.lookup(pkt.SSRC)
+	if sess == nil {
+		// Admission refused: answer (a bounded sample of) the refused
+		// arrivals with an explicit retry hint. The write happens with no
+		// locks held.
+		s.totals.rejected.Add(1)
+		mIngestRejected.Inc()
+		if s.rejects.Allow() {
+			s.conn.WriteToUDP(marshalReject(s.cfg.RetryAfter), from) //nolint:errcheck // best effort, like the medium
+		}
+		return
+	}
+	s.process(sess, pkt)
+}
+
+// lookup returns the SSRC's session, creating it if admission allows;
+// nil means the session cap refused a new tenant.
+func (s *IngestServer) lookup(ssrc uint32) *ingestSession {
+	sh := s.shard(ssrc)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sess := sh.sessions[ssrc]; sess != nil {
+		return sess
+	}
+	if s.cfg.MaxSessions > 0 && s.active.Load() >= int64(s.cfg.MaxSessions) {
+		return nil
+	}
+	// The codec config was validated in the constructor, so this cannot
+	// fail.
+	asm, _ := codec.NewReassembler(s.cfg.Cfg)
+	sess := &ingestSession{window: newSeqWindow(defaultSeqSpan), asm: asm}
+	if s.cfg.SessionRate > 0 {
+		sess.limiter = NewTokenBucket(s.cfg.SessionRate, s.cfg.SessionBurst)
+	}
+	sh.sessions[ssrc] = sess
+	mIngestSessionsActive.Set(s.active.Add(1))
+	s.totals.started.Add(1)
+	mIngestSessionsStarted.Inc()
+	return sess
+}
+
+func (s *IngestServer) process(sess *ingestSession, pkt rtp.Packet) {
+	now := time.Now()
+	sess.mu.Lock()
+	if sess.limiter != nil && !sess.limiter.Allow() {
+		sess.stats.Throttled++
+		sess.mu.Unlock()
+		s.totals.throttled.Add(1)
+		mIngestThrottled.Inc()
+		return
+	}
+	seq64 := sess.ext.Extend(pkt.Sequence)
+	if sess.window.Mark(seq64) {
+		sess.stats.Duplicates++
+		sess.lastAt = now
+		sess.mu.Unlock()
+		s.totals.dups.Add(1)
+		mIngestDuplicates.Inc()
+		return
+	}
+	if sess.firstAt.IsZero() {
+		sess.firstAt = now
+	}
+	sess.lastAt = now
+	sess.stats.Received++
+	sess.stats.Bytes += int64(len(pkt.Payload))
+	usable := false
+	if !pkt.Encrypted() || s.cipher != nil {
+		payload := pkt.Payload
+		if pkt.Encrypted() {
+			span := len(payload)
+			if s.cfg.HeaderOnlyBytes > 0 && s.cfg.HeaderOnlyBytes < span {
+				span = s.cfg.HeaderOnlyBytes
+			}
+			s.cipher.DecryptPacket(seq64, payload[:span])
+		}
+		if err := sess.asm.Add(payload); err == nil {
+			usable = true
+			sess.stats.Usable++
+		}
+	}
+	sess.mu.Unlock()
+	s.totals.packets.Add(1)
+	s.totals.bytes.Add(int64(len(pkt.Payload)))
+	mIngestPackets.Inc()
+	mIngestBytes.Add(int64(len(pkt.Payload)))
+	if usable {
+		s.totals.usable.Add(1)
+		mIngestUsable.Inc()
+	}
+}
+
+// finish removes one session, attributing the close to a client FIN or
+// to the idle sweeper. Unknown SSRCs are ignored (a duplicated FIN).
+func (s *IngestServer) finish(ssrc uint32, evicted bool) {
+	sh := s.shard(ssrc)
+	sh.mu.Lock()
+	sess := sh.sessions[ssrc]
+	if sess != nil {
+		delete(sh.sessions, ssrc)
+		mIngestSessionsActive.Set(s.active.Add(-1))
+	}
+	sh.mu.Unlock()
+	if sess == nil {
+		return
+	}
+	if evicted {
+		s.totals.evicted.Add(1)
+		mIngestSessionsEvicted.Inc()
+	} else {
+		s.totals.finished.Add(1)
+		mIngestSessionsFinished.Inc()
+	}
+	sess.mu.Lock()
+	if !sess.firstAt.IsZero() {
+		mIngestSessionSeconds.Observe(sess.lastAt.Sub(sess.firstAt).Seconds())
+	}
+	sess.mu.Unlock()
+}
+
+// sweepLoop evicts idle sessions so abandoned uploads (a phone that
+// walked out of range mid-clip and never resumed) release their slot
+// and memory.
+func (s *IngestServer) sweepLoop() {
+	defer s.wg.Done()
+	interval := s.cfg.IdleTimeout / 4
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.done:
+			return
+		case <-ticker.C:
+		}
+		cutoff := time.Now().Add(-s.cfg.IdleTimeout)
+		for _, sh := range s.shards {
+			var expired []uint32
+			sh.mu.Lock()
+			for ssrc, sess := range sh.sessions {
+				sess.mu.Lock()
+				idle := !sess.lastAt.IsZero() && sess.lastAt.Before(cutoff)
+				sess.mu.Unlock()
+				if idle {
+					expired = append(expired, ssrc)
+				}
+			}
+			sh.mu.Unlock()
+			for _, ssrc := range expired {
+				s.finish(ssrc, true)
+			}
+		}
+	}
+}
+
+// ActiveSessions returns how many sessions are resident right now.
+func (s *IngestServer) ActiveSessions() int { return int(s.active.Load()) }
+
+// SessionStats returns the bookkeeping of one resident session.
+func (s *IngestServer) SessionStats(ssrc uint32) (IngestSessionStats, bool) {
+	sh := s.shard(ssrc)
+	sh.mu.Lock()
+	sess := sh.sessions[ssrc]
+	sh.mu.Unlock()
+	if sess == nil {
+		return IngestSessionStats{}, false
+	}
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	return sess.stats, true
+}
+
+// SessionFrames returns one resident session's reassembled clip.
+func (s *IngestServer) SessionFrames(ssrc uint32, total int) []*codec.EncodedFrame {
+	sh := s.shard(ssrc)
+	sh.mu.Lock()
+	sess := sh.sessions[ssrc]
+	sh.mu.Unlock()
+	if sess == nil {
+		return nil
+	}
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	return sess.asm.Frames(total)
+}
+
+// Totals snapshots the server's lifetime counters.
+func (s *IngestServer) Totals() IngestTotals {
+	return IngestTotals{
+		Packets:          s.totals.packets.Load(),
+		Usable:           s.totals.usable.Load(),
+		Duplicates:       s.totals.dups.Load(),
+		Throttled:        s.totals.throttled.Load(),
+		Rejected:         s.totals.rejected.Load(),
+		BadPackets:       s.totals.bad.Load(),
+		Bytes:            s.totals.bytes.Load(),
+		SessionsStarted:  s.totals.started.Load(),
+		SessionsFinished: s.totals.finished.Load(),
+		SessionsEvicted:  s.totals.evicted.Load(),
+	}
+}
+
+// Close shuts the socket down and waits for every reader and the sweeper
+// to exit; no goroutine outlives it.
+func (s *IngestServer) Close() error {
+	var err error
+	s.closeOnce.Do(func() {
+		close(s.done)
+		err = s.conn.Close()
+	})
+	s.wg.Wait()
+	return err
+}

@@ -41,6 +41,12 @@ const NextSeqHeader = "X-Thrifty-Next-Seq"
 // cipher IVs unique across the old and new clip bytes.
 const RestartHeader = "X-Thrifty-Restart"
 
+// SessionHeader names the upload session a request belongs to, letting
+// one server carry many tenants' clips at once, each with its own
+// reassembler and resume cursor. Requests without it use the default
+// session, preserving the original single-flow behaviour.
+const SessionHeader = "X-Thrifty-Session"
+
 // putSegmentHeader writes the header of an n-byte segment into hdr's
 // first segmentHeaderSize bytes. The flags byte is stored
 // unconditionally: on the zero-copy path hdr is the headroom of a
@@ -84,9 +90,29 @@ func ReadSegment(r io.Reader) (seq uint64, encrypted bool, payload []byte, err e
 	return seq, encrypted, payload, nil
 }
 
+// httpSession is the reassembly state of one upload session: one
+// tenant's clip, resume cursor and duplicate accounting.
+type httpSession struct {
+	// writerMu serializes whole POST bodies for the session. Without it,
+	// two concurrent uploaders interleave their segment streams against
+	// the shared next/asm cursor, and a stale retry carrying
+	// RestartHeader swaps the reassembler out from under an in-flight
+	// upload mid-body. One writer proceeds, the others wait their turn
+	// and then resume from the cursor the winner advanced.
+	writerMu sync.Mutex
+
+	mu       sync.Mutex
+	asm      *codec.Reassembler
+	segments int
+	next     uint64 // next-needed sequence (all below arrived contiguously)
+	dups     int    // already-acknowledged segments received again
+}
+
 // HTTPUploadServer receives video uploads, decrypts marked segments and
 // reassembles the clip, playing the commercial-upload-endpoint role of
-// Section 6.4.
+// Section 6.4. The embedded httpSession is the default session (requests
+// without SessionHeader); named sessions live in the sessions map, so
+// one server instance carries many concurrent tenants.
 type HTTPUploadServer struct {
 	cfg    codec.Config
 	cipher *vcrypt.Cipher
@@ -95,11 +121,10 @@ type HTTPUploadServer struct {
 	// (0 = whole payload is encrypted). Set before serving.
 	HeaderOnlyBytes int
 
-	mu       sync.Mutex
-	asm      *codec.Reassembler
-	segments int
-	next     uint64 // next-needed sequence (all below arrived contiguously)
-	dups     int    // already-acknowledged segments received again
+	httpSession // default session ("")
+
+	smu      sync.Mutex
+	sessions map[string]*httpSession
 
 	// Tap, when non-nil, sees every segment exactly as it crossed the
 	// wire (still encrypted), emulating a radio capture of the TCP
@@ -117,7 +142,41 @@ func NewHTTPUploadServer(cfg codec.Config, alg vcrypt.Algorithm, key []byte) (*H
 	if err != nil {
 		return nil, err
 	}
-	return &HTTPUploadServer{cfg: cfg, cipher: cipher, asm: asm}, nil
+	return &HTTPUploadServer{cfg: cfg, cipher: cipher, httpSession: httpSession{asm: asm}}, nil
+}
+
+// session returns the state for the given session ID, creating named
+// sessions on first use.
+func (s *HTTPUploadServer) session(id string) (*httpSession, error) {
+	if id == "" {
+		return &s.httpSession, nil
+	}
+	s.smu.Lock()
+	defer s.smu.Unlock()
+	if sess := s.sessions[id]; sess != nil {
+		return sess, nil
+	}
+	asm, err := codec.NewReassembler(s.cfg)
+	if err != nil {
+		return nil, err
+	}
+	sess := &httpSession{asm: asm}
+	if s.sessions == nil {
+		s.sessions = make(map[string]*httpSession)
+	}
+	s.sessions[id] = sess
+	return sess, nil
+}
+
+// peek returns the session's state without creating it; nil when the
+// named session does not exist yet.
+func (s *HTTPUploadServer) peek(id string) *httpSession {
+	if id == "" {
+		return &s.httpSession
+	}
+	s.smu.Lock()
+	defer s.smu.Unlock()
+	return s.sessions[id]
 }
 
 // ServeHTTP implements http.Handler: POST uploads marker-tagged
@@ -125,12 +184,14 @@ func NewHTTPUploadServer(cfg codec.Config, alg vcrypt.Algorithm, key []byte) (*H
 // client whose connection died mid-upload continues from the first
 // unacknowledged segment.
 func (s *HTTPUploadServer) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	sid := req.Header.Get(SessionHeader)
 	switch req.Method {
 	case http.MethodGet, http.MethodHead:
-		w.Header().Set(NextSeqHeader, strconv.FormatUint(s.NextSeq(), 10))
+		next := s.SessionNextSeq(sid)
+		w.Header().Set(NextSeqHeader, strconv.FormatUint(next, 10))
 		w.WriteHeader(http.StatusOK)
 		if req.Method == http.MethodGet {
-			fmt.Fprintf(w, "next %d\n", s.NextSeq()) //lint:allow bitioerr best-effort status body; the header already carried the answer
+			fmt.Fprintf(w, "next %d\n", next) //lint:allow bitioerr best-effort status body; the header already carried the answer
 		}
 		return
 	case http.MethodPost:
@@ -138,13 +199,23 @@ func (s *HTTPUploadServer) ServeHTTP(w http.ResponseWriter, req *http.Request) {
 		http.Error(w, "POST or GET only", http.StatusMethodNotAllowed)
 		return
 	}
+	sess, err := s.session(sid)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	// One POST body per session at a time (see httpSession.writerMu):
+	// losers of the race block here and then resume cleanly from
+	// whatever cursor the winner left behind.
+	sess.writerMu.Lock()
+	defer sess.writerMu.Unlock()
 	if h := req.Header.Get(RestartHeader); h != "" {
 		base, err := strconv.ParseUint(h, 10, 64)
 		if err != nil {
 			http.Error(w, "bad restart base", http.StatusBadRequest)
 			return
 		}
-		if err := s.restart(base); err != nil {
+		if err := s.restart(sess, base); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
 		}
@@ -152,14 +223,14 @@ func (s *HTTPUploadServer) ServeHTTP(w http.ResponseWriter, req *http.Request) {
 	br := bufio.NewReader(req.Body)
 	count := 0
 	for {
-		seq, encrypted, payload, err := ReadSegment(br)
+		seq, encrypted, payload, err := ReadSegment(br) //lint:allow lockheld writerMu exists to serialize whole POST bodies per session; a slow body only stalls that session's own concurrent retries, never another tenant
 		if err == io.EOF {
 			break
 		}
 		if err != nil {
 			// The link died mid-segment: keep everything already
 			// reassembled so the client can resume from NextSeq.
-			w.Header().Set(NextSeqHeader, strconv.FormatUint(s.NextSeq(), 10))
+			w.Header().Set(NextSeqHeader, strconv.FormatUint(s.SessionNextSeq(sid), 10))
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
@@ -167,20 +238,20 @@ func (s *HTTPUploadServer) ServeHTTP(w http.ResponseWriter, req *http.Request) {
 			tapCopy := append([]byte(nil), payload...)
 			s.Tap(seq, encrypted, tapCopy)
 		}
-		s.mu.Lock()
-		if seq < s.next {
+		sess.mu.Lock()
+		if seq < sess.next {
 			// Duplicate of acknowledged data (a resume overshot): count
 			// and drop — re-adding would double-decrypt the payload.
-			s.dups++
-			s.segments++
-			s.mu.Unlock()
+			sess.dups++
+			sess.segments++
+			sess.mu.Unlock()
 			mServerSegments.Inc()
 			mServerDuplicates.Inc()
 			continue
 		}
-		if seq > s.next {
-			next := s.next
-			s.mu.Unlock()
+		if seq > sess.next {
+			next := sess.next
+			sess.mu.Unlock()
 			w.Header().Set(NextSeqHeader, strconv.FormatUint(next, 10))
 			http.Error(w, fmt.Sprintf("gap: got seq %d, need %d", seq, next), http.StatusConflict)
 			return
@@ -192,30 +263,32 @@ func (s *HTTPUploadServer) ServeHTTP(w http.ResponseWriter, req *http.Request) {
 			}
 			s.cipher.DecryptPacket(seq, payload[:span])
 		}
-		if err := s.asm.Add(payload); err == nil {
+		if err := sess.asm.Add(payload); err == nil {
 			count++
 		}
-		s.segments++
-		s.next++
-		s.mu.Unlock()
+		sess.segments++
+		sess.next++
+		sess.mu.Unlock()
 		mServerSegments.Inc()
 	}
-	w.Header().Set(NextSeqHeader, strconv.FormatUint(s.NextSeq(), 10))
+	next := s.SessionNextSeq(sid)
+	w.Header().Set(NextSeqHeader, strconv.FormatUint(next, 10))
 	w.WriteHeader(http.StatusOK)
-	fmt.Fprintf(w, "ok %d next %d\n", count, s.NextSeq()) //lint:allow bitioerr best-effort status body; the header already carried the answer
+	fmt.Fprintf(w, "ok %d next %d\n", count, next) //lint:allow bitioerr best-effort status body; the header already carried the answer
 }
 
-// restart abandons the current reassembly and expects the stream to begin
-// again at the given base sequence.
-func (s *HTTPUploadServer) restart(base uint64) error {
+// restart abandons the session's current reassembly and expects its
+// stream to begin again at the given base sequence. Caller holds the
+// session's writerMu, so no upload is mid-body when the swap happens.
+func (s *HTTPUploadServer) restart(sess *httpSession, base uint64) error {
 	asm, err := codec.NewReassembler(s.cfg)
 	if err != nil {
 		return err
 	}
-	s.mu.Lock()
-	s.asm = asm
-	s.next = base
-	s.mu.Unlock()
+	sess.mu.Lock()
+	sess.asm = asm
+	sess.next = base
+	sess.mu.Unlock()
 	return nil
 }
 
@@ -247,6 +320,66 @@ func (s *HTTPUploadServer) Segments() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.segments
+}
+
+// SessionNextSeq returns the resume point of the given session (0 for a
+// named session that has not uploaded yet). The empty ID is the default
+// session.
+func (s *HTTPUploadServer) SessionNextSeq(id string) uint64 {
+	sess := s.peek(id)
+	if sess == nil {
+		return 0
+	}
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	return sess.next
+}
+
+// SessionSegments returns how many segments the given session received.
+func (s *HTTPUploadServer) SessionSegments(id string) int {
+	sess := s.peek(id)
+	if sess == nil {
+		return 0
+	}
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	return sess.segments
+}
+
+// SessionDuplicates returns how many already-acknowledged segments the
+// given session received again.
+func (s *HTTPUploadServer) SessionDuplicates(id string) int {
+	sess := s.peek(id)
+	if sess == nil {
+		return 0
+	}
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	return sess.dups
+}
+
+// SessionFrames returns the given session's reassembled clip (nil for a
+// named session that never uploaded).
+func (s *HTTPUploadServer) SessionFrames(id string, total int) []*codec.EncodedFrame {
+	sess := s.peek(id)
+	if sess == nil {
+		return nil
+	}
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	return sess.asm.Frames(total)
+}
+
+// Sessions returns the IDs of the named sessions seen so far (the
+// default session is not listed).
+func (s *HTTPUploadServer) Sessions() []string {
+	s.smu.Lock()
+	defer s.smu.Unlock()
+	ids := make([]string, 0, len(s.sessions))
+	for id := range s.sessions {
+		ids = append(ids, id)
+	}
+	return ids
 }
 
 // HTTPUploadReport summarises a live HTTP upload.
@@ -317,7 +450,15 @@ func LiveHTTPUpload(s Session, url string, pacer *netem.Pacer) (HTTPUploadReport
 		}
 		errCh <- nil
 	}()
-	resp, err := http.Post(url, "application/octet-stream", pr)
+	req, err := http.NewRequest(http.MethodPost, url, pr)
+	if err != nil {
+		return rep, err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	if s.SessionID != "" {
+		req.Header.Set(SessionHeader, s.SessionID)
+	}
+	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
 		return rep, err
 	}

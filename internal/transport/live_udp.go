@@ -144,18 +144,21 @@ type LiveReceiver struct {
 	done     chan struct{}
 	hdrOnly  int
 
-	// seen is the per-sequence dedup set. It is always active (allocated
+	// window is the per-sequence dedup set. It is always active (allocated
 	// by the constructor), not just under NACK: link-layer duplication
 	// and retransmit races must never inflate the captured/usable counts,
-	// only the dups counter.
-	seen map[uint64]bool
+	// only the dups counter. Delivered sequences compact into a contiguous
+	// floor, so the window's memory stays bounded over arbitrarily long
+	// sessions.
+	window *seqWindow
 
 	// Selective-retransmit state (EnableNACK).
-	maxSeq   uint64
-	haveSeq  bool
-	nackTry  map[uint64]int
-	nackAt   map[uint64]time.Time // first-NACK time per missing sequence
-	nackFrom *net.UDPAddr         // sender address learned from arrivals
+	maxSeq    uint64
+	haveSeq   bool
+	nackFloor uint64 // sequences below this are never NACKed again
+	nackTry   map[uint64]int
+	nackAt    map[uint64]time.Time // first-NACK time per missing sequence
+	nackFrom  *net.UDPAddr         // sender address learned from arrivals
 }
 
 // SetHeaderOnlyBytes tells the receiver the sender uses a header-only
@@ -193,7 +196,7 @@ func NewLiveReceiver(cfg codec.Config, alg vcrypt.Algorithm, key []byte, addr st
 	if err != nil {
 		return nil, err
 	}
-	r := &LiveReceiver{conn: conn, dropper: filter, cipher: cipher, asm: asm, seen: make(map[uint64]bool), done: make(chan struct{})}
+	r := &LiveReceiver{conn: conn, dropper: filter, cipher: cipher, asm: asm, window: newSeqWindow(defaultSeqSpan), done: make(chan struct{})}
 	r.cond = sync.NewCond(&r.mu)
 	go r.loop()
 	return r, nil
@@ -239,6 +242,14 @@ const maxNackTries = 8
 // maxNackBatch bounds the sequences carried in one NACK datagram.
 const maxNackBatch = 256
 
+// maxNackWindow bounds how far behind the stream head the NACK scan
+// reaches. A sender restart or a spurious sequence jump can move maxSeq
+// arbitrarily far ahead of the received prefix; sequences that fall more
+// than this far behind are abandoned rather than probed, so a single bad
+// jump can no longer turn every tick into an O(maxSeq) rescan that NACKs
+// tens of thousands of never-sent sequences.
+const maxNackWindow = 4096
+
 func (r *LiveReceiver) nackLoop(interval time.Duration) {
 	ticker := time.NewTicker(interval)
 	defer ticker.Stop()
@@ -252,8 +263,22 @@ func (r *LiveReceiver) nackLoop(interval time.Duration) {
 		peer := r.nackFrom
 		var missing []uint64
 		if r.haveSeq && peer != nil {
-			for seq := uint64(0); seq < r.maxSeq && len(missing) < maxNackBatch; seq++ {
-				if !r.seen[seq] && r.nackTry[seq] < maxNackTries {
+			// Snap the floor into the scan window first, dropping the
+			// bookkeeping of everything it abandons so the maps stay
+			// bounded by the window.
+			if r.maxSeq > maxNackWindow && r.nackFloor < r.maxSeq-maxNackWindow {
+				r.pruneNACKBelow(r.maxSeq - maxNackWindow)
+			}
+			// Advance the floor past everything delivered or given up on;
+			// the scan then covers at most maxNackWindow sequences instead
+			// of rescanning [0, maxSeq) every tick.
+			for r.nackFloor < r.maxSeq && (r.window.Seen(r.nackFloor) || r.nackTry[r.nackFloor] >= maxNackTries) {
+				delete(r.nackTry, r.nackFloor)
+				delete(r.nackAt, r.nackFloor)
+				r.nackFloor++
+			}
+			for seq := r.nackFloor; seq < r.maxSeq && len(missing) < maxNackBatch; seq++ {
+				if !r.window.Seen(seq) && r.nackTry[seq] < maxNackTries {
 					if r.nackTry[seq] == 0 {
 						// First request: anchor the recovery-delay clock.
 						r.nackAt[seq] = time.Now()
@@ -271,6 +296,30 @@ func (r *LiveReceiver) nackLoop(interval time.Duration) {
 	}
 }
 
+// pruneNACKBelow abandons retransmit bookkeeping for every sequence below
+// lo, walking whichever is smaller — the gap or the maps — so a huge
+// spurious jump is cheap to absorb. Caller holds r.mu.
+func (r *LiveReceiver) pruneNACKBelow(lo uint64) {
+	if lo-r.nackFloor <= uint64(len(r.nackTry)+len(r.nackAt)) {
+		for s := r.nackFloor; s < lo; s++ {
+			delete(r.nackTry, s)
+			delete(r.nackAt, s)
+		}
+	} else {
+		for s := range r.nackTry {
+			if s < lo {
+				delete(r.nackTry, s)
+			}
+		}
+		for s := range r.nackAt {
+			if s < lo {
+				delete(r.nackAt, s)
+			}
+		}
+	}
+	r.nackFloor = lo
+}
+
 func (r *LiveReceiver) loop() {
 	defer func() {
 		r.mu.Lock()
@@ -280,11 +329,10 @@ func (r *LiveReceiver) loop() {
 		close(r.done)
 	}()
 	buf := make([]byte, 65536)
-	// rtpSeq tracks the RTP 16-bit sequence with epoch extension so the
-	// cipher IV matches the sender's 64-bit counter.
-	var epoch uint64
-	var lastSeq uint16
-	first := true
+	// ext maps the RTP 16-bit sequence onto the sender's 64-bit cipher IV
+	// counter by nearest-epoch extension, so a straggler reordered across
+	// an epoch wrap still decrypts under its original IV (see seqExtender).
+	var ext seqExtender
 	for {
 		n, from, err := r.conn.ReadFromUDP(buf)
 		if err != nil {
@@ -297,12 +345,7 @@ func (r *LiveReceiver) loop() {
 		// Sequence extension happens before the loss decision so
 		// sequence-addressed droppers (burst over one I-frame) see every
 		// arrival, like the channel would.
-		if !first && pkt.Sequence < lastSeq && lastSeq-pkt.Sequence > 32768 {
-			epoch += 1 << 16
-		}
-		lastSeq = pkt.Sequence
-		first = false
-		seq64 := epoch | uint64(pkt.Sequence)
+		seq64 := ext.Extend(pkt.Sequence)
 		r.mu.Lock()
 		dropper := r.dropper
 		r.mu.Unlock()
@@ -312,7 +355,7 @@ func (r *LiveReceiver) loop() {
 		payload := append([]byte(nil), pkt.Payload...)
 		r.mu.Lock()
 		r.nackFrom = from
-		if r.seen[seq64] {
+		if r.window.Mark(seq64) {
 			// Duplicate delivery (retransmit raced the original, or
 			// link-layer duplication): count it separately and ignore it
 			// so captured/usable reflect first deliveries only.
@@ -322,7 +365,6 @@ func (r *LiveReceiver) loop() {
 			r.mu.Unlock()
 			continue
 		}
-		r.seen[seq64] = true
 		if seq64 >= r.maxSeq {
 			r.maxSeq = seq64 + 1
 		}
@@ -332,6 +374,9 @@ func (r *LiveReceiver) loop() {
 				mNACKRecoverySeconds.Observe(time.Since(t0).Seconds())
 				delete(r.nackAt, seq64)
 			}
+			// The sequence arrived: its retry count must not linger, or
+			// the map grows one entry per recovered loss forever.
+			delete(r.nackTry, seq64)
 		}
 		r.captured++
 		mRxCaptured.Inc()

@@ -58,4 +58,36 @@ var (
 		"Missing sequences requested across all NACK datagrams.")
 	mNACKRecoverySeconds = obs.NewHistogram("transport_nack_recovery_seconds",
 		"Delay from a sequence's first NACK to its eventual arrival.", nil)
+
+	// Multi-tenant UDP ingest (ingest.go).
+	mIngestPackets = obs.NewCounter("transport_ingest_packets_total",
+		"RTP packets accepted by the ingest server, first deliveries only.")
+	mIngestBytes = obs.NewCounter("transport_ingest_bytes_total",
+		"Payload bytes of first-delivery packets accepted by the ingest server.")
+	mIngestUsable = obs.NewCounter("transport_ingest_packets_usable_total",
+		"Accepted packets that decrypted and reassembled cleanly.")
+	mIngestDuplicates = obs.NewCounter("transport_ingest_duplicate_packets_total",
+		"Arrivals discarded because their session already delivered that sequence.")
+	mIngestThrottled = obs.NewCounter("transport_ingest_throttled_packets_total",
+		"Arrivals discarded by a session's token-bucket rate limiter.")
+	mIngestRejected = obs.NewCounter("transport_ingest_rejected_packets_total",
+		"Arrivals refused by admission control (session cap reached).")
+	mIngestBadPackets = obs.NewCounter("transport_ingest_bad_packets_total",
+		"Datagrams that parsed as neither RTP nor a control message.")
+	mIngestSessionsStarted = obs.NewCounter("transport_ingest_sessions_started_total",
+		"Sessions admitted by the ingest server.")
+	mIngestSessionsFinished = obs.NewCounter("transport_ingest_sessions_finished_total",
+		"Sessions closed by a client FIN.")
+	mIngestSessionsEvicted = obs.NewCounter("transport_ingest_sessions_evicted_total",
+		"Sessions evicted by the idle sweeper.")
+	mIngestSessionsActive = obs.NewGauge("transport_ingest_sessions_active",
+		"Sessions currently resident in the shard maps.")
+	mIngestSessionSeconds = obs.NewHistogram("transport_ingest_session_seconds",
+		"Lifetime of a finished session, first arrival to FIN/eviction.", nil)
+
+	// Load generator (loadgen.go).
+	mLoadgenSessionSeconds = obs.NewHistogram("transport_loadgen_session_seconds",
+		"Client-side session completion latency, dial to final packet.", nil)
+	mLoadgenGoodputBps = obs.NewGauge("transport_loadgen_goodput_bytes_per_second",
+		"Server-side payload goodput measured over the last loadgen run.")
 )

@@ -1,0 +1,52 @@
+package transport
+
+import (
+	"sync"
+	"time"
+)
+
+// TokenBucket is a classic token-bucket rate limiter: tokens accrue at
+// rate per second up to burst, and each admitted event spends one. It is
+// concurrency-safe and allocation-free per call, so the ingest server can
+// afford one per session.
+type TokenBucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second; <= 0 means unlimited
+	burst  float64
+	tokens float64
+	last   time.Time
+	nowFn  func() time.Time // test seam; defaults to time.Now
+}
+
+// NewTokenBucket returns a bucket refilling at rate tokens/second with
+// the given burst capacity (the bucket starts full). rate <= 0 builds an
+// unlimited bucket whose Allow always succeeds.
+func NewTokenBucket(rate float64, burst int) *TokenBucket {
+	if burst < 1 {
+		burst = 1
+	}
+	return &TokenBucket{rate: rate, burst: float64(burst), tokens: float64(burst), nowFn: time.Now}
+}
+
+// Allow spends one token if available and reports whether the event is
+// admitted.
+func (b *TokenBucket) Allow() bool {
+	if b.rate <= 0 {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.nowFn()
+	if !b.last.IsZero() {
+		b.tokens += now.Sub(b.last).Seconds() * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+	}
+	b.last = now
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}

@@ -1,0 +1,54 @@
+package transport
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTokenBucketBurstThenRefill(t *testing.T) {
+	now := time.Unix(1000, 0)
+	b := NewTokenBucket(10, 5) // 10/s, burst 5
+	b.nowFn = func() time.Time { return now }
+	for i := 0; i < 5; i++ {
+		if !b.Allow() {
+			t.Fatalf("burst event %d rejected", i)
+		}
+	}
+	if b.Allow() {
+		t.Fatal("event beyond burst admitted")
+	}
+	// 250ms refills 2.5 tokens → two admits.
+	now = now.Add(250 * time.Millisecond)
+	if !b.Allow() || !b.Allow() {
+		t.Fatal("refilled tokens not admitted")
+	}
+	if b.Allow() {
+		t.Fatal("third event admitted on 2.5 tokens")
+	}
+}
+
+func TestTokenBucketCapsAtBurst(t *testing.T) {
+	now := time.Unix(1000, 0)
+	b := NewTokenBucket(100, 3)
+	b.nowFn = func() time.Time { return now }
+	// A long idle period must not accrue more than burst.
+	now = now.Add(time.Hour)
+	admitted := 0
+	for i := 0; i < 10; i++ {
+		if b.Allow() {
+			admitted++
+		}
+	}
+	if admitted != 3 {
+		t.Fatalf("admitted %d after idle, want burst cap 3", admitted)
+	}
+}
+
+func TestTokenBucketUnlimited(t *testing.T) {
+	b := NewTokenBucket(0, 1)
+	for i := 0; i < 1000; i++ {
+		if !b.Allow() {
+			t.Fatal("unlimited bucket rejected an event")
+		}
+	}
+}

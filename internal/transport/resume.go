@@ -70,13 +70,17 @@ func buildSegments(s Session, base uint64) ([]wireSegment, error) {
 	return out, nil
 }
 
-// queryNextSeq asks the server for its resume point.
-func queryNextSeq(client *http.Client, url string, timeout time.Duration) (uint64, error) {
+// queryNextSeq asks the server for the resume point of one session (the
+// empty sid is the default session).
+func queryNextSeq(client *http.Client, url, sid string, timeout time.Duration) (uint64, error) {
 	ctx, cancel := context.WithTimeout(context.Background(), timeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	if err != nil {
 		return 0, err
+	}
+	if sid != "" {
+		req.Header.Set(SessionHeader, sid)
 	}
 	resp, err := client.Do(req)
 	if err != nil {
@@ -96,7 +100,7 @@ func queryNextSeq(client *http.Client, url string, timeout time.Duration) (uint6
 
 // postSegments streams one upload attempt and reports what crossed into
 // the transport before it ended.
-func postSegments(client *http.Client, url string, segs []wireSegment, restartBase string, pacer *netem.Pacer, timeout time.Duration) (sent, sentBytes, sentEnc int, next uint64, err error) {
+func postSegments(client *http.Client, url, sid string, segs []wireSegment, restartBase string, pacer *netem.Pacer, timeout time.Duration) (sent, sentBytes, sentEnc int, next uint64, err error) {
 	ctx, cancel := context.WithTimeout(context.Background(), timeout)
 	defer cancel()
 	pr, pw := io.Pipe()
@@ -129,6 +133,9 @@ func postSegments(client *http.Client, url string, segs []wireSegment, restartBa
 		return sent, sentBytes, sentEnc, 0, err
 	}
 	req.Header.Set("Content-Type", "application/octet-stream")
+	if sid != "" {
+		req.Header.Set(SessionHeader, sid)
+	}
 	if restartBase != "" {
 		req.Header.Set(RestartHeader, restartBase)
 	}
@@ -193,7 +200,7 @@ func ResumableHTTPUpload(s Session, url string, pacer *netem.Pacer, rp RetryPoli
 	)
 	for {
 		if rep.Attempts > 0 {
-			if got, qerr := queryNextSeq(client, url, rp.AttemptTimeout); qerr == nil {
+			if got, qerr := queryNextSeq(client, url, s.SessionID, rp.AttemptTimeout); qerr == nil {
 				serverNext = got
 			}
 		}
@@ -215,7 +222,7 @@ func ResumableHTTPUpload(s Session, url string, pacer *netem.Pacer, rp RetryPoli
 			mUploadResumes.Inc()
 		}
 		attemptStart := time.Now()
-		sent, bytes, enc, next, err := postSegments(client, url, segs[idx:], restartHdr, pacer, rp.AttemptTimeout)
+		sent, bytes, enc, next, err := postSegments(client, url, s.SessionID, segs[idx:], restartHdr, pacer, rp.AttemptTimeout)
 		mUploadAttemptSeconds.Observe(time.Since(attemptStart).Seconds())
 		rep.Segments += sent
 		rep.Bytes += bytes
@@ -235,7 +242,7 @@ func ResumableHTTPUpload(s Session, url string, pacer *netem.Pacer, rp RetryPoli
 		// Partial progress still counts: if the server advanced, reset
 		// the failure streak and the backoff growth.
 		progressed := false
-		if got, qerr := queryNextSeq(client, url, rp.AttemptTimeout); qerr == nil && got > serverNext {
+		if got, qerr := queryNextSeq(client, url, s.SessionID, rp.AttemptTimeout); qerr == nil && got > serverNext {
 			serverNext = got
 			progressed = true
 		}

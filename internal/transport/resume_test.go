@@ -100,7 +100,7 @@ func TestServerReportsResumePoint(t *testing.T) {
 	defer hs.Close()
 
 	client := &http.Client{}
-	next, err := queryNextSeq(client, hs.URL, time.Second)
+	next, err := queryNextSeq(client, hs.URL, "", time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +124,7 @@ func TestServerReportsResumePoint(t *testing.T) {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
-	next, err = queryNextSeq(client, hs.URL, time.Second)
+	next, err = queryNextSeq(client, hs.URL, "", time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -339,15 +339,21 @@ func TestDegradationReencodeRestarts(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer proxy.Close()
-	proxy.SetBlackout(120 * time.Millisecond)
+	proxy.SetBlackout(240 * time.Millisecond)
 	proxy.SetCutAfter(64)
 
+	// Jitter-free schedule so the test is sleep-dominated rather than
+	// wall-clock-sensitive: attempts at ~0/20/80ms all land inside the
+	// 240ms blackout (exhausting MaxAttempts and forcing the re-encode
+	// restart), and the post-restart schedule stretches to ~360ms, past
+	// the blackout's end, so the restarted upload always gets through.
 	rp := RetryPolicy{
-		MaxAttempts:    6,
-		BaseBackoff:    30 * time.Millisecond,
-		MaxBackoff:     120 * time.Millisecond,
+		MaxAttempts:    3,
+		BaseBackoff:    20 * time.Millisecond,
+		MaxBackoff:     180 * time.Millisecond,
+		Multiplier:     3,
+		JitterFrac:     Jitter(0),
 		AttemptTimeout: 2 * time.Second,
-		Deadline:       150 * time.Millisecond,
 		Seed:           3,
 	}
 	deg := &PolicyDegrader{Raw: clip}

@@ -1,0 +1,56 @@
+package transport
+
+// seqExtender maps the 16-bit RTP sequence numbers on the wire onto the
+// sender's 64-bit extended sequence space (the cipher IV counter) using
+// nearest-epoch estimation, the RFC 3711 §3.3.1 index-guess algorithm.
+//
+// For each arrival the candidate extensions are the sequence placed in
+// the previous, current and next epoch; the one closest to the highest
+// sequence delivered so far wins. A reordered straggler from just before
+// a wrap (seq 65533 arriving after 0, 1 of the new epoch) therefore
+// lands back in the OLD epoch instead of being misread as a huge forward
+// jump — the bug the previous "bump epoch on any >32768 backwards step"
+// heuristic had, which corrupted the IV stream and leapt maxSeq ~65536
+// ahead.
+type seqExtender struct {
+	epoch   uint64 // current epoch base, always a multiple of 1<<16
+	last    uint16 // highest sequence delivered within the current epoch
+	started bool
+}
+
+// Extend returns the 64-bit extended sequence for wire sequence s.
+// The epoch state only advances when s moves the stream head forward;
+// reordered stragglers are extended into whatever epoch is nearest but
+// never drag the reference backwards.
+func (x *seqExtender) Extend(s uint16) uint64 {
+	if !x.started {
+		x.started = true
+		x.last = s
+		return uint64(s)
+	}
+	ref := x.epoch | uint64(x.last)
+	// Candidate order matters only for exact ties (impossible: the
+	// candidates differ by 1<<16), so a plain strict-minimum scan is
+	// enough.
+	best := x.epoch | uint64(s)
+	if x.epoch >= 1<<16 {
+		if c := (x.epoch - 1<<16) | uint64(s); seqDist(c, ref) < seqDist(best, ref) {
+			best = c
+		}
+	}
+	if c := (x.epoch + 1<<16) | uint64(s); seqDist(c, ref) < seqDist(best, ref) {
+		best = c
+	}
+	if best > ref {
+		x.epoch = best &^ 0xFFFF
+		x.last = s
+	}
+	return best
+}
+
+func seqDist(a, b uint64) uint64 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}

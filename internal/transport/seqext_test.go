@@ -1,0 +1,79 @@
+package transport
+
+import "testing"
+
+func TestSeqExtenderInOrderWrap(t *testing.T) {
+	var x seqExtender
+	// Two full epochs in order: the extension must be the identity plus
+	// the accumulated epoch base.
+	want := uint64(0)
+	for i := 0; i < 2*65536; i++ {
+		s := uint16(i)
+		if got := x.Extend(s); got != want {
+			t.Fatalf("Extend(%d) = %d, want %d", s, got, want)
+		}
+		want++
+	}
+}
+
+func TestSeqExtenderReorderedStragglerAcrossWrap(t *testing.T) {
+	var x seqExtender
+	// Stream wraps 65534, 65535, 0, 1 — then a reordered straggler 65533
+	// from before the wrap arrives. The old heuristic ("backwards step
+	// > 32768 bumps the epoch") extended it into the NEW epoch as
+	// 65536+65533 = 131069, garbling its decrypt IV and leaping maxSeq.
+	for _, s := range []uint16{65534, 65535, 0, 1} {
+		x.Extend(s)
+	}
+	if got := x.Extend(65533); got != 65533 {
+		t.Fatalf("straggler extended to %d, want 65533 (previous epoch)", got)
+	}
+	// The straggler must not have dragged the reference backwards: the
+	// stream continues in the new epoch.
+	if got := x.Extend(2); got != 65536+2 {
+		t.Fatalf("post-straggler Extend(2) = %d, want %d", got, 65536+2)
+	}
+}
+
+func TestSeqExtenderBackwardReorderWithinEpoch(t *testing.T) {
+	var x seqExtender
+	x.Extend(100)
+	x.Extend(101)
+	// Small reorder: 99 stays in the current epoch, reference unmoved.
+	if got := x.Extend(99); got != 99 {
+		t.Fatalf("Extend(99) = %d, want 99", got)
+	}
+	if got := x.Extend(102); got != 102 {
+		t.Fatalf("Extend(102) = %d, want 102", got)
+	}
+}
+
+func TestSeqExtenderForwardWrapAhead(t *testing.T) {
+	var x seqExtender
+	x.Extend(65530)
+	// A forward jump across the wrap (losses ate the boundary packets)
+	// must land in the next epoch, not 65525 steps backwards.
+	if got := x.Extend(5); got != 65536+5 {
+		t.Fatalf("Extend(5) after 65530 = %d, want %d", got, 65536+5)
+	}
+}
+
+func TestSeqExtenderDeepEpochs(t *testing.T) {
+	var x seqExtender
+	// Drive the extender a few epochs deep with a straggler near each
+	// wrap; every extension must stay exact.
+	seq := 0
+	for e := 0; e < 3; e++ {
+		for i := 0; i < 65536; i++ {
+			if got, want := x.Extend(uint16(seq)), uint64(seq); got != want {
+				t.Fatalf("epoch %d: Extend = %d, want %d", e, got, want)
+			}
+			seq++
+		}
+		// Straggler from two packets back (previous epoch once wrapped).
+		strag := seq - 2
+		if got := x.Extend(uint16(strag)); got != uint64(strag) {
+			t.Fatalf("epoch %d straggler: got %d, want %d", e, got, strag)
+		}
+	}
+}

@@ -58,6 +58,11 @@ type Session struct {
 	// slice format ignores trailing padding, so only the wire size, the
 	// crypto cost and the airtime change.
 	PadToMTU bool
+	// SessionID names this transfer on multi-tenant receivers: HTTP
+	// uploads carry it in SessionHeader so one HTTPUploadServer can
+	// demultiplex many concurrent clips. Empty selects the default
+	// session (the original single-flow behaviour).
+	SessionID string
 	// Unpaced switches from real-time streaming (packets released on the
 	// frame-capture schedule) to an as-fast-as-possible file upload: the
 	// producer reads the whole clip back to back, so the pipeline is

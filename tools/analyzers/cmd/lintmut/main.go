@@ -217,8 +217,8 @@ var mutants = []mutant{
 		ID: "bitioerr-status", Analyzer: bitioerr.Analyzer,
 		File: "internal/transport/live_http.go",
 		Patches: []patch{{
-			Old: "fmt.Fprintf(w, \"ok %d next %d\\n\", count, s.NextSeq()) //lint:allow bitioerr best-effort status body; the header already carried the answer",
-			New: "fmt.Fprintf(w, \"ok %d next %d\\n\", count, s.NextSeq())",
+			Old: "fmt.Fprintf(w, \"ok %d next %d\\n\", count, next) //lint:allow bitioerr best-effort status body; the header already carried the answer",
+			New: "fmt.Fprintf(w, \"ok %d next %d\\n\", count, next)",
 		}},
 		Desc: "a dropped write error loses its justification",
 	},
