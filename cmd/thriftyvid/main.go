@@ -72,6 +72,8 @@ func main() {
 		err = cmdUpload(args)
 	case "loadgen":
 		err = cmdLoadgen(args)
+	case "audit":
+		err = cmdAudit(args)
 	default:
 		usage()
 		os.Exit(2)
@@ -83,7 +85,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: thriftyvid <generate|encode|analyze|plan|simulate|send|recv|eavesdrop|serve|upload|loadgen> [flags]
+	fmt.Fprintln(os.Stderr, `usage: thriftyvid <generate|encode|analyze|plan|simulate|send|recv|eavesdrop|serve|upload|loadgen|audit> [flags]
 run "thriftyvid <command> -h" for command flags`)
 }
 
@@ -423,12 +425,18 @@ func cmdSimulate(args []string) error {
 	unpaced := fs.Bool("unpaced", false, "upload back to back instead of streaming at the frame rate")
 	workers := workersFlag(fs)
 	metrics := metricsFlag(fs)
+	audit := auditFlag(fs)
 	fs.Parse(args)
 	stopMetrics, err := startMetrics(*metrics)
 	if err != nil {
 		return err
 	}
 	defer stopMetrics()
+	stopAudit, err := startAudit(*audit)
+	if err != nil {
+		return err
+	}
+	defer stopAudit()
 	cfg, encoded, err := loadContainer(*in)
 	if err != nil {
 		return err
@@ -517,12 +525,18 @@ func cmdSend(args []string) error {
 	reliable := fs.Bool("reliable", false, "listen for receiver NACKs and retransmit dropped I-frame packets")
 	drain := fs.Duration("drain", 500*time.Millisecond, "with -reliable, how long to linger for late NACKs after the last packet")
 	metrics := metricsFlag(fs)
+	audit := auditFlag(fs)
 	fs.Parse(args)
 	stopMetrics, err := startMetrics(*metrics)
 	if err != nil {
 		return err
 	}
 	defer stopMetrics()
+	stopAudit, err := startAudit(*audit)
+	if err != nil {
+		return err
+	}
+	defer stopAudit()
 	cfg, encoded, err := loadContainer(*in)
 	if err != nil {
 		return err
@@ -709,12 +723,18 @@ func cmdUpload(args []string) error {
 	seed := fs.Uint64("seed", 1, "backoff jitter seed")
 	degrade := fs.Bool("degrade", false, "on exhaustion, downgrade encryption then re-encode at lower quality instead of failing")
 	metrics := metricsFlag(fs)
+	audit := auditFlag(fs)
 	fs.Parse(args)
 	stopMetrics, err := startMetrics(*metrics)
 	if err != nil {
 		return err
 	}
 	defer stopMetrics()
+	stopAudit, err := startAudit(*audit)
+	if err != nil {
+		return err
+	}
+	defer stopAudit()
 	cfg, encoded, err := loadContainer(*in)
 	if err != nil {
 		return err
@@ -786,12 +806,18 @@ func cmdLoadgen(args []string) error {
 	idle := fs.Duration("idle", 5*time.Second, "idle-session eviction timeout")
 	seed := fs.Uint64("seed", 1, "loss and jitter seed")
 	metrics := metricsFlag(fs)
+	audit := auditFlag(fs)
 	fs.Parse(args)
 	stopMetrics, err := startMetrics(*metrics)
 	if err != nil {
 		return err
 	}
 	defer stopMetrics()
+	stopAudit, err := startAudit(*audit)
+	if err != nil {
+		return err
+	}
+	defer stopAudit()
 	var (
 		cfg     codec.Config
 		encoded []*codec.EncodedFrame

@@ -1,0 +1,304 @@
+package ledger
+
+import (
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config sizes an Appender. The batch size / max wait pair is the
+// throughput-vs-latency knob from the baseline-vs-batching grid: larger
+// batches amortise the Merkle tree and the write syscall over more
+// entries (the benchmark shows millions of entries/sec at 256+), while
+// MaxWait bounds how stale the on-disk chain can be under a trickle.
+type Config struct {
+	// BatchSize seals a batch once this many entries are buffered.
+	// Default 256.
+	BatchSize int
+	// MaxWait seals a non-empty partial batch after this long even if
+	// BatchSize was never reached. Default 50ms.
+	MaxWait time.Duration
+	// Buffer is the channel capacity between the hot paths and the
+	// sealer. When full, Append drops (and counts). Default 4×BatchSize.
+	Buffer int
+}
+
+func (c Config) withDefaults() Config {
+	if c.BatchSize <= 0 {
+		c.BatchSize = 256
+	}
+	if c.MaxWait <= 0 {
+		c.MaxWait = 50 * time.Millisecond
+	}
+	if c.Buffer <= 0 {
+		c.Buffer = 4 * c.BatchSize
+	}
+	return c
+}
+
+// Appender feeds a hash-chained ledger from concurrent hot paths. All
+// methods are safe for concurrent use. The channel between producers
+// and the sealer is never closed (producers race with Close); shutdown
+// is an atomic closed flag plus a stop signal, and the sealer drains
+// whatever made it into the channel before sealing the final batch.
+type Appender struct {
+	cfg Config
+	w   io.Writer
+
+	ch     chan Entry
+	stop   chan struct{}
+	done   chan struct{}
+	closed atomic.Bool
+
+	appended atomic.Uint64
+	dropped  atomic.Uint64
+
+	mu      sync.Mutex // guards err and final Close
+	err     error
+	stopped bool
+
+	// sealer-only state, no locking needed
+	nextSeq   uint64
+	nextBatch uint64
+	prevHash  [32]byte
+	pending   []Entry
+	leaves    [][32]byte
+	scratch   []byte
+	line      []byte
+	batches   atomic.Uint64
+	bytes     atomic.Uint64
+}
+
+// NewAppender starts the background sealer writing batches to w. The
+// writer is used only from the sealer goroutine; callers own closing
+// the underlying file after Close returns.
+func NewAppender(w io.Writer, cfg Config) *Appender {
+	cfg = cfg.withDefaults()
+	a := &Appender{
+		cfg:    cfg,
+		w:      w,
+		ch:     make(chan Entry, cfg.Buffer),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+		leaves: make([][32]byte, 0, cfg.BatchSize),
+	}
+	a.pending = make([]Entry, 0, cfg.BatchSize)
+	go a.sealLoop()
+	return a
+}
+
+// Append enqueues the entry without blocking. It reports false — and
+// bumps the drop counter — when the appender is closed or the sealer is
+// behind and the buffer is full. Seq is assigned by the sealer; Time
+// should already be stamped by the caller (Emit does this).
+func (a *Appender) Append(e Entry) bool {
+	if a.closed.Load() {
+		a.dropped.Add(1)
+		mDropped.Inc()
+		return false
+	}
+	select {
+	case a.ch <- e:
+		a.appended.Add(1)
+		mAppended.Inc()
+		return true
+	default:
+		a.dropped.Add(1)
+		mDropped.Inc()
+		return false
+	}
+}
+
+// AppendBlocking enqueues the entry, waiting for buffer space instead of
+// dropping. For callers that must not lose entries (the benchmark, the
+// loadgen audit run); hot packet paths use Append. Returns false only if
+// the appender is closed.
+func (a *Appender) AppendBlocking(e Entry) bool {
+	if a.closed.Load() {
+		a.dropped.Add(1)
+		mDropped.Inc()
+		return false
+	}
+	select {
+	case a.ch <- e:
+		a.appended.Add(1)
+		mAppended.Inc()
+		return true
+	case <-a.stop:
+		a.dropped.Add(1)
+		mDropped.Inc()
+		return false
+	}
+}
+
+// Appended reports entries accepted into the buffer so far.
+func (a *Appender) Appended() uint64 { return a.appended.Load() }
+
+// Dropped reports entries lost to a full buffer or a closed appender.
+func (a *Appender) Dropped() uint64 { return a.dropped.Load() }
+
+// Batches reports batches sealed so far.
+func (a *Appender) Batches() uint64 { return a.batches.Load() }
+
+// Err returns the first write/encode error the sealer hit, if any.
+func (a *Appender) Err() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.err
+}
+
+// Close stops accepting entries, drains what was already buffered,
+// seals the final partial batch and waits for the sealer to exit. It
+// returns the first error the sealer encountered.
+func (a *Appender) Close() error {
+	a.closed.Store(true)
+	a.mu.Lock()
+	if !a.stopped {
+		a.stopped = true
+		close(a.stop)
+	}
+	a.mu.Unlock()
+	<-a.done
+	return a.Err()
+}
+
+func (a *Appender) sealLoop() {
+	defer close(a.done)
+	timer := time.NewTimer(a.cfg.MaxWait)
+	defer timer.Stop()
+	for {
+		select {
+		case e := <-a.ch:
+			a.buffer(e)
+			// Greedily drain whatever else is already queued: the
+			// two-case non-blocking select is markedly cheaper than
+			// re-entering the three-way select once per entry.
+		fill:
+			for len(a.pending) < a.cfg.BatchSize {
+				select {
+				case e := <-a.ch:
+					a.buffer(e)
+				default:
+					break fill
+				}
+			}
+			if len(a.pending) >= a.cfg.BatchSize {
+				a.seal()
+				resetTimer(timer, a.cfg.MaxWait)
+			}
+		case <-timer.C:
+			if len(a.pending) > 0 {
+				a.seal()
+			}
+			timer.Reset(a.cfg.MaxWait)
+		case <-a.stop:
+			// Drain whatever producers got in before the closed flag
+			// landed, then seal the remainder and exit.
+			for {
+				select {
+				case e := <-a.ch:
+					a.buffer(e)
+					if len(a.pending) >= a.cfg.BatchSize {
+						a.seal()
+					}
+				default:
+					if len(a.pending) > 0 {
+						a.seal()
+					}
+					return
+				}
+			}
+		}
+	}
+}
+
+func resetTimer(t *time.Timer, d time.Duration) {
+	if !t.Stop() {
+		select {
+		case <-t.C:
+		default:
+		}
+	}
+	t.Reset(d)
+}
+
+func (a *Appender) buffer(e Entry) {
+	e.Seq = a.nextSeq
+	a.nextSeq++
+	a.pending = append(a.pending, e)
+}
+
+// seal hashes the pending entries into a Merkle root, chains the batch
+// header onto prevHash and writes the JSON line. Called only from the
+// sealer goroutine.
+func (a *Appender) seal() {
+	a.leaves = a.leaves[:0]
+	for i := range a.pending {
+		var h [32]byte
+		h, a.scratch = leafHash(&a.pending[i], a.scratch)
+		a.leaves = append(a.leaves, h)
+	}
+	b := Batch{
+		Index:    a.nextBatch,
+		PrevHash: a.prevHash,
+		Root:     merkleRoot(a.leaves),
+		Count:    uint32(len(a.pending)),
+		FirstSeq: a.pending[0].Seq,
+		SealedAt: time.Now().UnixNano(),
+		Entries:  a.pending,
+	}
+	a.line = b.appendLine(a.line[:0])
+	line := a.line
+	_, err := a.w.Write(line)
+	if err != nil {
+		a.mu.Lock()
+		if a.err == nil {
+			a.err = err
+		}
+		a.mu.Unlock()
+	} else {
+		a.prevHash = b.headerHash()
+		a.nextBatch++
+		a.batches.Add(1)
+		mBatches.Inc()
+		a.bytes.Add(uint64(len(line)))
+		mBytes.Add(float64(len(line)))
+	}
+	a.pending = a.pending[:0]
+}
+
+// global is the process-wide appender the Emit hook feeds. Nil (the
+// default) means auditing is off and Emit is a single atomic load.
+var global atomic.Pointer[Appender]
+
+// Install sets (or, with nil, clears) the process-wide appender that
+// Emit feeds. It returns the previous appender so callers can close it.
+func Install(a *Appender) *Appender {
+	if a == nil {
+		return global.Swap(nil)
+	}
+	return global.Swap(a)
+}
+
+// Enabled reports whether a process-wide appender is installed.
+func Enabled() bool { return global.Load() != nil }
+
+// Emit appends one event to the installed process-wide appender, if
+// any. It never blocks: with no appender installed it is one atomic
+// load, and with one installed it is a non-blocking channel send. Hot
+// paths call this directly.
+func Emit(t EventType, actor string, aField, bField uint64, note string) {
+	ap := global.Load()
+	if ap == nil {
+		return
+	}
+	ap.Append(Entry{
+		Time:  time.Now().UnixNano(),
+		Type:  t,
+		Actor: actor,
+		A:     aField,
+		B:     bField,
+		Note:  note,
+	})
+}

@@ -1,0 +1,362 @@
+// Package ledger is the reproduction's tamper-evident audit log. The
+// plainleak analyzer proves the *code* cannot leak plaintext; the ledger
+// proves what a given *run* actually did: every security-relevant policy
+// decision — a packet emitted in the clear under the selective-encryption
+// policy, a header-only emission, a vcrypt downgrade taken under deadline
+// pressure, a re-encode restart, a fresh sequence epoch, an ingest
+// admission verdict — is appended as an Entry, batched, Merkle-rooted and
+// hash-chained, so any after-the-fact edit (a flipped byte, a dropped
+// entry, a reordered batch) is detectable by replaying the chain.
+//
+// Design constraints, in priority order:
+//
+//  1. The hot paths never block. Appending is one non-blocking channel
+//     send; when the sealer falls behind, entries are dropped and counted
+//     (ledger_entries_dropped_total), never queued unboundedly. A gap in
+//     ledger coverage is visible in the drop counter; a stalled packet
+//     path is not acceptable.
+//  2. Millions of entries per second through batching. Per entry the
+//     sealer pays one canonical encode, one SHA-256 leaf and an amortised
+//     share of the Merkle tree and batch header; the batch size / max
+//     wait trade-off is configurable (the military-audit-log
+//     baseline-vs-batching grid in scripts/bench.sh measures it).
+//  3. Stdlib crypto only (crypto/sha256), like everything else here.
+//
+// On disk a ledger is a sequence of JSON lines, one sealed batch per
+// line, so `thriftyvid audit tail` is a cheap scan and `audit verify`
+// streams arbitrarily long runs. Hashes are computed over a canonical
+// fixed binary encoding of each entry (never over the JSON), so
+// verification re-encodes what it parsed and any textual tamper that
+// survives the JSON parser still changes a leaf.
+package ledger
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"unicode/utf8"
+)
+
+// EventType classifies one security-relevant decision.
+type EventType int
+
+// The event kinds the transport layers emit.
+const (
+	// EventPolicy records the encryption policy in force when a transfer
+	// or tenant session starts (Note carries Policy.Name()).
+	EventPolicy EventType = iota
+	// EventPlainPacket records a payload emitted fully in the clear under
+	// the selection policy (A = wire sequence, B = payload bytes).
+	EventPlainPacket
+	// EventHeaderOnly records a payload whose first B bytes only were
+	// encrypted (A = wire sequence) — the header-only trade-off leaves
+	// the tail statistics in the clear, so each such emission is logged.
+	EventHeaderOnly
+	// EventDowngrade records one vcrypt.Downgrade ladder step taken under
+	// deadline/retry pressure (Note carries "old -> new").
+	EventDowngrade
+	// EventReencode records a reduced-quality re-encode restart (Note
+	// carries the coarsened quantiser pair).
+	EventReencode
+	// EventEpoch records a fresh 2^32-aligned sequence epoch (A = base).
+	EventEpoch
+	// EventSessionStart records an ingest admission (A = SSRC).
+	EventSessionStart
+	// EventSessionEnd records an ingest session closed by a client FIN
+	// (A = SSRC).
+	EventSessionEnd
+	// EventEvict records an idle-sweeper eviction (A = SSRC).
+	EventEvict
+	// EventReject records an admission-control refusal (A = SSRC).
+	EventReject
+)
+
+// String names the event for the JSON encoding and `audit tail`.
+func (t EventType) String() string {
+	switch t {
+	case EventPolicy:
+		return "policy"
+	case EventPlainPacket:
+		return "plain_packet"
+	case EventHeaderOnly:
+		return "header_only"
+	case EventDowngrade:
+		return "downgrade"
+	case EventReencode:
+		return "reencode"
+	case EventEpoch:
+		return "epoch"
+	case EventSessionStart:
+		return "session_start"
+	case EventSessionEnd:
+		return "session_end"
+	case EventEvict:
+		return "evict"
+	case EventReject:
+		return "reject"
+	default:
+		// Unknown values render as a number so a corrupted or
+		// future-version log still prints rather than panicking.
+		return fmt.Sprintf("event(%d)", int(t))
+	}
+}
+
+// eventTypeByName inverts String for the verifier's JSON decode.
+var eventTypeByName = map[string]EventType{}
+
+func init() {
+	for t := EventPolicy; t <= EventReject; t++ {
+		eventTypeByName[t.String()] = t
+	}
+}
+
+// Entry is one audit event. Seq is assigned by the sealer in arrival
+// order; Time is stamped at emission (wall clock, unix nanoseconds). A
+// and B are event-specific numeric fields (wire sequence, SSRC, byte
+// count, epoch base — see the EventType docs); Note is a short free-form
+// detail such as a policy name. Entries never carry payload bytes.
+type Entry struct {
+	Seq   uint64
+	Time  int64
+	Type  EventType
+	Actor string
+	A, B  uint64
+	Note  string
+}
+
+// appendCanonical appends the entry's canonical binary encoding: the
+// bytes that are hashed. Length-prefixed strings keep the encoding
+// injective (no two distinct entries share bytes).
+func (e *Entry) appendCanonical(buf []byte) []byte {
+	var tmp [8]byte
+	binary.BigEndian.PutUint64(tmp[:], e.Seq)
+	buf = append(buf, tmp[:]...)
+	binary.BigEndian.PutUint64(tmp[:], uint64(e.Time))
+	buf = append(buf, tmp[:]...)
+	binary.BigEndian.PutUint32(tmp[:4], uint32(e.Type))
+	buf = append(buf, tmp[:4]...)
+	binary.BigEndian.PutUint64(tmp[:], e.A)
+	buf = append(buf, tmp[:]...)
+	binary.BigEndian.PutUint64(tmp[:], e.B)
+	buf = append(buf, tmp[:]...)
+	binary.BigEndian.PutUint16(tmp[:2], uint16(len(e.Actor)))
+	buf = append(buf, tmp[:2]...)
+	buf = append(buf, e.Actor...)
+	binary.BigEndian.PutUint16(tmp[:2], uint16(len(e.Note)))
+	buf = append(buf, tmp[:2]...)
+	buf = append(buf, e.Note...)
+	return buf
+}
+
+// Domain-separation prefixes (certificate-transparency style) so a leaf
+// can never be confused with an interior node or a batch header.
+const (
+	tagLeaf   = 0x00
+	tagNode   = 0x01
+	tagHeader = 0x02
+)
+
+// leafHash hashes one entry into a Merkle leaf, reusing scratch for the
+// canonical encoding.
+func leafHash(e *Entry, scratch []byte) ([32]byte, []byte) {
+	scratch = append(scratch[:0], tagLeaf)
+	scratch = e.appendCanonical(scratch)
+	return sha256.Sum256(scratch), scratch
+}
+
+// merkleRoot folds the leaves bottom-up in place. An unpaired node is
+// promoted to the next level unchanged (no duplication, so the tree of
+// n leaves has exactly n-1 interior hashes). Zero leaves yield the
+// all-zero root; callers never seal empty batches.
+func merkleRoot(leaves [][32]byte) [32]byte {
+	if len(leaves) == 0 {
+		return [32]byte{}
+	}
+	var buf [1 + 64]byte
+	buf[0] = tagNode
+	for n := len(leaves); n > 1; {
+		half := n / 2
+		for i := 0; i < half; i++ {
+			copy(buf[1:33], leaves[2*i][:])
+			copy(buf[33:], leaves[2*i+1][:])
+			leaves[i] = sha256.Sum256(buf[:])
+		}
+		if n%2 == 1 {
+			leaves[half] = leaves[n-1]
+			n = half + 1
+		} else {
+			n = half
+		}
+	}
+	return leaves[0]
+}
+
+// Batch is one sealed group of entries: the unit of chaining. PrevHash
+// is the previous batch's header hash (all zero for the first batch), so
+// reordering or dropping a whole batch breaks the chain, and Root
+// commits to every entry, so editing or dropping one entry breaks the
+// batch.
+type Batch struct {
+	Index    uint64
+	PrevHash [32]byte
+	Root     [32]byte
+	Count    uint32
+	FirstSeq uint64
+	SealedAt int64 // unix nanoseconds
+	Entries  []Entry
+}
+
+// headerHash hashes the batch header — the chain link.
+func (b *Batch) headerHash() [32]byte {
+	var buf [1 + 8 + 32 + 32 + 4 + 8 + 8]byte
+	buf[0] = tagHeader
+	binary.BigEndian.PutUint64(buf[1:], b.Index)
+	copy(buf[9:41], b.PrevHash[:])
+	copy(buf[41:73], b.Root[:])
+	binary.BigEndian.PutUint32(buf[73:], b.Count)
+	binary.BigEndian.PutUint64(buf[77:], b.FirstSeq)
+	binary.BigEndian.PutUint64(buf[85:], uint64(b.SealedAt))
+	return sha256.Sum256(buf[:])
+}
+
+// jsonEntry is the wire form of one entry inside a batch line.
+type jsonEntry struct {
+	Seq   uint64 `json:"s"`
+	Time  int64  `json:"t"`
+	Kind  string `json:"k"`
+	Actor string `json:"actor"`
+	A     uint64 `json:"a,omitempty"`
+	B     uint64 `json:"b,omitempty"`
+	Note  string `json:"note,omitempty"`
+}
+
+// jsonBatch is the wire form of one ledger line. Hash is the batch's own
+// header hash — redundant (the verifier recomputes it) but it lets a
+// human diff two logs and `audit tail` show the chain head cheaply.
+type jsonBatch struct {
+	Index    uint64      `json:"i"`
+	Prev     string      `json:"prev"`
+	Root     string      `json:"root"`
+	Count    uint32      `json:"n"`
+	FirstSeq uint64      `json:"seq"`
+	SealedAt int64       `json:"at"`
+	Hash     string      `json:"h"`
+	Entries  []jsonEntry `json:"e"`
+}
+
+// appendLine renders the sealed batch as one newline-terminated JSON
+// line appended to buf. Hand-rolled: reflection-based json.Marshal cost
+// ~3× the hashing itself and capped the pipeline well under the
+// 1M entries/sec target.
+func (b *Batch) appendLine(buf []byte) []byte {
+	h := b.headerHash()
+	buf = append(buf, `{"i":`...)
+	buf = strconv.AppendUint(buf, b.Index, 10)
+	buf = append(buf, `,"prev":"`...)
+	buf = hex.AppendEncode(buf, b.PrevHash[:])
+	buf = append(buf, `","root":"`...)
+	buf = hex.AppendEncode(buf, b.Root[:])
+	buf = append(buf, `","n":`...)
+	buf = strconv.AppendUint(buf, uint64(b.Count), 10)
+	buf = append(buf, `,"seq":`...)
+	buf = strconv.AppendUint(buf, b.FirstSeq, 10)
+	buf = append(buf, `,"at":`...)
+	buf = strconv.AppendInt(buf, b.SealedAt, 10)
+	buf = append(buf, `,"h":"`...)
+	buf = hex.AppendEncode(buf, h[:])
+	buf = append(buf, `","e":[`...)
+	for i := range b.Entries {
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		e := &b.Entries[i]
+		buf = append(buf, `{"s":`...)
+		buf = strconv.AppendUint(buf, e.Seq, 10)
+		buf = append(buf, `,"t":`...)
+		buf = strconv.AppendInt(buf, e.Time, 10)
+		buf = append(buf, `,"k":"`...)
+		buf = append(buf, e.Type.String()...)
+		buf = append(buf, `","actor":`...)
+		buf = appendJSONString(buf, e.Actor)
+		buf = append(buf, `,"a":`...)
+		buf = strconv.AppendUint(buf, e.A, 10)
+		buf = append(buf, `,"b":`...)
+		buf = strconv.AppendUint(buf, e.B, 10)
+		buf = append(buf, `,"note":`...)
+		buf = appendJSONString(buf, e.Note)
+		buf = append(buf, '}')
+	}
+	buf = append(buf, `]}`...)
+	return append(buf, '\n')
+}
+
+// appendJSONString appends s as a JSON string literal. The fast path
+// covers plain printable ASCII (every actor/policy name the transports
+// emit); anything needing escapes goes through encoding/json.
+func appendJSONString(buf []byte, s string) []byte {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c < 0x20 || c == '"' || c == '\\' || c >= utf8.RuneSelf {
+			out, _ := json.Marshal(s)
+			return append(buf, out...)
+		}
+	}
+	buf = append(buf, '"')
+	buf = append(buf, s...)
+	return append(buf, '"')
+}
+
+// decodeLine parses one ledger line back into a Batch plus the Hash
+// field it claimed. Unknown event kinds are a verification failure, not
+// a skip: an attacker must not be able to smuggle entries past the
+// verifier by renaming them.
+func decodeLine(line []byte) (Batch, [32]byte, error) {
+	var jb jsonBatch
+	var claimed [32]byte
+	if err := json.Unmarshal(line, &jb); err != nil {
+		return Batch{}, claimed, fmt.Errorf("ledger: unparseable batch line: %w", err)
+	}
+	b := Batch{
+		Index:    jb.Index,
+		Count:    jb.Count,
+		FirstSeq: jb.FirstSeq,
+		SealedAt: jb.SealedAt,
+		Entries:  make([]Entry, len(jb.Entries)),
+	}
+	if err := decodeHex32(jb.Prev, &b.PrevHash); err != nil {
+		return Batch{}, claimed, fmt.Errorf("ledger: batch %d prev: %w", jb.Index, err)
+	}
+	if err := decodeHex32(jb.Root, &b.Root); err != nil {
+		return Batch{}, claimed, fmt.Errorf("ledger: batch %d root: %w", jb.Index, err)
+	}
+	if err := decodeHex32(jb.Hash, &claimed); err != nil {
+		return Batch{}, claimed, fmt.Errorf("ledger: batch %d hash: %w", jb.Index, err)
+	}
+	for i := range jb.Entries {
+		je := &jb.Entries[i]
+		t, ok := eventTypeByName[je.Kind]
+		if !ok {
+			return Batch{}, claimed, fmt.Errorf("ledger: batch %d entry %d: unknown event kind %q", jb.Index, i, je.Kind)
+		}
+		b.Entries[i] = Entry{
+			Seq: je.Seq, Time: je.Time, Type: t,
+			Actor: je.Actor, A: je.A, B: je.B, Note: je.Note,
+		}
+	}
+	return b, claimed, nil
+}
+
+func decodeHex32(s string, out *[32]byte) error {
+	raw, err := hex.DecodeString(s)
+	if err != nil {
+		return err
+	}
+	if len(raw) != 32 {
+		return fmt.Errorf("hash is %d bytes, want 32", len(raw))
+	}
+	copy(out[:], raw)
+	return nil
+}

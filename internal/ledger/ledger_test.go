@@ -1,0 +1,334 @@
+package ledger
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// writeLedger runs n entries through an appender into a buffer and
+// returns the sealed ledger bytes.
+func writeLedger(t *testing.T, n int, cfg Config) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	a := NewAppender(&buf, cfg)
+	for i := 0; i < n; i++ {
+		e := Entry{
+			Type:  EventType(i % int(EventReject+1)),
+			Actor: "test",
+			A:     uint64(i),
+			B:     uint64(i * 3),
+			Note:  "n",
+		}
+		if !a.AppendBlocking(e) {
+			t.Fatalf("append %d refused", i)
+		}
+	}
+	if err := a.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func TestVerifyAcceptsUntampered(t *testing.T) {
+	raw := writeLedger(t, 1000, Config{BatchSize: 64, MaxWait: time.Hour})
+	rep, err := Verify(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("verify rejected untampered ledger: %v", err)
+	}
+	if rep.Entries != 1000 {
+		t.Fatalf("verified %d entries, want 1000", rep.Entries)
+	}
+	if want := uint64((1000 + 63) / 64); rep.Batches != want {
+		t.Fatalf("verified %d batches, want %d", rep.Batches, want)
+	}
+	var byType uint64
+	for _, c := range rep.ByType {
+		byType += c
+	}
+	if byType != rep.Entries {
+		t.Fatalf("ByType sums to %d, want %d", byType, rep.Entries)
+	}
+}
+
+func TestVerifyCatchesFlippedByte(t *testing.T) {
+	raw := writeLedger(t, 300, Config{BatchSize: 32, MaxWait: time.Hour})
+	// Flip one byte in an entry's actor field mid-file. Every position
+	// inside a quoted string value keeps the JSON parseable, so the
+	// failure must come from hashing, not parsing.
+	idx := bytes.Index(raw, []byte(`"actor":"test"`))
+	if idx < 0 {
+		t.Fatal("no actor field found")
+	}
+	tampered := append([]byte(nil), raw...)
+	tampered[idx+len(`"actor":"t`)] ^= 0x01
+	if _, err := Verify(bytes.NewReader(tampered)); err == nil {
+		t.Fatal("verify accepted a ledger with a flipped byte")
+	} else if !strings.Contains(err.Error(), "merkle root mismatch") {
+		t.Fatalf("flipped byte rejected for the wrong reason: %v", err)
+	}
+}
+
+func TestVerifyCatchesDroppedEntry(t *testing.T) {
+	raw := writeLedger(t, 300, Config{BatchSize: 32, MaxWait: time.Hour})
+	lines := splitLines(raw)
+	if len(lines) < 3 {
+		t.Fatalf("want >=3 batches, got %d", len(lines))
+	}
+	// Excise one entry object from the middle batch's "e" array.
+	mid := lines[1]
+	start := bytes.Index(mid, []byte(`},{"s":`))
+	if start < 0 {
+		t.Fatal("no entry boundary found")
+	}
+	end := bytes.Index(mid[start+1:], []byte(`},{"s":`))
+	if end < 0 {
+		t.Fatal("no second entry boundary found")
+	}
+	tampered := append([]byte(nil), mid[:start+1]...)
+	tampered = append(tampered, mid[start+1+end+1:]...)
+	lines[1] = tampered
+	if _, err := Verify(bytes.NewReader(joinLines(lines))); err == nil {
+		t.Fatal("verify accepted a ledger with a dropped entry")
+	}
+}
+
+func TestVerifyCatchesReorderedBatch(t *testing.T) {
+	raw := writeLedger(t, 300, Config{BatchSize: 32, MaxWait: time.Hour})
+	lines := splitLines(raw)
+	if len(lines) < 3 {
+		t.Fatalf("want >=3 batches, got %d", len(lines))
+	}
+	lines[0], lines[1] = lines[1], lines[0]
+	if _, err := Verify(bytes.NewReader(joinLines(lines))); err == nil {
+		t.Fatal("verify accepted a ledger with reordered batches")
+	}
+}
+
+func TestVerifyCatchesDroppedBatch(t *testing.T) {
+	raw := writeLedger(t, 300, Config{BatchSize: 32, MaxWait: time.Hour})
+	lines := splitLines(raw)
+	if len(lines) < 3 {
+		t.Fatalf("want >=3 batches, got %d", len(lines))
+	}
+	lines = append(lines[:1], lines[2:]...)
+	if _, err := Verify(bytes.NewReader(joinLines(lines))); err == nil {
+		t.Fatal("verify accepted a ledger with a missing batch")
+	}
+}
+
+func TestVerifyCatchesUnknownKind(t *testing.T) {
+	raw := writeLedger(t, 10, Config{BatchSize: 32, MaxWait: time.Hour})
+	tampered := bytes.Replace(raw, []byte(`"k":"policy"`), []byte(`"k":"bogus"`), 1)
+	if bytes.Equal(tampered, raw) {
+		t.Fatal("no policy entry to rename")
+	}
+	if _, err := Verify(bytes.NewReader(tampered)); err == nil {
+		t.Fatal("verify accepted an unknown event kind")
+	}
+}
+
+func splitLines(raw []byte) [][]byte {
+	parts := bytes.Split(bytes.TrimRight(raw, "\n"), []byte("\n"))
+	out := make([][]byte, len(parts))
+	for i, p := range parts {
+		out[i] = append([]byte(nil), p...)
+	}
+	return out
+}
+
+func joinLines(lines [][]byte) []byte {
+	var buf bytes.Buffer
+	for _, l := range lines {
+		buf.Write(l)
+		buf.WriteByte('\n')
+	}
+	return buf.Bytes()
+}
+
+func TestMaxWaitSealsPartialBatch(t *testing.T) {
+	var mu sync.Mutex
+	var buf bytes.Buffer
+	w := writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return buf.Write(p)
+	})
+	a := NewAppender(w, Config{BatchSize: 1 << 20, MaxWait: 10 * time.Millisecond})
+	defer a.Close()
+	a.AppendBlocking(Entry{Type: EventPolicy, Actor: "w", Note: "p"})
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		mu.Lock()
+		n := buf.Len()
+		mu.Unlock()
+		if n > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("MaxWait never sealed the partial batch")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	mu.Lock()
+	raw := append([]byte(nil), buf.Bytes()...)
+	mu.Unlock()
+	if rep, err := Verify(bytes.NewReader(raw)); err != nil || rep.Entries != 1 {
+		t.Fatalf("verify of timer-sealed batch: rep=%+v err=%v", rep, err)
+	}
+}
+
+type writerFunc func(p []byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }
+
+func TestAppendDropsWhenFull(t *testing.T) {
+	// A writer that blocks until released wedges the sealer, so the
+	// bounded buffer fills and non-blocking Append must drop.
+	release := make(chan struct{})
+	w := writerFunc(func(p []byte) (int, error) {
+		<-release
+		return len(p), nil
+	})
+	a := NewAppender(w, Config{BatchSize: 2, MaxWait: time.Hour, Buffer: 4})
+	for i := 0; i < 100; i++ {
+		a.Append(Entry{Type: EventPlainPacket, Actor: "t", A: uint64(i)})
+	}
+	if a.Dropped() == 0 {
+		t.Fatal("expected drops with a wedged sealer and a full buffer")
+	}
+	if a.Appended()+a.Dropped() != 100 {
+		t.Fatalf("appended %d + dropped %d != 100", a.Appended(), a.Dropped())
+	}
+	close(release)
+	if err := a.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+}
+
+func TestAppendAfterCloseRefused(t *testing.T) {
+	a := NewAppender(io.Discard, Config{})
+	if err := a.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if a.Append(Entry{Type: EventPolicy}) {
+		t.Fatal("append accepted after close")
+	}
+	if a.AppendBlocking(Entry{Type: EventPolicy}) {
+		t.Fatal("blocking append accepted after close")
+	}
+}
+
+func TestConcurrentEmitVerifies(t *testing.T) {
+	var mu sync.Mutex
+	var buf bytes.Buffer
+	w := writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return buf.Write(p)
+	})
+	a := NewAppender(w, Config{BatchSize: 16, MaxWait: 5 * time.Millisecond})
+	prev := Install(a)
+	defer Install(prev)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				Emit(EventPlainPacket, fmt.Sprintf("g%d", g), uint64(i), 0, "")
+			}
+		}(g)
+	}
+	wg.Wait()
+	Install(prev)
+	if err := a.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	mu.Lock()
+	raw := append([]byte(nil), buf.Bytes()...)
+	mu.Unlock()
+	rep, err := Verify(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("verify after concurrent emit: %v", err)
+	}
+	if rep.Entries+a.Dropped() != 8*200 {
+		t.Fatalf("entries %d + dropped %d != %d", rep.Entries, a.Dropped(), 8*200)
+	}
+}
+
+func TestTail(t *testing.T) {
+	raw := writeLedger(t, 100, Config{BatchSize: 16, MaxWait: time.Hour})
+	tail, err := Tail(bytes.NewReader(raw), 7)
+	if err != nil {
+		t.Fatalf("tail: %v", err)
+	}
+	if len(tail) != 7 {
+		t.Fatalf("tail returned %d entries, want 7", len(tail))
+	}
+	for i, e := range tail {
+		if want := uint64(93 + i); e.Seq != want {
+			t.Fatalf("tail[%d].Seq = %d, want %d", i, e.Seq, want)
+		}
+	}
+}
+
+func TestMerkleRootOddPromotion(t *testing.T) {
+	// Root over [a b c] must differ from [a b] and from [a b c c]
+	// (duplication-style trees are a known second-preimage footgun).
+	mk := func(n int) [][32]byte {
+		ls := make([][32]byte, n)
+		for i := range ls {
+			e := Entry{Seq: uint64(i), Type: EventPolicy}
+			ls[i], _ = leafHash(&e, nil)
+		}
+		return ls
+	}
+	r2 := merkleRoot(mk(2))
+	r3 := merkleRoot(mk(3))
+	ls4 := mk(3)
+	ls4 = append(ls4, ls4[2])
+	r4 := merkleRoot(ls4)
+	if r3 == r2 || r3 == r4 {
+		t.Fatal("odd-leaf promotion degenerates into a sibling tree shape")
+	}
+}
+
+func TestEventTypeStringsRoundTrip(t *testing.T) {
+	for ty := EventPolicy; ty <= EventReject; ty++ {
+		got, ok := eventTypeByName[ty.String()]
+		if !ok || got != ty {
+			t.Fatalf("event %d name %q does not round-trip", ty, ty.String())
+		}
+	}
+	if s := EventType(99).String(); s != "event(99)" {
+		t.Fatalf("unknown event renders as %q", s)
+	}
+}
+
+func BenchmarkLedgerPipeline(b *testing.B) {
+	for _, size := range []int{1, 64, 256, 1024} {
+		b.Run(fmt.Sprintf("batch%d", size), func(b *testing.B) {
+			a := NewAppender(io.Discard, Config{
+				BatchSize: size,
+				MaxWait:   time.Hour,
+				Buffer:    4 * size,
+			})
+			e := Entry{Type: EventPlainPacket, Actor: "bench", A: 1, B: 1316}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.A = uint64(i)
+				a.AppendBlocking(e)
+			}
+			b.StopTimer()
+			if err := a.Close(); err != nil {
+				b.Fatalf("close: %v", err)
+			}
+		})
+	}
+}

@@ -1,0 +1,17 @@
+package ledger
+
+import "repro/internal/obs"
+
+// Ledger health counters, registered in the default obs registry like
+// every other subsystem. A non-zero drop counter is the signal that a
+// run's ledger has coverage gaps (the hot paths never block on audit).
+var (
+	mAppended = obs.NewCounter("ledger_entries_appended_total",
+		"Audit entries accepted into the ledger buffer.")
+	mDropped = obs.NewCounter("ledger_entries_dropped_total",
+		"Audit entries dropped because the buffer was full or the appender closed.")
+	mBatches = obs.NewCounter("ledger_batches_sealed_total",
+		"Merkle batches sealed and written.")
+	mBytes = obs.NewFloatCounter("ledger_bytes_written_total",
+		"Bytes of sealed ledger output written.")
+)

@@ -1,0 +1,127 @@
+package ledger
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// VerifyReport summarises a successful chain replay.
+type VerifyReport struct {
+	Batches uint64
+	Entries uint64
+	// ByType counts verified entries per event kind, keyed by
+	// EventType.String().
+	ByType map[string]uint64
+	// HeadHash is the header hash of the final batch — the chain head a
+	// caller can pin externally.
+	HeadHash [32]byte
+}
+
+// Verify replays a ledger stream and recomputes every hash. It fails on
+// the first inconsistency: a batch index out of order, a prev-hash that
+// does not chain, an entry count that disagrees with the entries
+// present, a sequence gap across batches, a Merkle root that does not
+// match the recomputed leaves, or a batch hash that does not match the
+// recomputed header. What this proves: the decision log is exactly the
+// one the sealer wrote, in order and complete. What it cannot prove:
+// that events were emitted for actions the code never logged, or
+// anything truncated after the last sealed batch (pin HeadHash
+// externally to detect whole-suffix truncation).
+func Verify(r io.Reader) (VerifyReport, error) {
+	rep := VerifyReport{ByType: make(map[string]uint64)}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	var prevHash [32]byte
+	var nextIndex, nextSeq uint64
+	var scratch []byte
+	leaves := make([][32]byte, 0, 256)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		b, claimed, err := decodeLine(raw)
+		if err != nil {
+			return rep, fmt.Errorf("line %d: %w", line, err)
+		}
+		if b.Index != nextIndex {
+			return rep, fmt.Errorf("line %d: batch index %d, want %d (reordered or missing batch)", line, b.Index, nextIndex)
+		}
+		if b.PrevHash != prevHash {
+			return rep, fmt.Errorf("line %d: batch %d prev hash does not chain to previous batch", line, b.Index)
+		}
+		if int(b.Count) != len(b.Entries) {
+			return rep, fmt.Errorf("line %d: batch %d claims %d entries, carries %d", line, b.Index, b.Count, len(b.Entries))
+		}
+		if len(b.Entries) == 0 {
+			return rep, fmt.Errorf("line %d: batch %d is empty", line, b.Index)
+		}
+		if b.FirstSeq != nextSeq || b.Entries[0].Seq != nextSeq {
+			return rep, fmt.Errorf("line %d: batch %d first seq %d, want %d (dropped entries)", line, b.Index, b.Entries[0].Seq, nextSeq)
+		}
+		leaves = leaves[:0]
+		for i := range b.Entries {
+			if b.Entries[i].Seq != nextSeq {
+				return rep, fmt.Errorf("line %d: batch %d entry %d has seq %d, want %d", line, b.Index, i, b.Entries[i].Seq, nextSeq)
+			}
+			nextSeq++
+			var h [32]byte
+			h, scratch = leafHash(&b.Entries[i], scratch)
+			leaves = append(leaves, h)
+			rep.ByType[b.Entries[i].Type.String()]++
+		}
+		if root := merkleRoot(leaves); root != b.Root {
+			return rep, fmt.Errorf("line %d: batch %d merkle root mismatch (entry bytes tampered)", line, b.Index)
+		}
+		h := b.headerHash()
+		if h != claimed {
+			return rep, fmt.Errorf("line %d: batch %d header hash mismatch", line, b.Index)
+		}
+		prevHash = h
+		nextIndex++
+		rep.Batches++
+		rep.Entries += uint64(len(b.Entries))
+		rep.HeadHash = h
+	}
+	if err := sc.Err(); err != nil {
+		return rep, fmt.Errorf("reading ledger: %w", err)
+	}
+	return rep, nil
+}
+
+// Tail parses the stream and returns the last n entries in order. It
+// does not verify hashes — pair it with Verify when integrity matters.
+func Tail(r io.Reader, n int) ([]Entry, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	var out []Entry
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		b, _, err := decodeLine(raw)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", line, err)
+		}
+		out = append(out, b.Entries...)
+		if len(out) > 2*n {
+			out = append(out[:0], out[len(out)-n:]...)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("reading ledger: %w", err)
+	}
+	if len(out) > n {
+		out = out[len(out)-n:]
+	}
+	return out, nil
+}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/codec"
+	"repro/internal/ledger"
 	"repro/internal/rtp"
 	"repro/internal/vcrypt"
 )
@@ -228,8 +229,16 @@ func (s *IngestServer) Addr() string { return s.conn.LocalAddr().String() }
 // shard maps an SSRC to its shard with a multiplicative hash, so both
 // sequential and clustered SSRC allocations spread evenly.
 func (s *IngestServer) shard(ssrc uint32) *ingestShard {
+	return s.shards[shardIndex(ssrc, len(s.shards))]
+}
+
+// shardIndex is the shard-selection math, factored out so a unit test
+// can pin it independently of GOARCH. The reduction must stay in uint32
+// space: int(h) truncates to a negative value for half the hash range
+// on 32-bit platforms, and a negative modulo indexes out of range.
+func shardIndex(ssrc uint32, n int) int {
 	h := ssrc * 2654435761 // Knuth's multiplicative constant
-	return s.shards[int(h)%len(s.shards)]
+	return int(h % uint32(n))
 }
 
 // readLoop is one worker of the bounded reader pool: it drains datagrams
@@ -267,6 +276,7 @@ func (s *IngestServer) handle(data []byte, from *net.UDPAddr) {
 		// locks held.
 		s.totals.rejected.Add(1)
 		mIngestRejected.Inc()
+		ledger.Emit(ledger.EventReject, "ingest", uint64(pkt.SSRC), 0, "session cap")
 		if s.rejects.Allow() {
 			s.conn.WriteToUDP(marshalReject(s.cfg.RetryAfter), from) //nolint:errcheck // best effort, like the medium
 		}
@@ -290,7 +300,10 @@ func (s *IngestServer) lookup(ssrc uint32) *ingestSession {
 	// The codec config was validated in the constructor, so this cannot
 	// fail.
 	asm, _ := codec.NewReassembler(s.cfg.Cfg)
-	sess := &ingestSession{window: newSeqWindow(defaultSeqSpan), asm: asm}
+	// Stamp lastAt at admission so every session is sweepable from birth:
+	// a tenant admitted here whose packets never complete the packet path
+	// must not hold a MaxSessions slot forever.
+	sess := &ingestSession{window: newSeqWindow(defaultSeqSpan), asm: asm, lastAt: time.Now()}
 	if s.cfg.SessionRate > 0 {
 		sess.limiter = NewTokenBucket(s.cfg.SessionRate, s.cfg.SessionBurst)
 	}
@@ -298,6 +311,7 @@ func (s *IngestServer) lookup(ssrc uint32) *ingestSession {
 	mIngestSessionsActive.Set(s.active.Add(1))
 	s.totals.started.Add(1)
 	mIngestSessionsStarted.Inc()
+	ledger.Emit(ledger.EventSessionStart, "ingest", uint64(ssrc), 0, "")
 	return sess
 }
 
@@ -306,6 +320,10 @@ func (s *IngestServer) process(sess *ingestSession, pkt rtp.Packet) {
 	sess.mu.Lock()
 	if sess.limiter != nil && !sess.limiter.Allow() {
 		sess.stats.Throttled++
+		// A throttled arrival is still an arrival: without this refresh a
+		// session that keeps sending but is mostly rate-limited looks
+		// idle to sweepLoop and gets evicted mid-stream.
+		sess.lastAt = now
 		sess.mu.Unlock()
 		s.totals.throttled.Add(1)
 		mIngestThrottled.Inc()
@@ -369,9 +387,11 @@ func (s *IngestServer) finish(ssrc uint32, evicted bool) {
 	if evicted {
 		s.totals.evicted.Add(1)
 		mIngestSessionsEvicted.Inc()
+		ledger.Emit(ledger.EventEvict, "ingest", uint64(ssrc), 0, "idle")
 	} else {
 		s.totals.finished.Add(1)
 		mIngestSessionsFinished.Inc()
+		ledger.Emit(ledger.EventSessionEnd, "ingest", uint64(ssrc), 0, "fin")
 	}
 	sess.mu.Lock()
 	if !sess.firstAt.IsZero() {
@@ -403,7 +423,8 @@ func (s *IngestServer) sweepLoop() {
 			sh.mu.Lock()
 			for ssrc, sess := range sh.sessions {
 				sess.mu.Lock()
-				idle := !sess.lastAt.IsZero() && sess.lastAt.Before(cutoff)
+				// lastAt is stamped at admission, so it is never zero.
+				idle := sess.lastAt.Before(cutoff)
 				sess.mu.Unlock()
 				if idle {
 					expired = append(expired, ssrc)

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/codec"
+	"repro/internal/ledger"
 	"repro/internal/netem"
 	"repro/internal/vcrypt"
 )
@@ -406,6 +407,7 @@ func LiveHTTPUpload(s Session, url string, pacer *netem.Pacer) (HTTPUploadReport
 	if err != nil {
 		return rep, err
 	}
+	ledger.Emit(ledger.EventPolicy, "http", 0, 0, s.Policy.Name())
 	pr, pw := io.Pipe()
 	start := time.Now()
 	errCh := make(chan error, 1)
@@ -434,6 +436,11 @@ func LiveHTTPUpload(s Session, url string, pacer *netem.Pacer) (HTTPUploadReport
 				if encrypted {
 					cipher.EncryptPacket(seq, wire[segmentHeaderSize:][:s.Policy.EncryptSpan(len(payload))])
 					rep.Encrypted++
+					if span := s.Policy.EncryptSpan(len(payload)); span < len(payload) {
+						ledger.Emit(ledger.EventHeaderOnly, "http", seq, uint64(span), "")
+					}
+				} else {
+					ledger.Emit(ledger.EventPlainPacket, "http", seq, uint64(len(payload)), "")
 				}
 				if pacer != nil {
 					pacer.Wait(len(wire))

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/codec"
+	"repro/internal/ledger"
 	"repro/internal/netem"
 	"repro/internal/rtp"
 	"repro/internal/vcrypt"
@@ -50,6 +51,7 @@ func LiveUDPSend(s Session, rxAddr, evAddr string, pace bool) (LiveSendReport, e
 	if err != nil {
 		return rep, err
 	}
+	ledger.Emit(ledger.EventPolicy, "udp", 0, 0, s.Policy.Name())
 	rxConn, err := net.Dial("udp", rxAddr)
 	if err != nil {
 		return rep, fmt.Errorf("transport: dial receiver: %w", err)
@@ -101,6 +103,11 @@ func LiveUDPSend(s Session, rxAddr, evAddr string, pace bool) (LiveSendReport, e
 				rep.CryptoTime += time.Since(t0)
 				rep.Encrypted++
 				mUDPEncrypted.Inc()
+				if span := s.Policy.EncryptSpan(len(payload)); span < len(payload) {
+					ledger.Emit(ledger.EventHeaderOnly, "udp", uint64(seq), uint64(span), "")
+				}
+			} else {
+				ledger.Emit(ledger.EventPlainPacket, "udp", uint64(seq), uint64(len(payload)), "")
 			}
 			if _, err := rxConn.Write(out); err != nil {
 				return rep, fmt.Errorf("transport: send to receiver: %w", err)
@@ -523,6 +530,7 @@ func LiveUDPSendReliable(s Session, rxAddr, evAddr string, pace bool, opts Relia
 	if err != nil {
 		return rep, err
 	}
+	ledger.Emit(ledger.EventPolicy, "udp-reliable", 0, 0, s.Policy.Name())
 	raddr, err := net.ResolveUDPAddr("udp", rxAddr)
 	if err != nil {
 		return rep, fmt.Errorf("transport: resolve receiver: %w", err)
@@ -627,6 +635,11 @@ func LiveUDPSendReliable(s Session, rxAddr, evAddr string, pace bool, opts Relia
 				rep.CryptoTime += time.Since(t0)
 				rep.Encrypted++
 				mUDPEncrypted.Inc()
+				if span := s.Policy.EncryptSpan(len(payload)); span < len(payload) {
+					ledger.Emit(ledger.EventHeaderOnly, "udp-reliable", uint64(seq), uint64(span), "")
+				}
+			} else {
+				ledger.Emit(ledger.EventPlainPacket, "udp-reliable", uint64(seq), uint64(len(payload)), "")
 			}
 			if pkt.IsIFrame() {
 				bufMu.Lock()

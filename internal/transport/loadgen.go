@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/ledger"
 	"repro/internal/netem"
 	"repro/internal/rtp"
 	"repro/internal/stats"
@@ -120,6 +121,7 @@ func RunLoadgen(srv *IngestServer, s Session, cfg LoadgenConfig) (LoadReport, er
 	if err := s.Validate(); err != nil {
 		return rep, err
 	}
+	ledger.Emit(ledger.EventPolicy, "loadgen", 0, 0, s.Policy.Name())
 	segs, err := buildSegments(s, 0)
 	if err != nil {
 		return rep, err

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/codec"
+	"repro/internal/ledger"
 	"repro/internal/netem"
 	"repro/internal/vcrypt"
 )
@@ -62,6 +63,11 @@ func buildSegments(s Session, base uint64) ([]wireSegment, error) {
 			encrypted := selector.ShouldEncrypt(pkt.IsIFrame())
 			if encrypted {
 				cipher.EncryptPacket(seq, payload[:s.Policy.EncryptSpan(len(payload))])
+				if span := s.Policy.EncryptSpan(len(payload)); span < len(payload) {
+					ledger.Emit(ledger.EventHeaderOnly, "segments", seq, uint64(span), "")
+				}
+			} else {
+				ledger.Emit(ledger.EventPlainPacket, "segments", seq, uint64(len(payload)), "")
 			}
 			out = append(out, wireSegment{seq: seq, encrypted: encrypted, payload: payload})
 			seq++
@@ -180,6 +186,7 @@ func ResumableHTTPUpload(s Session, url string, pacer *netem.Pacer, rp RetryPoli
 	if err := s.Validate(); err != nil {
 		return rep, err
 	}
+	ledger.Emit(ledger.EventPolicy, "resume", 0, 0, s.Policy.Name())
 	segs, err := buildSegments(s, 0)
 	if err != nil {
 		return rep, err
@@ -270,15 +277,19 @@ func ResumableHTTPUpload(s Session, url string, pacer *netem.Pacer, rp RetryPoli
 				rep.Elapsed = time.Since(start)
 				return rep, fmt.Errorf("transport: upload failed after %d attempts: %w", rep.Attempts, lastErr)
 			}
+			oldPolicy := s.Policy.Name()
 			s = ns
 			rep.FinalPolicy = s.Policy
 			if restart {
 				base = nextEpoch(base + uint64(len(segs)))
 				rep.Restarts++
 				mUploadRestarts.Inc()
+				ledger.Emit(ledger.EventReencode, "resume", 0, 0, oldPolicy)
+				ledger.Emit(ledger.EventEpoch, "resume", base, 0, "")
 			} else {
 				rep.Downgrades++
 				mUploadDowngrades.Inc()
+				ledger.Emit(ledger.EventDowngrade, "resume", 0, 0, oldPolicy+" -> "+s.Policy.Name())
 			}
 			if segs, err = buildSegments(s, base); err != nil {
 				rep.Elapsed = time.Since(start)

@@ -7,6 +7,7 @@ import (
 	"repro/internal/audio"
 	"repro/internal/codec"
 	"repro/internal/energy"
+	"repro/internal/ledger"
 	"repro/internal/vcrypt"
 )
 
@@ -60,6 +61,10 @@ func runSim(s Session, seed uint64, tcp bool) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The ledger is a side artifact: emissions are non-blocking and the
+	// sim's deterministic outputs do not depend on whether one is
+	// installed.
+	ledger.Emit(ledger.EventPolicy, "sim", 0, 0, s.Policy.Name())
 	gap := s.DiskReadGap
 	if gap == 0 {
 		gap = DefaultDiskReadGap
@@ -172,6 +177,11 @@ func runSim(s Session, seed uint64, tcp bool) (*Result, error) {
 			cipher.EncryptPacket(uint64(seq), payload[:span])
 			nEncrypted++
 			meter.AddCrypto(encTime)
+			if span < len(payload) {
+				ledger.Emit(ledger.EventHeaderOnly, "sim", uint64(seq), uint64(span), "")
+			}
+		} else {
+			ledger.Emit(ledger.EventPlainPacket, "sim", uint64(seq), uint64(len(payload)), "")
 		}
 		rep, err := s.Medium.Transmit(len(payload))
 		if err != nil {

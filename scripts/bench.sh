@@ -69,7 +69,8 @@ fi
 
 tmp=$(mktemp)
 obs_tmp=$(mktemp)
-trap 'rm -f "$tmp" "$obs_tmp"' EXIT
+ledger_tmp=$(mktemp)
+trap 'rm -f "$tmp" "$obs_tmp" "$ledger_tmp"' EXIT
 
 echo "running codec micro-benchmarks..." >&2
 go test -run '^$' -bench 'BenchmarkFDCT8$|BenchmarkIDCT8$|BenchmarkMotionSearch$|BenchmarkEncodeFrameParallel$|BenchmarkPacketizeInto$|BenchmarkPacketize$' \
@@ -214,3 +215,59 @@ if [ "$obs" -eq 1 ]; then
 
 	echo "wrote BENCH_PR3.json" >&2
 fi
+
+echo "running audit-ledger benchmarks..." >&2
+# The pipeline benchmark drives AppendBlocking through the sealer
+# goroutine into io.Discard, so ns/op is the full wall-clock cost per
+# entry: canonical encoding, leaf hashing, Merkle fold, chain header and
+# JSON-line serialization included.
+go test -run '^$' -bench 'BenchmarkLedgerPipeline$' \
+	-benchmem -count 3 -timeout 600s ./internal/ledger | tee "$ledger_tmp" >&2
+
+awk -v out=BENCH_PR8.json '
+/^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
+/^BenchmarkLedgerPipeline\// {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	ns = ""; allocs = ""
+	for (i = 2; i <= NF; i++) {
+		if ($i == "ns/op") ns = $(i-1)
+		if ($i == "allocs/op") allocs = $(i-1)
+	}
+	if (ns == "") next
+	# Best-of-N: the minimum is the least noisy estimate of the true cost.
+	if (!(name in best) || ns + 0 < best[name] + 0) { best[name] = ns; al[name] = allocs }
+	if (!(name in seen)) { order[n++] = name; seen[name] = 1 }
+}
+END {
+	base = best["BenchmarkLedgerPipeline/batch1"]
+	peak = 0
+	printf "{\n" > out
+	printf "  \"pr\": \"PR8: tamper-evident audit ledger (hash chain, Merkle batches) and ingest session lifecycle fixes\",\n" >> out
+	printf "  \"cpu\": \"%s\",\n", cpu >> out
+	printf "  \"benchmarks\": [\n" >> out
+	for (i = 0; i < n; i++) {
+		name = order[i]
+		ns = best[name] + 0
+		eps = 1e9 / ns
+		if (eps > peak) peak = eps
+		printf "    {\"name\": \"%s\", \"ns_per_op\": %s, \"allocs_per_op\": %s, \"entries_per_sec\": %.0f", \
+			name, best[name], (al[name] == "" ? "null" : al[name]), eps >> out
+		if (base != "" && name != "BenchmarkLedgerPipeline/batch1")
+			printf ", \"speedup_vs_batch1\": %.2f", (base + 0) / ns >> out
+		printf "}%s\n", (i < n-1 ? "," : "") >> out
+	}
+	printf "  ],\n" >> out
+	printf "  \"peak_entries_per_sec\": %.0f\n", peak >> out
+	printf "}\n" >> out
+	# Hard gate: the ISSUE acceptance floor is 1M entries/sec at the best
+	# batch size. Falling under it means event logging would become the
+	# bottleneck of the very hot paths it audits.
+	if (peak < 1e6) {
+		printf "FAIL: peak ledger throughput %.0f entries/sec is under the 1M floor\n", peak > "/dev/stderr"
+		exit 1
+	}
+}
+' "$ledger_tmp"
+
+echo "wrote BENCH_PR8.json" >&2
