@@ -39,9 +39,12 @@ func (wp *WirePacket) Wire(n int) []byte {
 }
 
 // wireBuf wraps a wire buffer so pooled buffers move without boxing
-// allocations.
+// allocations. owner is the pool that issued the buffer (nil for the
+// pool-less PacketizeInto path), so Put can refuse buffers that belong
+// to a different pool instead of poisoning its free list with them.
 type wireBuf struct {
-	b []byte
+	b     []byte
+	owner *BufPool
 }
 
 // BufPool recycles wire buffers across frames. The zero value is not
@@ -53,7 +56,7 @@ type BufPool struct {
 // NewBufPool returns an empty wire-buffer pool.
 func NewBufPool() *BufPool {
 	p := &BufPool{}
-	p.pool.New = func() interface{} { return &wireBuf{} }
+	p.pool.New = func() interface{} { return &wireBuf{owner: p} }
 	return p
 }
 
@@ -68,11 +71,32 @@ func (p *BufPool) get(size int) *wireBuf {
 
 // Put returns wp's backing buffer to the pool. The packet's payload (and
 // anything derived from Wire) must not be used afterwards.
+//
+// Put trusts no caller: a nil packet, an already-released packet (double
+// Put), and a buffer issued by a different pool (or by the pool-less
+// PacketizeInto path) are all safe no-ops on this pool's free list. A
+// foreign buffer is still detached from the packet — the caller said it
+// was done with it — it just never enters a pool it did not come from.
 func (p *BufPool) Put(wp *WirePacket) {
-	if wp.buf != nil {
+	if wp == nil || wp.buf == nil {
+		return
+	}
+	if wp.buf.owner == p {
 		p.pool.Put(wp.buf)
+	}
+	wp.buf = nil
+	wp.Payload = nil
+}
+
+// Retain detaches wp's backing buffer from its pool: the payload (and
+// anything derived from Wire) stays valid indefinitely, and the buffer
+// never rejoins the free list. It is the explicit form of keeping a
+// pooled buffer alive — retransmit queues and resumable-segment stores
+// call it so buffer ownership is visible to the bufown analyzer (every
+// Retain site carries a //lint:retain(reason) annotation).
+func (wp *WirePacket) Retain() {
+	if wp != nil {
 		wp.buf = nil
-		wp.Payload = nil
 	}
 }
 

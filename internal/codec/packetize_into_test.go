@@ -183,3 +183,103 @@ func BenchmarkPacketize(b *testing.B) {
 		}
 	}
 }
+
+// TestBufPoolPutHardening pins the ownership guards Put makes no
+// assumptions about: nil packets, double Puts, buffers issued by a
+// different pool and pool-less buffers must all be no-ops on the pool's
+// free list — the runtime contract the bufown analyzer checks statically.
+func TestBufPoolPutHardening(t *testing.T) {
+	ef := testFrames(t)[0]
+	pool := NewBufPool()
+	other := NewBufPool()
+
+	// Nil packet and zero-value packet: no panic, no pool entry.
+	pool.Put(nil)
+	pool.Put(&WirePacket{})
+
+	// Double Put must insert the buffer exactly once: after the second
+	// Put, two gets must return distinct buffers (a poisoned free list
+	// would hand the same wireBuf out twice).
+	wps, err := PacketizeInto(ef, 200, 4, pool, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wp := &wps[0]
+	buf := wp.buf
+	pool.Put(wp)
+	if wp.buf != nil || wp.Payload != nil {
+		t.Fatal("Put did not detach the packet")
+	}
+	pool.Put(wp) // double Put: must be a no-op
+	a, b := pool.get(1), pool.get(1)
+	if a == b {
+		t.Fatal("double Put inserted the buffer twice")
+	}
+	if a != buf && b != buf {
+		t.Fatal("first Put never reached the pool")
+	}
+
+	// Foreign buffer: detached from the packet but never enters this
+	// pool's free list.
+	fw, err := PacketizeInto(ef, 200, 4, other, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	foreign := &fw[0]
+	foreignBuf := foreign.buf
+	pool.Put(foreign)
+	if foreign.buf != nil {
+		t.Fatal("foreign Put did not detach the packet")
+	}
+	for i := 0; i < 64; i++ {
+		if pool.get(1) == foreignBuf {
+			t.Fatal("foreign buffer entered the wrong pool")
+		}
+	}
+
+	// Pool-less buffers have no owner: Put anywhere detaches only.
+	nw, err := PacketizeInto(ef, 200, 4, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nb := nw[0].buf
+	pool.Put(&nw[0])
+	for i := 0; i < 64; i++ {
+		if pool.get(1) == nb {
+			t.Fatal("pool-less buffer entered a pool")
+		}
+	}
+}
+
+// TestWirePacketRetain pins the sanctioned-retain path: Retain detaches
+// the buffer (a later Put is a no-op), the payload stays valid, and the
+// buffer never rejoins the pool.
+func TestWirePacketRetain(t *testing.T) {
+	ef := testFrames(t)[0]
+	pool := NewBufPool()
+	wps, err := PacketizeInto(ef, 200, 4, pool, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wp := &wps[0]
+	retained := wp.buf
+	payload := append([]byte(nil), wp.Payload...)
+	wp.Retain()
+	if wp.buf != nil {
+		t.Fatal("Retain did not detach the buffer")
+	}
+	if !bytes.Equal(wp.Payload, payload) {
+		t.Fatal("Retain invalidated the payload")
+	}
+	pool.Put(wp) // must be a no-op after Retain
+	if !bytes.Equal(wp.Payload, payload) {
+		t.Fatal("Put after Retain invalidated the payload")
+	}
+	for i := 0; i < 64; i++ {
+		if pool.get(1) == retained {
+			t.Fatal("retained buffer rejoined the pool")
+		}
+	}
+	var nilWP *WirePacket
+	nilWP.Retain() // must not panic
+}

@@ -12,7 +12,7 @@ import (
 
 // writeLedger runs n entries through an appender into a buffer and
 // returns the sealed ledger bytes.
-func writeLedger(t *testing.T, n int, cfg Config) []byte {
+func writeLedger(t testing.TB, n int, cfg Config) []byte {
 	t.Helper()
 	var buf bytes.Buffer
 	a := NewAppender(&buf, cfg)

@@ -132,6 +132,10 @@ type ingestSession struct {
 	lastAt  time.Time
 }
 
+// The shard lock and the per-session locks nest in one fixed
+// direction, checked by the lockorder pass:
+//
+//lint:lockorder ingestShard.mu -> ingestSession.mu (sweepLoop probes session idleness under the shard lock; never acquire a shard lock while holding a session lock)
 type ingestShard struct {
 	mu       sync.Mutex
 	sessions map[uint32]*ingestSession

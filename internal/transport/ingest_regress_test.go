@@ -2,7 +2,10 @@ package transport
 
 import (
 	"bytes"
+	"fmt"
 	"net"
+	"os"
+	"path/filepath"
 	"sync"
 	"testing"
 	"time"
@@ -227,4 +230,65 @@ func TestLoadgenLedgerVerifies(t *testing.T) {
 			t.Fatalf("ledger has %d reject events, server rejected %d", got, tot.Rejected)
 		}
 	}
+}
+
+// TestRegenerateLedgerFuzzCorpus captures the audit stream of a real
+// multi-tenant loadgen run and writes it as a Go fuzz corpus file for
+// internal/ledger's FuzzLedgerVerify. It is a generator, not a check:
+// it only runs when LEDGER_FUZZ_CORPUS_OUT names the output path, e.g.
+//
+//	LEDGER_FUZZ_CORPUS_OUT=$PWD/internal/ledger/testdata/fuzz/FuzzLedgerVerify/loadgen-run \
+//	  go test ./internal/transport -run TestRegenerateLedgerFuzzCorpus
+func TestRegenerateLedgerFuzzCorpus(t *testing.T) {
+	out := os.Getenv("LEDGER_FUZZ_CORPUS_OUT")
+	if out == "" {
+		t.Skip("set LEDGER_FUZZ_CORPUS_OUT to regenerate the ledger fuzz corpus")
+	}
+	var raw lockedBuffer
+	a := ledger.NewAppender(&raw, ledger.Config{BatchSize: 16, MaxWait: 20 * time.Millisecond})
+	prev := ledger.Install(a)
+	defer ledger.Install(prev)
+
+	pol := vcrypt.Policy{Mode: vcrypt.ModeIFrames, Alg: vcrypt.AES256}
+	s, _ := testSession(t, video.MotionLow, pol)
+	cfg := ingestTestConfig(s)
+	cfg.MaxSessions = 12
+	cfg.RetryAfter = 25 * time.Millisecond
+	cfg.IdleTimeout = 200 * time.Millisecond
+	srv, err := NewIngestServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Oversubscribed with a resume storm so the capture contains every
+	// lifecycle kind: starts, rejects, resumes/re-encodes, FINs, evicts.
+	lc := LoadgenConfig{
+		Sessions:   20,
+		ResumeFrac: 0.25,
+		AdmitProbe: 150 * time.Millisecond,
+		Seed:       7,
+	}
+	if _, err := RunLoadgen(srv, s, lc); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 5*time.Second, func() bool { return srv.ActiveSessions() == 0 },
+		"all sessions to close")
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ledger.Install(prev)
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data := raw.bytes()
+	if rep, err := ledger.Verify(bytes.NewReader(data)); err != nil || rep.Entries == 0 {
+		t.Fatalf("captured ledger does not verify (%v, %+v); refusing to write corpus", err, rep)
+	}
+	if err := os.MkdirAll(filepath.Dir(out), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", data)
+	if err := os.WriteFile(out, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %d ledger bytes to %s", len(data), out)
 }

@@ -446,6 +446,7 @@ func LiveHTTPUpload(s Session, url string, pacer *netem.Pacer) (HTTPUploadReport
 					pacer.Wait(len(wire))
 				}
 				if _, err := pw.Write(wire); err != nil {
+					pool.Put(pkt)
 					errCh <- err
 					return
 				}

@@ -110,12 +110,14 @@ func LiveUDPSend(s Session, rxAddr, evAddr string, pace bool) (LiveSendReport, e
 				ledger.Emit(ledger.EventPlainPacket, "udp", uint64(seq), uint64(len(payload)), "")
 			}
 			if _, err := rxConn.Write(out); err != nil {
+				pool.Put(pkt)
 				return rep, fmt.Errorf("transport: send to receiver: %w", err)
 			}
 			if evConn != nil {
 				// Broadcast overhear: the same datagram reaches the
 				// eavesdropper's capture socket.
 				if _, err := evConn.Write(out); err != nil {
+					pool.Put(pkt)
 					return rep, fmt.Errorf("transport: send to eavesdropper: %w", err)
 				}
 			}
@@ -645,6 +647,8 @@ func LiveUDPSendReliable(s Session, rxAddr, evAddr string, pace bool, opts Relia
 				bufMu.Lock()
 				iBuf[uint64(seq)] = out
 				bufMu.Unlock()
+				//lint:retain(I-frame retransmit queue holds the marshaled bytes until the drain ends)
+				pkt.Retain()
 			}
 			send := true
 			if opts.Conditioner != nil {
@@ -665,6 +669,7 @@ func LiveUDPSendReliable(s Session, rxAddr, evAddr string, pace bool, opts Relia
 			}
 			if send {
 				if _, err := rxConn.Write(out); err != nil {
+					pool.Put(pkt)
 					close(stop)
 					wg.Wait()
 					return rep, fmt.Errorf("transport: send to receiver: %w", err)
@@ -672,6 +677,7 @@ func LiveUDPSendReliable(s Session, rxAddr, evAddr string, pace bool, opts Relia
 			}
 			if evConn != nil {
 				if _, err := evConn.Write(out); err != nil {
+					pool.Put(pkt)
 					close(stop)
 					wg.Wait()
 					return rep, fmt.Errorf("transport: send to eavesdropper: %w", err)
@@ -681,11 +687,10 @@ func LiveUDPSendReliable(s Session, rxAddr, evAddr string, pace bool, opts Relia
 			rep.Bytes += len(out)
 			mUDPPacketsSent.Inc()
 			mUDPBytesSent.Add(int64(len(out)))
-			if !pkt.IsIFrame() {
-				// I-frame buffers live on in the retransmit map and
-				// never rejoin the pool; P/B buffers recycle at once.
-				pool.Put(pkt)
-			}
+			// Retained I-frame buffers live on in the retransmit map and
+			// never rejoin the pool (Put after Retain is a no-op); P/B
+			// buffers recycle at once.
+			pool.Put(pkt)
 			seq++
 		}
 	}

@@ -49,17 +49,22 @@ func buildSegments(s Session, base uint64) ([]wireSegment, error) {
 		return nil, err
 	}
 	var out []wireSegment
+	var wps []codec.WirePacket
 	seq := base
 	for _, ef := range s.Encoded {
-		pkts, err := codec.Packetize(ef, s.MTU)
+		wps, err = codec.PacketizeInto(ef, s.MTU, 0, nil, wps[:0])
 		if err != nil {
 			return nil, err
 		}
-		for _, pkt := range pkts {
-			// Packetize hands each payload its own exact-size buffer, so
-			// the segment owns it outright and encrypts in place — the
-			// old defensive copy bought nothing.
+		for i := range wps {
+			pkt := &wps[i]
+			// The pool-less zero-copy path hands each payload its own
+			// buffer (same bytes as Packetize), so the segment owns it
+			// outright and encrypts in place; Retain makes the transfer
+			// of ownership to the segment store explicit.
 			payload := pkt.Payload
+			//lint:retain(segment store keeps every payload alive across resumed attempts)
+			pkt.Retain()
 			encrypted := selector.ShouldEncrypt(pkt.IsIFrame())
 			if encrypted {
 				cipher.EncryptPacket(seq, payload[:s.Policy.EncryptSpan(len(payload))])

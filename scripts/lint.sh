@@ -38,8 +38,10 @@ fi
 echo "==> go vet + go test (tools/analyzers)"
 (cd tools/analyzers && go vet ./... && go test ./...)
 
-echo "==> thriftylint"
+echo "==> thriftylint (11 passes; timed — CI pins the analysis budget)"
+lint_start=$(date +%s)
 (cd tools/analyzers && go run ./cmd/thriftylint -C "$root" ./...)
+echo "thriftylint sweep took $(($(date +%s) - lint_start))s (load + 11 passes)"
 
 echo "==> lintmut (quick mutation subset; CI runs the full set)"
 (cd tools/analyzers && go run ./cmd/lintmut -root "$root" -quick)

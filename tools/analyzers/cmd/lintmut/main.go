@@ -26,11 +26,14 @@ import (
 	"strings"
 
 	"repro/tools/analyzers/lintkit"
+	"repro/tools/analyzers/passes/auditemit"
 	"repro/tools/analyzers/passes/bitioerr"
+	"repro/tools/analyzers/passes/bufown"
 	"repro/tools/analyzers/passes/cryptorand"
 	"repro/tools/analyzers/passes/exhaustenum"
 	"repro/tools/analyzers/passes/floateq"
 	"repro/tools/analyzers/passes/lockheld"
+	"repro/tools/analyzers/passes/lockorder"
 	"repro/tools/analyzers/passes/plainleak"
 	"repro/tools/analyzers/passes/seededrand"
 	"repro/tools/analyzers/passes/walltime"
@@ -221,6 +224,60 @@ var mutants = []mutant{
 			New: "fmt.Fprintf(w, \"ok %d next %d\\n\", count, next)",
 		}},
 		Desc: "a dropped write error loses its justification",
+	},
+
+	// --- bufown: linear ownership of pooled wire buffers ---
+	{
+		ID: "bufown-leak", Analyzer: bufown.Analyzer,
+		File: "internal/transport/live_udp.go",
+		Patches: []patch{{
+			Old: "\t\t\tmUDPBytesSent.Add(int64(len(out)))\n\t\t\tpool.Put(pkt)\n\t\t\tseq++",
+			New: "\t\t\tmUDPBytesSent.Add(int64(len(out)))\n\t\t\tseq++",
+		}},
+		Desc:  "LiveUDPSend stops recycling sent packets: every iteration leaks its pooled buffer",
+		Quick: true,
+	},
+	{
+		ID: "bufown-double-put", Analyzer: bufown.Analyzer,
+		File: "internal/transport/live_udp.go",
+		Patches: []patch{{
+			Old: "\t\t\t\tpool.Put(pkt)\n\t\t\t\treturn rep, fmt.Errorf(\"transport: send to receiver: %w\", err)",
+			New: "\t\t\t\tpool.Put(pkt)\n\t\t\t\tpool.Put(pkt)\n\t\t\t\treturn rep, fmt.Errorf(\"transport: send to receiver: %w\", err)",
+		}},
+		Desc: "the send error path releases the same packet twice, poisoning the pool with a duplicate buffer",
+	},
+
+	// --- lockorder: one module-wide lock-acquisition order ---
+	{
+		ID: "lockorder-inverted", Analyzer: lockorder.Analyzer,
+		File: "internal/transport/ingest.go",
+		Patches: []patch{{
+			Old: "\tsess.mu.Lock()\n\tif !sess.firstAt.IsZero() {",
+			New: "\tsess.mu.Lock()\n\tsh.mu.Lock()\n\tsh.mu.Unlock()\n\tif !sess.firstAt.IsZero() {",
+		}},
+		Desc:  "finish re-acquires the shard lock under the session lock, reversing the declared shard -> session order",
+		Quick: true,
+	},
+
+	// --- auditemit: every audited decision leaves a ledger record ---
+	{
+		ID: "auditemit-evict", Analyzer: auditemit.Analyzer,
+		File: "internal/transport/ingest.go",
+		Patches: []patch{{
+			Old: "\t\tmIngestSessionsEvicted.Inc()\n\t\tledger.Emit(ledger.EventEvict, \"ingest\", uint64(ssrc), 0, \"idle\")",
+			New: "\t\tmIngestSessionsEvicted.Inc()",
+		}},
+		Desc:  "idle evictions no longer write the EventEvict ledger record",
+		Quick: true,
+	},
+	{
+		ID: "auditemit-epoch", Analyzer: auditemit.Analyzer,
+		File: "internal/transport/resume.go",
+		Patches: []patch{{
+			Old: "\t\t\t\tledger.Emit(ledger.EventReencode, \"resume\", 0, 0, oldPolicy)\n\t\t\t\tledger.Emit(ledger.EventEpoch, \"resume\", base, 0, \"\")",
+			New: "\t\t\t\tledger.Emit(ledger.EventReencode, \"resume\", 0, 0, oldPolicy)",
+		}},
+		Desc: "re-encode restarts mint a fresh sequence epoch without the EventEpoch record",
 	},
 
 	// --- cryptorand / seededrand: randomness hygiene ---

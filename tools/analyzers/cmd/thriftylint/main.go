@@ -7,24 +7,31 @@
 //
 // Usage:
 //
-//	thriftylint [-C moduleDir] [-list] [packages...]
+//	thriftylint [-C moduleDir] [-list] [-json] [packages...]
 //
-// packages default to ./... inside the target module. The standard vet
+// packages default to ./... inside the target module. With -json the
+// findings are written to stdout as one JSON array of
+// {file,line,column,pass,message} objects (machine-readable for editor
+// and CI integration); the exit status is unchanged. The standard vet
 // suite is not re-implemented here — CI and scripts/lint.sh run
 // `go vet ./...` alongside this binary, which together form the gate.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	"repro/tools/analyzers/lintkit"
+	"repro/tools/analyzers/passes/auditemit"
 	"repro/tools/analyzers/passes/bitioerr"
+	"repro/tools/analyzers/passes/bufown"
 	"repro/tools/analyzers/passes/cryptorand"
 	"repro/tools/analyzers/passes/exhaustenum"
 	"repro/tools/analyzers/passes/floateq"
 	"repro/tools/analyzers/passes/lockheld"
+	"repro/tools/analyzers/passes/lockorder"
 	"repro/tools/analyzers/passes/plainleak"
 	"repro/tools/analyzers/passes/seededrand"
 	"repro/tools/analyzers/passes/walltime"
@@ -33,19 +40,32 @@ import (
 // analyzers is the thriftylint suite. Order is presentation-only;
 // findings are sorted by position.
 var analyzers = []*lintkit.Analyzer{
+	auditemit.Analyzer,
 	bitioerr.Analyzer,
+	bufown.Analyzer,
 	cryptorand.Analyzer,
 	exhaustenum.Analyzer,
 	floateq.Analyzer,
 	lockheld.Analyzer,
+	lockorder.Analyzer,
 	plainleak.Analyzer,
 	seededrand.Analyzer,
 	walltime.Analyzer,
 }
 
+// jsonFinding is the machine-readable form of one diagnostic.
+type jsonFinding struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Column  int    `json:"column"`
+	Pass    string `json:"pass"`
+	Message string `json:"message"`
+}
+
 func main() {
 	dir := flag.String("C", ".", "directory of the module to lint")
 	list := flag.Bool("list", false, "list the analyzers and exit")
+	asJSON := flag.Bool("json", false, "emit findings as a JSON array on stdout")
 	flag.Parse()
 	if *list {
 		for _, a := range analyzers {
@@ -66,8 +86,27 @@ func main() {
 		fmt.Fprintln(os.Stderr, "thriftylint:", err)
 		os.Exit(2)
 	}
-	for _, d := range diags {
-		fmt.Println(d)
+	if *asJSON {
+		out := make([]jsonFinding, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, jsonFinding{
+				File:    d.Pos.Filename,
+				Line:    d.Pos.Line,
+				Column:  d.Pos.Column,
+				Pass:    d.Analyzer,
+				Message: d.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, "thriftylint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "thriftylint: %d finding(s)\n", len(diags))

@@ -5,8 +5,12 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/tools/analyzers/lintkit"
+	"repro/tools/analyzers/passes/auditemit"
+	"repro/tools/analyzers/passes/bufown"
+	"repro/tools/analyzers/passes/lockorder"
 )
 
 // writeModule lays a throwaway Go module out under a temp dir so the
@@ -81,14 +85,10 @@ func Epoch(seed int64) int64 { return seed * 1e9 }
 	}
 }
 
-// TestRepositoryIsClean runs the full suite over the enclosing root
-// module — the same invocation CI gates on. It keeps the tree honest
-// between CI runs: a finding here means either fix the code or justify
-// it with //lint:allow.
-func TestRepositoryIsClean(t *testing.T) {
-	if testing.Short() {
-		t.Skip("whole-tree lint skipped in -short mode")
-	}
+// loadRoot loads the enclosing root module, skipping the test when it
+// is not there (the command also builds standalone).
+func loadRoot(t *testing.T) []*lintkit.Package {
+	t.Helper()
 	root, err := filepath.Abs(filepath.Join("..", "..", "..", ".."))
 	if err != nil {
 		t.Fatal(err)
@@ -100,11 +100,75 @@ func TestRepositoryIsClean(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	return pkgs
+}
+
+// lintBudget bounds one full 11-pass sweep of the root module,
+// excluding the `go list` + type-check load. The interprocedural passes
+// (bufown, lockheld, lockorder, auditemit, plainleak) all memoize their
+// module-wide summaries on the shared Program, so analysis cost is
+// essentially one bottom-up fixpoint per pass — seconds, not minutes.
+// CI asserts this budget on every push; if a new pass blows it, make
+// the pass cache, don't raise the number first.
+const lintBudget = 30 * time.Second
+
+// TestRepositoryIsClean runs the full suite over the enclosing root
+// module — the same invocation CI gates on. It keeps the tree honest
+// between CI runs: a finding here means either fix the code or justify
+// it with //lint:allow. The analysis phase must also fit lintBudget.
+func TestRepositoryIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-tree lint skipped in -short mode")
+	}
+	pkgs := loadRoot(t)
+	start := time.Now()
 	diags, err := lintkit.RunAnalyzers(pkgs, analyzers)
+	elapsed := time.Since(start)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, d := range diags {
 		t.Errorf("finding: %s", d)
+	}
+	t.Logf("11-pass sweep analyzed %d packages in %v", len(pkgs), elapsed)
+	if elapsed > lintBudget {
+		t.Errorf("analysis took %v, over the %v budget — a pass stopped caching its summaries", elapsed, lintBudget)
+	}
+}
+
+// TestLifecycleSummariesBuiltOncePerRun pins the caching contract of
+// the three lifecycle passes: bufown's ownership summaries, lockorder's
+// acquisition graph (two cache entries: the graph and the may-acquire
+// summaries beneath it), and auditemit's must-emit summaries are each
+// built exactly once per Program, then shared by every per-package
+// analyzer invocation. Without the caches each in-scope package would
+// re-run a module-wide bottom-up fixpoint and the sweep would scale
+// quadratically with the module.
+func TestLifecycleSummariesBuiltOncePerRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-tree lint skipped in -short mode")
+	}
+	pkgs := loadRoot(t)
+	lifecycle := []*lintkit.Analyzer{auditemit.Analyzer, bufown.Analyzer, lockorder.Analyzer}
+	prog := lintkit.NewProgram(pkgs)
+	diags, err := lintkit.RunProgram(prog, lifecycle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("finding: %s", d)
+	}
+	builds, hits := prog.CacheStats()
+	// auditemit: 1 (must-emit summaries). bufown: 1 (ownership report).
+	// lockorder: 2 (order graph + may-acquire summaries).
+	const wantBuilds = 4
+	if builds != wantBuilds {
+		t.Errorf("lifecycle passes built %d cached values, want %d — a pass is rebuilding per package or grew an unpinned cache", builds, wantBuilds)
+	}
+	// Each pass runs once per in-scope package; every run after the
+	// first must hit. Scopes overlap on internal/transport alone, so
+	// with >1 in-scope package there are strictly more hits than builds.
+	if hits <= builds {
+		t.Errorf("only %d cache hits for %d builds — per-package runs are not sharing the Program caches", hits, builds)
 	}
 }

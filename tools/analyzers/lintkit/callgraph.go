@@ -15,6 +15,9 @@ type Program struct {
 
 	decls  map[*types.Func]*FuncSource
 	caches map[any]any
+
+	cacheBuilds int
+	cacheHits   int
 }
 
 // FuncSource locates the declaration of a module-local function.
@@ -60,11 +63,20 @@ func (p *Program) Source(fn *types.Func) *FuncSource {
 // use. Analyzers key by a private type to avoid collisions.
 func (p *Program) Cache(key any, build func() any) any {
 	if v, ok := p.caches[key]; ok {
+		p.cacheHits++
 		return v
 	}
 	v := build()
 	p.caches[key] = v
+	p.cacheBuilds++
 	return v
+}
+
+// CacheStats reports how many Cache lookups built a fresh value and how
+// many reused one — the observable form of "module-wide summaries are
+// computed once per run, not once per package".
+func (p *Program) CacheStats() (builds, hits int) {
+	return p.cacheBuilds, p.cacheHits
 }
 
 // Funcs returns every indexed function in a deterministic order

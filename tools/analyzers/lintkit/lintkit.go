@@ -160,8 +160,15 @@ func buildAllowIndex(fset *token.FileSet, files []*ast.File) allowIndex {
 // RunAnalyzers applies every configured analyzer to every loaded
 // package and returns the combined findings sorted by position.
 func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	return RunProgram(NewProgram(pkgs), analyzers)
+}
+
+// RunProgram is RunAnalyzers over a caller-built Program, for callers
+// that want to inspect the program afterwards (cache statistics, call
+// graph) or share one program across several suites.
+func RunProgram(prog *Program, analyzers []*Analyzer) ([]Diagnostic, error) {
 	var diags []Diagnostic
-	prog := NewProgram(pkgs)
+	pkgs := prog.Packages
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
 			if !a.AppliesTo(pkg.ImportPath) {

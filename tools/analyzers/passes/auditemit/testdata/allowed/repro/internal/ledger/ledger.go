@@ -1,0 +1,21 @@
+// Package ledger is a miniature stand-in for repro/internal/ledger
+// with the event-kind constants and the Emit entry point the auditemit
+// fixtures reference.
+package ledger
+
+type EventType int
+
+const (
+	EventPolicy EventType = iota
+	EventPlainPacket
+	EventHeaderOnly
+	EventDowngrade
+	EventReencode
+	EventEpoch
+	EventSessionStart
+	EventSessionEnd
+	EventEvict
+	EventReject
+)
+
+func Emit(t EventType, actor string, aField, bField uint64, note string) {}

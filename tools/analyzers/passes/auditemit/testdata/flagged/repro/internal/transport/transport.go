@@ -1,0 +1,52 @@
+// Package transport holds the flagged audit-completeness shapes: a
+// counter bump with no record at all, a record on only one branch
+// ahead, a record of the wrong kind, an epoch mint with no trace, and
+// an Emit through a variable kind (which credits nothing).
+package transport
+
+import "repro/internal/ledger"
+
+type ctr struct{}
+
+func (ctr) Inc() {}
+
+var (
+	mUploadDowngrades      = ctr{}
+	mUploadRestarts        = ctr{}
+	mIngestRejected        = ctr{}
+	mIngestSessionsEvicted = ctr{}
+)
+
+func nextEpoch(used uint64) uint64 { return used + 1 }
+
+// silentDowngrade takes the audited decision and leaves no trace.
+func silentDowngrade() {
+	mUploadDowngrades.Inc() // want `policy downgrade \(mUploadDowngrades\.Inc\) is not audited`
+}
+
+// oneArmOnly records the rejection on one branch only: the fall-
+// through path reaches the exit without a trace.
+func oneArmOnly(sampled bool) {
+	mIngestRejected.Inc() // want `admission rejection \(mIngestRejected\.Inc\) is not audited`
+	if sampled {
+		ledger.Emit(ledger.EventReject, "ingest", 0, 0, "cap")
+	}
+}
+
+// wrongKind writes a record, but of the wrong event type.
+func wrongKind() {
+	mIngestSessionsEvicted.Inc() // want `session eviction \(mIngestSessionsEvicted\.Inc\) is not audited`
+	ledger.Emit(ledger.EventSessionEnd, "ingest", 0, 0, "fin")
+}
+
+// silentEpoch mints a fresh epoch without the EventEpoch record.
+func silentEpoch(used uint64) uint64 {
+	return nextEpoch(used) // want `epoch bump \(nextEpoch\) is not audited`
+}
+
+// variableKind emits through a non-constant kind, which the proof
+// cannot credit to any trigger.
+func variableKind(t ledger.EventType) {
+	mUploadRestarts.Inc() // want `re-encode restart \(mUploadRestarts\.Inc\) is not audited`
+	ledger.Emit(t, "upload", 0, 0, "")
+}

@@ -1,0 +1,15 @@
+package bufown
+
+import (
+	"testing"
+
+	"repro/tools/analyzers/lintkit"
+)
+
+func TestFlagged(t *testing.T) {
+	lintkit.RunTestModule(t, Analyzer, "testdata/flagged")
+}
+
+func TestAllowed(t *testing.T) {
+	lintkit.RunTestModule(t, Analyzer, "testdata/allowed")
+}

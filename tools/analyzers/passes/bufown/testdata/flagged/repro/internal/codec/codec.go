@@ -1,0 +1,30 @@
+// Package codec is a miniature stand-in for repro/internal/codec with
+// just enough surface for the bufown fixtures: the ownership intrinsics
+// (PacketizeInto, BufPool.Put, WirePacket.Retain) and the borrowing
+// accessors the transport fixtures touch.
+package codec
+
+type EncodedFrame struct{ Number int }
+
+type Packet struct{ Payload []byte }
+
+func (p *Packet) IsIFrame() bool { return p != nil }
+
+type WirePacket struct {
+	Packet
+	Headroom int
+}
+
+func (wp *WirePacket) Wire(n int) []byte { return wp.Payload[:n] }
+
+func (wp *WirePacket) Retain() {}
+
+type BufPool struct{ free int }
+
+func NewBufPool() *BufPool { return &BufPool{} }
+
+func (p *BufPool) Put(wp *WirePacket) { p.free++ }
+
+func PacketizeInto(ef *EncodedFrame, mtu, headroom int, pool *BufPool, dst []WirePacket) ([]WirePacket, error) {
+	return append(dst, WirePacket{}), nil
+}

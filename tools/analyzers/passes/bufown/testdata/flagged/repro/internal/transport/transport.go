@@ -1,0 +1,107 @@
+// Package transport holds the flagged ownership shapes: leaked pooled
+// buffers (on loop back edges, at the exit, and on error paths), double
+// Put, use after Put, retains without a reason, and the same defects
+// reached through module-local wrappers via the bottom-up summaries.
+package transport
+
+import (
+	"errors"
+
+	"repro/internal/codec"
+)
+
+// leakLoop never releases its packets: every iteration re-binds pkt
+// while the previous one still owns its buffer, and the last binding
+// reaches the function exit owned.
+func leakLoop(ef *codec.EncodedFrame, pool *codec.BufPool) {
+	wps, _ := codec.PacketizeInto(ef, 1200, 0, pool, nil)
+	for i := range wps {
+		pkt := &wps[i] // want `re-bound while a previous packet may still own` `may reach the function exit still owning`
+		_ = pkt.Payload
+	}
+}
+
+// leakOnErrorPath releases on the happy path only: the early return
+// abandons the packet bound in the current iteration.
+func leakOnErrorPath(ef *codec.EncodedFrame, pool *codec.BufPool) error {
+	wps, err := codec.PacketizeInto(ef, 1200, 0, pool, nil)
+	if err != nil {
+		return err
+	}
+	for i := range wps {
+		pkt := &wps[i] // want `may reach the function exit still owning`
+		if len(pkt.Payload) == 0 {
+			return errors.New("transport: empty payload")
+		}
+		pool.Put(pkt)
+	}
+	return nil
+}
+
+// doublePut releases the same packet twice.
+func doublePut(ef *codec.EncodedFrame, pool *codec.BufPool) {
+	wps, _ := codec.PacketizeInto(ef, 1200, 0, pool, nil)
+	pkt := &wps[0]
+	pool.Put(pkt)
+	pool.Put(pkt) // want `double Put of packet pkt`
+}
+
+// useAfterPut touches the payload after the buffer may have been
+// recycled by another goroutine's Get.
+func useAfterPut(ef *codec.EncodedFrame, pool *codec.BufPool) int {
+	wps, _ := codec.PacketizeInto(ef, 1200, 0, pool, nil)
+	pkt := &wps[0]
+	pool.Put(pkt)
+	return len(pkt.Payload) // want `use of packet pkt after BufPool\.Put`
+}
+
+// retainNoReason keeps the buffer out of the pool without saying why.
+func retainNoReason(ef *codec.EncodedFrame, pool *codec.BufPool) {
+	wps, _ := codec.PacketizeInto(ef, 1200, 0, pool, nil)
+	pkt := &wps[0]
+	pkt.Retain() // want `Retain without a //lint:retain\(reason\) annotation`
+}
+
+// retainAfterPut tries to revive a packet some path already released.
+func retainAfterPut(ef *codec.EncodedFrame, pool *codec.BufPool) {
+	wps, _ := codec.PacketizeInto(ef, 1200, 0, pool, nil)
+	pkt := &wps[0]
+	pool.Put(pkt)
+	//lint:retain(too late: the pool may already have recycled the buffer)
+	pkt.Retain() // want `Retain of packet pkt after BufPool\.Put`
+}
+
+// borrowDoesNotRelease passes the packet to a helper that only reads
+// it: the bottom-up summary of inspect consumes nothing, so ownership
+// stays here and leaks.
+func borrowDoesNotRelease(ef *codec.EncodedFrame, pool *codec.BufPool) {
+	wps, _ := codec.PacketizeInto(ef, 1200, 0, pool, nil)
+	pkt := &wps[0] // want `may reach the function exit still owning`
+	inspect(pkt)
+}
+
+func inspect(wp *codec.WirePacket) { _ = wp.Payload }
+
+// wrappedAcquire leaks packets acquired through a wrapper: the
+// returns-owned summary of mkPackets marks wps as a pooled source.
+func wrappedAcquire(ef *codec.EncodedFrame, pool *codec.BufPool) {
+	wps, _ := mkPackets(ef, pool)
+	pkt := &wps[0] // want `may reach the function exit still owning`
+	_ = pkt.Payload
+}
+
+func mkPackets(ef *codec.EncodedFrame, pool *codec.BufPool) ([]codec.WirePacket, error) {
+	return codec.PacketizeInto(ef, 1200, 0, pool, nil)
+}
+
+// helperConsumesThenUse hands the packet to a consuming helper — the
+// summary of release marks its second parameter consumed — and then
+// touches the recycled buffer.
+func helperConsumesThenUse(ef *codec.EncodedFrame, pool *codec.BufPool) int {
+	wps, _ := codec.PacketizeInto(ef, 1200, 0, pool, nil)
+	pkt := &wps[0]
+	release(pool, pkt)
+	return len(pkt.Payload) // want `use of packet pkt after BufPool\.Put`
+}
+
+func release(pool *codec.BufPool, wp *codec.WirePacket) { pool.Put(wp) }

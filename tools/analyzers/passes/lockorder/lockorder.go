@@ -1,0 +1,846 @@
+// Package lockorder proves a consistent module-wide lock-acquisition
+// order. Every mutex is abstracted to a lock class — the named type
+// that owns it plus the field name (ingestShard.mu), a package-level
+// variable (transport.statsMu), or a declaration-site-qualified local
+// (bufMu@live_udp.go:560) — and every acquisition made while another
+// lock is held contributes a directed edge between the two classes.
+// Calls are interprocedural: a bottom-up may-acquire summary records
+// which classes each module-local function can lock, so holding A
+// while calling a helper that locks B also adds A -> B. A cycle in the
+// resulting graph is a potential deadlock: two goroutines can each
+// hold one lock of the cycle and wait forever for the next.
+//
+// Intended orders are blessed with a declaration comment anywhere in
+// an analyzed package:
+//
+//	//lint:lockorder ingestShard.mu -> ingestSession.mu (why this nesting is fixed)
+//
+// Declared edges join the graph, so reversing a documented order forms
+// a two-node cycle and is reported at the reversing acquisition; the
+// declared direction itself is never reported. Acquiring a lock while
+// another lock of the same class is held is reported unconditionally —
+// two instances of one class have no defined order.
+//
+// The analysis is a forward may-analysis over the lintkit CFG (the
+// same machinery as lockheld), so edges are "may" facts: a lock held
+// on only one path into an acquisition still orders it. Function
+// literals are analyzed as separate bodies with an empty held set, and
+// locks taken inside literals are not attributed to the enclosing
+// function's summary (a literal generally runs on another goroutine).
+// Calls through function values or interface methods contribute no
+// edges — a documented under-approximation.
+package lockorder
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/tools/analyzers/lintkit"
+)
+
+// DefaultPackages are the layers whose bodies contribute edges and
+// whose files may carry //lint:lockorder declarations. May-acquire
+// summaries still cover the whole module, so holding a transport lock
+// across a ledger or vcrypt call is ordered correctly.
+var DefaultPackages = []string{
+	"internal/transport",
+	"internal/netem",
+	"internal/obs",
+}
+
+// Analyzer is the lockorder pass.
+var Analyzer = &lintkit.Analyzer{
+	Name: "lockorder",
+	Doc: "Builds the module-wide lock-acquisition graph (lock classes " +
+		"are owner-type/field pairs; held-while-acquiring and " +
+		"held-while-calling add edges via bottom-up may-acquire " +
+		"summaries) and reports cycles — potential deadlocks — at " +
+		"every acquisition that participates in one. Intended " +
+		"nestings are declared with //lint:lockorder A -> B (reason).",
+	Packages: DefaultPackages,
+	Run:      run,
+}
+
+func run(pass *lintkit.Pass) error {
+	if pass.Prog == nil {
+		return nil
+	}
+	g := buildGraph(pass.Prog)
+	for _, r := range g.reports {
+		if r.pkg.Types == pass.Pkg {
+			pass.Reportf(r.pos, "%s", r.msg)
+		}
+	}
+	return nil
+}
+
+// lockClass abstracts one mutex to its owning type (or package, or
+// declaration site for locals) plus its name.
+type lockClass struct{ owner, field string }
+
+func (c lockClass) String() string {
+	if c.owner == "" {
+		return c.field
+	}
+	return c.owner + "." + c.field
+}
+
+// lockKey identifies one mutex instance inside a body: the root
+// variable plus the selector path, so two shards' locks stay distinct
+// in the held set even though they share a class.
+type lockKey struct {
+	root types.Object
+	path string
+}
+
+type edgeKey struct{ from, to lockClass }
+
+// witness is one acquisition site that produced an edge.
+type witness struct {
+	pkg   *lintkit.Package
+	pos   token.Pos
+	where string
+}
+
+type edgeInfo struct {
+	declared  bool
+	declWhere string
+	wits      []witness
+}
+
+type report struct {
+	pkg *lintkit.Package
+	pos token.Pos
+	msg string
+}
+
+// orderGraph is the module-wide acquisition graph plus the findings
+// derived from it, computed once per run and shared by every package's
+// pass invocation.
+type orderGraph struct {
+	edges   map[edgeKey]*edgeInfo
+	reports []report
+}
+
+func (g *orderGraph) edge(k edgeKey) *edgeInfo {
+	info := g.edges[k]
+	if info == nil {
+		info = &edgeInfo{}
+		g.edges[k] = info
+	}
+	return info
+}
+
+func (g *orderGraph) addEdge(from, to lockClass, pkg *lintkit.Package, pos token.Pos, fnName string) {
+	info := g.edge(edgeKey{from, to})
+	info.wits = append(info.wits, witness{pkg: pkg, pos: pos, where: posString(pkg, pos) + " in " + fnName})
+}
+
+func posString(pkg *lintkit.Package, pos token.Pos) string {
+	p := pkg.Fset.Position(pos)
+	return filepath.Base(p.Filename) + ":" + strconv.Itoa(p.Line)
+}
+
+type orderCacheKey struct{}
+
+func buildGraph(prog *lintkit.Program) *orderGraph {
+	v := prog.Cache(orderCacheKey{}, func() any {
+		g := &orderGraph{edges: map[edgeKey]*edgeInfo{}}
+		acq := acquireSummaries(prog)
+		for _, pkg := range prog.Packages {
+			if !inScope(pkg.ImportPath) {
+				continue
+			}
+			collectDeclarations(g, pkg)
+			for _, f := range pkg.Files {
+				for _, d := range f.Decls {
+					fd, ok := d.(*ast.FuncDecl)
+					if !ok || fd.Body == nil {
+						continue
+					}
+					name := fd.Name.Name
+					bodyEdges(g, acq, pkg, name, fd.Body)
+					ast.Inspect(fd.Body, func(n ast.Node) bool {
+						if lit, ok := n.(*ast.FuncLit); ok {
+							bodyEdges(g, acq, pkg, name+" (func literal)", lit.Body)
+						}
+						return true
+					})
+				}
+			}
+		}
+		buildReports(g)
+		return g
+	})
+	return v.(*orderGraph)
+}
+
+func inScope(path string) bool {
+	for _, pat := range DefaultPackages {
+		if path == pat || strings.HasSuffix(path, "/"+pat) {
+			return true
+		}
+	}
+	return false
+}
+
+// collectDeclarations parses //lint:lockorder comments into declared
+// edges; malformed declarations become findings so a typo cannot
+// silently un-bless an order.
+func collectDeclarations(g *orderGraph, pkg *lintkit.Package) {
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "lint:lockorder") {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, "lint:lockorder"))
+				from, to, ok := parseDeclaration(rest)
+				if !ok {
+					g.reports = append(g.reports, report{
+						pkg: pkg,
+						pos: c.Pos(),
+						msg: `malformed //lint:lockorder declaration: need "lockA -> lockB (reason)"`,
+					})
+					continue
+				}
+				info := g.edge(edgeKey{from, to})
+				info.declared = true
+				info.declWhere = "declared at " + posString(pkg, c.Pos())
+			}
+		}
+	}
+}
+
+func parseDeclaration(s string) (from, to lockClass, ok bool) {
+	arrow := strings.Index(s, "->")
+	if arrow < 0 {
+		return from, to, false
+	}
+	fromName := strings.TrimSpace(s[:arrow])
+	rest := strings.TrimSpace(s[arrow+2:])
+	open := strings.Index(rest, "(")
+	if open < 0 || !strings.HasSuffix(rest, ")") {
+		return from, to, false
+	}
+	toName := strings.TrimSpace(rest[:open])
+	reason := strings.TrimSpace(rest[open+1 : len(rest)-1])
+	if fromName == "" || toName == "" || reason == "" {
+		return from, to, false
+	}
+	return classFromName(fromName), classFromName(toName), true
+}
+
+func classFromName(s string) lockClass {
+	if i := strings.LastIndex(s, "."); i >= 0 {
+		return lockClass{owner: s[:i], field: s[i+1:]}
+	}
+	return lockClass{field: s}
+}
+
+// bodyEdges solves the may-held analysis for one body, then replays
+// the blocks once in deterministic order, adding a graph edge for
+// every acquisition (direct lock or call with a non-empty may-acquire
+// summary) made under a held lock.
+func bodyEdges(g *orderGraph, acq map[*types.Func][]lockClass, pkg *lintkit.Package, fnName string, body *ast.BlockStmt) {
+	cfg := lintkit.BuildCFG(body)
+	fl := &orderFlow{pkg: pkg}
+	in := lintkit.Solve(cfg, fl)
+	for _, b := range cfg.Blocks {
+		f, ok := in[b]
+		if !ok {
+			continue
+		}
+		held := fl.Clone(f).(heldFact)
+		for _, n := range b.Nodes {
+			for _, ev := range fl.events(n) {
+				switch ev.kind {
+				case evLock:
+					for _, h := range heldClasses(held) {
+						g.addEdge(h, ev.class, pkg, ev.pos, fnName)
+					}
+					held[ev.key] = ev.class
+				case evUnlock:
+					delete(held, ev.key)
+				case evCall:
+					if len(held) == 0 {
+						break
+					}
+					for _, c := range acq[ev.fn] {
+						for _, h := range heldClasses(held) {
+							g.addEdge(h, c, pkg, ev.pos, fnName)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// heldClasses returns the distinct classes of the held set in a stable
+// order.
+func heldClasses(held heldFact) []lockClass {
+	seen := map[string]lockClass{}
+	for _, c := range held {
+		seen[c.String()] = c
+	}
+	names := make([]string, 0, len(seen))
+	for s := range seen {
+		names = append(names, s)
+	}
+	sort.Strings(names)
+	out := make([]lockClass, 0, len(names))
+	for _, s := range names {
+		out = append(out, seen[s])
+	}
+	return out
+}
+
+// buildReports finds the cyclic strongly connected components of the
+// edge set and turns every observed, undeclared acquisition inside a
+// cycle into a finding. Declared edges anchor cycles but are never
+// themselves reported: the declaration is the sanctioned direction,
+// the violation is whatever closes the loop against it.
+func buildReports(g *orderGraph) {
+	keys := make([]edgeKey, 0, len(g.edges))
+	for k := range g.edges {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.from.String() != b.from.String() {
+			return a.from.String() < b.from.String()
+		}
+		return a.to.String() < b.to.String()
+	})
+	comp := sccOf(keys)
+	for _, k := range keys {
+		info := g.edges[k]
+		cyclic := k.from == k.to || comp[k.from.String()] == comp[k.to.String()]
+		if !cyclic || info.declared {
+			continue
+		}
+		var msg string
+		if k.from == k.to {
+			msg = fmt.Sprintf("acquiring %s while another %s is held: same-class locks have no defined instance order (potential deadlock)", k.to, k.from)
+		} else {
+			msg = fmt.Sprintf("acquiring %s while %s is held creates a lock-order cycle (%s)", k.to, k.from, cyclePath(g, keys, k))
+		}
+		for _, w := range info.wits {
+			g.reports = append(g.reports, report{pkg: w.pkg, pos: w.pos, msg: msg})
+		}
+	}
+}
+
+// sccOf is iterative Tarjan over the class nodes.
+func sccOf(keys []edgeKey) map[string]int {
+	adj := map[string][]string{}
+	var nodes []string
+	seen := map[string]bool{}
+	addNode := func(s string) {
+		if !seen[s] {
+			seen[s] = true
+			nodes = append(nodes, s)
+		}
+	}
+	for _, k := range keys {
+		addNode(k.from.String())
+		addNode(k.to.String())
+		adj[k.from.String()] = append(adj[k.from.String()], k.to.String())
+	}
+	index := map[string]int{}
+	low := map[string]int{}
+	onstack := map[string]bool{}
+	comp := map[string]int{}
+	var stack []string
+	next, ncomp := 0, 0
+	type frame struct {
+		v string
+		i int
+	}
+	for _, root := range nodes {
+		if _, ok := index[root]; ok {
+			continue
+		}
+		var frames []frame
+		push := func(v string) {
+			index[v] = next
+			low[v] = next
+			next++
+			stack = append(stack, v)
+			onstack[v] = true
+			frames = append(frames, frame{v: v})
+		}
+		push(root)
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			if f.i < len(adj[f.v]) {
+				w := adj[f.v][f.i]
+				f.i++
+				if _, ok := index[w]; !ok {
+					push(w)
+				} else if onstack[w] && index[w] < low[f.v] {
+					low[f.v] = index[w]
+				}
+				continue
+			}
+			v := f.v
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				p := &frames[len(frames)-1]
+				if low[v] < low[p.v] {
+					low[p.v] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onstack[w] = false
+					comp[w] = ncomp
+					if w == v {
+						break
+					}
+				}
+				ncomp++
+			}
+		}
+	}
+	return comp
+}
+
+// cyclePath renders the shortest return path that closes the cycle the
+// edge k belongs to, each hop tagged with its witness or declaration.
+func cyclePath(g *orderGraph, keys []edgeKey, k edgeKey) string {
+	out := map[string][]edgeKey{}
+	for _, ek := range keys {
+		out[ek.from.String()] = append(out[ek.from.String()], ek)
+	}
+	type qe struct {
+		node string
+		prev int
+		via  edgeKey
+	}
+	start, goal := k.to.String(), k.from.String()
+	all := []qe{{node: start, prev: -1}}
+	visited := map[string]bool{start: true}
+	for i := 0; i < len(all); i++ {
+		cur := all[i]
+		if cur.node == goal {
+			var hops []edgeKey
+			for j := i; all[j].prev >= 0; j = all[j].prev {
+				hops = append([]edgeKey{all[j].via}, hops...)
+			}
+			parts := make([]string, 0, len(hops))
+			for _, h := range hops {
+				parts = append(parts, fmt.Sprintf("%s -> %s %s", h.from, h.to, g.whereOf(h)))
+			}
+			return "reverse path: " + strings.Join(parts, ", ")
+		}
+		for _, ek := range out[cur.node] {
+			if visited[ek.to.String()] {
+				continue
+			}
+			visited[ek.to.String()] = true
+			all = append(all, qe{node: ek.to.String(), prev: i, via: ek})
+		}
+	}
+	return "reverse path through " + start
+}
+
+func (g *orderGraph) whereOf(k edgeKey) string {
+	info := g.edges[k]
+	if info.declared {
+		return "(" + info.declWhere + ")"
+	}
+	if len(info.wits) > 0 {
+		return "(" + info.wits[0].where + ")"
+	}
+	return "(unwitnessed)"
+}
+
+// --- may-held flow over one body ---
+
+type evKind int
+
+const (
+	evLock evKind = iota
+	evUnlock
+	evCall
+)
+
+type event struct {
+	kind  evKind
+	pos   token.Pos
+	key   lockKey
+	class lockClass
+	fn    *types.Func
+}
+
+type heldFact map[lockKey]lockClass
+
+// orderFlow implements the may-held analysis; edge collection happens
+// in bodyEdges' replay, not in Transfer, so Solve stays pure.
+type orderFlow struct{ pkg *lintkit.Package }
+
+func (p *orderFlow) EntryFact() lintkit.Fact { return heldFact{} }
+
+func (p *orderFlow) Clone(f lintkit.Fact) lintkit.Fact {
+	n := heldFact{}
+	for k, v := range f.(heldFact) {
+		n[k] = v
+	}
+	return n
+}
+
+func (p *orderFlow) Join(a, b lintkit.Fact) lintkit.Fact {
+	x, y := a.(heldFact), b.(heldFact)
+	for k, v := range y {
+		if _, ok := x[k]; !ok {
+			x[k] = v
+		}
+	}
+	return x
+}
+
+func (p *orderFlow) Equal(a, b lintkit.Fact) bool {
+	x, y := a.(heldFact), b.(heldFact)
+	if len(x) != len(y) {
+		return false
+	}
+	for k := range x {
+		if _, ok := y[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func (p *orderFlow) TransferEdge(e *lintkit.Edge, f lintkit.Fact) lintkit.Fact { return f }
+
+func (p *orderFlow) Transfer(n ast.Node, f lintkit.Fact) lintkit.Fact {
+	held := f.(heldFact)
+	for _, ev := range p.events(n) {
+		switch ev.kind {
+		case evLock:
+			held[ev.key] = ev.class
+		case evUnlock:
+			delete(held, ev.key)
+		}
+	}
+	return held
+}
+
+// events extracts the order-relevant actions of one CFG node in source
+// order, respecting the CFG's statement decomposition (range headers
+// contribute only their ranged expression, case clauses their guards,
+// go/defer statements their synchronously evaluated arguments) and
+// never descending into function literals.
+func (p *orderFlow) events(n ast.Node) []event {
+	switch n := n.(type) {
+	case *ast.RangeStmt:
+		return p.exprEvents(n.X, nil)
+	case *ast.CaseClause:
+		var evs []event
+		for _, e := range n.List {
+			evs = append(evs, p.exprEvents(e, nil)...)
+		}
+		return evs
+	case *ast.SelectStmt:
+		return nil
+	case *ast.GoStmt:
+		// The spawned call acquires on its own goroutine; only the
+		// argument expressions run here.
+		var evs []event
+		for _, a := range n.Call.Args {
+			evs = append(evs, p.exprEvents(a, nil)...)
+		}
+		return evs
+	case *ast.DeferStmt:
+		// The deferred call itself is replayed in the CFG exit block.
+		var evs []event
+		for _, a := range n.Call.Args {
+			evs = append(evs, p.exprEvents(a, nil)...)
+		}
+		return evs
+	case ast.Node:
+		return p.exprEvents(n, nil)
+	}
+	return nil
+}
+
+func (p *orderFlow) exprEvents(n ast.Node, evs []event) []event {
+	if n == nil {
+		return evs
+	}
+	ast.Inspect(n, func(c ast.Node) bool {
+		switch c := c.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SelectStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt,
+			*ast.IfStmt, *ast.ForStmt, *ast.RangeStmt:
+			return false // decomposed by the CFG
+		case *ast.CallExpr:
+			for _, a := range c.Args {
+				evs = p.exprEvents(a, evs)
+			}
+			if sel, ok := ast.Unparen(c.Fun).(*ast.SelectorExpr); ok {
+				evs = p.exprEvents(sel.X, evs)
+			}
+			evs = append(evs, p.callEvents(c)...)
+			return false
+		}
+		return true
+	})
+	return evs
+}
+
+func (p *orderFlow) callEvents(call *ast.CallExpr) []event {
+	fn := lintkit.FuncForCall(p.pkg.Info, call)
+	if fn == nil {
+		return nil // function value / interface call: no edge (documented)
+	}
+	if ev, ok := p.lockOp(call, fn); ok {
+		return []event{ev}
+	}
+	return []event{{kind: evCall, pos: call.Pos(), fn: fn}}
+}
+
+// lockOp recognizes Lock/RLock/Unlock/RUnlock on sync.Mutex/RWMutex
+// receivers and derives both the instance key and the class.
+func (p *orderFlow) lockOp(call *ast.CallExpr, fn *types.Func) (event, bool) {
+	if fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return event{}, false
+	}
+	var kind evKind
+	switch fn.Name() {
+	case "Lock", "RLock":
+		kind = evLock
+	case "Unlock", "RUnlock":
+		kind = evUnlock
+	default:
+		return event{}, false
+	}
+	if r := recvName(fn); r != "Mutex" && r != "RWMutex" {
+		return event{}, false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return event{}, false
+	}
+	key, ok := keyFor(p.pkg, sel.X)
+	if !ok {
+		return event{}, false
+	}
+	cls, ok := classFor(p.pkg, sel.X)
+	if !ok {
+		return event{}, false
+	}
+	return event{kind: kind, pos: call.Pos(), key: key, class: cls}, true
+}
+
+func recvName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return ""
+}
+
+// classFor abstracts a lock expression to its class: the named type
+// owning the field, the package for a package-level variable, or the
+// declaration site for a local.
+func classFor(pkg *lintkit.Package, e ast.Expr) (lockClass, bool) {
+	e = ast.Unparen(e)
+	for {
+		if s, ok := e.(*ast.StarExpr); ok {
+			e = ast.Unparen(s.X)
+			continue
+		}
+		if u, ok := e.(*ast.UnaryExpr); ok && u.Op == token.AND {
+			e = ast.Unparen(u.X)
+			continue
+		}
+		break
+	}
+	switch x := e.(type) {
+	case *ast.SelectorExpr:
+		if t := pkg.Info.Types[x.X].Type; t != nil {
+			if named := namedOf(t); named != nil {
+				return lockClass{owner: named.Obj().Name(), field: x.Sel.Name}, true
+			}
+		}
+		return lockClass{}, false
+	case *ast.Ident:
+		obj := pkg.Info.Uses[x]
+		if obj == nil {
+			obj = pkg.Info.Defs[x]
+		}
+		if obj == nil {
+			return lockClass{}, false
+		}
+		if obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope() {
+			return lockClass{owner: obj.Pkg().Name(), field: x.Name}, true
+		}
+		return lockClass{field: x.Name + "@" + posString(pkg, obj.Pos())}, true
+	}
+	return lockClass{}, false
+}
+
+func namedOf(t types.Type) *types.Named {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// keyFor renders a lock expression to (root object, path text), the
+// instance-precise identity used by the held set.
+func keyFor(pkg *lintkit.Package, e ast.Expr) (lockKey, bool) {
+	root := rootIdent(e)
+	if root == nil {
+		return lockKey{}, false
+	}
+	obj := pkg.Info.Uses[root]
+	if obj == nil {
+		obj = pkg.Info.Defs[root]
+	}
+	if obj == nil {
+		return lockKey{}, false
+	}
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, token.NewFileSet(), e); err != nil {
+		return lockKey{root: obj, path: root.Name}, true
+	}
+	return lockKey{root: obj, path: buf.String()}, true
+}
+
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// --- bottom-up may-acquire summaries ---
+
+type acqCacheKey struct{}
+
+// acquireSummaries computes, bottom-up over the module call graph, the
+// set of lock classes each module-local function may acquire, directly
+// or through callees. Function literals are excluded (they run on
+// their own goroutines); go statements are excluded for the same
+// reason; deferred calls are included — they run at return, while the
+// caller's other locks may still be held.
+func acquireSummaries(prog *lintkit.Program) map[*types.Func][]lockClass {
+	v := prog.Cache(acqCacheKey{}, func() any {
+		sums := make(map[*types.Func]map[string]lockClass)
+		cg := lintkit.BuildCallGraph(prog)
+		for _, scc := range cg.BottomUp() {
+			// Iterate the component to a fixpoint: sets only grow, and
+			// the class universe is finite.
+			for changed := true; changed; {
+				changed = false
+				for _, fn := range scc {
+					src := prog.Source(fn)
+					if src == nil {
+						continue
+					}
+					cur := sums[fn]
+					if cur == nil {
+						cur = map[string]lockClass{}
+						sums[fn] = cur
+					}
+					before := len(cur)
+					bodyAcquires(src, sums, cur)
+					if len(cur) != before {
+						changed = true
+					}
+				}
+			}
+		}
+		out := make(map[*types.Func][]lockClass, len(sums))
+		for fn, set := range sums {
+			names := make([]string, 0, len(set))
+			for s := range set {
+				names = append(names, s)
+			}
+			sort.Strings(names)
+			classes := make([]lockClass, 0, len(names))
+			for _, s := range names {
+				classes = append(classes, set[s])
+			}
+			out[fn] = classes
+		}
+		return out
+	})
+	return v.(map[*types.Func][]lockClass)
+}
+
+func bodyAcquires(src *lintkit.FuncSource, sums map[*types.Func]map[string]lockClass, into map[string]lockClass) {
+	fl := &orderFlow{pkg: src.Pkg}
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		ast.Inspect(n, func(c ast.Node) bool {
+			switch c := c.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.GoStmt:
+				for _, a := range c.Call.Args {
+					walk(a)
+				}
+				return false
+			case *ast.CallExpr:
+				fn := lintkit.FuncForCall(src.Pkg.Info, c)
+				if fn == nil {
+					return true
+				}
+				if ev, ok := fl.lockOp(c, fn); ok {
+					if ev.kind == evLock {
+						into[ev.class.String()] = ev.class
+					}
+					return true
+				}
+				if sub, ok := sums[fn]; ok {
+					for s, cl := range sub {
+						into[s] = cl
+					}
+				}
+				return true
+			}
+			return true
+		})
+	}
+	walk(src.Decl.Body)
+}

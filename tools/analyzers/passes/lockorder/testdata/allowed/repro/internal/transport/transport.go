@@ -1,0 +1,63 @@
+// Package transport holds the clean ordering shapes: nesting that
+// matches a declared order, sequential (non-nested) acquisition in
+// the reverse direction, goroutine literals whose critical sections
+// are independent of the spawner's, and the explicit allow escape
+// hatch on a deliberate reversal.
+package transport
+
+import "sync"
+
+type shard struct {
+	mu       sync.Mutex
+	sessions map[int]*session
+}
+
+//lint:lockorder shard.mu -> session.mu (the sweeper probes session idleness under the shard lock)
+type session struct {
+	mu     sync.Mutex
+	lastAt int
+}
+
+// sweep follows the declared direction: an edge that matches a
+// declaration is sanctioned and never reported.
+func sweep(sh *shard) {
+	sh.mu.Lock()
+	for _, sess := range sh.sessions {
+		sess.mu.Lock()
+		_ = sess.lastAt
+		sess.mu.Unlock()
+	}
+	sh.mu.Unlock()
+}
+
+// handoff touches both locks in the reverse order but never holds
+// them together: sequential sections contribute no edge.
+func handoff(sess *session, sh *shard) {
+	sess.mu.Lock()
+	sess.mu.Unlock()
+	sh.mu.Lock()
+	sh.mu.Unlock()
+}
+
+// spawn starts a goroutine under the shard lock; the literal runs with
+// its own empty held set, so its session acquisition is unordered
+// relative to the spawner's critical section.
+func spawn(sh *shard, sess *session) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	go func() {
+		sess.mu.Lock()
+		sess.lastAt++
+		sess.mu.Unlock()
+	}()
+}
+
+// reversed is a deliberate, reviewed reversal: the allow marker names
+// the pass and the reason, and the matching declared direction above
+// keeps sweep unreported.
+func reversed(sess *session, sh *shard) {
+	sess.mu.Lock()
+	sh.mu.Lock() //lint:allow lockorder startup path runs single-goroutine before the sweeper exists
+	sh.mu.Unlock()
+	sess.mu.Unlock()
+}

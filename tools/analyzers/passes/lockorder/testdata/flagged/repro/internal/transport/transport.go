@@ -1,0 +1,63 @@
+// Package transport holds the flagged ordering shapes: a two-function
+// cycle between the shard and session lock classes (both directions
+// are reported — each acquisition witnesses the cycle), the same
+// reversal reached through a helper's may-acquire summary, same-class
+// nesting, and a malformed declaration comment.
+package transport
+
+import "sync"
+
+type shard struct {
+	mu       sync.Mutex
+	sessions map[int]*session
+}
+
+type session struct {
+	mu     sync.Mutex
+	lastAt int
+}
+
+// sweep nests session under shard; fine alone, but refresh below
+// closes the loop, so this acquisition is one witness of the cycle.
+func sweep(sh *shard) {
+	sh.mu.Lock()
+	for _, sess := range sh.sessions {
+		sess.mu.Lock() // want `acquiring session\.mu while shard\.mu is held creates a lock-order cycle`
+		_ = sess.lastAt
+		sess.mu.Unlock()
+	}
+	sh.mu.Unlock()
+}
+
+// refresh nests shard under session — the reverse direction.
+func refresh(sess *session, sh *shard) {
+	sess.mu.Lock()
+	sh.mu.Lock() // want `acquiring shard\.mu while session\.mu is held creates a lock-order cycle`
+	sh.mu.Unlock()
+	sess.mu.Unlock()
+}
+
+// viaHelper reverses the order interprocedurally: lockShard's
+// may-acquire summary contains shard.mu, so the call under the session
+// lock is an edge too.
+func viaHelper(sess *session, sh *shard) {
+	sess.mu.Lock()
+	lockShard(sh) // want `acquiring shard\.mu while session\.mu is held creates a lock-order cycle`
+	sess.mu.Unlock()
+}
+
+func lockShard(sh *shard) {
+	sh.mu.Lock()
+	sh.mu.Unlock()
+}
+
+// pair holds two locks of one class at once: no instance order exists.
+func pair(a, b *session) {
+	a.mu.Lock()
+	b.mu.Lock() // want `same-class locks have no defined instance order`
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+//lint:lockorder shard.mu before session.mu always // want `malformed //lint:lockorder declaration`
+func placeholder() {}
