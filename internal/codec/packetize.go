@@ -179,7 +179,17 @@ func (r *Reassembler) Add(payload []byte) error {
 		r.frames[p.FrameNumber] = f
 	}
 	for i, c := range chunks {
-		f.MBData[mbStart+i] = append([]byte(nil), c...)
+		// The range check above already constrains mbStart+len(chunks)
+		// against total, but total and len(f.MBData) are only equal
+		// while every frame of the session was built by this
+		// reassembler; re-checking against the destination itself keeps
+		// the write in bounds under any future refactor (and makes the
+		// bounds proof local, which the netbound gate verifies).
+		j := mbStart + i
+		if j >= len(f.MBData) {
+			return fmt.Errorf("codec: slice chunk %d lands outside %d macroblocks", j, len(f.MBData))
+		}
+		f.MBData[j] = append([]byte(nil), c...)
 	}
 	return nil
 }

@@ -100,6 +100,6 @@ func ServeDebug(addr string) (bound string, shutdown func(), err error) {
 	}
 	SetEnabled(true)
 	srv := &http.Server{Handler: DebugMux()}
-	go srv.Serve(ln) //nolint:errcheck // reported via the returned shutdown path; Serve always errors on close
+	go srv.Serve(ln) // error reported via the returned shutdown path; Serve always errors on close
 	return ln.Addr().String(), func() { srv.Close() }, nil
 }

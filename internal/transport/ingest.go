@@ -44,7 +44,9 @@ func marshalReject(retryAfter time.Duration) []byte {
 }
 
 func parseReject(data []byte) (retryAfter time.Duration, ok bool) {
-	if len(data) < 8 || [4]byte(data[:4]) != rejectMagic {
+	// Exact length: a UDP datagram is one whole control message, so
+	// trailing bytes mean a corrupt or forged frame, not a stream split.
+	if len(data) != 8 || [4]byte(data[:4]) != rejectMagic {
 		return 0, false
 	}
 	return time.Duration(binary.BigEndian.Uint32(data[4:8])) * time.Millisecond, true
@@ -58,7 +60,7 @@ func marshalFIN(ssrc uint32) []byte {
 }
 
 func parseFIN(data []byte) (ssrc uint32, ok bool) {
-	if len(data) < 8 || [4]byte(data[:4]) != finMagic {
+	if len(data) != 8 || [4]byte(data[:4]) != finMagic {
 		return 0, false
 	}
 	return binary.BigEndian.Uint32(data[4:8]), true

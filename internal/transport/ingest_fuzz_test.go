@@ -1,0 +1,102 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+	"time"
+)
+
+// The control-datagram parsers face the open socket directly: any host
+// on the network can aim bytes at them before admission control has
+// said a word. The fuzz targets below hold them to the full hostile
+// contract — never panic, never admit a datagram that is not exactly
+// one well-formed control message — and the seed corpora pin the
+// boundary shapes (empty, magic-only, one byte short, one byte long,
+// wrong magic) so `go test` exercises them even without -fuzz.
+
+func FuzzParseReject(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("TVRJ"))
+	f.Add([]byte("TVRJ\x00\x00\x00"))
+	f.Add(marshalReject(1500 * time.Millisecond))
+	f.Add(append(marshalReject(time.Second), 0))
+	f.Add(marshalFIN(0x7561))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		retry, ok := parseReject(data)
+		if !ok {
+			if retry != 0 {
+				t.Fatalf("rejected datagram still carried retry-after %v", retry)
+			}
+			return
+		}
+		if len(data) != 8 || [4]byte(data[:4]) != rejectMagic {
+			t.Fatalf("admitted %d-byte datagram %q that is not a canonical TVRJ", len(data), data)
+		}
+		want := time.Duration(binary.BigEndian.Uint32(data[4:8])) * time.Millisecond
+		if retry != want {
+			t.Fatalf("retry-after = %v, want %v", retry, want)
+		}
+		if !bytes.Equal(marshalReject(retry), data) {
+			t.Fatalf("marshalReject(%v) = %q does not round-trip %q", retry, marshalReject(retry), data)
+		}
+	})
+}
+
+func FuzzParseFIN(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("TVFN"))
+	f.Add([]byte("TVFN\x00\x00\x00"))
+	f.Add(marshalFIN(0x7561))
+	f.Add(append(marshalFIN(1), 0))
+	f.Add(marshalReject(time.Second))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ssrc, ok := parseFIN(data)
+		if !ok {
+			if ssrc != 0 {
+				t.Fatalf("rejected datagram still carried ssrc %d", ssrc)
+			}
+			return
+		}
+		if len(data) != 8 || [4]byte(data[:4]) != finMagic {
+			t.Fatalf("admitted %d-byte datagram %q that is not a canonical TVFN", len(data), data)
+		}
+		if got := binary.BigEndian.Uint32(data[4:8]); ssrc != got {
+			t.Fatalf("ssrc = %d, want %d", ssrc, got)
+		}
+		if !bytes.Equal(marshalFIN(ssrc), data) {
+			t.Fatalf("marshalFIN(%d) does not round-trip %q", ssrc, data)
+		}
+	})
+}
+
+// TestControlDatagramRejection pins the exact-length contract outside
+// the fuzzer: a datagram one byte long or short of the 8-byte frame is
+// hostile, not a prefix of anything.
+func TestControlDatagramRejection(t *testing.T) {
+	hostile := [][]byte{
+		nil,
+		[]byte("TVRJ"),
+		[]byte("TVFN"),
+		[]byte("TVRJ\x00\x00\x00"),
+		[]byte("TVFN\x00\x00\x00"),
+		append(marshalReject(time.Second), 0xff),
+		append(marshalFIN(7), 0xff),
+		[]byte("XXXX\x00\x00\x00\x01"),
+		bytes.Repeat([]byte{0}, 64),
+	}
+	for _, d := range hostile {
+		if _, ok := parseReject(d); ok {
+			t.Errorf("parseReject admitted hostile %d-byte datagram %q", len(d), d)
+		}
+		if _, ok := parseFIN(d); ok {
+			t.Errorf("parseFIN admitted hostile %d-byte datagram %q", len(d), d)
+		}
+	}
+	if retry, ok := parseReject(marshalReject(250 * time.Millisecond)); !ok || retry != 250*time.Millisecond {
+		t.Errorf("canonical TVRJ round-trip failed: %v %v", retry, ok)
+	}
+	if ssrc, ok := parseFIN(marshalFIN(0xdeadbeef)); !ok || ssrc != 0xdeadbeef {
+		t.Errorf("canonical TVFN round-trip failed: %d %v", ssrc, ok)
+	}
+}

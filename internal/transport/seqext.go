@@ -29,9 +29,12 @@ func (x *seqExtender) Extend(s uint16) uint64 {
 		return uint64(s)
 	}
 	ref := x.epoch | uint64(x.last)
-	// Candidate order matters only for exact ties (impossible: the
-	// candidates differ by 1<<16), so a plain strict-minimum scan is
-	// enough.
+	// Adjacent candidates differ by exactly 1<<16, so two of them CAN
+	// tie: an arrival exactly 1<<15 away from the reference is equally
+	// close to the current epoch and to a neighbour. The strict-minimum
+	// scan keeps the candidate examined first, so ties resolve to the
+	// current epoch — on ambiguous evidence the stream does not cross a
+	// wrap. TestSeqExtenderTieDistance pins this choice.
 	best := x.epoch | uint64(s)
 	if x.epoch >= 1<<16 {
 		if c := (x.epoch - 1<<16) | uint64(s); seqDist(c, ref) < seqDist(best, ref) {

@@ -58,6 +58,68 @@ func TestSeqExtenderForwardWrapAhead(t *testing.T) {
 	}
 }
 
+// TestSeqExtenderTieDistance pins the one genuinely ambiguous input:
+// an arrival exactly 1<<15 away from the stream head is equidistant
+// from two epochs (adjacent candidates differ by 1<<16, so both sit
+// 32768 away). The extender must resolve the tie to the CURRENT epoch
+// — never crossing a wrap on evidence that supports both readings —
+// whichever side of the head the current-epoch candidate falls on.
+func TestSeqExtenderTieDistance(t *testing.T) {
+	// Forward tie. Head at extended 65636 (epoch 1<<16, last 100); the
+	// arrival 32868 extends to 98404 in the current epoch (32768 ahead
+	// of the head) or 32868 in the previous (32768 behind). Current
+	// epoch wins, so the reading is forward and the head advances.
+	var x seqExtender
+	x.Extend(65535)
+	if got := x.Extend(100); got != 65536+100 {
+		t.Fatalf("setup: Extend(100) = %d, want %d", got, 65536+100)
+	}
+	if got := x.Extend(32868); got != 65536+32868 {
+		t.Fatalf("forward tie: Extend(32868) = %d, want %d (current epoch)", got, 65536+32868)
+	}
+	if got := x.Extend(32869); got != 65536+32869 {
+		t.Fatalf("head did not advance past the tie: Extend(32869) = %d, want %d", got, 65536+32869)
+	}
+
+	// Backward tie. Head at extended 105536 (epoch 1<<16, last 40000);
+	// the arrival 7232 extends to 72768 in the current epoch (32768
+	// behind) or 138304 in the next (32768 ahead). Current epoch wins:
+	// the arrival is a straggler, and the head must not move.
+	var y seqExtender
+	y.Extend(65535)
+	y.Extend(32000)
+	if got := y.Extend(40000); got != 65536+40000 {
+		t.Fatalf("setup: Extend(40000) = %d, want %d", got, 65536+40000)
+	}
+	if got := y.Extend(7232); got != 65536+7232 {
+		t.Fatalf("backward tie: Extend(7232) = %d, want %d (current epoch)", got, 65536+7232)
+	}
+	if got := y.Extend(40001); got != 65536+40001 {
+		t.Fatalf("straggler moved the head: Extend(40001) = %d, want %d", got, 65536+40001)
+	}
+}
+
+// TestSeqExtenderHeadOnEpochEdge walks the head exactly onto an epoch
+// base (extended sequence 1<<16, wire sequence 0) and checks both
+// directions from the edge: the final sequence of the old epoch still
+// extends backwards into it, and the next in-order arrival continues
+// the new epoch with the head unmoved by the straggler.
+func TestSeqExtenderHeadOnEpochEdge(t *testing.T) {
+	var x seqExtender
+	if got := x.Extend(65535); got != 65535 {
+		t.Fatalf("Extend(65535) = %d, want 65535", got)
+	}
+	if got := x.Extend(0); got != 65536 {
+		t.Fatalf("Extend(0) = %d, want 65536 (head exactly on the epoch base)", got)
+	}
+	if got := x.Extend(65535); got != 65535 {
+		t.Fatalf("straggler at the edge: Extend(65535) = %d, want 65535 (old epoch)", got)
+	}
+	if got := x.Extend(1); got != 65537 {
+		t.Fatalf("post-straggler Extend(1) = %d, want 65537", got)
+	}
+}
+
 func TestSeqExtenderDeepEpochs(t *testing.T) {
 	var x seqExtender
 	// Drive the extender a few epochs deep with a straggler near each

@@ -9,12 +9,15 @@
 //
 // Usage:
 //
-//	lintmut [-root moduleDir] [-quick] [-list] [-v]
+//	lintmut [-root moduleDir] [-quick] [-list] [-v] [-j n]
 //
 // -quick runs the deterministic fast subset (one mutant per analyzer
-// family) used by scripts/lint.sh; CI runs the full set. The root
-// module is never modified: mutants are applied to a copy under the
-// system temp directory.
+// family) used by scripts/lint.sh; CI runs the full set. Mutants are
+// analyzed concurrently on a bounded worker pool (-j), each in a
+// private scratch copy of the module under the system temp directory,
+// so runs are order-independent; results are printed in declaration
+// order, keeping the output byte-identical whatever the scheduling.
+// The root module is never modified.
 package main
 
 import (
@@ -23,7 +26,9 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
+	"sync"
 
 	"repro/tools/analyzers/lintkit"
 	"repro/tools/analyzers/passes/auditemit"
@@ -32,10 +37,13 @@ import (
 	"repro/tools/analyzers/passes/cryptorand"
 	"repro/tools/analyzers/passes/exhaustenum"
 	"repro/tools/analyzers/passes/floateq"
+	"repro/tools/analyzers/passes/ivunique"
 	"repro/tools/analyzers/passes/lockheld"
 	"repro/tools/analyzers/passes/lockorder"
+	"repro/tools/analyzers/passes/netbound"
 	"repro/tools/analyzers/passes/plainleak"
 	"repro/tools/analyzers/passes/seededrand"
+	"repro/tools/analyzers/passes/seqwrap"
 	"repro/tools/analyzers/passes/walltime"
 )
 
@@ -300,6 +308,70 @@ var mutants = []mutant{
 		},
 		Desc: "an exponential deviate silently switches to the unseeded global generator",
 	},
+
+	// --- netbound: static bounds proofs on attacker-controlled integers ---
+	{
+		ID: "netbound-reasm-unchecked", Analyzer: netbound.Analyzer,
+		File: "internal/codec/packetize.go",
+		Patches: []patch{{
+			Old: "\t\tj := mbStart + i\n\t\tif j >= len(f.MBData) {\n\t\t\treturn fmt.Errorf(\"codec: slice chunk %d lands outside %d macroblocks\", j, len(f.MBData))\n\t\t}\n\t\tf.MBData[j] = append([]byte(nil), c...)",
+			New: "\t\tf.MBData[mbStart+i] = append([]byte(nil), c...)",
+		}},
+		Desc: "the reassembler indexes its frame buffer with a wire-decoded offset and no local bounds proof",
+	},
+	{
+		ID: "netbound-segment-alloc", Analyzer: netbound.Analyzer,
+		File: "internal/transport/live_http.go",
+		Patches: []patch{{
+			Old: "\tif n > 1<<24 {\n\t\treturn 0, false, nil, fmt.Errorf(\"transport: implausible segment of %d bytes\", n)\n\t}\n\tpayload = make([]byte, n)",
+			New: "\tpayload = make([]byte, n)",
+		}},
+		Desc: "ReadSegment allocates an attacker-sized payload buffer without capping the wire length field",
+	},
+	{
+		ID: "netbound-container-count", Analyzer: netbound.Analyzer,
+		File: "internal/codec/container.go",
+		Patches: []patch{{
+			Old: "\tif count > 1<<20 {\n\t\treturn Config{}, nil, fmt.Errorf(\"codec: implausible frame count %d\", count)\n\t}\n",
+			New: "",
+		}},
+		Desc:  "the container reader sizes its frame table straight from an unchecked varint",
+		Quick: true,
+	},
+	{
+		ID: "netbound-slice-trunc", Analyzer: netbound.Analyzer,
+		File: "internal/codec/packetize.go",
+		Patches: []patch{{
+			Old: "\t\tif uint64(len(rest)) < l {\n\t\t\treturn 0, nil, fmt.Errorf(\"codec: slice truncated\")\n\t\t}\n\t\tchunks[i] = rest[:l]",
+			New: "\t\tchunks[i] = rest[:l]",
+		}},
+		Desc: "SliceMBs slices chunk bytes by a wire length with the truncation guard removed",
+	},
+
+	// --- seqwrap: no raw ordering arithmetic on wrapping counters ---
+	{
+		ID: "seqwrap-raw-compare", Analyzer: seqwrap.Analyzer,
+		File: "internal/transport/live_udp.go",
+		Patches: []patch{{
+			Old: "\t\tseq64 := ext.Extend(pkt.Sequence)",
+			New: "\t\tlate := pkt.Sequence > 0x8000\n\t\t_ = late\n\t\tseq64 := ext.Extend(pkt.Sequence)",
+		}},
+		Desc:  "the receiver orders arrivals by raw 16-bit sequence, which inverts at every wrap",
+		Quick: true,
+	},
+
+	// --- ivunique: the cipher IV must ride the extended 64-bit sequence ---
+	{
+		ID: "ivunique-truncated-iv", Analyzer: ivunique.Analyzer,
+		File: "internal/transport/live_udp.go",
+		Patches: []patch{{
+			Old: udpEncryptCall,
+			New: "cipher.EncryptPacket(uint64(uint16(seq)), out[rtp.HeaderSize:][:s.Policy.EncryptSpan(len(payload))])",
+			Occ: 1,
+		}},
+		Desc:  "the UDP sender truncates its IV counter to 16 bits before widening it back: keystream reuse every 65536 packets",
+		Quick: true,
+	},
 }
 
 // gateAnalyzers is the union of analyzers the mutants target: the
@@ -321,6 +393,7 @@ func main() {
 	quick := flag.Bool("quick", false, "run only the fast per-family subset")
 	list := flag.Bool("list", false, "list the mutants and exit")
 	verbose := flag.Bool("v", false, "print per-mutant findings")
+	jobs := flag.Int("j", defaultJobs(), "mutants analyzed concurrently")
 	flag.Parse()
 	if *list {
 		for _, m := range mutants {
@@ -332,15 +405,32 @@ func main() {
 		}
 		return
 	}
-	if err := run(*root, *quick, *verbose, os.Stdout); err != nil {
+	if err := run(*root, *quick, *verbose, *jobs, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "lintmut:", err)
 		os.Exit(1)
 	}
 }
 
-// run copies the module, verifies the pristine copy is clean, applies
-// each selected mutant in turn and requires its analyzer to fire.
-func run(root string, quick, verbose bool, out io.Writer) error {
+// defaultJobs bounds the worker pool: each in-flight mutant holds a
+// full type-checked copy of the module in memory, so the pool is capped
+// below the core count on very wide machines.
+func defaultJobs() int {
+	n := runtime.NumCPU()
+	if n > 8 {
+		n = 8
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// run copies the module once and verifies the pristine copy is clean,
+// then fans the selected mutants out over a bounded worker pool — each
+// mutant gets a private scratch copy of the pristine tree — and
+// requires every mutant's analyzer to fire. Results are reported in
+// declaration order regardless of which worker finishes first.
+func run(root string, quick, verbose bool, jobs int, out io.Writer) error {
 	selected := mutants
 	if quick {
 		selected = nil
@@ -350,13 +440,17 @@ func run(root string, quick, verbose bool, out io.Writer) error {
 			}
 		}
 	}
-	scratch, err := copyModule(root)
+	if jobs < 1 {
+		jobs = 1
+	}
+
+	pristineDir, err := copyModule(root)
 	if err != nil {
 		return err
 	}
-	defer os.RemoveAll(scratch)
+	defer os.RemoveAll(pristineDir)
 
-	pristine, err := analyze(scratch, gateAnalyzers())
+	pristine, err := analyze(pristineDir, gateAnalyzers())
 	if err != nil {
 		return err
 	}
@@ -367,35 +461,39 @@ func run(root string, quick, verbose bool, out io.Writer) error {
 		return fmt.Errorf("pristine module has %d finding(s); fix the tree before mutation testing", len(pristine))
 	}
 
+	type result struct {
+		diags []lintkit.Diagnostic
+		err   error
+	}
+	results := make([]result, len(selected))
+	sem := make(chan struct{}, jobs)
+	var wg sync.WaitGroup
+	for i := range selected {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			diags, err := runMutant(pristineDir, selected[i])
+			results[i] = result{diags: diags, err: err}
+		}(i)
+	}
+	wg.Wait()
+
 	survived := 0
-	for _, m := range selected {
-		path := filepath.Join(scratch, filepath.FromSlash(m.File))
-		orig, err := os.ReadFile(path)
-		if err != nil {
-			return fmt.Errorf("%s: %w", m.ID, err)
+	for i, m := range selected {
+		r := results[i]
+		if r.err != nil {
+			return fmt.Errorf("%s: %w", m.ID, r.err)
 		}
-		mutated, err := applyPatches(string(orig), m.Patches)
-		if err != nil {
-			return fmt.Errorf("%s: %s: %w", m.ID, m.File, err)
-		}
-		if err := os.WriteFile(path, []byte(mutated), 0o644); err != nil {
-			return fmt.Errorf("%s: %w", m.ID, err)
-		}
-		diags, err := analyze(scratch, []*lintkit.Analyzer{m.Analyzer})
-		if restoreErr := os.WriteFile(path, orig, 0o644); restoreErr != nil {
-			return fmt.Errorf("%s: restore: %w", m.ID, restoreErr)
-		}
-		if err != nil {
-			return fmt.Errorf("%s: mutated module no longer analyzes (mutant must keep the tree type-checking): %w", m.ID, err)
-		}
-		if len(diags) == 0 {
+		if len(r.diags) == 0 {
 			fmt.Fprintf(out, "SURVIVED %-24s %-12s %s\n", m.ID, m.Analyzer.Name, m.Desc)
 			survived++
 			continue
 		}
-		fmt.Fprintf(out, "killed   %-24s %-12s %d finding(s)\n", m.ID, m.Analyzer.Name, len(diags))
+		fmt.Fprintf(out, "killed   %-24s %-12s %d finding(s)\n", m.ID, m.Analyzer.Name, len(r.diags))
 		if verbose {
-			for _, d := range diags {
+			for _, d := range r.diags {
 				fmt.Fprintln(out, "  ", d)
 			}
 		}
@@ -405,6 +503,35 @@ func run(root string, quick, verbose bool, out io.Writer) error {
 		return fmt.Errorf("%d mutant(s) survived: the analyzers no longer catch the bug classes they gate", survived)
 	}
 	return nil
+}
+
+// runMutant copies the verified pristine tree into a private scratch
+// directory, applies one mutant and runs its analyzer. Full isolation
+// keeps mutants order-independent and safe to run concurrently; the
+// scratch copy is discarded rather than restored.
+func runMutant(pristineDir string, m mutant) ([]lintkit.Diagnostic, error) {
+	scratch, err := copyModule(pristineDir)
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(scratch)
+	path := filepath.Join(scratch, filepath.FromSlash(m.File))
+	orig, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	mutated, err := applyPatches(string(orig), m.Patches)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", m.File, err)
+	}
+	if err := os.WriteFile(path, []byte(mutated), 0o644); err != nil {
+		return nil, err
+	}
+	diags, err := analyze(scratch, []*lintkit.Analyzer{m.Analyzer})
+	if err != nil {
+		return nil, fmt.Errorf("mutated module no longer analyzes (mutant must keep the tree type-checking): %w", err)
+	}
+	return diags, nil
 }
 
 // analyze loads the module at dir and runs the given analyzers.

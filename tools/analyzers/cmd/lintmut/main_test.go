@@ -49,7 +49,7 @@ func TestQuickGate(t *testing.T) {
 	if testing.Short() {
 		t.Skip("mutation gate type-checks the root module repeatedly")
 	}
-	if err := run(moduleRoot, true, false, io.Discard); err != nil {
+	if err := run(moduleRoot, true, false, defaultJobs(), io.Discard); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -2,19 +2,24 @@
 // Go module and exits non-zero on any finding. It is the machine-
 // checked form of the rules DESIGN.md states in prose: seeded
 // determinism, crypto hygiene in vcrypt, no wall clocks in model code,
-// no silently dropped bitstream/socket errors, and no exact float
-// comparisons in the numerical packages.
+// no silently dropped bitstream/socket errors, no exact float
+// comparisons in the numerical packages, and — via the value-range
+// passes — static bounds proofs on attacker-controlled integers,
+// wrap-safe sequence arithmetic, and extended-sequence IV derivation.
 //
 // Usage:
 //
-//	thriftylint [-C moduleDir] [-list] [-json] [packages...]
+//	thriftylint [-C moduleDir] [-list] [-json] [-staleallow] [packages...]
 //
 // packages default to ./... inside the target module. With -json the
 // findings are written to stdout as one JSON array of
 // {file,line,column,pass,message} objects (machine-readable for editor
-// and CI integration); the exit status is unchanged. The standard vet
-// suite is not re-implemented here — CI and scripts/lint.sh run
-// `go vet ./...` alongside this binary, which together form the gate.
+// and CI integration); the exit status is unchanged. With -staleallow
+// the suite additionally reports every //lint:allow or //nolint marker
+// that names one of these analyzers yet suppresses no finding —
+// suppression rot is how lint gates die. The standard vet suite is not
+// re-implemented here — CI and scripts/lint.sh run `go vet ./...`
+// alongside this binary, which together form the gate.
 package main
 
 import (
@@ -30,10 +35,13 @@ import (
 	"repro/tools/analyzers/passes/cryptorand"
 	"repro/tools/analyzers/passes/exhaustenum"
 	"repro/tools/analyzers/passes/floateq"
+	"repro/tools/analyzers/passes/ivunique"
 	"repro/tools/analyzers/passes/lockheld"
 	"repro/tools/analyzers/passes/lockorder"
+	"repro/tools/analyzers/passes/netbound"
 	"repro/tools/analyzers/passes/plainleak"
 	"repro/tools/analyzers/passes/seededrand"
+	"repro/tools/analyzers/passes/seqwrap"
 	"repro/tools/analyzers/passes/walltime"
 )
 
@@ -46,10 +54,13 @@ var analyzers = []*lintkit.Analyzer{
 	cryptorand.Analyzer,
 	exhaustenum.Analyzer,
 	floateq.Analyzer,
+	ivunique.Analyzer,
 	lockheld.Analyzer,
 	lockorder.Analyzer,
+	netbound.Analyzer,
 	plainleak.Analyzer,
 	seededrand.Analyzer,
+	seqwrap.Analyzer,
 	walltime.Analyzer,
 }
 
@@ -66,6 +77,7 @@ func main() {
 	dir := flag.String("C", ".", "directory of the module to lint")
 	list := flag.Bool("list", false, "list the analyzers and exit")
 	asJSON := flag.Bool("json", false, "emit findings as a JSON array on stdout")
+	staleAllow := flag.Bool("staleallow", false, "also report suppression markers that suppress no finding")
 	flag.Parse()
 	if *list {
 		for _, a := range analyzers {
@@ -85,6 +97,11 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "thriftylint:", err)
 		os.Exit(2)
+	}
+	if *staleAllow {
+		// The run above recorded which markers suppressed a finding;
+		// what remains unused and names one of our analyzers is rot.
+		diags = append(diags, lintkit.StaleAllows(pkgs, analyzers)...)
 	}
 	if *asJSON {
 		out := make([]jsonFinding, 0, len(diags))

@@ -85,6 +85,69 @@ func Epoch(seed int64) int64 { return seed * 1e9 }
 	}
 }
 
+// TestStaleAllowDetection proves the -staleallow mode end to end: a
+// module with one live suppression (it hides a real walltime finding)
+// and one stale suppression (nothing to hide) reports exactly the
+// stale one.
+func TestStaleAllowDetection(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": gateGoMod,
+		"internal/analytic/model.go": `package analytic
+
+import "time"
+
+// Live: the marker below suppresses a real walltime finding.
+func Epoch() int64 {
+	//lint:allow walltime boot-time anchor is wall clock by design
+	return time.Now().UnixNano()
+}
+
+// Stale: nothing on the next line trips walltime.
+func Scale(seed int64) int64 {
+	//lint:allow walltime left behind after a refactor
+	return seed * 1e9
+}
+`,
+	})
+	pkgs, err := lintkit.LoadDir(dir, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := lintkit.RunAnalyzers(pkgs, analyzers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("live suppression failed, findings leaked: %v", diags)
+	}
+	stale := lintkit.StaleAllows(pkgs, analyzers)
+	if len(stale) != 1 {
+		t.Fatalf("got %d stale markers, want exactly 1: %v", len(stale), stale)
+	}
+	if stale[0].Analyzer != "staleallow" || !strings.Contains(stale[0].Message, `"walltime"`) {
+		t.Errorf("unexpected stale diagnostic: %s", stale[0])
+	}
+	if !strings.Contains(stale[0].Pos.Filename, "model.go") || stale[0].Pos.Line != 13 {
+		t.Errorf("stale marker reported at %s:%d, want model.go:13 (the marker line)", stale[0].Pos.Filename, stale[0].Pos.Line)
+	}
+}
+
+// TestRepositoryHasNoStaleAllows keeps the tree's suppression set live:
+// every //lint:allow or //nolint naming one of our analyzers must still
+// be earning its keep.
+func TestRepositoryHasNoStaleAllows(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-tree lint skipped in -short mode")
+	}
+	pkgs := loadRoot(t)
+	if _, err := lintkit.RunAnalyzers(pkgs, analyzers); err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range lintkit.StaleAllows(pkgs, analyzers) {
+		t.Errorf("stale suppression: %s", d)
+	}
+}
+
 // loadRoot loads the enclosing root module, skipping the test when it
 // is not there (the command also builds standalone).
 func loadRoot(t *testing.T) []*lintkit.Package {
@@ -103,11 +166,12 @@ func loadRoot(t *testing.T) []*lintkit.Package {
 	return pkgs
 }
 
-// lintBudget bounds one full 11-pass sweep of the root module,
+// lintBudget bounds one full 14-pass sweep of the root module,
 // excluding the `go list` + type-check load. The interprocedural passes
-// (bufown, lockheld, lockorder, auditemit, plainleak) all memoize their
-// module-wide summaries on the shared Program, so analysis cost is
-// essentially one bottom-up fixpoint per pass — seconds, not minutes.
+// (bufown, lockheld, lockorder, auditemit, plainleak, netbound) all
+// memoize their module-wide summaries on the shared Program, so
+// analysis cost is essentially one bottom-up fixpoint per pass —
+// seconds, not minutes.
 // CI asserts this budget on every push; if a new pass blows it, make
 // the pass cache, don't raise the number first.
 const lintBudget = 30 * time.Second
@@ -130,7 +194,7 @@ func TestRepositoryIsClean(t *testing.T) {
 	for _, d := range diags {
 		t.Errorf("finding: %s", d)
 	}
-	t.Logf("11-pass sweep analyzed %d packages in %v", len(pkgs), elapsed)
+	t.Logf("%d-pass sweep analyzed %d packages in %v", len(analyzers), len(pkgs), elapsed)
 	if elapsed > lintBudget {
 		t.Errorf("analysis took %v, over the %v budget — a pass stopped caching its summaries", elapsed, lintBudget)
 	}

@@ -1,0 +1,524 @@
+package lintkit
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+// analyzeSnippet type-checks one file and solves the interval analysis
+// of the function named fn, returning the analysis plus a lookup from
+// variable name to object (first declaration wins).
+func analyzeSnippet(t *testing.T, src, fn string) (*IntervalAnalysis, map[string]types.Object) {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "snippet.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	if _, err := conf.Check("snippet", fset, []*ast.File{file}, info); err != nil {
+		t.Fatal(err)
+	}
+	var decl *ast.FuncDecl
+	for _, d := range file.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == fn {
+			decl = fd
+		}
+	}
+	if decl == nil {
+		t.Fatalf("function %s not found", fn)
+	}
+	objs := make(map[string]types.Object)
+	for id, obj := range info.Defs {
+		if obj == nil {
+			continue
+		}
+		if _, seen := objs[id.Name]; !seen {
+			objs[id.Name] = obj
+		}
+	}
+	return AnalyzeFunc(info, nil, nil, nil, decl), objs
+}
+
+// factAt returns the fact holding immediately before the first
+// statement whose rendering contains marker — in practice, before the
+// expression statement `sink(x)`.
+func factAtSink(t *testing.T, ia *IntervalAnalysis) (IntervalFact, ast.Expr) {
+	t.Helper()
+	var got IntervalFact
+	var arg ast.Expr
+	ia.Walk(func(b *Block, n ast.Node, f IntervalFact) {
+		es, ok := n.(*ast.ExprStmt)
+		if !ok {
+			return
+		}
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "sink" && got == nil {
+			got = f.clone()
+			arg = call.Args[0]
+		}
+	}, nil)
+	if got == nil {
+		t.Fatal("no sink(...) call found")
+	}
+	return got, arg
+}
+
+const snippetPrelude = `package snippet
+
+func sink(v int)      {}
+func sinkU(v uint64)  {}
+`
+
+func TestGuardRefinementNarrowsBothArms(t *testing.T) {
+	ia, _ := analyzeSnippet(t, snippetPrelude+`
+func f(n int, buf []byte) {
+	if n > len(buf) {
+		return
+	}
+	if n < 0 {
+		return
+	}
+	sink(n)
+}
+`, "f")
+	f, arg := factAtSink(t, ia)
+	v := ia.Eval(f, arg)
+	if v.Lo != 0 {
+		t.Errorf("n.Lo = %d, want 0", v.Lo)
+	}
+	sym := oneSymIn(t, v.SymHi)
+	if off := v.SymHi[sym]; off != 0 {
+		t.Errorf("n <= len(buf)+%d, want +0", off)
+	}
+	if sym.Root.Name() != "buf" {
+		t.Errorf("bound is on %s, want buf", sym.Root.Name())
+	}
+}
+
+func oneSymIn(t *testing.T, m map[LenSym]int64) LenSym {
+	t.Helper()
+	if len(m) != 1 {
+		t.Fatalf("got %d symbolic bounds, want 1: %v", len(m), m)
+	}
+	for sym := range m {
+		return sym
+	}
+	panic("unreachable")
+}
+
+func TestStrictComparisonShiftsBound(t *testing.T) {
+	ia, _ := analyzeSnippet(t, snippetPrelude+`
+func f(i int, buf []byte) {
+	if i >= 0 && i < len(buf) {
+		sink(i)
+	}
+}
+`, "f")
+	f, arg := factAtSink(t, ia)
+	v := ia.Eval(f, arg)
+	if v.Lo != 0 {
+		t.Errorf("i.Lo = %d, want 0", v.Lo)
+	}
+	sym := oneSymIn(t, v.SymHi)
+	if off := v.SymHi[sym]; off != -1 {
+		t.Errorf("i <= len(buf)+%d, want -1 from the strict <", off)
+	}
+}
+
+func TestWideningTerminatesAndKeepsZeroFloor(t *testing.T) {
+	ia, _ := analyzeSnippet(t, snippetPrelude+`
+func f(n int) {
+	i := 0
+	for i < n {
+		i++
+	}
+	sink(i)
+}
+`, "f")
+	f, arg := factAtSink(t, ia)
+	v := ia.Eval(f, arg)
+	if v.Lo != 0 {
+		t.Errorf("after the loop i.Lo = %d, want 0 (widening floor)", v.Lo)
+	}
+}
+
+func TestLoopBodyKeepsGuardBound(t *testing.T) {
+	ia, _ := analyzeSnippet(t, snippetPrelude+`
+func f(buf []byte) {
+	for i := 0; i < len(buf); i++ {
+		sink(i)
+	}
+}
+`, "f")
+	f, arg := factAtSink(t, ia)
+	v := ia.Eval(f, arg)
+	if v.Lo != 0 {
+		t.Errorf("i.Lo = %d, want 0", v.Lo)
+	}
+	sym := oneSymIn(t, v.SymHi)
+	if off := v.SymHi[sym]; off != -1 {
+		t.Errorf("in the body i <= len(buf)+%d, want -1", off)
+	}
+}
+
+func TestRangeKeyBoundedBySliceLen(t *testing.T) {
+	ia, _ := analyzeSnippet(t, snippetPrelude+`
+func f(xs []int) {
+	for i := range xs {
+		sink(i)
+	}
+}
+`, "f")
+	f, arg := factAtSink(t, ia)
+	v := ia.Eval(f, arg)
+	if v.Lo != 0 {
+		t.Errorf("range key Lo = %d, want 0", v.Lo)
+	}
+	sym := oneSymIn(t, v.SymHi)
+	if off := v.SymHi[sym]; off != -1 {
+		t.Errorf("range key <= len(xs)+%d, want -1", off)
+	}
+}
+
+func TestConversionTruncationDropsBounds(t *testing.T) {
+	// uint16 -> int is value-preserving; int -> uint16 of an unbounded
+	// value is a truncation and must fall back to the full type range.
+	ia, _ := analyzeSnippet(t, snippetPrelude+`
+func f(n int, w uint16) {
+	a := int(w)
+	_ = a
+	b := uint16(n)
+	_ = b
+	sink(int(b))
+}
+`, "f")
+	f, _ := factAtSink(t, ia)
+	var aObj, bObj types.Object
+	for obj := range f {
+		switch obj.Name() {
+		case "a":
+			aObj = obj
+		case "b":
+			bObj = obj
+		}
+	}
+	if aObj == nil || bObj == nil {
+		t.Fatal("locals a/b not tracked")
+	}
+	av := f[aObj]
+	if av.Lo != 0 || av.Hi != 65535 {
+		t.Errorf("a = [%d, %d], want [0, 65535] (widening conversion preserves the range)", av.Lo, av.Hi)
+	}
+	bv := f[bObj]
+	if bv.Lo != 0 || bv.Hi != 65535 {
+		t.Errorf("b = [%d, %d], want the full uint16 range after truncation", bv.Lo, bv.Hi)
+	}
+}
+
+func TestAssignmentToSliceKillsSymbolicBounds(t *testing.T) {
+	ia, _ := analyzeSnippet(t, snippetPrelude+`
+func f(n int, buf []byte) {
+	if n < 0 || n > len(buf) {
+		return
+	}
+	buf = buf[1:]
+	sink(n)
+}
+`, "f")
+	f, arg := factAtSink(t, ia)
+	v := ia.Eval(f, arg)
+	if len(v.SymHi) != 0 {
+		t.Errorf("reassigning buf must kill len(buf) bounds, still have %v", v.SymHi)
+	}
+}
+
+func TestArithmeticShiftsSymbolicBound(t *testing.T) {
+	ia, _ := analyzeSnippet(t, snippetPrelude+`
+func f(n int, buf []byte) {
+	if n < 0 || n >= len(buf) {
+		return
+	}
+	m := n + 1
+	sink(m)
+}
+`, "f")
+	f, arg := factAtSink(t, ia)
+	v := ia.Eval(f, arg)
+	sym := oneSymIn(t, v.SymHi)
+	if off := v.SymHi[sym]; off != 0 {
+		t.Errorf("n+1 <= len(buf)+%d, want +0 (n <= len-1 shifted by 1)", off)
+	}
+}
+
+func TestInfeasibleBranchPruned(t *testing.T) {
+	// After `if n != 3 { return }`, n == 3 exactly.
+	ia, _ := analyzeSnippet(t, snippetPrelude+`
+func f(n int) {
+	if n != 3 {
+		return
+	}
+	sink(n)
+}
+`, "f")
+	f, arg := factAtSink(t, ia)
+	v := ia.Eval(f, arg)
+	if v.Lo != 3 || v.Hi != 3 {
+		t.Errorf("n = [%d, %d], want [3, 3]", v.Lo, v.Hi)
+	}
+}
+
+func TestUnsignedGuardViaConversionPeeling(t *testing.T) {
+	// The parser idiom: `if uint64(len(rest)) < l { return }` proves
+	// l <= len(rest) on the fallthrough arm even though the comparison
+	// is in uint64.
+	ia, _ := analyzeSnippet(t, snippetPrelude+`
+func f(l uint64, rest []byte) {
+	if uint64(len(rest)) < l {
+		return
+	}
+	sink(int(l))
+}
+`, "f")
+	f, _ := factAtSink(t, ia)
+	var lObj types.Object
+	for obj := range f {
+		if obj.Name() == "l" {
+			lObj = obj
+		}
+	}
+	if lObj == nil {
+		t.Fatal("l not tracked")
+	}
+	v := f[lObj]
+	sym := oneSymIn(t, v.SymHi)
+	if off := v.SymHi[sym]; off != 0 {
+		t.Errorf("l <= len(rest)+%d, want +0", off)
+	}
+	if sym.Root.Name() != "rest" {
+		t.Errorf("bound on %s, want rest", sym.Root.Name())
+	}
+}
+
+func TestSummariesPropagateReturnRanges(t *testing.T) {
+	fset := token.NewFileSet()
+	src := snippetPrelude + `
+func capped(raw uint32) int {
+	if raw > 4096 {
+		return 4096
+	}
+	return int(raw)
+}
+
+func caller(raw uint32) {
+	n := capped(raw)
+	sink(n)
+}
+`
+	file, err := parser.ParseFile(fset, "sum.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	tpkg, err := conf.Check("snippet", fset, []*ast.File{file}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg := &Package{
+		ImportPath: "snippet",
+		Fset:       fset,
+		Files:      []*ast.File{file},
+		Types:      tpkg,
+		Info:       info,
+	}
+	prog := NewProgram([]*Package{pkg})
+	sums := BuildIntervalSummaries(prog, nil)
+	var cappedFn *types.Func
+	for fn := range sums {
+		if fn.Name() == "capped" {
+			cappedFn = fn
+		}
+	}
+	if cappedFn == nil {
+		t.Fatal("no summary for capped")
+	}
+	sum := sums[cappedFn]
+	if len(sum) != 1 {
+		t.Fatalf("capped summary has %d results, want 1", len(sum))
+	}
+	if sum[0].Lo != 0 || sum[0].Hi != 4096 {
+		t.Errorf("capped() = [%d, %d], want [0, 4096]", sum[0].Lo, sum[0].Hi)
+	}
+
+	// and the caller sees it through AnalyzeFunc
+	var callerDecl *ast.FuncDecl
+	for _, d := range file.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == "caller" {
+			callerDecl = fd
+		}
+	}
+	ia := AnalyzeFunc(info, prog, sums, nil, callerDecl)
+	f, arg := factAtSink(t, ia)
+	v := ia.Eval(f, arg)
+	if v.Lo != 0 || v.Hi != 4096 {
+		t.Errorf("caller sees n = [%d, %d], want [0, 4096]", v.Lo, v.Hi)
+	}
+}
+
+func TestTaintSourcesMarkResultsUntrusted(t *testing.T) {
+	fset := token.NewFileSet()
+	src := `package snippet
+
+func sink(v int) {}
+
+func parse() uint32 { return 0 }
+
+func f() {
+	n := parse()
+	sink(int(n))
+	if n > 16 {
+		return
+	}
+	sink(int(n))
+}
+`
+	file, err := parser.ParseFile(fset, "taint.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	if _, err := conf.Check("snippet", fset, []*ast.File{file}, info); err != nil {
+		t.Fatal(err)
+	}
+	var decl *ast.FuncDecl
+	for _, d := range file.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == "f" {
+			decl = fd
+		}
+	}
+	src0 := func(fn *types.Func) bool { return fn.Name() == "parse" }
+	ia := AnalyzeFunc(info, nil, nil, src0, decl)
+	var vals []Value
+	ia.Walk(func(b *Block, n ast.Node, f IntervalFact) {
+		es, ok := n.(*ast.ExprStmt)
+		if !ok {
+			return
+		}
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "sink" {
+			vals = append(vals, ia.Eval(f, call.Args[0]))
+		}
+	}, nil)
+	if len(vals) != 2 {
+		t.Fatalf("found %d sinks, want 2", len(vals))
+	}
+	if !vals[0].Untrusted {
+		t.Error("first sink: parse() result must be untrusted")
+	}
+	if !vals[1].Untrusted {
+		t.Error("second sink: bounding does not clear taint (only equality blessing does)")
+	}
+	if vals[1].Hi != 16 {
+		t.Errorf("after the guard n.Hi = %d, want 16", vals[1].Hi)
+	}
+}
+
+func TestEqualityBlessingClearsTaint(t *testing.T) {
+	fset := token.NewFileSet()
+	src := `package snippet
+
+func sink(v int) {}
+
+func parse() uint32 { return 0 }
+
+func f(want int) {
+	n := parse()
+	if int(n) != want {
+		return
+	}
+	sink(int(n))
+}
+`
+	file, err := parser.ParseFile(fset, "bless.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	if _, err := conf.Check("snippet", fset, []*ast.File{file}, info); err != nil {
+		t.Fatal(err)
+	}
+	var decl *ast.FuncDecl
+	for _, d := range file.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == "f" {
+			decl = fd
+		}
+	}
+	src0 := func(fn *types.Func) bool { return fn.Name() == "parse" }
+	ia := AnalyzeFunc(info, nil, nil, src0, decl)
+	f, arg := factAtSink(t, ia)
+	v := ia.Eval(f, arg)
+	if v.Untrusted {
+		t.Error("n == want (trusted) must clear the taint bit")
+	}
+}
+
+func TestSatArithmetic(t *testing.T) {
+	if got := satAdd(PosInf, -5); got != PosInf {
+		t.Errorf("satAdd(+inf, -5) = %d", got)
+	}
+	if got := satAdd(NegInf, 5); got != NegInf {
+		t.Errorf("satAdd(-inf, 5) = %d", got)
+	}
+	if got := satAdd(int64(1)<<62, int64(1)<<62); got != PosInf {
+		t.Errorf("satAdd overflow = %d, want +inf", got)
+	}
+	if got := satMul(NegInf, -1); got != PosInf {
+		t.Errorf("satMul(-inf, -1) = %d, want +inf", got)
+	}
+	if got := satNeg(NegInf); got != PosInf {
+		t.Errorf("satNeg(-inf) = %d, want +inf", got)
+	}
+	if got := floorDiv(-7, 2); got != -4 {
+		t.Errorf("floorDiv(-7,2) = %d, want -4", got)
+	}
+	if got := ceilDiv(-7, 2); got != -3 {
+		t.Errorf("ceilDiv(-7,2) = %d, want -3", got)
+	}
+	if got := orCeil(5); got != 7 {
+		t.Errorf("orCeil(5) = %d, want 7", got)
+	}
+}

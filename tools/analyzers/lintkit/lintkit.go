@@ -98,22 +98,32 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
-// allowIndex maps filename -> line -> marker names present on that
-// line.
-type allowIndex map[string]map[int][]string
+// allowMarker is one suppression name parsed from a //lint:allow or
+// //nolint: comment. `used` flips when the marker actually suppresses
+// a finding, which is what lets StaleAllows spot suppression rot.
+type allowMarker struct {
+	name string
+	pos  token.Position
+	used bool
+}
+
+// allowIndex maps filename -> line -> markers present on that line.
+type allowIndex map[string]map[int][]*allowMarker
 
 func (ai allowIndex) allows(filename string, line int, a *Analyzer) bool {
 	lines := ai[filename]
 	if lines == nil {
 		return false
 	}
-	names := append(append([]string(nil), lines[line]...), lines[line-1]...)
-	for _, n := range names {
-		if n == a.Name {
+	markers := append(append([]*allowMarker(nil), lines[line]...), lines[line-1]...)
+	for _, m := range markers {
+		if m.name == a.Name {
+			m.used = true
 			return true
 		}
 		for _, alias := range a.Aliases {
-			if n == alias {
+			if m.name == alias {
+				m.used = true
 				return true
 			}
 		}
@@ -129,12 +139,12 @@ func buildAllowIndex(fset *token.FileSet, files []*ast.File) allowIndex {
 		position := fset.Position(pos)
 		lines := ai[position.Filename]
 		if lines == nil {
-			lines = make(map[int][]string)
+			lines = make(map[int][]*allowMarker)
 			ai[position.Filename] = lines
 		}
 		for _, n := range strings.Split(names, ",") {
 			if n = strings.TrimSpace(n); n != "" {
-				lines[position.Line] = append(lines[position.Line], n)
+				lines[position.Line] = append(lines[position.Line], &allowMarker{name: n, pos: position})
 			}
 		}
 	}
@@ -155,6 +165,53 @@ func buildAllowIndex(fset *token.FileSet, files []*ast.File) allowIndex {
 		}
 	}
 	return ai
+}
+
+// StaleAllows reports every suppression marker that names one of the
+// analyzers just run yet suppressed no finding. Call it after
+// RunAnalyzers/RunProgram on the same packages — usage is recorded as
+// findings are filtered. Markers naming analyzers outside the run (a
+// generic //nolint:errcheck aimed at other tooling, say) are left
+// alone: their liveness cannot be judged here. Suppression rot is how
+// lint gates die — a stale marker hides the next real finding on its
+// line.
+func StaleAllows(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	known := make(map[string]string) // marker name -> canonical analyzer name
+	for _, a := range analyzers {
+		known[a.Name] = a.Name
+		for _, alias := range a.Aliases {
+			known[alias] = a.Name
+		}
+	}
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		for _, lines := range pkg.allow {
+			for _, markers := range lines {
+				for _, m := range markers {
+					canonical, ok := known[m.name]
+					if !ok || m.used {
+						continue
+					}
+					out = append(out, Diagnostic{
+						Pos:      m.pos,
+						Analyzer: "staleallow",
+						Message:  fmt.Sprintf("suppression %q matches no %s finding — remove the stale marker", m.name, canonical),
+					})
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Message < b.Message
+	})
+	return out
 }
 
 // RunAnalyzers applies every configured analyzer to every loaded

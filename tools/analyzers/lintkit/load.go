@@ -12,6 +12,7 @@ import (
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"sync"
 )
 
 // Package is one loaded, type-checked package of the target module.
@@ -125,15 +126,38 @@ func (l *loader) check(meta *listPkg) (*checked, error) {
 // source on first import, which dominates load time. It owns a private
 // FileSet, so sharing it between runs is safe — analyzers never report
 // positions inside the standard library. The mutation harness, which
-// loads the module dozens of times, depends on this cache to stay
-// inside its CI time budget.
-var stdImporter types.Importer
+// loads the module dozens of times (and, since it went parallel, from
+// several goroutines at once), depends on this cache to stay inside
+// its CI time budget; the mutex makes the cache safe to share.
+var (
+	stdImporterMu sync.Mutex
+	stdImporter   types.Importer
+)
+
+// lockedImporter serializes Import calls: the underlying source
+// importer mutates its internal package cache and is not safe for
+// concurrent use. Import never re-enters the wrapper — the importer
+// resolves transitive imports through its own internals — so a plain
+// mutex cannot self-deadlock.
+type lockedImporter struct {
+	mu  *sync.Mutex
+	imp types.Importer
+}
+
+func (li lockedImporter) Import(path string) (*types.Package, error) {
+	li.mu.Lock()
+	defer li.mu.Unlock()
+	return li.imp.Import(path)
+}
 
 func sharedStdImporter() types.Importer {
+	stdImporterMu.Lock()
 	if stdImporter == nil {
 		stdImporter = importer.ForCompiler(token.NewFileSet(), "source", nil)
 	}
-	return stdImporter
+	imp := stdImporter
+	stdImporterMu.Unlock()
+	return lockedImporter{mu: &stdImporterMu, imp: imp}
 }
 
 // LoadDir loads and type-checks the packages matched by patterns

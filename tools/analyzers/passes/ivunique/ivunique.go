@@ -1,0 +1,157 @@
+// Package ivunique guards (key, IV) uniqueness. vcrypt derives the
+// per-packet AES-CTR IV from the sequence argument of
+// Cipher.EncryptPacket / EncryptPackets, so feeding it a raw wrapping
+// counter (a uint16/uint32 sequence, or a 64-bit value truncated
+// through one) repeats the keystream every wrap — the one failure mode
+// selective encryption cannot survive, since a keystream reuse leaks
+// plaintext XORs regardless of coverage policy. Every encrypt call
+// must therefore pass the *extended* 64-bit sequence: a value whose
+// derivation never flows through a narrow integer. The pass tracks
+// narrowness through local assignments and conversions per file, which
+// is exactly where the truncated-counter bug shape lives.
+package ivunique
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/tools/analyzers/lintkit"
+)
+
+var Analyzer = &lintkit.Analyzer{
+	Name: "ivunique",
+	Doc: "vcrypt EncryptPacket/EncryptPackets must take the extended " +
+		"64-bit sequence, never a raw wrapping counter",
+	Run: run,
+}
+
+var encryptFuncs = []lintkit.FuncMatch{
+	{Path: "internal/vcrypt", Recv: "Cipher", Name: "EncryptPacket"},
+	{Path: "internal/vcrypt", Recv: "Cipher", Name: "EncryptPackets"},
+}
+
+func isEncrypt(fn *types.Func) bool {
+	for _, m := range encryptFuncs {
+		if m.Matches(fn) {
+			return true
+		}
+	}
+	return false
+}
+
+func run(pass *lintkit.Pass) error {
+	for _, file := range pass.Files {
+		checkFile(pass, file)
+	}
+	return nil
+}
+
+// checkFile runs a per-file fixpoint: narrowVars is the set of locals
+// whose value may derive from a narrow (< 8 byte) wrapping integer,
+// grown until stable, then every encrypt call with a narrow sequence
+// argument is flagged.
+func checkFile(pass *lintkit.Pass, file *ast.File) {
+	narrowVars := make(map[types.Object]bool)
+	for {
+		changed := false
+		ast.Inspect(file, func(n ast.Node) bool {
+			assign, ok := n.(*ast.AssignStmt)
+			if !ok || len(assign.Lhs) != len(assign.Rhs) {
+				return true
+			}
+			for i, lhs := range assign.Lhs {
+				id, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := pass.TypesInfo.ObjectOf(id)
+				if obj == nil || narrowVars[obj] {
+					continue
+				}
+				if narrowExpr(pass.TypesInfo, narrowVars, assign.Rhs[i]) {
+					narrowVars[obj] = true
+					changed = true
+				}
+			}
+			return true
+		})
+		if !changed {
+			break
+		}
+	}
+	ast.Inspect(file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		if !isEncrypt(lintkit.FuncForCall(pass.TypesInfo, call)) {
+			return true
+		}
+		if narrowExpr(pass.TypesInfo, narrowVars, call.Args[0]) {
+			pass.Reportf(call.Args[0].Pos(), "IV sequence derives from a narrow wrapping counter — keystream reuse on wrap; pass the extended 64-bit sequence")
+		}
+		return true
+	})
+}
+
+// narrowExpr reports whether e's value may derive from a wrapping
+// counter narrower than 64 bits. Results of real function calls are
+// trusted (the extension helpers are exactly such calls); constants
+// are values, not counters.
+func narrowExpr(info *types.Info, narrowVars map[types.Object]bool, e ast.Expr) bool {
+	e = ast.Unparen(e)
+	if tv, ok := info.Types[e]; ok && tv.Value != nil {
+		return false
+	}
+	switch e := e.(type) {
+	case *ast.Ident:
+		obj := info.ObjectOf(e)
+		if obj == nil {
+			return false
+		}
+		if narrowVars[obj] {
+			return true
+		}
+		return isNarrowInt(obj.Type())
+	case *ast.SelectorExpr:
+		return isNarrowInt(info.TypeOf(e))
+	case *ast.BinaryExpr:
+		return narrowExpr(info, narrowVars, e.X) || narrowExpr(info, narrowVars, e.Y)
+	case *ast.UnaryExpr:
+		return narrowExpr(info, narrowVars, e.X)
+	case *ast.CallExpr:
+		if tv, ok := info.Types[e.Fun]; ok && tv.IsType() && len(e.Args) == 1 {
+			// conversion: uint64(x) launders nothing — narrowness is a
+			// property of the derivation, not the final type
+			if isNarrowInt(info.TypeOf(e)) {
+				// converting *into* a narrow type truncates: the result
+				// is a wrapping counter whatever the operand was
+				if tv, ok := info.Types[ast.Unparen(e.Args[0])]; ok && tv.Value != nil {
+					return false
+				}
+				return true
+			}
+			return narrowExpr(info, narrowVars, e.Args[0])
+		}
+		// a real call: function results are sanctioned (SeqExtender
+		// and friends return the extended sequence)
+		return false
+	}
+	return false
+}
+
+func isNarrowInt(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	switch b.Kind() {
+	case types.Uint8, types.Uint16, types.Uint32,
+		types.Int8, types.Int16, types.Int32:
+		return true
+	}
+	return false
+}

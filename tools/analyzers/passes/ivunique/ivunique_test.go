@@ -1,0 +1,16 @@
+package ivunique_test
+
+import (
+	"testing"
+
+	"repro/tools/analyzers/lintkit"
+	"repro/tools/analyzers/passes/ivunique"
+)
+
+func TestFlagged(t *testing.T) {
+	lintkit.RunTestModule(t, ivunique.Analyzer, "testdata/flagged")
+}
+
+func TestAllowed(t *testing.T) {
+	lintkit.RunTestModule(t, ivunique.Analyzer, "testdata/allowed")
+}

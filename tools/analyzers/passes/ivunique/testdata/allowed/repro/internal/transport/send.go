@@ -1,0 +1,41 @@
+package transport
+
+import "repro/internal/vcrypt"
+
+type extender struct{ epoch uint64 }
+
+// Extend stands in for the seqext helper: a real function call whose
+// result is the sanctioned extended sequence.
+func (x *extender) Extend(seq uint16) uint64 { return x.epoch | uint64(seq) }
+
+type sender struct {
+	cipher vcrypt.Cipher
+	ext    extender
+	seq    uint64
+}
+
+func (s *sender) sendExtended(wire uint16, payload []byte) []byte {
+	return s.cipher.EncryptPacket(s.ext.Extend(wire), payload) // extension call result is sanctioned
+}
+
+func (s *sender) sendCounter64(payload []byte) []byte {
+	s.seq++
+	return s.cipher.EncryptPacket(s.seq, payload) // native 64-bit counter
+}
+
+func (s *sender) sendLoop(payloads [][]byte) [][]byte {
+	out := make([][]byte, 0, len(payloads))
+	for i, p := range payloads {
+		out = append(out, s.cipher.EncryptPacket(s.seq+uint64(i), p)) // int index is 64-bit
+	}
+	return out
+}
+
+func (s *sender) sendBatch(payloads [][]byte) [][]byte {
+	return s.cipher.EncryptPackets(s.seq, payloads)
+}
+
+func (s *sender) sendJustified(seq16 uint16, payload []byte) []byte {
+	//lint:allow ivunique handshake packets use the fixed pre-session IV space
+	return s.cipher.EncryptPacket(uint64(seq16), payload)
+}

@@ -1,0 +1,26 @@
+package transport
+
+import "repro/internal/vcrypt"
+
+type sender struct {
+	cipher vcrypt.Cipher
+	seq16  uint16
+}
+
+func (s *sender) sendRaw(payload []byte) []byte {
+	s.seq16++
+	return s.cipher.EncryptPacket(uint64(s.seq16), payload) // want "IV sequence derives from a narrow wrapping counter"
+}
+
+func (s *sender) sendTruncated(seq uint64, payload []byte) []byte {
+	return s.cipher.EncryptPacket(uint64(uint16(seq)), payload) // want "IV sequence derives from a narrow wrapping counter"
+}
+
+func (s *sender) sendLaundered(payload []byte) []byte {
+	iv := uint64(s.seq16)                      // the narrow origin survives the assignment
+	return s.cipher.EncryptPacket(iv, payload) // want "IV sequence derives from a narrow wrapping counter"
+}
+
+func (s *sender) sendBatchRaw(counter uint32, payloads [][]byte) [][]byte {
+	return s.cipher.EncryptPackets(uint64(counter)<<4, payloads) // want "IV sequence derives from a narrow wrapping counter"
+}

@@ -1,0 +1,7 @@
+package vcrypt
+
+type Cipher struct{}
+
+func (c *Cipher) EncryptPacket(seq uint64, payload []byte) []byte { return payload }
+
+func (c *Cipher) EncryptPackets(baseSeq uint64, payloads [][]byte) [][]byte { return payloads }

@@ -1,0 +1,22 @@
+package netbound_test
+
+import (
+	"testing"
+
+	"repro/tools/analyzers/lintkit"
+	"repro/tools/analyzers/passes/netbound"
+)
+
+func TestFlagged(t *testing.T) {
+	lintkit.RunTest(t, netbound.Analyzer, "testdata/flagged", "repro/internal/transport")
+}
+
+func TestAllowed(t *testing.T) {
+	lintkit.RunTestNone(t, netbound.Analyzer, "testdata/allowed", "repro/internal/transport")
+}
+
+func TestPackageFilter(t *testing.T) {
+	// The pass gates the wire-facing packages only; the same code in,
+	// say, a tooling package is out of scope.
+	lintkit.RunTestNone(t, netbound.Analyzer, "testdata/flagged", "repro/internal/analytic")
+}

@@ -1,0 +1,79 @@
+package transport
+
+import "encoding/binary"
+
+// Every function here handles its attacker-controlled integers with a
+// provable guard — the shapes the real parsers use — and must produce
+// zero findings.
+
+func indexGuarded(data, table []byte) byte {
+	n := int(binary.BigEndian.Uint16(data))
+	if n >= len(table) {
+		return 0
+	}
+	return table[n] // n in [0, len(table)-1]: uint16 gives the floor, the guard the ceiling
+}
+
+func sliceGuarded(data []byte) []byte {
+	l := binary.BigEndian.Uint32(data)
+	rest := data[4:]
+	if uint64(len(rest)) < uint64(l) {
+		return nil
+	}
+	return rest[:l] // l <= len(rest) via the peeled conversion guard
+}
+
+func makeCapped(data []byte) []byte {
+	n := binary.BigEndian.Uint32(data)
+	if n > 1<<24 {
+		return nil
+	}
+	return make([]byte, n) // inclusive cap: Hi is exactly 1<<24
+}
+
+func makeLenBounded(data []byte) []byte {
+	l, n := binary.Uvarint(data)
+	if n <= 0 || l > uint64(len(data)) {
+		return nil
+	}
+	return make([]byte, l) // bounded by len(data)
+}
+
+func loopCapped(data []byte) int {
+	count := binary.BigEndian.Uint64(data)
+	if count > 1<<20 {
+		return 0
+	}
+	total := 0
+	for i := uint64(0); i < count; i++ {
+		total++
+	}
+	return total
+}
+
+func typeRangeBoundsSmallInts(data []byte) []uint64 {
+	// a uint16 count needs no guard to size a slice: 65535 entries is
+	// within the allocation cap by type alone
+	n := int(binary.BigEndian.Uint16(data[4:6]))
+	if len(data) < 6+8*n {
+		return nil
+	}
+	seqs := make([]uint64, n)
+	for i := range seqs {
+		seqs[i] = binary.BigEndian.Uint64(data[6+8*i:])
+	}
+	return seqs
+}
+
+func equalityBlessing(data []byte, want int) [][]byte {
+	nmb, _ := binary.Uvarint(data)
+	if int(nmb) != want {
+		return nil
+	}
+	// nmb == want, a trusted quantity: the taint is blessed away
+	return make([][]byte, nmb)
+}
+
+func untaintedAreIgnored(table []byte, n int) byte {
+	return table[n] // n is not attacker input; other passes own this
+}

@@ -1,0 +1,71 @@
+package transport
+
+import "encoding/binary"
+
+// Every function here mishandles an attacker-controlled integer in one
+// of the ways netbound gates: unproven index, unproven slice bound,
+// attacker-sized make, unbounded loop count.
+
+func indexUnchecked(data, table []byte) byte {
+	n := int(binary.BigEndian.Uint16(data))
+	return table[n] // want "untrusted index lacks a proof against len"
+}
+
+func indexNegativePossible(data, table []byte) byte {
+	n := int(int16(binary.BigEndian.Uint16(data))) // sign trap: int16 may be negative
+	if n < len(table) {
+		return table[n] // want "untrusted index may be negative"
+	}
+	return 0
+}
+
+func sliceUnchecked(data []byte) []byte {
+	l := binary.BigEndian.Uint32(data)
+	return data[4:][:l] // want "untrusted slice bound lacks a proof against len"
+}
+
+func makeAttackerSized(data []byte) []byte {
+	n := binary.BigEndian.Uint64(data)
+	return make([]byte, n) // want "untrusted make size is unbounded"
+}
+
+func makeVarintSized(data []byte) [][]byte {
+	count, _ := binary.Uvarint(data)
+	return make([][]byte, count) // want "untrusted make size is unbounded"
+}
+
+func loopAttackerBound(data []byte) int {
+	n := binary.BigEndian.Uint64(data)
+	total := 0
+	for i := uint64(0); i < n; i++ { // want "untrusted loop bound is unbounded"
+		total++
+	}
+	return total
+}
+
+func rangeAttackerCount(data []byte) int {
+	n := int(binary.BigEndian.Uint64(data))
+	total := 0
+	for range n { // want "untrusted range count is unbounded"
+		total++
+	}
+	return total
+}
+
+func truncationReopensHole(data, table []byte) byte {
+	w := binary.BigEndian.Uint32(data)
+	if w > uint32(len(table)) {
+		return 0
+	}
+	n := int16(w)   // truncation drops the proof
+	return table[n] // want "untrusted index may be negative"
+}
+
+func boundKilledByReassign(data, buf []byte) []byte {
+	n := int(binary.BigEndian.Uint16(data))
+	if n < 0 || n > len(buf) {
+		return nil
+	}
+	buf = buf[1:]  // the proof was against the old len(buf)
+	return buf[:n] // want "untrusted slice bound lacks a proof against len"
+}

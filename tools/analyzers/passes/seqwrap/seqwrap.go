@@ -1,0 +1,113 @@
+// Package seqwrap bans raw ordering arithmetic on wrapping sequence
+// counters. A uint16 RTP sequence number or uint32 epoch counter wraps,
+// so `a < b` and `a - b` silently invert meaning every 2^16 (or 2^32)
+// packets — exactly the PR 7 bug, where a reordered pre-wrap straggler
+// extended into the wrong epoch and decrypted with the wrong IV. All
+// ordering and distance math on these counters must go through the
+// wrap-safe helpers in internal/transport/seqext.go (RFC 3711 §3.3.1
+// nearest-epoch extension); this pass catches the raw forms at analysis
+// time, everywhere but inside the sanctioned helper file itself.
+// Equality tests are exempt: == and != are wrap-clean.
+package seqwrap
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"strings"
+
+	"repro/tools/analyzers/lintkit"
+)
+
+var Analyzer = &lintkit.Analyzer{
+	Name: "seqwrap",
+	Doc: "raw uint16/uint32 sequence or epoch values must not be ordered " +
+		"or subtracted outside seqext.go's wrap-safe helpers",
+	Run: run,
+}
+
+// sanctionedFile is the one place raw wrap arithmetic is the point:
+// the extension helpers themselves.
+const sanctionedFile = "seqext.go"
+
+func run(pass *lintkit.Pass) error {
+	for _, file := range pass.Files {
+		name := filepath.Base(pass.Fset.Position(file.Pos()).Filename)
+		if name == sanctionedFile {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				switch n.Op {
+				case token.LSS, token.LEQ, token.GTR, token.GEQ:
+					if off := seqOperand(pass.TypesInfo, n.X, n.Y); off != nil {
+						pass.Reportf(n.OpPos, "raw ordering comparison on wrapping counter %s — use the wrap-safe seqext helpers", off.name)
+					}
+				case token.SUB:
+					if off := seqOperand(pass.TypesInfo, n.X, n.Y); off != nil {
+						pass.Reportf(n.OpPos, "raw subtraction on wrapping counter %s wraps every 2^%d — use the wrap-safe seqext helpers", off.name, off.bits)
+					}
+				}
+			case *ast.AssignStmt:
+				if n.Tok == token.SUB_ASSIGN {
+					if off := seqOperand(pass.TypesInfo, n.Lhs[0], n.Rhs[0]); off != nil {
+						pass.Reportf(n.TokPos, "raw subtraction on wrapping counter %s wraps every 2^%d — use the wrap-safe seqext helpers", off.name, off.bits)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+type offender struct {
+	name string
+	bits int
+}
+
+// seqOperand returns the first operand that is a narrow wrapping
+// counter: an identifier or field selection of underlying uint16 or
+// uint32 whose name mentions seq or epoch.
+func seqOperand(info *types.Info, exprs ...ast.Expr) *offender {
+	for _, e := range exprs {
+		if o := classify(info, e); o != nil {
+			return o
+		}
+	}
+	return nil
+}
+
+func classify(info *types.Info, e ast.Expr) *offender {
+	e = ast.Unparen(e)
+	var name string
+	switch e := e.(type) {
+	case *ast.Ident:
+		name = e.Name
+	case *ast.SelectorExpr:
+		name = e.Sel.Name
+	default:
+		return nil
+	}
+	lower := strings.ToLower(name)
+	if !strings.Contains(lower, "seq") && !strings.Contains(lower, "epoch") {
+		return nil
+	}
+	t := info.TypeOf(e)
+	if t == nil {
+		return nil
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return nil
+	}
+	switch b.Kind() {
+	case types.Uint16:
+		return &offender{name: name, bits: 16}
+	case types.Uint32:
+		return &offender{name: name, bits: 32}
+	}
+	return nil
+}

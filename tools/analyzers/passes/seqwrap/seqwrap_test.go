@@ -1,0 +1,16 @@
+package seqwrap_test
+
+import (
+	"testing"
+
+	"repro/tools/analyzers/lintkit"
+	"repro/tools/analyzers/passes/seqwrap"
+)
+
+func TestFlagged(t *testing.T) {
+	lintkit.RunTest(t, seqwrap.Analyzer, "testdata/flagged", "repro/internal/transport")
+}
+
+func TestAllowed(t *testing.T) {
+	lintkit.RunTestNone(t, seqwrap.Analyzer, "testdata/allowed", "repro/internal/transport")
+}

@@ -1,0 +1,30 @@
+package transport
+
+type header struct {
+	Sequence uint16
+	Epoch    uint32
+}
+
+// Equality is wrap-clean and stays legal.
+func dedup(p, q header) bool {
+	return p.Sequence == q.Sequence && p.Epoch != q.Epoch
+}
+
+// Extended 64-bit sequences are the sanctioned representation; ordering
+// them is the whole point.
+func orderedExtended(a, b uint64) bool {
+	extSeqA, extSeqB := a, b
+	return extSeqA < extSeqB
+}
+
+// Narrow integers without seq/epoch in the name are someone else's
+// problem (lengths, counts, widths).
+func widths(w, h uint16) bool {
+	return w > h
+}
+
+// A justified raw comparison can be allowed explicitly.
+func handshakeGate(seq uint16) bool {
+	//lint:allow seqwrap initial handshake window is below 2^15 by protocol
+	return seq > 0x10
+}

@@ -1,0 +1,21 @@
+package transport
+
+// The sanctioned helper file: raw wrap arithmetic here IS the
+// implementation of the wrap-safe API, so the pass skips the file by
+// name.
+
+type extender struct {
+	epoch uint64
+	last  uint16
+}
+
+func (x *extender) extend(seq uint16) uint64 {
+	ref := x.epoch | uint64(x.last)
+	best := x.epoch | uint64(seq)
+	if best > ref {
+		x.last = seq
+	}
+	delta := seq - x.last // wrapping distance, on purpose
+	_ = delta
+	return best
+}

@@ -1,0 +1,28 @@
+package transport
+
+type packet struct {
+	Sequence uint16
+	Epoch    uint32
+}
+
+func rawCompare(a, b uint16) bool {
+	seqA, seqB := a, b
+	return seqA > seqB // want "raw ordering comparison on wrapping counter seqA"
+}
+
+func rawFieldCompare(p, q packet) bool {
+	return p.Sequence <= q.Sequence // want "raw ordering comparison on wrapping counter Sequence"
+}
+
+func rawDistance(p, q packet) uint16 {
+	return p.Sequence - q.Sequence // want "raw subtraction on wrapping counter Sequence wraps every 2\\^16"
+}
+
+func rawEpochCompare(p, q packet) bool {
+	return p.Epoch < q.Epoch // want "raw ordering comparison on wrapping counter Epoch"
+}
+
+func rawSubAssign(p packet, lastSeq uint16) uint16 {
+	lastSeq -= p.Sequence // want "raw subtraction on wrapping counter lastSeq wraps every 2\\^16"
+	return lastSeq
+}
